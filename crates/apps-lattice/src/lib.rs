@@ -1,0 +1,31 @@
+//! # jubench-apps-lattice
+//!
+//! Proxies for the two Lattice-QCD benchmarks of the suite:
+//!
+//! - **Chroma-QCD** (§IV-A2b, High-Scaling): Hybrid-Monte-Carlo update
+//!   trajectories whose cost is dominated by "solving very large, regular,
+//!   sparse linear systems" — here a genuinely distributed SU(3) lattice
+//!   with a staggered-fermion Dirac operator (the substitution for the
+//!   paper's 3+1-flavour Clover Wilson fermions: same sparsity structure,
+//!   same SU(3) link algebra, same 4D halo communication, simpler spin
+//!   structure), solved by CG on the normal equations with the paper's
+//!   iteration-cap rule and residual verification (1e-10 Base / 1e-8
+//!   High-Scaling).
+//! - **DynQCD** (Base, CPU-only): the same operator with even/odd site
+//!   ordering, run one rank per node, generating quark propagators with a
+//!   conjugate gradient — "with high demands to the memory sub-system".
+//!
+//! The benchmark also reproduces the >2³¹-site concern: lattice volumes are
+//! tracked in `u64` site indices, tested beyond 2³¹.
+
+pub mod bench;
+pub mod dirac;
+pub mod hmc;
+pub mod lattice;
+pub mod su3;
+
+pub use bench::{ChromaQcd, DynQcd};
+pub use dirac::StaggeredDirac;
+pub use hmc::{hmc_trajectory, GaugeField};
+pub use lattice::LocalLattice;
+pub use su3::{ColorVector, Su3};

@@ -1,0 +1,230 @@
+//! A multi-compartment cable cell with Hodgkin-Huxley-style ion channels.
+//!
+//! "At runtime, the *cable equation* is integrated alternating with a
+//! system of ODEs for the channels" (§IV-A2a). Each cell is an unbranched
+//! cable of `n` compartments (the proxy for the "complex cell from the
+//! Allen Institute [...] adapted to random morphologies of fixed depth");
+//! every time step:
+//!
+//! 1. the channel gating variables (m, h, n) advance by an exponential
+//!    Euler step (the exp-heavy ion-channel cost center),
+//! 2. the cable equation — a tridiagonal system coupling neighbouring
+//!    compartments — is solved implicitly by the Thomas algorithm.
+
+use jubench_kernels::thomas_solve;
+
+/// Hodgkin-Huxley parameters (classic squid-axon values, mV / ms / µF·cm⁻²).
+const G_NA: f64 = 120.0;
+const G_K: f64 = 36.0;
+const G_L: f64 = 0.3;
+const E_NA: f64 = 50.0;
+const E_K: f64 = -77.0;
+const E_L: f64 = -54.387;
+const C_M: f64 = 1.0;
+/// Axial coupling conductance between neighbouring compartments.
+const G_AXIAL: f64 = 2.0;
+/// Resting potential.
+pub const V_REST: f64 = -65.0;
+/// Spike detection threshold at the soma (compartment 0).
+pub const V_THRESHOLD: f64 = 0.0;
+
+/// A cable cell: per-compartment membrane voltage and channel states.
+#[derive(Debug, Clone)]
+pub struct CableCell {
+    pub v: Vec<f64>,
+    m: Vec<f64>,
+    h: Vec<f64>,
+    n: Vec<f64>,
+    /// External current injected into the soma this step (synaptic input).
+    pub soma_current: f64,
+    /// True while the soma is above threshold (for edge-triggered spikes).
+    refractory: bool,
+}
+
+#[inline]
+fn vtrap(x: f64, y: f64) -> f64 {
+    // x / (exp(x/y) - 1) with the removable singularity handled.
+    if (x / y).abs() < 1e-6 {
+        y * (1.0 - x / y / 2.0)
+    } else {
+        x / ((x / y).exp() - 1.0)
+    }
+}
+
+/// HH rate functions.
+#[inline]
+fn alpha_m(v: f64) -> f64 {
+    0.1 * vtrap(-(v + 40.0), 10.0)
+}
+#[inline]
+fn beta_m(v: f64) -> f64 {
+    4.0 * (-(v + 65.0) / 18.0).exp()
+}
+#[inline]
+fn alpha_h(v: f64) -> f64 {
+    0.07 * (-(v + 65.0) / 20.0).exp()
+}
+#[inline]
+fn beta_h(v: f64) -> f64 {
+    1.0 / (1.0 + (-(v + 35.0) / 10.0).exp())
+}
+#[inline]
+fn alpha_n(v: f64) -> f64 {
+    0.01 * vtrap(-(v + 55.0), 10.0)
+}
+#[inline]
+fn beta_n(v: f64) -> f64 {
+    0.125 * (-(v + 65.0) / 80.0).exp()
+}
+
+impl CableCell {
+    /// A cell at rest with channel states at their steady-state values.
+    pub fn new(compartments: usize) -> Self {
+        let v = V_REST;
+        let m = alpha_m(v) / (alpha_m(v) + beta_m(v));
+        let h = alpha_h(v) / (alpha_h(v) + beta_h(v));
+        let n = alpha_n(v) / (alpha_n(v) + beta_n(v));
+        CableCell {
+            v: vec![v; compartments],
+            m: vec![m; compartments],
+            h: vec![h; compartments],
+            n: vec![n; compartments],
+            soma_current: 0.0,
+            refractory: false,
+        }
+    }
+
+    pub fn compartments(&self) -> usize {
+        self.v.len()
+    }
+
+    /// Advance the channel ODEs by `dt` (exponential Euler — cost center 1).
+    fn step_channels(&mut self, dt: f64) {
+        for i in 0..self.v.len() {
+            let v = self.v[i];
+            let (am, bm) = (alpha_m(v), beta_m(v));
+            let (ah, bh) = (alpha_h(v), beta_h(v));
+            let (an, bn) = (alpha_n(v), beta_n(v));
+            // Exponential Euler: x += (x_inf - x)·(1 - exp(-dt·(a+b))).
+            let em = 1.0 - (-dt * (am + bm)).exp();
+            let eh = 1.0 - (-dt * (ah + bh)).exp();
+            let en = 1.0 - (-dt * (an + bn)).exp();
+            self.m[i] += (am / (am + bm) - self.m[i]) * em;
+            self.h[i] += (ah / (ah + bh) - self.h[i]) * eh;
+            self.n[i] += (an / (an + bn) - self.n[i]) * en;
+        }
+    }
+
+    /// Solve the implicit cable equation for `dt` (cost center 2) and
+    /// return `true` if the soma crossed the spike threshold upward.
+    fn step_cable(&mut self, dt: f64) -> bool {
+        let n = self.v.len();
+        let mut lower = vec![0.0; n];
+        let mut diag = vec![0.0; n];
+        let mut upper = vec![0.0; n];
+        let mut rhs = vec![0.0; n];
+        for i in 0..n {
+            let gna = G_NA * self.m[i].powi(3) * self.h[i];
+            let gk = G_K * self.n[i].powi(4);
+            let g_total = gna + gk + G_L;
+            let i_rev = gna * E_NA + gk * E_K + G_L * E_L;
+            let mut d = C_M / dt + g_total;
+            if i > 0 {
+                lower[i] = -G_AXIAL;
+                d += G_AXIAL;
+            }
+            if i + 1 < n {
+                upper[i] = -G_AXIAL;
+                d += G_AXIAL;
+            }
+            diag[i] = d;
+            rhs[i] = C_M / dt * self.v[i] + i_rev + if i == 0 { self.soma_current } else { 0.0 };
+        }
+        let v_new = thomas_solve(&lower, &diag, &upper, &rhs);
+        let was_below = self.v[0] < V_THRESHOLD;
+        self.v = v_new;
+        let spiked = was_below && self.v[0] >= V_THRESHOLD && !self.refractory;
+        if spiked {
+            self.refractory = true;
+        } else if self.v[0] < V_THRESHOLD {
+            self.refractory = false;
+        }
+        spiked
+    }
+
+    /// One full time step; returns `true` on a soma spike.
+    pub fn step(&mut self, dt: f64) -> bool {
+        self.step_channels(dt);
+        self.step_cable(dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resting_cell_stays_at_rest() {
+        let mut cell = CableCell::new(16);
+        for _ in 0..200 {
+            assert!(!cell.step(0.025));
+        }
+        for &v in &cell.v {
+            assert!((v - V_REST).abs() < 2.0, "drifted to {v}");
+        }
+    }
+
+    #[test]
+    fn strong_stimulus_elicits_exactly_one_spike() {
+        let mut cell = CableCell::new(8);
+        let mut spikes = 0;
+        for step in 0..600 {
+            cell.soma_current = if step < 40 { 80.0 } else { 0.0 };
+            if cell.step(0.025) {
+                spikes += 1;
+            }
+        }
+        assert_eq!(spikes, 1);
+    }
+
+    #[test]
+    fn spike_propagates_along_the_cable() {
+        let mut cell = CableCell::new(12);
+        let mut distal_peak = V_REST;
+        for step in 0..1200 {
+            cell.soma_current = if step < 40 { 80.0 } else { 0.0 };
+            cell.step(0.025);
+            distal_peak = distal_peak.max(cell.v[11]);
+        }
+        assert!(distal_peak > -40.0, "distal compartment only reached {distal_peak}");
+    }
+
+    #[test]
+    fn subthreshold_stimulus_does_not_spike() {
+        let mut cell = CableCell::new(8);
+        for _ in 0..400 {
+            cell.soma_current = 1.0;
+            assert!(!cell.step(0.025));
+        }
+    }
+
+    #[test]
+    fn gating_variables_stay_in_unit_interval() {
+        let mut cell = CableCell::new(4);
+        for step in 0..2000 {
+            cell.soma_current = if step % 400 < 40 { 100.0 } else { 0.0 };
+            cell.step(0.025);
+            for i in 0..4 {
+                for x in [cell.m[i], cell.h[i], cell.n[i]] {
+                    assert!((0.0..=1.0).contains(&x), "gating variable {x} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vtrap_handles_singularity() {
+        assert!((vtrap(0.0, 10.0) - 10.0).abs() < 1e-9);
+        assert!(vtrap(1e-9, 10.0).is_finite());
+    }
+}

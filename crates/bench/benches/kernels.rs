@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the shared numeric kernels — the measured
+//! (non-virtual) performance substrate of the suite.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jubench_kernels::{
+    cg::{cg_solve, DenseOp},
+    fft_3d, gemm, lu_factor, poisson_vcycle, rank_rng, thomas_solve, C64, Grid3, Matrix,
+};
+use rand::Rng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+
+    group.bench_function("fft_3d_32x32x32", |b| {
+        let mut rng = rank_rng(1, 0);
+        let data: Vec<C64> = (0..32 * 32 * 32)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        b.iter_batched(
+            || data.clone(),
+            |mut d| {
+                fft_3d(&mut d, 32, 32, 32);
+                d[0]
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    group.bench_function("gemm_128", |b| {
+        let mut rng = rank_rng(2, 0);
+        let a = Matrix::from_fn(128, 128, |_, _| rng.gen_range(-1.0..1.0));
+        let m = Matrix::from_fn(128, 128, |_, _| rng.gen_range(-1.0..1.0));
+        b.iter(|| gemm(&a, &m).data[0]);
+    });
+
+    group.bench_function("lu_factor_96", |b| {
+        let mut rng = rank_rng(3, 0);
+        let a = Matrix::from_fn(96, 96, |i, j| {
+            rng.gen_range(-1.0..1.0) + if i == j { 96.0 } else { 0.0 }
+        });
+        b.iter(|| lu_factor(&a).unwrap().swaps);
+    });
+
+    group.bench_function("cg_spd_64", |b| {
+        let mut rng = rank_rng(4, 0);
+        let n = 64;
+        let m = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += m[(k, i)] * m[(k, j)];
+                }
+                a[(i, j)] = acc + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let op = DenseOp(a);
+        let rhs = vec![1.0; n];
+        b.iter(|| {
+            let mut x = vec![0.0; n];
+            cg_solve(&op, &rhs, &mut x, 1e-10, 300).iterations
+        });
+    });
+
+    group.bench_function("multigrid_vcycle_16", |b| {
+        let n = 16;
+        let rhs = vec![1.0; n * n * n];
+        b.iter(|| {
+            let mut x = vec![0.0; n * n * n];
+            poisson_vcycle(n, &mut x, &rhs);
+            x[0]
+        });
+    });
+
+    group.bench_function("laplacian_grid3_24", |b| {
+        let mut g = Grid3::from_fn(24, 24, 24, |i, j, k| (i + 2 * j + 3 * k) as f64);
+        g.wrap_periodic();
+        let mut out = Grid3::zeros(24, 24, 24);
+        b.iter(|| {
+            g.laplacian_into(&mut out);
+            out.at(0, 0, 0)
+        });
+    });
+
+    group.bench_function("thomas_solve_1024", |b| {
+        let n = 1024;
+        let lower = vec![-1.0; n];
+        let upper = vec![-1.0; n];
+        let diag = vec![2.5; n];
+        let rhs = vec![1.0; n];
+        b.iter(|| thomas_solve(&lower, &diag, &upper, &rhs)[n / 2]);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The seven synthetic benchmarks (§IV-B), run end to end and
+//! micro-benchmarked — the measured counterpart of the paper's
+//! hardware-feature tests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jubench_bench::banner;
+use jubench_core::{Benchmark, Fom, RunConfig};
+use jubench_synthetic::{
+    graph500::{bfs, kronecker_edges, Csr},
+    stream::stream_kernels,
+    Graph500, Hpcg, Hpl, Ior, LinkTest, Osu, Stream,
+};
+
+fn regenerate_synthetic_results() {
+    banner("Synthetic benchmark FOMs (regenerated)");
+    let runs: Vec<(&str, Fom)> = vec![
+        ("Graph500", Graph500 { scale: 10 }.run(&RunConfig::test(4)).unwrap().fom),
+        ("HPCG", Hpcg { n: 12 }.run(&RunConfig::test(4)).unwrap().fom),
+        ("HPL", Hpl { n: 64 }.run(&RunConfig::test(4)).unwrap().fom),
+        ("IOR easy", Ior::easy().run(&RunConfig::test(65)).unwrap().fom),
+        ("IOR hard", Ior::hard().run(&RunConfig::test(65)).unwrap().fom),
+        ("LinkTest", LinkTest.run(&RunConfig::test(936)).unwrap().fom),
+        ("OSU", Osu.run(&RunConfig::test(2)).unwrap().fom),
+        ("STREAM", Stream { n: 500_000 }.run(&RunConfig::test(1)).unwrap().fom),
+    ];
+    for (name, fom) in runs {
+        println!("  {name:<10} {:>14.4e} {}", fom.value(), fom.unit());
+    }
+    println!();
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    regenerate_synthetic_results();
+    let mut group = c.benchmark_group("synthetic");
+    group.sample_size(10);
+
+    group.bench_function("graph500_bfs_scale12", |b| {
+        let edges = kronecker_edges(12, 1);
+        let csr = Csr::from_edges(1 << 12, &edges);
+        b.iter(|| bfs(&csr, 0).1);
+    });
+
+    group.bench_function("stream_triad_1m", |b| {
+        b.iter(|| stream_kernels(1_000_000, 1).unwrap().triad);
+    });
+
+    group.bench_function("hpl_lu_96", |b| {
+        b.iter(|| Hpl { n: 96 }.run(&RunConfig::test(1)).unwrap().fom.value());
+    });
+
+    group.bench_function("hpcg_pcg_n12", |b| {
+        b.iter(|| Hpcg { n: 12 }.run(&RunConfig::test(1)).unwrap().fom.value());
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic);
+criterion_main!(benches);

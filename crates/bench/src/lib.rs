@@ -1,0 +1,25 @@
+//! # jubench-bench
+//!
+//! The benchmark harness crate: one Criterion bench target per table and
+//! figure of the paper (see DESIGN.md §5 for the experiment index), plus
+//! micro-benchmarks of the real numeric kernels.
+//!
+//! Each figure/table bench *prints the regenerated rows or series once*
+//! (the reproduction artifact) and then times the generating computation
+//! so regressions in the models and kernels are visible in CI.
+
+/// Print a banner separating the regenerated artifact from Criterion's
+/// timing output.
+pub fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("  {title}");
+    println!("================================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_prints() {
+        super::banner("test");
+    }
+}

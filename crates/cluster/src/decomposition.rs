@@ -1,0 +1,219 @@
+//! Domain-decomposition studies.
+//!
+//! §V-A: "decomposition studies are impossible in the benchmark context,
+//! especially for an unknown system design. Through labour- and
+//! resource-intensive investigation, estimates, rules, or scripts for
+//! ideal domain decomposition were devised, e.g., for Chroma-QCD,
+//! PIConGPU, NAStJA, and DynQCD."
+//!
+//! This module is that script: it enumerates the factorizations of the
+//! rank count over the problem's dimensions, costs each candidate's halo
+//! exchange with the network model, and returns the cheapest — so a
+//! proposal can derive its decomposition from the machine model instead of
+//! hand-tuning on unknown hardware.
+
+use crate::machine::Machine;
+use crate::netmodel::NetModel;
+use crate::patterns::{pattern_time, CommPattern};
+use crate::topology::Placement;
+
+/// All factorizations of `n` into `k` ordered factors.
+fn factorizations(n: u32, k: usize) -> Vec<Vec<u32>> {
+    if k == 1 {
+        return vec![vec![n]];
+    }
+    let mut out = Vec::new();
+    for a in 1..=n {
+        if n.is_multiple_of(a) {
+            for mut rest in factorizations(n / a, k - 1) {
+                let mut v = vec![a];
+                v.append(&mut rest);
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// One candidate decomposition with its modeled per-iteration halo cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecompositionChoice {
+    pub rank_dims: Vec<u32>,
+    pub halo_seconds: f64,
+}
+
+/// Modeled halo cost of one candidate 4D decomposition; `None` when the
+/// decomposition does not divide the lattice.
+pub fn cost_4d(
+    machine: Machine,
+    lattice: [u64; 4],
+    dims: [u32; 4],
+    bytes_per_site_face: u64,
+) -> Option<f64> {
+    if (0..4).any(|d| lattice[d] < dims[d] as u64 || !lattice[d].is_multiple_of(dims[d] as u64)) {
+        return None;
+    }
+    let placement = Placement::per_gpu(machine);
+    let net = NetModel::juwels_booster();
+    let local: Vec<u64> = (0..4).map(|d| lattice[d] / dims[d] as u64).collect();
+    let volume: u64 = local.iter().product();
+    // Cost the worst per-dimension face through the halo pattern.
+    let face_bytes = (0..4)
+        .map(|d| if dims[d] > 1 { volume / local[d] * bytes_per_site_face } else { 0 })
+        .max()
+        .unwrap_or(0);
+    Some(pattern_time(
+        CommPattern::Halo4d { rank_dims: dims, bytes_per_face: face_bytes },
+        &placement,
+        &net,
+    ))
+}
+
+/// Find the cheapest 4D decomposition of `ranks` for a lattice of extents
+/// `lattice` with `bytes_per_site_face` bytes exchanged per boundary site
+/// (Chroma-QCD / DynQCD).
+pub fn best_4d_decomposition(
+    machine: Machine,
+    lattice: [u64; 4],
+    bytes_per_site_face: u64,
+) -> DecompositionChoice {
+    let ranks = Placement::per_gpu(machine).ranks();
+    let mut best: Option<DecompositionChoice> = None;
+    for dims in factorizations(ranks, 4) {
+        let dims4 = [dims[0], dims[1], dims[2], dims[3]];
+        if let Some(t) = cost_4d(machine, lattice, dims4, bytes_per_site_face) {
+            let candidate = DecompositionChoice { rank_dims: dims, halo_seconds: t };
+            if best.as_ref().is_none_or(|b| candidate.halo_seconds < b.halo_seconds) {
+                best = Some(candidate);
+            }
+        }
+    }
+    best.expect("at least one valid decomposition")
+}
+
+/// Find the cheapest 3D decomposition for a grid (PIConGPU / NAStJA).
+pub fn best_3d_decomposition(
+    machine: Machine,
+    grid: [u64; 3],
+    bytes_per_cell_face: u64,
+    per_node: bool,
+) -> DecompositionChoice {
+    let placement =
+        if per_node { Placement::per_node(machine) } else { Placement::per_gpu(machine) };
+    let net = NetModel::juwels_booster();
+    let ranks = placement.ranks();
+    let mut best: Option<DecompositionChoice> = None;
+    for dims in factorizations(ranks, 3) {
+        if (0..3).any(|d| grid[d] < dims[d] as u64) {
+            continue;
+        }
+        let local: Vec<u64> = (0..3).map(|d| grid[d] / dims[d] as u64).collect();
+        let faces: Vec<u64> = (0..3)
+            .map(|d| {
+                if dims[d] > 1 {
+                    local.iter().product::<u64>() / local[d] * bytes_per_cell_face
+                } else {
+                    0
+                }
+            })
+            .collect();
+        let t = pattern_time(
+            CommPattern::Halo3d {
+                rank_dims: [dims[0], dims[1], dims[2]],
+                bytes_per_face: [faces[0], faces[1], faces[2]],
+            },
+            &placement,
+            &net,
+        );
+        let candidate = DecompositionChoice { rank_dims: dims, halo_seconds: t };
+        if best.as_ref().is_none_or(|b| candidate.halo_seconds < b.halo_seconds) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("at least one valid decomposition")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn booster(n: u32) -> Machine {
+        Machine::juwels_booster().partition(n)
+    }
+
+    #[test]
+    fn factorization_counts() {
+        assert_eq!(factorizations(1, 3), vec![vec![1, 1, 1]]);
+        // 4 = 1·1·4, 1·4·1, 4·1·1, 1·2·2, 2·1·2, 2·2·1.
+        assert_eq!(factorizations(4, 3).len(), 6);
+        for f in factorizations(16, 4) {
+            assert_eq!(f.iter().product::<u32>(), 16);
+        }
+    }
+
+    #[test]
+    fn nvlink_dense_nodes_prefer_stride1_slabs() {
+        // On 4×NVLink-GPU nodes, a single-axis slab keeps every neighbour
+        // exchange at rank stride 1 — mostly on NVLink — which the model
+        // (correctly) prices below the surface-minimizing balanced cut
+        // whose higher-stride dimensions cross the InfiniBand fabric. This
+        // is the QUDA-style preference for keeping one lattice direction's
+        // split inside the node.
+        let machine = booster(4);
+        let choice = best_4d_decomposition(machine, [64, 64, 64, 64], 48);
+        let active_dims = choice.rank_dims.iter().filter(|&&d| d > 1).count();
+        assert_eq!(active_dims, 1, "expected a slab, got {:?}", choice.rank_dims);
+        let balanced = cost_4d(machine, [64, 64, 64, 64], [2, 2, 2, 2], 48).unwrap();
+        assert!(choice.halo_seconds <= balanced);
+    }
+
+    #[test]
+    fn anisotropic_lattice_cuts_the_long_dimension() {
+        // A lattice stretched in t: decomposing the long dimension keeps
+        // the cut faces small.
+        let choice = best_4d_decomposition(booster(4), [8, 8, 8, 1024], 48);
+        assert!(
+            choice.rank_dims[3] >= 4,
+            "expected the t-dimension cut, got {:?}",
+            choice.rank_dims
+        );
+    }
+
+    #[test]
+    fn chosen_decomposition_is_optimal_among_alternatives() {
+        let machine = booster(8);
+        let lattice = [64u64, 64, 64, 64];
+        let best = best_4d_decomposition(machine, lattice, 48);
+        for dims in [[32u32, 1, 1, 1], [1, 32, 1, 1], [2, 2, 2, 4], [4, 4, 2, 1], [2, 16, 1, 1]] {
+            if let Some(t) = cost_4d(machine, lattice, dims, 48) {
+                assert!(
+                    best.halo_seconds <= t + 1e-15,
+                    "{:?} at {t} beats the chosen {:?} at {}",
+                    dims,
+                    best.rank_dims,
+                    best.halo_seconds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pic_grid_decomposition_is_valid() {
+        // The PIConGPU S grid on 16 nodes: the chosen decomposition must
+        // divide the grid and be cheaper than or equal to every axis slab.
+        let machine = booster(16);
+        let grid = [4096u64, 2048, 1024];
+        let best = best_3d_decomposition(machine, grid, 8, false);
+        assert_eq!(best.rank_dims.iter().product::<u32>(), 64);
+        for (d, &extent) in best.rank_dims.iter().enumerate() {
+            assert_eq!(grid[d] % extent as u64, 0);
+        }
+    }
+
+    #[test]
+    fn cpu_codes_decompose_per_node() {
+        let choice = best_3d_decomposition(booster(8), [720, 720, 1152], 4, true);
+        assert_eq!(choice.rank_dims.iter().product::<u32>(), 8);
+        assert!(choice.halo_seconds > 0.0);
+    }
+}

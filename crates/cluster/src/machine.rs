@@ -1,0 +1,226 @@
+//! Node and machine specifications.
+
+/// An accelerator device. The preparation system uses NVIDIA A100-40GB.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuSpec {
+    pub name: &'static str,
+    /// Peak FP64 throughput in FLOP/s.
+    pub fp64_flops: f64,
+    /// Device (HBM) memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Device memory bandwidth in bytes/s.
+    pub mem_bw: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-SXM4-40GB as installed in JUWELS Booster: 9.7 TFLOP/s
+    /// FP64 (19.5 with tensor cores), 40 GB HBM2e at 1555 GB/s.
+    pub fn a100_40gb() -> Self {
+        GpuSpec {
+            name: "A100-40GB",
+            fp64_flops: 9.7e12,
+            memory_bytes: 40 * (1 << 30),
+            mem_bw: 1.555e12,
+        }
+    }
+
+    /// The CPU side of a JUWELS Booster node treated as one "device" for
+    /// the per-node placement of the CPU-only codes (NAStJA, DynQCD):
+    /// 2 × AMD EPYC Rome 7402 (48 cores) with 512 GB DDR4.
+    pub fn epyc_rome_node() -> Self {
+        GpuSpec {
+            name: "2x EPYC Rome 7402",
+            fp64_flops: 2.0e12,
+            memory_bytes: 512 * (1 << 30),
+            mem_bw: 0.38e12,
+        }
+    }
+
+    /// A next-generation accelerator for proposal modeling: the paper notes
+    /// "the trend of growing imbalance between the advancement of compute
+    /// power and memory" — compute grows faster (×3.5) than memory capacity
+    /// (×2.4) and bandwidth (×2.6), roughly an H100/GH200-class device.
+    pub fn next_gen_96gb() -> Self {
+        GpuSpec {
+            name: "NextGen-96GB",
+            fp64_flops: 34.0e12,
+            memory_bytes: 96 * (1 << 30),
+            mem_bw: 4.0e12,
+        }
+    }
+}
+
+/// A compute node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    pub gpu: GpuSpec,
+    /// GPUs per node (4 on JUWELS Booster, one NIC per GPU).
+    pub gpus_per_node: u32,
+    /// High-speed network adapters per node.
+    pub nics_per_node: u32,
+    /// Injection bandwidth per NIC in bytes/s (HDR200 ≈ 25 GB/s).
+    pub nic_bw: f64,
+    /// Node power draw under load, in watts (used by the TCO model).
+    pub power_w: f64,
+}
+
+impl NodeSpec {
+    /// A JUWELS Booster node: 4 × A100, 4 × InfiniBand HDR200, 2 × AMD EPYC
+    /// Rome 7402, ≈ 2.5 kW under load.
+    pub fn juwels_booster() -> Self {
+        NodeSpec {
+            gpu: GpuSpec::a100_40gb(),
+            gpus_per_node: 4,
+            nics_per_node: 4,
+            nic_bw: 25.0e9,
+            power_w: 2500.0,
+        }
+    }
+
+    /// Peak FP64 node performance in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.gpu.fp64_flops * self.gpus_per_node as f64
+    }
+
+    /// Total device memory per node in bytes.
+    pub fn gpu_memory_bytes(&self) -> u64 {
+        self.gpu.memory_bytes * self.gpus_per_node as u64
+    }
+}
+
+/// A (partition of a) machine: `nodes` identical nodes arranged in
+/// DragonFly+ cells of `cell_nodes` nodes (2 racks = 48 nodes per cell on
+/// JUWELS Booster).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Machine {
+    pub name: &'static str,
+    pub nodes: u32,
+    pub node: NodeSpec,
+    pub cell_nodes: u32,
+}
+
+impl Machine {
+    /// The full preparation system: JUWELS Booster, 936 GPU nodes in 39
+    /// racks, 2 racks (48 nodes) per DragonFly+ cell, 73 PFLOP/s(th).
+    pub fn juwels_booster() -> Self {
+        Machine {
+            name: "JUWELS Booster",
+            nodes: 936,
+            node: NodeSpec::juwels_booster(),
+            cell_nodes: 48,
+        }
+    }
+
+    /// The 50 PFLOP/s(th) High-Scaling sub-partition of the preparation
+    /// system: "about 640 nodes" (§II-C; 642 × 4 × 9.7 TF ≈ 25 PF FP64,
+    /// which the paper counts as 50 PF(th) including tensor-core peak).
+    pub fn high_scaling_partition() -> Self {
+        Machine { name: "JUWELS Booster 50 PF partition", nodes: 642, ..Self::juwels_booster() }
+    }
+
+    /// An envisioned JUPITER-class proposal: a partition with 20× the
+    /// theoretical peak of the 50 PFLOP/s(th) sub-partition, built from
+    /// next-generation devices. With ≈ 3.5× faster devices, ≈ 20/3.5 × 642
+    /// ≈ 3670 nodes.
+    pub fn jupiter_proposal() -> Self {
+        let node = NodeSpec {
+            gpu: GpuSpec::next_gen_96gb(),
+            nic_bw: 50.0e9, // NDR200-class
+            power_w: 2800.0,
+            ..NodeSpec::juwels_booster()
+        };
+        let reference = Self::high_scaling_partition();
+        let target_flops = 20.0 * reference.peak_flops();
+        let nodes = (target_flops / node.peak_flops()).ceil() as u32;
+        Machine { name: "JUPITER proposal", nodes, node, cell_nodes: 48 }
+    }
+
+    /// A sub-partition of this machine with `nodes` nodes.
+    pub fn partition(&self, nodes: u32) -> Machine {
+        assert!(nodes >= 1 && nodes <= self.nodes, "partition of {} nodes from {}", nodes, self.nodes);
+        Machine { nodes, ..*self }
+    }
+
+    /// Theoretical peak FP64 performance in FLOP/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.node.peak_flops() * self.nodes as f64
+    }
+
+    /// Total device memory in bytes.
+    pub fn gpu_memory_bytes(&self) -> u64 {
+        self.node.gpu_memory_bytes() * self.nodes as u64
+    }
+
+    /// Total number of devices (one MPI rank per device, as on the real
+    /// system: "each MPI task controls one of the GPUs").
+    pub fn devices(&self) -> u32 {
+        self.nodes * self.node.gpus_per_node
+    }
+
+    /// Number of DragonFly+ cells (rounded up).
+    pub fn cells(&self) -> u32 {
+        self.nodes.div_ceil(self.cell_nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn juwels_booster_matches_paper() {
+        let m = Machine::juwels_booster();
+        assert_eq!(m.nodes, 936);
+        assert_eq!(m.node.gpus_per_node, 4);
+        assert_eq!(m.node.nics_per_node, 4);
+        assert_eq!(m.cell_nodes, 48);
+        assert_eq!(m.devices(), 3744);
+        // 936 × 4 × 9.7 TF = 36.3 PF FP64 vector peak; the paper's
+        // 73 PF(th) counts FP64 tensor-core peak (×2).
+        let pf = m.peak_flops() / 1e15;
+        assert!((pf * 2.0 - 73.0).abs() < 1.0, "2x vector peak ≈ 73 PF, got {pf}");
+    }
+
+    #[test]
+    fn a100_memory_is_40gb() {
+        assert_eq!(GpuSpec::a100_40gb().memory_bytes, 40 * (1 << 30));
+    }
+
+    #[test]
+    fn high_scaling_partition_is_about_640_nodes() {
+        let p = Machine::high_scaling_partition();
+        assert_eq!(p.nodes, 642);
+        assert_eq!(p.cells(), 14);
+    }
+
+    #[test]
+    fn jupiter_proposal_hits_20x_peak() {
+        let prop = Machine::jupiter_proposal();
+        let reference = Machine::high_scaling_partition();
+        let ratio = prop.peak_flops() / reference.peak_flops();
+        assert!((20.0..21.0).contains(&ratio), "ratio {ratio}");
+        assert!(prop.node.gpu.memory_bytes > GpuSpec::a100_40gb().memory_bytes);
+    }
+
+    #[test]
+    fn partition_preserves_node_spec() {
+        let m = Machine::juwels_booster();
+        let p = m.partition(8);
+        assert_eq!(p.nodes, 8);
+        assert_eq!(p.node, m.node);
+        assert_eq!(p.cells(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn oversized_partition_panics() {
+        Machine::juwels_booster().partition(1000);
+    }
+
+    #[test]
+    fn node_aggregates() {
+        let n = NodeSpec::juwels_booster();
+        assert_eq!(n.gpu_memory_bytes(), 160 * (1 << 30));
+        assert!((n.peak_flops() - 4.0 * 9.7e12).abs() < 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Analytic network performance model (alpha-beta with distance classes and
+//! a large-scale congestion regime).
+//!
+//! §IV-A2c observes for JUQCS "a drop in performance from intra-node to
+//! inter-node GPU communication (from 1 to 2 nodes) and another drop when
+//! communication enters the large-scale regime at 256 nodes". The model
+//! realizes exactly these two mechanisms: per-distance-class latency and
+//! bandwidth (NVLink inside a node, InfiniBand HDR200 between nodes, global
+//! optical links between DragonFly+ cells) plus a congestion factor that
+//! reduces effective global bandwidth once a job spans the large-scale
+//! regime.
+
+use crate::topology::Distance;
+
+/// Latency/bandwidth of one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkParams {
+    /// One-way message latency (alpha), in seconds.
+    pub latency_s: f64,
+    /// Sustained point-to-point bandwidth (1/beta), in bytes/s.
+    pub bandwidth: f64,
+}
+
+impl LinkParams {
+    /// Time to move `bytes` over this link.
+    pub fn time(&self, bytes: u64) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth
+    }
+}
+
+/// The network model of a machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// GPU-to-GPU inside one node (NVLink3: ≈ 300 GB/s, ≈ 2 µs).
+    pub intra_node: LinkParams,
+    /// Node-to-node inside one DragonFly+ cell (HDR200: 25 GB/s per
+    /// adapter, one adapter per GPU; ≈ 2.5 µs).
+    pub intra_cell: LinkParams,
+    /// Across cells via global links (slightly higher latency).
+    pub inter_cell: LinkParams,
+    /// Between the Cluster and Booster modules (MSA federation: higher
+    /// latency, reduced bandwidth through the gateway).
+    pub inter_module: LinkParams,
+    /// On-device copy bandwidth used for `SameDevice` "transfers".
+    pub device_copy_bw: f64,
+    /// Job size (in nodes) at which communication "enters the large-scale
+    /// regime" and global links congest (the paper observed 256 nodes).
+    pub congestion_onset_nodes: u32,
+    /// Effective-bandwidth multiplier applied to inter-cell traffic beyond
+    /// the onset (calibrated so JUQCS shows the paper's second drop).
+    pub congestion_floor: f64,
+}
+
+impl NetModel {
+    /// Model parameters calibrated to JUWELS Booster.
+    pub fn juwels_booster() -> Self {
+        NetModel {
+            intra_node: LinkParams { latency_s: 2.0e-6, bandwidth: 300.0e9 },
+            intra_cell: LinkParams { latency_s: 2.5e-6, bandwidth: 25.0e9 },
+            inter_cell: LinkParams { latency_s: 3.5e-6, bandwidth: 25.0e9 },
+            inter_module: LinkParams { latency_s: 6.0e-6, bandwidth: 12.5e9 },
+            device_copy_bw: 1.3e12,
+            congestion_onset_nodes: 256,
+            congestion_floor: 0.55,
+        }
+    }
+
+    /// Congestion multiplier on inter-cell bandwidth for a job spanning
+    /// `job_nodes` nodes: 1.0 below the onset, ramping down to
+    /// `congestion_floor` over one further doubling.
+    pub fn congestion_factor(&self, job_nodes: u32) -> f64 {
+        let onset = self.congestion_onset_nodes as f64;
+        let n = job_nodes as f64;
+        if n < onset {
+            1.0
+        } else if n >= 2.0 * onset {
+            self.congestion_floor
+        } else {
+            // Linear ramp between onset and 2×onset.
+            let t = (n - onset) / onset;
+            1.0 + t * (self.congestion_floor - 1.0)
+        }
+    }
+
+    /// Point-to-point message time for `bytes` between two ranks at
+    /// distance `dist`, inside a job of `job_nodes` nodes.
+    pub fn ptp_time(&self, bytes: u64, dist: Distance, job_nodes: u32) -> f64 {
+        match dist {
+            Distance::SameDevice => bytes as f64 / self.device_copy_bw,
+            Distance::IntraNode => self.intra_node.time(bytes),
+            Distance::IntraCell => self.intra_cell.time(bytes),
+            Distance::InterCell => {
+                let f = self.congestion_factor(job_nodes);
+                self.inter_cell.latency_s + bytes as f64 / (self.inter_cell.bandwidth * f)
+            }
+            Distance::InterModule => self.inter_module.time(bytes),
+        }
+    }
+
+    /// Effective bandwidth for the given class and job size (bytes/s).
+    pub fn bandwidth(&self, dist: Distance, job_nodes: u32) -> f64 {
+        match dist {
+            Distance::SameDevice => self.device_copy_bw,
+            Distance::IntraNode => self.intra_node.bandwidth,
+            Distance::IntraCell => self.intra_cell.bandwidth,
+            Distance::InterCell => self.inter_cell.bandwidth * self.congestion_factor(job_nodes),
+            Distance::InterModule => self.inter_module.bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intra_node_is_much_faster_than_inter_node() {
+        let m = NetModel::juwels_booster();
+        let big = 1 << 30; // 1 GiB
+        let t_nv = m.ptp_time(big, Distance::IntraNode, 1);
+        let t_ib = m.ptp_time(big, Distance::IntraCell, 2);
+        assert!(t_ib / t_nv > 10.0, "NVLink ≈ 12× HDR200 for large messages");
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let m = NetModel::juwels_booster();
+        let t = m.ptp_time(8, Distance::IntraCell, 2);
+        assert!((t - m.intra_cell.latency_s) / t < 0.01);
+    }
+
+    #[test]
+    fn congestion_kicks_in_at_256_nodes() {
+        let m = NetModel::juwels_booster();
+        assert_eq!(m.congestion_factor(255), 1.0);
+        assert!(m.congestion_factor(256) <= 1.0);
+        assert!(m.congestion_factor(300) < 1.0);
+        assert_eq!(m.congestion_factor(512), m.congestion_floor);
+        assert_eq!(m.congestion_factor(936), m.congestion_floor);
+    }
+
+    #[test]
+    fn congestion_is_monotone_nonincreasing() {
+        let m = NetModel::juwels_booster();
+        let mut prev = f64::INFINITY;
+        for n in (1..=936).step_by(13) {
+            let f = m.congestion_factor(n);
+            assert!(f <= prev + 1e-12, "congestion increased at {n} nodes");
+            assert!((m.congestion_floor..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn inter_cell_slows_down_beyond_onset() {
+        let m = NetModel::juwels_booster();
+        let bytes = 1 << 28;
+        let before = m.ptp_time(bytes, Distance::InterCell, 128);
+        let after = m.ptp_time(bytes, Distance::InterCell, 640);
+        assert!(after > before * 1.5);
+    }
+
+    #[test]
+    fn same_device_copy_is_fastest() {
+        let m = NetModel::juwels_booster();
+        let b = 1 << 26;
+        assert!(m.ptp_time(b, Distance::SameDevice, 1) < m.ptp_time(b, Distance::IntraNode, 1));
+    }
+}

@@ -1,0 +1,131 @@
+//! Roofline compute-time model.
+//!
+//! Virtual compute time of a kernel on one device is the maximum of its
+//! FLOP time (at a kernel-specific fraction of peak) and its memory time
+//! (at a fraction of peak bandwidth) — the classic roofline. Application
+//! proxies describe each iteration's work in FLOPs and moved bytes; the
+//! simulated MPI clock advances by this model's prediction, which is what
+//! makes memory-bound kernels (most of the suite, cf. §IV) behave as such.
+
+use crate::machine::GpuSpec;
+
+/// A kernel's per-device work description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Work {
+    /// Floating-point operations.
+    pub flops: f64,
+    /// Bytes moved to/from device memory.
+    pub bytes: f64,
+}
+
+impl Work {
+    pub const ZERO: Work = Work { flops: 0.0, bytes: 0.0 };
+
+    pub fn new(flops: f64, bytes: f64) -> Self {
+        Work { flops, bytes }
+    }
+
+    /// Arithmetic intensity in FLOP/byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0.0 {
+            f64::INFINITY
+        } else {
+            self.flops / self.bytes
+        }
+    }
+}
+
+impl std::ops::Add for Work {
+    type Output = Work;
+    fn add(self, rhs: Work) -> Work {
+        Work { flops: self.flops + rhs.flops, bytes: self.bytes + rhs.bytes }
+    }
+}
+
+/// Roofline evaluator for one device with kernel efficiencies.
+#[derive(Debug, Clone, Copy)]
+pub struct Roofline {
+    pub gpu: GpuSpec,
+    /// Fraction of peak FLOP rate a real kernel achieves (GEMM ≈ 0.85,
+    /// stencils ≈ 0.1–0.3).
+    pub flop_efficiency: f64,
+    /// Fraction of peak memory bandwidth (STREAM-like kernels ≈ 0.85).
+    pub bw_efficiency: f64,
+}
+
+impl Roofline {
+    pub fn new(gpu: GpuSpec) -> Self {
+        Roofline { gpu, flop_efficiency: 0.7, bw_efficiency: 0.8 }
+    }
+
+    pub fn with_efficiencies(mut self, flop: f64, bw: f64) -> Self {
+        assert!((0.0..=1.0).contains(&flop) && (0.0..=1.0).contains(&bw));
+        self.flop_efficiency = flop;
+        self.bw_efficiency = bw;
+        self
+    }
+
+    /// Predicted execution time of `work` on this device.
+    pub fn time(&self, work: Work) -> f64 {
+        let t_flop = work.flops / (self.gpu.fp64_flops * self.flop_efficiency);
+        let t_mem = work.bytes / (self.gpu.mem_bw * self.bw_efficiency);
+        t_flop.max(t_mem)
+    }
+
+    /// Whether `work` is memory-bound on this device.
+    pub fn memory_bound(&self, work: Work) -> bool {
+        let knee =
+            self.gpu.fp64_flops * self.flop_efficiency / (self.gpu.mem_bw * self.bw_efficiency);
+        work.intensity() < knee
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a100() -> Roofline {
+        Roofline::new(GpuSpec::a100_40gb())
+    }
+
+    #[test]
+    fn gemm_is_compute_bound() {
+        // 4096³ GEMM: 2·n³ flops, 3·n²·8 bytes.
+        let n = 4096.0_f64;
+        let w = Work::new(2.0 * n * n * n, 3.0 * n * n * 8.0);
+        assert!(!a100().memory_bound(w));
+        let t = a100().time(w);
+        assert!(t > 0.0 && (t - w.flops / (9.7e12 * 0.7)).abs() / t < 1e-12);
+    }
+
+    #[test]
+    fn stream_triad_is_memory_bound() {
+        // Triad: 2 flops per 24 bytes.
+        let w = Work::new(2.0e9, 24.0e9);
+        assert!(a100().memory_bound(w));
+        let t = a100().time(w);
+        assert!((t - w.bytes / (1.555e12 * 0.8)).abs() / t < 1e-12);
+    }
+
+    #[test]
+    fn zero_work_takes_zero_time() {
+        assert_eq!(a100().time(Work::ZERO), 0.0);
+    }
+
+    #[test]
+    fn work_adds() {
+        let w = Work::new(1.0, 2.0) + Work::new(3.0, 4.0);
+        assert_eq!(w, Work::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn intensity_of_pure_compute_is_infinite() {
+        assert!(Work::new(1.0, 0.0).intensity().is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_efficiency_panics() {
+        a100().with_efficiencies(1.5, 0.5);
+    }
+}

@@ -1,0 +1,142 @@
+//! Durable storage of accepted benchmark baselines.
+//!
+//! The format is a deliberately simple line-oriented text file
+//! (`<benchmark name>\t<seconds>\n`) so baselines are diffable and
+//! mergeable in the benchmark repository, the way the suite keeps
+//! "benchmark results" next to the JUBE scripts (§III-D).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+
+use jubench_core::{BenchmarkId, SuiteError};
+
+/// Accepted reference results: benchmark → virtual runtime in seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BaselineStore {
+    entries: BTreeMap<BenchmarkId, f64>,
+}
+
+impl BaselineStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn set(&mut self, id: BenchmarkId, seconds: f64) {
+        assert!(seconds.is_finite() && seconds > 0.0);
+        self.entries.insert(id, seconds);
+    }
+
+    pub fn get(&self, id: BenchmarkId) -> Option<f64> {
+        self.entries.get(&id).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (BenchmarkId, f64)> + '_ {
+        self.entries.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Serialize to the line format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (id, v) in &self.entries {
+            out.push_str(&format!("{}\t{v:.17e}\n", id.name()));
+        }
+        out
+    }
+
+    /// Parse the line format; unknown benchmark names are an error.
+    pub fn from_text(text: &str) -> Result<Self, SuiteError> {
+        let mut store = BaselineStore::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once('\t').ok_or_else(|| {
+                SuiteError::Io(format!("baseline line {} has no tab separator", lineno + 1))
+            })?;
+            let id = BenchmarkId::ALL
+                .into_iter()
+                .find(|id| id.name() == name)
+                .ok_or_else(|| SuiteError::Io(format!("unknown benchmark '{name}'")))?;
+            let v: f64 = value
+                .trim()
+                .parse()
+                .map_err(|e| SuiteError::Io(format!("bad value for {name}: {e}")))?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SuiteError::Io(format!("non-positive baseline for {name}")));
+            }
+            store.entries.insert(id, v);
+        }
+        Ok(store)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> Result<(), SuiteError> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_text().as_bytes())?;
+        Ok(())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> Result<Self, SuiteError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_text(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jubench_core::BenchmarkId as B;
+
+    #[test]
+    fn text_round_trip() {
+        let mut store = BaselineStore::new();
+        store.set(B::Arbor, 497.07);
+        store.set(B::Juqcs, 17.12);
+        let text = store.to_text();
+        let back = BaselineStore::from_text(&text).unwrap();
+        assert_eq!(back, store);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# accepted after the 2026-06 maintenance\n\nArbor\t4.970700000e2\n";
+        let store = BaselineStore::from_text(text).unwrap();
+        assert_eq!(store.get(B::Arbor), Some(497.07));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_rejected() {
+        assert!(BaselineStore::from_text("NotABenchmark\t1.0\n").is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(BaselineStore::from_text("Arbor 497\n").is_err(), "no tab");
+        assert!(BaselineStore::from_text("Arbor\t-3\n").is_err(), "negative");
+        assert!(BaselineStore::from_text("Arbor\tNaN\n").is_err(), "nan");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("jubench-baselines");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test-baselines.tsv");
+        let mut store = BaselineStore::new();
+        store.set(B::Hpl, 123.456);
+        store.save(&path).unwrap();
+        let back = BaselineStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back, store);
+    }
+}

@@ -1,0 +1,221 @@
+//! The monitoring loop: measure, compare against baselines, classify.
+
+use std::collections::BTreeMap;
+
+use jubench_core::{Benchmark, BenchmarkId, Registry, RunConfig};
+
+use crate::baseline::BaselineStore;
+
+/// Classification of one benchmark in a continuous-benchmarking pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckStatus {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Slower than baseline × (1 + tolerance) — the degradation the
+    /// monitoring exists to catch.
+    Regressed,
+    /// Faster than baseline × (1 − tolerance) — also worth flagging (the
+    /// system changed, or the baseline is stale).
+    Improved,
+    /// No baseline recorded for this benchmark.
+    MissingBaseline,
+    /// The benchmark failed to run or verify.
+    Failed,
+}
+
+/// One row of a [`RegressionReport`].
+#[derive(Debug, Clone)]
+pub struct CheckEntry {
+    pub id: BenchmarkId,
+    pub baseline_s: Option<f64>,
+    pub measured_s: Option<f64>,
+    pub status: CheckStatus,
+}
+
+/// The outcome of one monitoring pass.
+#[derive(Debug, Clone, Default)]
+pub struct RegressionReport {
+    pub entries: Vec<CheckEntry>,
+}
+
+impl RegressionReport {
+    /// True when no benchmark regressed or failed.
+    pub fn healthy(&self) -> bool {
+        !self
+            .entries
+            .iter()
+            .any(|e| matches!(e.status, CheckStatus::Regressed | CheckStatus::Failed))
+    }
+
+    pub fn regressions(&self) -> Vec<BenchmarkId> {
+        self.entries
+            .iter()
+            .filter(|e| e.status == CheckStatus::Regressed)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Render the concise status table the operators would read.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "| benchmark        | baseline[s] | measured[s] | status    |\n\
+             |------------------|-------------|-------------|-----------|\n",
+        );
+        for e in &self.entries {
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "| {:<16} | {:>11} | {:>11} | {:<9} |\n",
+                e.id.name(),
+                fmt(e.baseline_s),
+                fmt(e.measured_s),
+                match e.status {
+                    CheckStatus::Ok => "ok",
+                    CheckStatus::Regressed => "REGRESSED",
+                    CheckStatus::Improved => "improved",
+                    CheckStatus::MissingBaseline => "no-base",
+                    CheckStatus::Failed => "FAILED",
+                }
+            ));
+        }
+        out
+    }
+}
+
+/// The continuous-benchmarking driver.
+#[derive(Debug, Clone, Copy)]
+pub struct Monitor {
+    /// Relative deviation from the baseline that still counts as OK
+    /// (runtimes on real systems jitter; the virtual times here are
+    /// deterministic, so any deviation indicates a model/system change).
+    pub tolerance: f64,
+    /// Seed of the monitoring runs.
+    pub seed: u64,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor { tolerance: 0.05, seed: 0xC1 }
+    }
+}
+
+/// A valid small node count for monitoring runs of `bench`.
+fn monitor_nodes(bench: &dyn Benchmark) -> Option<u32> {
+    let preferred = match bench.meta().id {
+        BenchmarkId::Ior => 65,
+        BenchmarkId::Stream | BenchmarkId::Amber => 1,
+        _ => bench.reference_nodes().min(16),
+    };
+    (1..=preferred).rev().find(|&n| bench.validate_nodes(n).is_ok())
+}
+
+impl Monitor {
+    /// Measure the given benchmarks (virtual runtimes); failures yield no
+    /// entry in the map.
+    pub fn measure(
+        &self,
+        registry: &Registry,
+        ids: &[BenchmarkId],
+    ) -> BTreeMap<BenchmarkId, Option<f64>> {
+        let mut out = BTreeMap::new();
+        for &id in ids {
+            let measured = registry.get(id).and_then(|bench| {
+                let nodes = monitor_nodes(bench)?;
+                let cfg = RunConfig { seed: self.seed, ..RunConfig::test(nodes) };
+                match bench.run(&cfg) {
+                    Ok(res) if res.verification.passed() => Some(res.virtual_time_s),
+                    _ => None,
+                }
+            });
+            out.insert(id, measured);
+        }
+        out
+    }
+
+    /// Record fresh baselines for the given benchmarks.
+    pub fn record_baselines(&self, registry: &Registry, ids: &[BenchmarkId]) -> BaselineStore {
+        let mut store = BaselineStore::new();
+        for (id, measured) in self.measure(registry, ids) {
+            if let Some(v) = measured {
+                store.set(id, v);
+            }
+        }
+        store
+    }
+
+    /// Compare fresh measurements against the baselines.
+    pub fn compare(
+        &self,
+        baselines: &BaselineStore,
+        measurements: &BTreeMap<BenchmarkId, Option<f64>>,
+    ) -> RegressionReport {
+        let mut entries = Vec::new();
+        for (&id, &measured) in measurements {
+            let baseline = baselines.get(id);
+            let status = match (baseline, measured) {
+                (_, None) => CheckStatus::Failed,
+                (None, Some(_)) => CheckStatus::MissingBaseline,
+                (Some(b), Some(m)) => {
+                    if m > b * (1.0 + self.tolerance) {
+                        CheckStatus::Regressed
+                    } else if m < b * (1.0 - self.tolerance) {
+                        CheckStatus::Improved
+                    } else {
+                        CheckStatus::Ok
+                    }
+                }
+            };
+            entries.push(CheckEntry { id, baseline_s: baseline, measured_s: measured, status });
+        }
+        RegressionReport { entries }
+    }
+
+    /// The full pass: measure the benchmarks present in the baseline store
+    /// and compare.
+    pub fn check(&self, registry: &Registry, baselines: &BaselineStore) -> RegressionReport {
+        let ids: Vec<BenchmarkId> = baselines.iter().map(|(id, _)| id).collect();
+        let measurements = self.measure(registry, &ids);
+        self.compare(baselines, &measurements)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jubench_core::BenchmarkId as B;
+
+    #[test]
+    fn classification_logic() {
+        let monitor = Monitor { tolerance: 0.10, seed: 1 };
+        let mut baselines = BaselineStore::new();
+        baselines.set(B::Arbor, 100.0);
+        baselines.set(B::Hpl, 50.0);
+        baselines.set(B::NekRs, 20.0);
+        let mut measurements = BTreeMap::new();
+        measurements.insert(B::Arbor, Some(125.0)); // +25 % → regressed
+        measurements.insert(B::Hpl, Some(52.0)); // +4 % → ok
+        measurements.insert(B::NekRs, Some(15.0)); // −25 % → improved
+        measurements.insert(B::Stream, Some(1.0)); // no baseline
+        measurements.insert(B::Juqcs, None); // failed
+        let report = monitor.compare(&baselines, &measurements);
+        let status = |id: B| report.entries.iter().find(|e| e.id == id).unwrap().status;
+        assert_eq!(status(B::Arbor), CheckStatus::Regressed);
+        assert_eq!(status(B::Hpl), CheckStatus::Ok);
+        assert_eq!(status(B::NekRs), CheckStatus::Improved);
+        assert_eq!(status(B::Stream), CheckStatus::MissingBaseline);
+        assert_eq!(status(B::Juqcs), CheckStatus::Failed);
+        assert!(!report.healthy());
+        assert_eq!(report.regressions(), vec![B::Arbor]);
+        let rendered = report.render();
+        assert!(rendered.contains("REGRESSED") && rendered.contains("no-base"));
+    }
+
+    #[test]
+    fn healthy_when_everything_matches() {
+        let monitor = Monitor::default();
+        let mut baselines = BaselineStore::new();
+        baselines.set(B::Arbor, 100.0);
+        let mut measurements = BTreeMap::new();
+        measurements.insert(B::Arbor, Some(100.0));
+        assert!(monitor.compare(&baselines, &measurements).healthy());
+    }
+}

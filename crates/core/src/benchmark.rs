@@ -1,0 +1,167 @@
+//! The [`Benchmark`] trait implemented by every workload of the suite.
+
+use crate::error::SuiteError;
+use crate::fom::Fom;
+use crate::meta::BenchmarkMeta;
+use crate::variant::MemoryVariant;
+use crate::verify::VerificationOutcome;
+
+/// How the proxy workload is scaled relative to the paper's workload.
+///
+/// The real workloads (28 M atoms, 2⁴² state amplitudes, …) do not fit a
+/// development machine; every proxy can run the same code path at a reduced
+/// problem size. `Test` is sized for unit tests (sub-second), `Bench` for
+/// Criterion benches and scaling studies, `Paper` keeps the paper's problem
+/// dimensions for the analytic parts of the model (memory footprints,
+/// communication volumes) while still executing the reduced kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WorkloadScale {
+    #[default]
+    Test,
+    Bench,
+    Paper,
+}
+
+/// Configuration of one benchmark execution.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Number of (simulated) nodes to run on.
+    pub nodes: u32,
+    /// Memory variant for High-Scaling benchmarks; `None` selects the Base
+    /// workload.
+    pub variant: Option<MemoryVariant>,
+    /// Problem-size scaling of the proxy.
+    pub scale: WorkloadScale,
+    /// Deterministic seed for workload generation.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// Test-scale run on `nodes` nodes with the default seed.
+    pub fn test(nodes: u32) -> Self {
+        RunConfig { nodes, variant: None, scale: WorkloadScale::Test, seed: 0x5EED }
+    }
+
+    /// Bench-scale run on `nodes` nodes.
+    pub fn bench(nodes: u32) -> Self {
+        RunConfig { nodes, scale: WorkloadScale::Bench, ..RunConfig::test(nodes) }
+    }
+
+    pub fn with_variant(mut self, variant: MemoryVariant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The outcome of one benchmark execution.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The raw Figure-of-Merit.
+    pub fom: Fom,
+    /// Virtual makespan on the modeled machine, in seconds (max over ranks
+    /// of compute + communication virtual time). This is what Figs. 2 and 3
+    /// plot.
+    pub virtual_time_s: f64,
+    /// Virtual time spent in computation (max over ranks).
+    pub compute_time_s: f64,
+    /// Virtual time spent in communication (max over ranks).
+    pub comm_time_s: f64,
+    /// Verification of the computed result.
+    pub verification: VerificationOutcome,
+    /// Free-form additional metrics (e.g. "plaquette", "final_loss").
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl RunOutcome {
+    /// Look up a named metric.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// A benchmark of the suite: a workload with a defined configuration space,
+/// execution procedure, verification, and FOM.
+pub trait Benchmark {
+    /// Static metadata (Tables I & II row).
+    fn meta(&self) -> BenchmarkMeta;
+
+    /// Run the workload under `cfg`, returning FOM, virtual timing, and
+    /// verification.
+    fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError>;
+
+    /// Validate a node count against the benchmark's algorithmic
+    /// limitations (footnote 1 of the paper: e.g. powers of two). The
+    /// default accepts any positive count.
+    fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
+        if nodes == 0 {
+            return Err(SuiteError::InvalidNodeCount {
+                benchmark: self.meta().id.name(),
+                nodes,
+                reason: "node count must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The reference node count for the Base execution (§II-C: usually 8).
+    fn reference_nodes(&self) -> u32 {
+        self.meta().base_nodes.reference().unwrap_or(8)
+    }
+}
+
+/// Node counts surrounding the reference for the Fig. 2 strong-scaling
+/// overview: "usually 0.5×, 0.75×, 1.5×, and 2× the reference; some
+/// benchmarks deviate". Counts are rounded to positive integers and
+/// deduplicated.
+pub fn strong_scaling_points(reference: u32) -> Vec<u32> {
+    let mut pts: Vec<u32> = [0.5, 0.75, 1.0, 1.5, 2.0]
+        .iter()
+        .map(|f| ((reference as f64 * f).round() as u32).max(1))
+        .collect();
+    pts.dedup();
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strong_scaling_points_around_8() {
+        assert_eq!(strong_scaling_points(8), vec![4, 6, 8, 12, 16]);
+    }
+
+    #[test]
+    fn strong_scaling_points_never_zero() {
+        assert_eq!(strong_scaling_points(1), vec![1, 2]);
+    }
+
+    #[test]
+    fn run_config_builders() {
+        let cfg = RunConfig::test(8).with_variant(MemoryVariant::Large).with_seed(7);
+        assert_eq!(cfg.nodes, 8);
+        assert_eq!(cfg.variant, Some(MemoryVariant::Large));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.scale, WorkloadScale::Test);
+        assert_eq!(RunConfig::bench(4).scale, WorkloadScale::Bench);
+    }
+
+    #[test]
+    fn outcome_metric_lookup() {
+        let out = RunOutcome {
+            fom: Fom::RuntimeSeconds(1.0),
+            virtual_time_s: 1.0,
+            compute_time_s: 0.8,
+            comm_time_s: 0.2,
+            verification: VerificationOutcome::Exact { checked_values: 1 },
+            metrics: vec![("plaquette".into(), 0.59)],
+        };
+        assert_eq!(out.metric("plaquette"), Some(0.59));
+        assert_eq!(out.metric("missing"), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! The benchmark-readiness checklist.
+//!
+//! §III-E: "GitLab issues were used to document biweekly meetings and
+//! track per-application progress in the form of a pre-defined checklist
+//! with 11 points (ranging from source code availability, over JUBE
+//! integration, to description creation)."
+
+use std::collections::BTreeMap;
+
+use crate::meta::BenchmarkId;
+
+/// The eleven readiness items of the suite-preparation checklist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ChecklistItem {
+    SourceCodeAvailable,
+    LicenseClarified,
+    BuildRecipe,
+    InputDataPrepared,
+    JubeIntegration,
+    ExecutionRules,
+    VerificationDefined,
+    ReferenceResults,
+    ScalabilityStudy,
+    DescriptionWritten,
+    PackagedForDelivery,
+}
+
+impl ChecklistItem {
+    pub const ALL: [ChecklistItem; 11] = [
+        ChecklistItem::SourceCodeAvailable,
+        ChecklistItem::LicenseClarified,
+        ChecklistItem::BuildRecipe,
+        ChecklistItem::InputDataPrepared,
+        ChecklistItem::JubeIntegration,
+        ChecklistItem::ExecutionRules,
+        ChecklistItem::VerificationDefined,
+        ChecklistItem::ReferenceResults,
+        ChecklistItem::ScalabilityStudy,
+        ChecklistItem::DescriptionWritten,
+        ChecklistItem::PackagedForDelivery,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ChecklistItem::SourceCodeAvailable => "source code available",
+            ChecklistItem::LicenseClarified => "license clarified",
+            ChecklistItem::BuildRecipe => "build recipe (easyconfig)",
+            ChecklistItem::InputDataPrepared => "input data prepared",
+            ChecklistItem::JubeIntegration => "JUBE integration",
+            ChecklistItem::ExecutionRules => "execution rules",
+            ChecklistItem::VerificationDefined => "verification defined",
+            ChecklistItem::ReferenceResults => "reference results",
+            ChecklistItem::ScalabilityStudy => "scalability study",
+            ChecklistItem::DescriptionWritten => "description written",
+            ChecklistItem::PackagedForDelivery => "packaged for delivery",
+        }
+    }
+}
+
+/// Per-benchmark checklist state, as a team captain would track it.
+#[derive(Debug, Clone, Default)]
+pub struct Checklist {
+    done: BTreeMap<BenchmarkId, Vec<ChecklistItem>>,
+}
+
+impl Checklist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn mark(&mut self, id: BenchmarkId, item: ChecklistItem) -> &mut Self {
+        let items = self.done.entry(id).or_default();
+        if !items.contains(&item) {
+            items.push(item);
+        }
+        self
+    }
+
+    pub fn is_done(&self, id: BenchmarkId, item: ChecklistItem) -> bool {
+        self.done.get(&id).is_some_and(|v| v.contains(&item))
+    }
+
+    /// Completed items of a benchmark (0..=11).
+    pub fn progress(&self, id: BenchmarkId) -> usize {
+        self.done.get(&id).map_or(0, |v| v.len())
+    }
+
+    /// A benchmark is ready for the procurement package when all 11 items
+    /// are complete.
+    pub fn ready(&self, id: BenchmarkId) -> bool {
+        self.progress(id) == ChecklistItem::ALL.len()
+    }
+
+    /// Missing items of a benchmark, in checklist order.
+    pub fn missing(&self, id: BenchmarkId) -> Vec<ChecklistItem> {
+        ChecklistItem::ALL
+            .into_iter()
+            .filter(|item| !self.is_done(id, *item))
+            .collect()
+    }
+
+    /// The biweekly-meeting progress table.
+    pub fn render(&self, ids: &[BenchmarkId]) -> String {
+        let mut out = String::from("| benchmark        | progress | ready |\n");
+        out.push_str("|------------------|----------|-------|\n");
+        for &id in ids {
+            out.push_str(&format!(
+                "| {:<16} | {:>5}/11 | {:<5} |\n",
+                id.name(),
+                self.progress(id),
+                self.ready(id)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::BenchmarkId as B;
+
+    #[test]
+    fn checklist_has_eleven_points() {
+        assert_eq!(ChecklistItem::ALL.len(), 11);
+        // "ranging from source code availability, over JUBE integration,
+        // to description creation".
+        assert!(ChecklistItem::ALL.contains(&ChecklistItem::SourceCodeAvailable));
+        assert!(ChecklistItem::ALL.contains(&ChecklistItem::JubeIntegration));
+        assert!(ChecklistItem::ALL.contains(&ChecklistItem::DescriptionWritten));
+    }
+
+    #[test]
+    fn progress_tracking() {
+        let mut c = Checklist::new();
+        c.mark(B::Arbor, ChecklistItem::SourceCodeAvailable);
+        c.mark(B::Arbor, ChecklistItem::JubeIntegration);
+        c.mark(B::Arbor, ChecklistItem::JubeIntegration); // idempotent
+        assert_eq!(c.progress(B::Arbor), 2);
+        assert!(!c.ready(B::Arbor));
+        assert_eq!(c.missing(B::Arbor).len(), 9);
+        assert_eq!(c.progress(B::Hpl), 0);
+    }
+
+    #[test]
+    fn full_checklist_is_ready() {
+        let mut c = Checklist::new();
+        for item in ChecklistItem::ALL {
+            c.mark(B::NekRs, item);
+        }
+        assert!(c.ready(B::NekRs));
+        assert!(c.missing(B::NekRs).is_empty());
+        let table = c.render(&[B::NekRs, B::Hpl]);
+        assert!(table.contains("11/11"));
+        assert!(table.contains(" 0/11"));
+    }
+}

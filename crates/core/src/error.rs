@@ -1,0 +1,104 @@
+//! Error type shared across the suite.
+
+use std::fmt;
+
+/// Errors that can arise while configuring or executing a benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SuiteError {
+    /// The requested node count is invalid for this benchmark (e.g. not a
+    /// power of two for benchmarks with algorithmic node-count limitations,
+    /// or above the machine size).
+    InvalidNodeCount {
+        benchmark: &'static str,
+        nodes: u32,
+        reason: String,
+    },
+    /// The requested memory variant is not offered by this benchmark.
+    UnsupportedVariant {
+        benchmark: &'static str,
+        variant: &'static str,
+    },
+    /// The workload does not fit into the memory available on the selected
+    /// partition (the paper's motivation for introducing T/S/M/L variants).
+    OutOfMemory {
+        benchmark: &'static str,
+        required_bytes: u64,
+        available_bytes: u64,
+    },
+    /// A benchmark rule was violated (the paper's "execution rules").
+    RuleViolation { benchmark: &'static str, rule: String },
+    /// Result verification failed.
+    VerificationFailed { benchmark: &'static str, detail: String },
+    /// Workflow-level error (parameter resolution, step ordering, ...).
+    Workflow(String),
+    /// I/O error from disk-based benchmarks (IOR, input staging).
+    Io(String),
+}
+
+impl fmt::Display for SuiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SuiteError::InvalidNodeCount { benchmark, nodes, reason } => {
+                write!(f, "{benchmark}: invalid node count {nodes}: {reason}")
+            }
+            SuiteError::UnsupportedVariant { benchmark, variant } => {
+                write!(f, "{benchmark}: memory variant {variant} is not offered")
+            }
+            SuiteError::OutOfMemory { benchmark, required_bytes, available_bytes } => write!(
+                f,
+                "{benchmark}: workload needs {required_bytes} B but only {available_bytes} B of device memory are available"
+            ),
+            SuiteError::RuleViolation { benchmark, rule } => {
+                write!(f, "{benchmark}: execution rule violated: {rule}")
+            }
+            SuiteError::VerificationFailed { benchmark, detail } => {
+                write!(f, "{benchmark}: verification failed: {detail}")
+            }
+            SuiteError::Workflow(msg) => write!(f, "workflow error: {msg}"),
+            SuiteError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SuiteError {}
+
+impl From<std::io::Error> for SuiteError {
+    fn from(e: std::io::Error) -> Self {
+        SuiteError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_benchmark_name() {
+        let e = SuiteError::InvalidNodeCount {
+            benchmark: "chroma",
+            nodes: 7,
+            reason: "must be a power of two".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("chroma") && s.contains('7'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing input");
+        let e: SuiteError = io.into();
+        assert!(matches!(e, SuiteError::Io(ref m) if m.contains("missing input")));
+    }
+
+    #[test]
+    fn oom_reports_both_sizes() {
+        let e = SuiteError::OutOfMemory {
+            benchmark: "juqcs",
+            required_bytes: 1 << 40,
+            available_bytes: 40 << 30,
+        };
+        let s = e.to_string();
+        assert!(s.contains(&(1u64 << 40).to_string()));
+        assert!(s.contains(&(40u64 << 30).to_string()));
+    }
+}

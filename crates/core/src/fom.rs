@@ -1,0 +1,142 @@
+//! Figure-of-Merit handling.
+//!
+//! For each Base benchmark the paper identifies a Figure-of-Merit and
+//! normalizes it to a *time metric* (§II-C): "In most cases, the FOM is the
+//! runtime of either the full application or a part of it. In case the
+//! application focuses on rates, the time-metric is achieved by pre-defining
+//! the number of iterations and multiplying with the rate."
+
+/// A raw Figure-of-Merit as produced by a benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fom {
+    /// Runtime of the full application or of a defined phase, in seconds.
+    /// Lower is better.
+    RuntimeSeconds(f64),
+    /// A rate (work items per second, e.g. tokens/s for Megatron-LM or
+    /// ns/day-equivalents for MD). Higher is better. Normalized to a time
+    /// metric by dividing a pre-defined number of work items by the rate.
+    Rate {
+        per_second: f64,
+        /// Pre-defined number of work items the procurement fixes (e.g.
+        /// 20 million tokens for Megatron-LM).
+        items: f64,
+    },
+    /// A bandwidth in bytes per second (synthetic benchmarks: STREAM, IOR,
+    /// LinkTest). Higher is better; synthetic FOMs are evaluated with their
+    /// own rules and are not converted to time metrics.
+    BytesPerSecond(f64),
+    /// Traversed edges per second (Graph500). Higher is better.
+    Teps(f64),
+    /// Floating-point rate (HPL, HPCG) in FLOP/s. Higher is better.
+    Flops(f64),
+    /// Latency in seconds (OSU point-to-point). Lower is better.
+    LatencySeconds(f64),
+}
+
+/// The normalized time metric used for the value-for-money computation.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct TimeMetric(pub f64);
+
+impl Fom {
+    /// Normalize this FOM to a time metric, if the benchmark category calls
+    /// for it. Synthetic FOMs (bandwidth, TEPS, FLOP/s, latency) are
+    /// evaluated with their own rules and return `None`.
+    pub fn time_metric(&self) -> Option<TimeMetric> {
+        match *self {
+            Fom::RuntimeSeconds(s) => Some(TimeMetric(s)),
+            Fom::Rate { per_second, items } => {
+                if per_second > 0.0 {
+                    Some(TimeMetric(items / per_second))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// True if a larger raw value of this FOM indicates a better result.
+    pub fn higher_is_better(&self) -> bool {
+        !matches!(self, Fom::RuntimeSeconds(_) | Fom::LatencySeconds(_))
+    }
+
+    /// The raw scalar value of the FOM.
+    pub fn value(&self) -> f64 {
+        match *self {
+            Fom::RuntimeSeconds(v)
+            | Fom::BytesPerSecond(v)
+            | Fom::Teps(v)
+            | Fom::Flops(v)
+            | Fom::LatencySeconds(v) => v,
+            Fom::Rate { per_second, .. } => per_second,
+        }
+    }
+
+    /// Unit string for reporting.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Fom::RuntimeSeconds(_) => "s",
+            Fom::Rate { .. } => "items/s",
+            Fom::BytesPerSecond(_) => "B/s",
+            Fom::Teps(_) => "TEPS",
+            Fom::Flops(_) => "FLOP/s",
+            Fom::LatencySeconds(_) => "s (latency)",
+        }
+    }
+}
+
+impl TimeMetric {
+    /// Ratio of this time metric to a reference (used for the High-Scaling
+    /// assessment: "the ratio of the runtime value committed for the future
+    /// 1 EFLOP/s(th) sub-partition and the reference value").
+    pub fn ratio_to(&self, reference: TimeMetric) -> f64 {
+        self.0 / reference.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_is_its_own_time_metric() {
+        assert_eq!(Fom::RuntimeSeconds(498.0).time_metric(), Some(TimeMetric(498.0)));
+    }
+
+    #[test]
+    fn rate_normalizes_by_predefined_items() {
+        // Megatron-LM style: 20e6 tokens at 10e3 tokens/s -> 2000 s.
+        let fom = Fom::Rate { per_second: 1.0e4, items: 2.0e7 };
+        assert_eq!(fom.time_metric(), Some(TimeMetric(2000.0)));
+    }
+
+    #[test]
+    fn zero_rate_has_no_time_metric() {
+        assert_eq!(Fom::Rate { per_second: 0.0, items: 1.0 }.time_metric(), None);
+    }
+
+    #[test]
+    fn synthetic_foms_have_no_time_metric() {
+        assert_eq!(Fom::BytesPerSecond(1e9).time_metric(), None);
+        assert_eq!(Fom::Teps(1e9).time_metric(), None);
+        assert_eq!(Fom::Flops(1e15).time_metric(), None);
+        assert_eq!(Fom::LatencySeconds(1e-6).time_metric(), None);
+    }
+
+    #[test]
+    fn direction_of_improvement() {
+        assert!(!Fom::RuntimeSeconds(1.0).higher_is_better());
+        assert!(!Fom::LatencySeconds(1.0).higher_is_better());
+        assert!(Fom::Flops(1.0).higher_is_better());
+        assert!(Fom::Teps(1.0).higher_is_better());
+        assert!(Fom::BytesPerSecond(1.0).higher_is_better());
+        assert!(Fom::Rate { per_second: 1.0, items: 1.0 }.higher_is_better());
+    }
+
+    #[test]
+    fn ratio_to_reference() {
+        let committed = TimeMetric(250.0);
+        let reference = TimeMetric(500.0);
+        assert!((committed.ratio_to(reference) - 0.5).abs() < 1e-12);
+    }
+}

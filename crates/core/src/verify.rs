@@ -1,0 +1,109 @@
+//! Result verification.
+//!
+//! §V-A: "Some results could be verified either exactly (JUQCS), or within a
+//! certain numerical limit by comparing to a pre-computed solution
+//! (Chroma-QCD); more involved simulations were verified by extracting key
+//! metrics from the computed solution for comparison to a model (ICON,
+//! nekRS). The verification of some applications with iterative algorithms
+//! [...] relied on framework-inherent verification and required key data in
+//! the output (PIConGPU, Megatron-LM) — arguably the weakest form of
+//! verification."
+
+/// The verification class and outcome of a benchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerificationOutcome {
+    /// Result matches the theoretically known value exactly (JUQCS).
+    Exact { checked_values: usize },
+    /// Result matches a pre-computed solution within a numerical tolerance
+    /// (Chroma-QCD: 1e-10 Base, 1e-8 High-Scaling).
+    WithinTolerance { max_deviation: f64, tolerance: f64 },
+    /// Key metrics extracted from the solution compared against a model
+    /// (ICON, nekRS).
+    KeyMetrics { metrics: Vec<(String, f64, f64)> },
+    /// Framework-inherent verification: required key data present in the
+    /// output (PIConGPU, Megatron-LM) — the weakest form.
+    FrameworkInherent { key_data: Vec<(String, f64)> },
+    /// Verification failed.
+    Failed { detail: String },
+}
+
+impl VerificationOutcome {
+    /// Whether the run is considered verified.
+    pub fn passed(&self) -> bool {
+        !matches!(self, VerificationOutcome::Failed { .. })
+    }
+
+    /// Build a tolerance verification, failing if the deviation exceeds it.
+    pub fn tolerance(max_deviation: f64, tolerance: f64) -> Self {
+        if max_deviation.is_finite() && max_deviation <= tolerance {
+            VerificationOutcome::WithinTolerance { max_deviation, tolerance }
+        } else {
+            VerificationOutcome::Failed {
+                detail: format!("deviation {max_deviation:e} exceeds tolerance {tolerance:e}"),
+            }
+        }
+    }
+
+    /// Build a key-metric verification from `(name, measured, expected)`
+    /// triples with a relative tolerance.
+    pub fn key_metrics(metrics: Vec<(String, f64, f64)>, rel_tol: f64) -> Self {
+        for (name, measured, expected) in &metrics {
+            let denom = expected.abs().max(1e-300);
+            let rel = (measured - expected).abs() / denom;
+            if !rel.is_finite() || rel > rel_tol {
+                return VerificationOutcome::Failed {
+                    detail: format!(
+                        "key metric '{name}': measured {measured} vs expected {expected} \
+                         (rel. deviation {rel:e} > {rel_tol:e})"
+                    ),
+                };
+            }
+        }
+        VerificationOutcome::KeyMetrics { metrics }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_pass_and_fail() {
+        assert!(VerificationOutcome::tolerance(1e-12, 1e-10).passed());
+        assert!(!VerificationOutcome::tolerance(1e-8, 1e-10).passed());
+        assert!(!VerificationOutcome::tolerance(f64::NAN, 1e-10).passed());
+    }
+
+    #[test]
+    fn key_metrics_pass() {
+        let v = VerificationOutcome::key_metrics(
+            vec![("nusselt".into(), 1.001, 1.0), ("mass".into(), 5.0, 5.0)],
+            1e-2,
+        );
+        assert!(v.passed());
+    }
+
+    #[test]
+    fn key_metrics_fail_names_offender() {
+        let v = VerificationOutcome::key_metrics(vec![("energy".into(), 2.0, 1.0)], 1e-3);
+        match v {
+            VerificationOutcome::Failed { detail } => assert!(detail.contains("energy")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_and_framework_inherent_pass() {
+        assert!(VerificationOutcome::Exact { checked_values: 4 }.passed());
+        assert!(VerificationOutcome::FrameworkInherent {
+            key_data: vec![("loss".into(), 3.2)]
+        }
+        .passed());
+    }
+
+    #[test]
+    fn zero_expected_key_metric_does_not_divide_by_zero() {
+        let v = VerificationOutcome::key_metrics(vec![("drift".into(), 0.0, 0.0)], 1e-6);
+        assert!(v.passed());
+    }
+}

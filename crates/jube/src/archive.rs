@@ -1,0 +1,192 @@
+//! Benchmark packaging and integrity hashes.
+//!
+//! §III-C/D: "PDFs generated from the benchmark descriptions are part of
+//! the committed procurement documentation, including hashes of archived
+//! benchmark repositories. [...] For delivery as part of the procurement
+//! specification package, each benchmark repository is archived as a tar
+//! file. If too large for inclusion in the Git repository, input data is
+//! provided as a separate download, including a verifying hash."
+//!
+//! This module provides the manifest/hash layer: a deterministic archive
+//! manifest over named members with an FNV-1a-64 content hash per member
+//! and over the whole package, plus verification against tampering.
+
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit — small, dependency-free, deterministic. (The real suite
+/// uses cryptographic hashes; integrity-against-accident is what the
+/// procurement workflow needs and what this provides.)
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// An archived benchmark package: named members with their contents.
+#[derive(Debug, Clone, Default)]
+pub struct Archive {
+    members: BTreeMap<String, Vec<u8>>,
+}
+
+impl Archive {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a member (description, JUBE script, auxiliary script, sample
+    /// results, …).
+    pub fn add(&mut self, name: &str, content: impl Into<Vec<u8>>) -> &mut Self {
+        self.members.insert(name.to_string(), content.into());
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The package hash: over the sorted (name, content-hash) pairs, so it
+    /// is independent of insertion order.
+    pub fn package_hash(&self) -> u64 {
+        let mut acc = Vec::new();
+        for (name, content) in &self.members {
+            acc.extend_from_slice(name.as_bytes());
+            acc.extend_from_slice(&fnv1a64(content).to_be_bytes());
+        }
+        fnv1a64(&acc)
+    }
+
+    /// The committed manifest: one line per member plus the package hash —
+    /// the text that goes into the procurement documentation.
+    pub fn manifest(&self) -> String {
+        let mut out = String::new();
+        for (name, content) in &self.members {
+            out.push_str(&format!("{:016x}  {}\n", fnv1a64(content), name));
+        }
+        out.push_str(&format!("{:016x}  PACKAGE\n", self.package_hash()));
+        out
+    }
+
+    /// Verify this archive against a committed manifest. Returns the list
+    /// of violations (empty = verified).
+    pub fn verify(&self, manifest: &str) -> Vec<String> {
+        let mut expected: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut package: Option<u64> = None;
+        for line in manifest.lines() {
+            let Some((hash, name)) = line.split_once("  ") else { continue };
+            let Ok(h) = u64::from_str_radix(hash.trim(), 16) else { continue };
+            if name == "PACKAGE" {
+                package = Some(h);
+            } else {
+                expected.insert(name, h);
+            }
+        }
+        let mut violations = Vec::new();
+        for (name, content) in &self.members {
+            match expected.remove(name.as_str()) {
+                None => violations.push(format!("unexpected member '{name}'")),
+                Some(h) if h != fnv1a64(content) => {
+                    violations.push(format!("member '{name}' content changed"))
+                }
+                Some(_) => {}
+            }
+        }
+        for (name, _) in expected {
+            violations.push(format!("missing member '{name}'"));
+        }
+        if let Some(h) = package {
+            if h != self.package_hash() {
+                violations.push("package hash mismatch".into());
+            }
+        } else {
+            violations.push("manifest lacks the package hash".into());
+        }
+        violations
+    }
+}
+
+/// Verify a separately-downloaded input dataset against its committed
+/// hash (the ICON 1.8/4.5 TB inputs pattern).
+pub fn verify_download(data: &[u8], committed_hash: u64) -> bool {
+    fnv1a64(data) == committed_hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Archive {
+        let mut a = Archive::new();
+        a.add("DESCRIPTION.md", "# nekRS benchmark\n");
+        a.add("jube/benchmark.yaml", "nodes: 8\n");
+        a.add("results/reference.tsv", "fom\t13.9\n");
+        a
+    }
+
+    #[test]
+    fn manifest_round_trip_verifies() {
+        let a = sample();
+        let manifest = a.manifest();
+        assert_eq!(manifest.lines().count(), 4);
+        assert!(a.verify(&manifest).is_empty());
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let a = sample();
+        let manifest = a.manifest();
+        let mut tampered = sample();
+        tampered.add("jube/benchmark.yaml", "nodes: 4\n"); // vendor edit!
+        let violations = tampered.verify(&manifest);
+        assert!(violations.iter().any(|v| v.contains("benchmark.yaml")));
+        assert!(violations.iter().any(|v| v.contains("package hash")));
+    }
+
+    #[test]
+    fn added_and_removed_members_are_flagged() {
+        let a = sample();
+        let manifest = a.manifest();
+        let mut extra = sample();
+        extra.add("patch.diff", "sneaky");
+        assert!(extra
+            .verify(&manifest)
+            .iter()
+            .any(|v| v.contains("unexpected member 'patch.diff'")));
+        let mut missing = Archive::new();
+        missing.add("DESCRIPTION.md", "# nekRS benchmark\n");
+        assert!(missing
+            .verify(&manifest)
+            .iter()
+            .any(|v| v.contains("missing member")));
+    }
+
+    #[test]
+    fn package_hash_is_order_independent() {
+        let mut a = Archive::new();
+        a.add("b", "2").add("a", "1");
+        let mut b = Archive::new();
+        b.add("a", "1").add("b", "2");
+        assert_eq!(a.package_hash(), b.package_hash());
+    }
+
+    #[test]
+    fn download_verification() {
+        let data = b"1.8 TB of R02B09 initial conditions (abridged)";
+        let h = fnv1a64(data);
+        assert!(verify_download(data, h));
+        assert!(!verify_download(b"corrupted", h));
+    }
+
+    #[test]
+    fn fnv_known_values() {
+        // FNV-1a reference vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

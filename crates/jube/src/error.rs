@@ -1,0 +1,57 @@
+//! Workflow-engine errors.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JubeError {
+    /// A `${name}` reference could not be resolved.
+    UnknownParameter { name: String, referenced_by: String },
+    /// Parameter substitution did not terminate (cyclic references).
+    CyclicParameters { involved: Vec<String> },
+    /// A step depends on a step that does not exist.
+    UnknownDependency { step: String, depends_on: String },
+    /// The step graph has a cycle.
+    CyclicSteps { involved: Vec<String> },
+    /// A step with this name was defined twice.
+    DuplicateStep { step: String },
+    /// A step's action failed.
+    StepFailed { step: String, message: String },
+}
+
+impl fmt::Display for JubeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JubeError::UnknownParameter { name, referenced_by } => {
+                write!(f, "unknown parameter ${{{name}}} referenced by '{referenced_by}'")
+            }
+            JubeError::CyclicParameters { involved } => {
+                write!(f, "cyclic parameter references involving: {}", involved.join(", "))
+            }
+            JubeError::UnknownDependency { step, depends_on } => {
+                write!(f, "step '{step}' depends on unknown step '{depends_on}'")
+            }
+            JubeError::CyclicSteps { involved } => {
+                write!(f, "cyclic step dependencies involving: {}", involved.join(", "))
+            }
+            JubeError::DuplicateStep { step } => write!(f, "step '{step}' defined twice"),
+            JubeError::StepFailed { step, message } => {
+                write!(f, "step '{step}' failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JubeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = JubeError::UnknownParameter { name: "nodes".into(), referenced_by: "tasks".into() };
+        assert!(e.to_string().contains("${nodes}"));
+        let e = JubeError::CyclicSteps { involved: vec!["a".into(), "b".into()] };
+        assert!(e.to_string().contains("a, b"));
+    }
+}

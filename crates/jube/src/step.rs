@@ -1,0 +1,108 @@
+//! Workflow steps: named operations with dependencies, mirroring JUBE's
+//! `<step>` elements (compilation, computation, data processing,
+//! verification).
+
+use std::collections::BTreeMap;
+
+use crate::error::JubeError;
+use crate::params::ResolvedParams;
+
+/// Values produced by a step, visible to dependent steps and to the result
+/// table (JUBE's analyse/patterns stage).
+pub type StepOutput = BTreeMap<String, String>;
+
+/// The context a step action sees: the workpackage's resolved parameters
+/// plus the outputs of all steps it depends on (transitively executed
+/// before it).
+pub struct StepContext<'a> {
+    pub params: &'a ResolvedParams,
+    pub outputs: &'a BTreeMap<String, StepOutput>,
+}
+
+impl StepContext<'_> {
+    /// Look up a parameter.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params.get(name).map(|s| s.as_str())
+    }
+
+    /// Look up a parameter and parse it.
+    pub fn param_as<T: std::str::FromStr>(&self, name: &str) -> Option<T> {
+        self.param(name)?.parse().ok()
+    }
+
+    /// Look up an output of an earlier step.
+    pub fn output(&self, step: &str, key: &str) -> Option<&str> {
+        self.outputs.get(step)?.get(key).map(|s| s.as_str())
+    }
+}
+
+type Action = Box<dyn Fn(&StepContext<'_>) -> Result<StepOutput, String> + Send + Sync>;
+
+/// A named workflow step.
+pub struct Step {
+    pub name: String,
+    pub depends: Vec<String>,
+    pub(crate) action: Action,
+}
+
+impl Step {
+    /// Create a step with no dependencies.
+    pub fn new(
+        name: &str,
+        action: impl Fn(&StepContext<'_>) -> Result<StepOutput, String> + Send + Sync + 'static,
+    ) -> Self {
+        Step { name: name.to_string(), depends: Vec::new(), action: Box::new(action) }
+    }
+
+    /// Add a dependency (JUBE's `depend` attribute).
+    pub fn after(mut self, dep: &str) -> Self {
+        self.depends.push(dep.to_string());
+        self
+    }
+
+    pub(crate) fn run(&self, ctx: &StepContext<'_>) -> Result<StepOutput, JubeError> {
+        (self.action)(ctx)
+            .map_err(|message| JubeError::StepFailed { step: self.name.clone(), message })
+    }
+}
+
+/// Helper to build a one-entry output map.
+pub fn output1(key: &str, value: impl ToString) -> StepOutput {
+    let mut m = StepOutput::new();
+    m.insert(key.to_string(), value.to_string());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_accessors() {
+        let mut params = ResolvedParams::new();
+        params.insert("nodes".into(), "8".into());
+        let mut outputs = BTreeMap::new();
+        outputs.insert("compile".to_string(), output1("binary", "app.x"));
+        let ctx = StepContext { params: &params, outputs: &outputs };
+        assert_eq!(ctx.param("nodes"), Some("8"));
+        assert_eq!(ctx.param_as::<u32>("nodes"), Some(8));
+        assert_eq!(ctx.param_as::<u32>("missing"), None);
+        assert_eq!(ctx.output("compile", "binary"), Some("app.x"));
+        assert_eq!(ctx.output("compile", "nope"), None);
+    }
+
+    #[test]
+    fn step_failure_maps_to_jube_error() {
+        let s = Step::new("execute", |_| Err("segfault".into()));
+        let params = ResolvedParams::new();
+        let outputs = BTreeMap::new();
+        let err = s.run(&StepContext { params: &params, outputs: &outputs }).unwrap_err();
+        assert!(matches!(err, JubeError::StepFailed { ref step, .. } if step == "execute"));
+    }
+
+    #[test]
+    fn after_builds_dependency_list() {
+        let s = Step::new("verify", |_| Ok(StepOutput::new())).after("execute").after("compile");
+        assert_eq!(s.depends, vec!["execute", "compile"]);
+    }
+}

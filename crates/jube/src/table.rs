@@ -1,0 +1,124 @@
+//! Result tables: "After execution, the benchmark results are presented by
+//! JUBE in a concise tabular form, including the FOM" (§III-B).
+
+use crate::workflow::WorkpackageResult;
+
+/// A tabular view over workpackage results.
+#[derive(Debug, Clone, Default)]
+pub struct ResultTable {
+    columns: Vec<String>,
+}
+
+impl ResultTable {
+    pub fn new<I, S>(columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ResultTable { columns: columns.into_iter().map(Into::into).collect() }
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Extract the rows (missing values render as "-").
+    pub fn rows(&self, results: &[WorkpackageResult]) -> Vec<Vec<String>> {
+        results
+            .iter()
+            .map(|r| {
+                self.columns
+                    .iter()
+                    .map(|c| r.value(c).unwrap_or("-").to_string())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Render an aligned text table.
+    pub fn render(&self, results: &[WorkpackageResult]) -> String {
+        let rows = self.rows(results);
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!(" {cell:<w$} |"));
+            }
+            line
+        };
+        let mut out = String::new();
+        out.push_str(&render_row(&self.columns));
+        out.push('\n');
+        let sep: String = widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect();
+        out.push_str(&sep);
+        out.push_str("|\n");
+        for row in &rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Extract a numeric column (ignoring unparsable cells) — used to pull
+    /// the FOM out of a result set.
+    pub fn numeric_column(&self, results: &[WorkpackageResult], column: &str) -> Vec<f64> {
+        results
+            .iter()
+            .filter_map(|r| r.value(column)?.parse().ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::{output1, Step};
+    use crate::workflow::Workflow;
+
+    fn sample_results() -> Vec<WorkpackageResult> {
+        let mut wf = Workflow::new();
+        wf.params.set_list("nodes", ["4", "8"]);
+        wf.add_step(Step::new("execute", |ctx| {
+            let n: f64 = ctx.param_as("nodes").unwrap();
+            Ok(output1("fom_s", format!("{:.1}", 996.0 / n)))
+        }));
+        wf.execute(&[]).unwrap()
+    }
+
+    #[test]
+    fn rows_extract_params_and_outputs() {
+        let t = ResultTable::new(["nodes", "fom_s"]);
+        let rows = t.rows(&sample_results());
+        assert_eq!(rows, vec![vec!["4", "249.0"], vec!["8", "124.5"]]);
+    }
+
+    #[test]
+    fn missing_columns_render_dash() {
+        let t = ResultTable::new(["nodes", "ghost"]);
+        let rows = t.rows(&sample_results());
+        assert_eq!(rows[0][1], "-");
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let t = ResultTable::new(["nodes", "fom_s"]);
+        let s = t.render(&sample_results());
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("nodes") && lines[0].contains("fom_s"));
+        assert!(lines[1].starts_with("|--"));
+        // All lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn numeric_column_parses_fom() {
+        let t = ResultTable::new(["fom_s"]);
+        let col = t.numeric_column(&sample_results(), "fom_s");
+        assert_eq!(col, vec![249.0, 124.5]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The workflow: parameter space × dependency-ordered steps.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::error::JubeError;
+use crate::params::{ParameterSet, ResolvedParams};
+use crate::step::{Step, StepContext, StepOutput};
+
+/// The result of executing one workpackage (one point of the parameter
+/// space): its parameters and every step's outputs.
+#[derive(Debug, Clone)]
+pub struct WorkpackageResult {
+    pub params: ResolvedParams,
+    pub outputs: BTreeMap<String, StepOutput>,
+}
+
+impl WorkpackageResult {
+    /// Look up a column value: step outputs take precedence over
+    /// parameters (any step may overwrite a reported value), searched in
+    /// step-name order.
+    pub fn value(&self, key: &str) -> Option<&str> {
+        for out in self.outputs.values() {
+            if let Some(v) = out.get(key) {
+                return Some(v.as_str());
+            }
+        }
+        self.params.get(key).map(|s| s.as_str())
+    }
+}
+
+/// A benchmark workflow: a parameter set and a list of steps.
+#[derive(Default)]
+pub struct Workflow {
+    pub params: ParameterSet,
+    steps: Vec<Step>,
+}
+
+impl Workflow {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_params(params: ParameterSet) -> Self {
+        Workflow { params, steps: Vec::new() }
+    }
+
+    /// Add a step. Names must be unique.
+    pub fn add_step(&mut self, step: Step) -> &mut Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Topologically order the steps; errors on duplicates, unknown
+    /// dependencies, and cycles.
+    fn ordered_steps(&self) -> Result<Vec<&Step>, JubeError> {
+        let mut names = BTreeSet::new();
+        for s in &self.steps {
+            if !names.insert(s.name.as_str()) {
+                return Err(JubeError::DuplicateStep { step: s.name.clone() });
+            }
+        }
+        for s in &self.steps {
+            for d in &s.depends {
+                if !names.contains(d.as_str()) {
+                    return Err(JubeError::UnknownDependency {
+                        step: s.name.clone(),
+                        depends_on: d.clone(),
+                    });
+                }
+            }
+        }
+        // Kahn's algorithm, preserving insertion order among ready steps.
+        let mut remaining: Vec<&Step> = self.steps.iter().collect();
+        let mut done: BTreeSet<&str> = BTreeSet::new();
+        let mut order = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let ready_pos = remaining
+                .iter()
+                .position(|s| s.depends.iter().all(|d| done.contains(d.as_str())));
+            match ready_pos {
+                Some(pos) => {
+                    let step = remaining.remove(pos);
+                    done.insert(step.name.as_str());
+                    order.push(step);
+                }
+                None => {
+                    return Err(JubeError::CyclicSteps {
+                        involved: remaining.iter().map(|s| s.name.clone()).collect(),
+                    })
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Execute the workflow under the given tags: expand the parameter
+    /// space, then run every workpackage through the dependency-ordered
+    /// steps.
+    pub fn execute(&self, tags: &[&str]) -> Result<Vec<WorkpackageResult>, JubeError> {
+        let order = self.ordered_steps()?;
+        let points = self.params.expand(tags)?;
+        let mut results = Vec::with_capacity(points.len());
+        for params in points {
+            let mut outputs: BTreeMap<String, StepOutput> = BTreeMap::new();
+            for step in &order {
+                let ctx = StepContext { params: &params, outputs: &outputs };
+                let out = step.run(&ctx)?;
+                outputs.insert(step.name.clone(), out);
+            }
+            results.push(WorkpackageResult { params, outputs });
+        }
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::step::output1;
+
+    fn passthrough(name: &str) -> Step {
+        let n = name.to_string();
+        Step::new(name, move |_| Ok(output1("ran", n.clone())))
+    }
+
+    #[test]
+    fn steps_run_in_dependency_order() {
+        let mut wf = Workflow::new();
+        wf.params.set("x", "1");
+        // Insertion order deliberately reversed.
+        wf.add_step(passthrough("verify").after("execute"));
+        wf.add_step(passthrough("execute").after("compile"));
+        wf.add_step(passthrough("compile"));
+        let order: Vec<String> =
+            wf.ordered_steps().unwrap().iter().map(|s| s.name.clone()).collect();
+        assert_eq!(order, vec!["compile", "execute", "verify"]);
+    }
+
+    #[test]
+    fn outputs_flow_to_dependents() {
+        let mut wf = Workflow::new();
+        wf.params.set("nodes", "8");
+        wf.add_step(Step::new("compile", |_| Ok(output1("binary", "bench.x"))));
+        wf.add_step(
+            Step::new("execute", |ctx| {
+                let bin = ctx.output("compile", "binary").unwrap();
+                let nodes: u32 = ctx.param_as("nodes").unwrap();
+                Ok(output1("cmdline", format!("srun -N{nodes} {bin}")))
+            })
+            .after("compile"),
+        );
+        let results = wf.execute(&[]).unwrap();
+        assert_eq!(results[0].value("cmdline"), Some("srun -N8 bench.x"));
+    }
+
+    #[test]
+    fn parameter_space_runs_every_workpackage() {
+        let mut wf = Workflow::new();
+        wf.params.set_list("nodes", ["4", "8", "16"]);
+        wf.add_step(Step::new("execute", |ctx| {
+            let n: u32 = ctx.param_as("nodes").unwrap();
+            Ok(output1("runtime", (1000 / n).to_string()))
+        }));
+        let results = wf.execute(&[]).unwrap();
+        assert_eq!(results.len(), 3);
+        let runtimes: Vec<_> =
+            results.iter().map(|r| r.value("runtime").unwrap().to_string()).collect();
+        assert_eq!(runtimes, vec!["250", "125", "62"]);
+    }
+
+    #[test]
+    fn cyclic_steps_error() {
+        let mut wf = Workflow::new();
+        wf.add_step(passthrough("a").after("b"));
+        wf.add_step(passthrough("b").after("a"));
+        assert!(matches!(wf.execute(&[]), Err(JubeError::CyclicSteps { .. })));
+    }
+
+    #[test]
+    fn unknown_dependency_error() {
+        let mut wf = Workflow::new();
+        wf.add_step(passthrough("a").after("ghost"));
+        assert!(matches!(
+            wf.execute(&[]),
+            Err(JubeError::UnknownDependency { ref depends_on, .. }) if depends_on == "ghost"
+        ));
+    }
+
+    #[test]
+    fn duplicate_step_error() {
+        let mut wf = Workflow::new();
+        wf.add_step(passthrough("a"));
+        wf.add_step(passthrough("a"));
+        assert!(matches!(wf.execute(&[]), Err(JubeError::DuplicateStep { .. })));
+    }
+
+    #[test]
+    fn failing_step_aborts_with_context() {
+        let mut wf = Workflow::new();
+        wf.add_step(Step::new("execute", |_| Err("out of memory".into())));
+        let err = wf.execute(&[]).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "step 'execute' failed: out of memory"
+        );
+    }
+
+    #[test]
+    fn tags_reach_the_steps() {
+        let mut wf = Workflow::new();
+        wf.params.set("variant", "base");
+        wf.params.set_tagged("variant", "large", "L");
+        wf.add_step(Step::new("execute", |ctx| {
+            Ok(output1("ran_variant", ctx.param("variant").unwrap()))
+        }));
+        assert_eq!(wf.execute(&[]).unwrap()[0].value("ran_variant"), Some("base"));
+        assert_eq!(wf.execute(&["large"]).unwrap()[0].value("ran_variant"), Some("L"));
+    }
+
+    #[test]
+    fn value_prefers_step_outputs_over_params() {
+        let mut wf = Workflow::new();
+        wf.params.set("fom", "template");
+        wf.add_step(Step::new("analyse", |_| Ok(output1("fom", "42.0"))));
+        let r = wf.execute(&[]).unwrap();
+        assert_eq!(r[0].value("fom"), Some("42.0"));
+    }
+}

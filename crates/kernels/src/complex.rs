@@ -1,0 +1,153 @@
+//! Minimal double-precision complex arithmetic for the FFT and the quantum
+//! state-vector simulator.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl C64 {
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// e^{iθ}.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        C64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude |z|².
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        C64 { re: self.re * s, im: self.im * s }
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, o: C64) -> C64 {
+        C64 { re: self.re + o.re, im: self.im + o.im }
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, o: C64) -> C64 {
+        C64 { re: self.re - o.re, im: self.im - o.im }
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, o: C64) -> C64 {
+        C64 {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, o: C64) -> C64 {
+        let d = o.norm_sqr();
+        C64 {
+            re: (self.re * o.re + self.im * o.im) / d,
+            im: (self.im * o.re - self.re * o.im) / d,
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64 { re: -self.re, im: -self.im }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: C64, b: C64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(-3.0, 0.5);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * (b + C64::ONE), a * b + a));
+        assert!(close(a / a, C64::ONE));
+        assert!(close(-a + a, C64::ZERO));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(C64::I * C64::I, -C64::ONE));
+    }
+
+    #[test]
+    fn cis_is_unit_circle() {
+        for k in 0..8 {
+            let z = C64::cis(k as f64 * std::f64::consts::FRAC_PI_4);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(close(C64::cis(std::f64::consts::PI), -C64::ONE));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = C64::new(3.0, 4.0);
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), C64::new(25.0, 0.0)));
+    }
+
+    #[test]
+    fn scale_is_real_multiplication() {
+        let a = C64::new(1.0, -2.0);
+        assert!(close(a.scale(2.5), C64::new(2.5, -5.0)));
+    }
+}

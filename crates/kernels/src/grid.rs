@@ -1,0 +1,286 @@
+//! A 3D structured grid with ghost layers and stencil application —
+//! the substrate of ICON's dynamical core proxy, ParFlow, NAStJA's blocks,
+//! and PIConGPU's field solver.
+
+/// A row-major 3D scalar field with a one-cell ghost layer on every side.
+/// Interior cells are `(1..=nx, 1..=ny, 1..=nz)` in padded coordinates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid3 {
+    pub nx: usize,
+    pub ny: usize,
+    pub nz: usize,
+    data: Vec<f64>,
+}
+
+impl Grid3 {
+    pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
+        Grid3 { nx, ny, nz, data: vec![0.0; (nx + 2) * (ny + 2) * (nz + 2)] }
+    }
+
+    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+        let mut g = Grid3::zeros(nx, ny, nz);
+        for i in 0..nx {
+            for j in 0..ny {
+                for k in 0..nz {
+                    *g.at_mut(i, j, k) = f(i, j, k);
+                }
+            }
+        }
+        g
+    }
+
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        // Padded coordinates: interior cell (i,j,k) lives at (i+1,j+1,k+1).
+        ((i + 1) * (self.ny + 2) + (j + 1)) * (self.nz + 2) + (k + 1)
+    }
+
+    /// Interior cell accessor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(i, j, k)]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize, k: usize) -> &mut f64 {
+        let idx = self.idx(i, j, k);
+        &mut self.data[idx]
+    }
+
+    /// Ghost-inclusive accessor with signed offsets from interior coords.
+    #[inline]
+    pub fn at_offset(&self, i: usize, j: usize, k: usize, di: isize, dj: isize, dk: isize) -> f64 {
+        let ii = (i as isize + 1 + di) as usize;
+        let jj = (j as isize + 1 + dj) as usize;
+        let kk = (k as isize + 1 + dk) as usize;
+        self.data[(ii * (self.ny + 2) + jj) * (self.nz + 2) + kk]
+    }
+
+    /// Number of interior cells.
+    pub fn interior_len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Sum of interior values (conservation checks).
+    pub fn interior_sum(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                for k in 0..self.nz {
+                    s += self.at(i, j, k);
+                }
+            }
+        }
+        s
+    }
+
+    /// Extract a boundary face of interior cells as a flat buffer, for halo
+    /// exchange. `axis` ∈ {0,1,2}; `high` selects the upper face.
+    pub fn face(&self, axis: usize, high: bool) -> Vec<f64> {
+        match axis {
+            0 => {
+                let i = if high { self.nx - 1 } else { 0 };
+                let mut out = Vec::with_capacity(self.ny * self.nz);
+                for j in 0..self.ny {
+                    for k in 0..self.nz {
+                        out.push(self.at(i, j, k));
+                    }
+                }
+                out
+            }
+            1 => {
+                let j = if high { self.ny - 1 } else { 0 };
+                let mut out = Vec::with_capacity(self.nx * self.nz);
+                for i in 0..self.nx {
+                    for k in 0..self.nz {
+                        out.push(self.at(i, j, k));
+                    }
+                }
+                out
+            }
+            2 => {
+                let k = if high { self.nz - 1 } else { 0 };
+                let mut out = Vec::with_capacity(self.nx * self.ny);
+                for i in 0..self.nx {
+                    for j in 0..self.ny {
+                        out.push(self.at(i, j, k));
+                    }
+                }
+                out
+            }
+            _ => panic!("axis must be 0, 1, or 2"),
+        }
+    }
+
+    /// Fill the ghost layer on `axis` (`high` side) from a received face
+    /// buffer (the neighbour's opposite boundary face).
+    pub fn set_ghost(&mut self, axis: usize, high: bool, face: &[f64]) {
+        match axis {
+            0 => {
+                assert_eq!(face.len(), self.ny * self.nz);
+                let di: isize = if high { 1 } else { -1 };
+                let i = if high { self.nx - 1 } else { 0 };
+                let mut it = face.iter();
+                for j in 0..self.ny {
+                    for k in 0..self.nz {
+                        let idx = (((i as isize + 1 + di) as usize) * (self.ny + 2)
+                            + (j + 1))
+                            * (self.nz + 2)
+                            + (k + 1);
+                        self.data[idx] = *it.next().unwrap();
+                    }
+                }
+            }
+            1 => {
+                assert_eq!(face.len(), self.nx * self.nz);
+                let dj: isize = if high { 1 } else { -1 };
+                let j = if high { self.ny - 1 } else { 0 };
+                let mut it = face.iter();
+                for i in 0..self.nx {
+                    for k in 0..self.nz {
+                        let idx = ((i + 1) * (self.ny + 2)
+                            + ((j as isize + 1 + dj) as usize))
+                            * (self.nz + 2)
+                            + (k + 1);
+                        self.data[idx] = *it.next().unwrap();
+                    }
+                }
+            }
+            2 => {
+                assert_eq!(face.len(), self.nx * self.ny);
+                let dk: isize = if high { 1 } else { -1 };
+                let k = if high { self.nz - 1 } else { 0 };
+                let mut it = face.iter();
+                for i in 0..self.nx {
+                    for j in 0..self.ny {
+                        let idx = ((i + 1) * (self.ny + 2) + (j + 1)) * (self.nz + 2)
+                            + ((k as isize + 1 + dk) as usize);
+                        self.data[idx] = *it.next().unwrap();
+                    }
+                }
+            }
+            _ => panic!("axis must be 0, 1, or 2"),
+        }
+    }
+
+    /// Fill all ghost layers from this grid's own opposite faces (periodic
+    /// boundaries on a single block).
+    pub fn wrap_periodic(&mut self) {
+        for axis in 0..3 {
+            let low = self.face(axis, false);
+            let high = self.face(axis, true);
+            self.set_ghost(axis, true, &low);
+            self.set_ghost(axis, false, &high);
+        }
+    }
+
+    /// 7-point Laplacian into `out` (unit grid spacing); ghosts must be
+    /// current.
+    pub fn laplacian_into(&self, out: &mut Grid3) {
+        assert_eq!((self.nx, self.ny, self.nz), (out.nx, out.ny, out.nz));
+        for i in 0..self.nx {
+            for j in 0..self.ny {
+                for k in 0..self.nz {
+                    let c = self.at(i, j, k);
+                    let lap = self.at_offset(i, j, k, -1, 0, 0)
+                        + self.at_offset(i, j, k, 1, 0, 0)
+                        + self.at_offset(i, j, k, 0, -1, 0)
+                        + self.at_offset(i, j, k, 0, 1, 0)
+                        + self.at_offset(i, j, k, 0, 0, -1)
+                        + self.at_offset(i, j, k, 0, 0, 1)
+                        - 6.0 * c;
+                    *out.at_mut(i, j, k) = lap;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_round_trip() {
+        let mut g = Grid3::zeros(3, 4, 5);
+        *g.at_mut(2, 3, 4) = 7.0;
+        assert_eq!(g.at(2, 3, 4), 7.0);
+        assert_eq!(g.interior_len(), 60);
+    }
+
+    #[test]
+    fn from_fn_fills_interior() {
+        let g = Grid3::from_fn(2, 2, 2, |i, j, k| (i * 4 + j * 2 + k) as f64);
+        assert_eq!(g.at(1, 1, 1), 7.0);
+        assert_eq!(g.interior_sum(), 28.0);
+    }
+
+    #[test]
+    fn laplacian_of_constant_is_zero() {
+        let mut g = Grid3::from_fn(4, 4, 4, |_, _, _| 3.5);
+        g.wrap_periodic();
+        let mut out = Grid3::zeros(4, 4, 4);
+        g.laplacian_into(&mut out);
+        for i in 0..4 {
+            for j in 0..4 {
+                for k in 0..4 {
+                    assert_eq!(out.at(i, j, k), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_of_single_mode_is_eigenfunction() {
+        // u = cos(2πi/n) is an eigenfunction of the periodic discrete
+        // Laplacian with eigenvalue 2(cos(2π/n) − 1).
+        let n = 8;
+        let mut g = Grid3::from_fn(n, n, n, |i, _, _| {
+            (2.0 * std::f64::consts::PI * i as f64 / n as f64).cos()
+        });
+        g.wrap_periodic();
+        let mut out = Grid3::zeros(n, n, n);
+        g.laplacian_into(&mut out);
+        let lambda = 2.0 * ((2.0 * std::f64::consts::PI / n as f64).cos() - 1.0);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!((out.at(i, j, k) - lambda * g.at(i, j, k)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faces_have_correct_shape_and_content() {
+        let g = Grid3::from_fn(2, 3, 4, |i, j, k| (100 * i + 10 * j + k) as f64);
+        let f0 = g.face(0, true);
+        assert_eq!(f0.len(), 12);
+        assert_eq!(f0[0], 100.0); // i=1, j=0, k=0
+        let f2 = g.face(2, false);
+        assert_eq!(f2.len(), 6);
+        assert_eq!(f2[5], 120.0); // i=1, j=2, k=0
+    }
+
+    #[test]
+    fn halo_exchange_between_two_grids() {
+        // Two blocks side by side along axis 0: each receives the other's
+        // boundary face into its ghost layer.
+        let a = Grid3::from_fn(2, 2, 2, |_, _, _| 1.0);
+        let mut b = Grid3::from_fn(2, 2, 2, |_, _, _| 2.0);
+        let from_a = a.face(0, true);
+        b.set_ghost(0, false, &from_a);
+        // b's low-side ghost along axis 0 must now read 1.0.
+        assert_eq!(b.at_offset(0, 0, 0, -1, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn periodic_wrap_links_opposite_faces() {
+        let mut g = Grid3::from_fn(3, 3, 3, |i, _, _| i as f64);
+        g.wrap_periodic();
+        // Ghost below i=0 should hold the i=2 face.
+        assert_eq!(g.at_offset(0, 1, 1, -1, 0, 0), 2.0);
+        // Ghost above i=2 should hold the i=0 face.
+        assert_eq!(g.at_offset(2, 1, 1, 1, 0, 0), 0.0);
+    }
+}

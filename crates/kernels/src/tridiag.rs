@@ -1,0 +1,104 @@
+//! Tridiagonal (Thomas) solver — the per-branch kernel of Arbor's cable
+//! equation, where each unbranched neuron section yields a tridiagonal
+//! system coupled at branch points (the Hines structure).
+
+/// Solve a tridiagonal system in place:
+/// `lower[i]·x[i-1] + diag[i]·x[i] + upper[i]·x[i+1] = rhs[i]`.
+/// `lower[0]` and `upper[n-1]` are ignored. Returns the solution.
+///
+/// The system must be diagonally dominant (as the discretized cable
+/// equation always is) for the elimination to be stable.
+pub fn thomas_solve(lower: &[f64], diag: &[f64], upper: &[f64], rhs: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    assert!(n > 0);
+    assert_eq!(lower.len(), n);
+    assert_eq!(upper.len(), n);
+    assert_eq!(rhs.len(), n);
+
+    let mut c = vec![0.0; n];
+    let mut d = vec![0.0; n];
+    c[0] = upper[0] / diag[0];
+    d[0] = rhs[0] / diag[0];
+    for i in 1..n {
+        let m = diag[i] - lower[i] * c[i - 1];
+        c[i] = upper[i] / m;
+        d[i] = (rhs[i] - lower[i] * d[i - 1]) / m;
+    }
+    let mut x = vec![0.0; n];
+    x[n - 1] = d[n - 1];
+    for i in (0..n - 1).rev() {
+        x[i] = d[i] - c[i] * x[i + 1];
+    }
+    x
+}
+
+/// Multiply a tridiagonal matrix by a vector (test oracle and residual
+/// checks).
+pub fn tridiag_apply(lower: &[f64], diag: &[f64], upper: &[f64], x: &[f64]) -> Vec<f64> {
+    let n = diag.len();
+    (0..n)
+        .map(|i| {
+            let mut s = diag[i] * x[i];
+            if i > 0 {
+                s += lower[i] * x[i - 1];
+            }
+            if i + 1 < n {
+                s += upper[i] * x[i + 1];
+            }
+            s
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::rank_rng;
+    use rand::Rng;
+
+    #[test]
+    fn solves_identity() {
+        let n = 5;
+        let x = thomas_solve(&vec![0.0; n], &vec![1.0; n], &vec![0.0; n], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn random_diagonally_dominant_system() {
+        let n = 64;
+        let mut rng = rank_rng(9, 0);
+        let lower: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let upper: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let diag: Vec<f64> = (0..n).map(|i| 3.0 + lower[i].abs() + upper[i].abs()).collect();
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let rhs = tridiag_apply(&lower, &diag, &upper, &x_true);
+        let x = thomas_solve(&lower, &diag, &upper, &rhs);
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_element_system() {
+        let x = thomas_solve(&[0.0], &[4.0], &[0.0], &[8.0]);
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn cable_like_system_is_stable() {
+        // Discretized 1D diffusion: -x[i-1] + (2+λ)x[i] - x[i+1] = b.
+        let n = 100;
+        let lam = 0.5;
+        let lower = vec![-1.0; n];
+        let upper = vec![-1.0; n];
+        let diag = vec![2.0 + lam; n];
+        let rhs = vec![1.0; n];
+        let x = thomas_solve(&lower, &diag, &upper, &rhs);
+        let back = tridiag_apply(&lower, &diag, &upper, &x);
+        for (a, b) in back.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        // Interior solution approaches 1/λ away from the boundaries.
+        assert!((x[n / 2] - 1.0 / lam).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,232 @@
+//! Benchmark commitments and proposal evaluation.
+//!
+//! §II-C: each Base benchmark's time metric, "determined on the reference
+//! number of nodes, is the value to be improved upon and committed to by
+//! proposals of system designs. The number of nodes used to surpass the
+//! time-metric can be freely specified by the proposal, but is typically
+//! smaller than the reference number of nodes." The committed values are
+//! "weighted and combined to compute a value-for-money metric".
+
+use std::collections::BTreeMap;
+
+use jubench_cluster::Machine;
+use jubench_core::{BenchmarkId, SuiteError, TimeMetric};
+
+use crate::tco::TcoModel;
+
+/// The reference results on the preparation system: benchmark → (time
+/// metric, reference nodes, weight in the mixed workload).
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceSet {
+    entries: BTreeMap<BenchmarkId, (TimeMetric, u32, f64)>,
+}
+
+impl ReferenceSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, id: BenchmarkId, reference: TimeMetric, nodes: u32, weight: f64) {
+        assert!(weight > 0.0 && reference.0 > 0.0);
+        self.entries.insert(id, (reference, nodes, weight));
+    }
+
+    pub fn reference(&self, id: BenchmarkId) -> Option<TimeMetric> {
+        self.entries.get(&id).map(|&(t, _, _)| t)
+    }
+
+    pub fn ids(&self) -> Vec<BenchmarkId> {
+        self.entries.keys().copied().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One committed benchmark result of a proposal.
+#[derive(Debug, Clone, Copy)]
+pub struct Commitment {
+    pub id: BenchmarkId,
+    /// The committed time metric on the proposed system.
+    pub committed: TimeMetric,
+    /// Nodes of the proposed system used.
+    pub nodes_used: u32,
+}
+
+/// A vendor proposal: a machine design, its price, and the commitments.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    pub name: String,
+    pub machine: Machine,
+    pub price_eur: f64,
+    pub commitments: Vec<Commitment>,
+}
+
+/// The evaluated proposal.
+#[derive(Debug, Clone)]
+pub struct ProposalEvaluation {
+    pub name: String,
+    /// Weighted geometric-mean speedup over the reference system.
+    pub mean_speedup: f64,
+    /// Weighted mean seconds per reference workload on the proposal.
+    pub seconds_per_workload: f64,
+    /// Reference workloads per million EUR of TCO.
+    pub value_for_money: f64,
+    pub tco_total_eur: f64,
+    /// Per-benchmark speedups.
+    pub speedups: BTreeMap<BenchmarkId, f64>,
+}
+
+impl Proposal {
+    /// Validate and evaluate this proposal against the reference set.
+    pub fn evaluate(
+        &self,
+        reference: &ReferenceSet,
+        tco: &TcoModel,
+    ) -> Result<ProposalEvaluation, SuiteError> {
+        // Every reference benchmark needs a commitment; commitments must
+        // improve upon the reference ("the value to be improved upon").
+        let mut speedups = BTreeMap::new();
+        let mut weighted_log_speedup = 0.0;
+        let mut weighted_seconds = 0.0;
+        let mut total_weight = 0.0;
+        for (&id, &(ref_time, _ref_nodes, weight)) in &reference.entries {
+            let commitment = self
+                .commitments
+                .iter()
+                .find(|c| c.id == id)
+                .ok_or_else(|| SuiteError::RuleViolation {
+                    benchmark: id.name(),
+                    rule: format!("proposal '{}' has no commitment for this benchmark", self.name),
+                })?;
+            if commitment.committed.0 <= 0.0 {
+                return Err(SuiteError::RuleViolation {
+                    benchmark: id.name(),
+                    rule: "committed time metric must be positive".into(),
+                });
+            }
+            if commitment.nodes_used == 0 || commitment.nodes_used > self.machine.nodes {
+                return Err(SuiteError::InvalidNodeCount {
+                    benchmark: id.name(),
+                    nodes: commitment.nodes_used,
+                    reason: format!(
+                        "proposal '{}' only has {} nodes",
+                        self.name, self.machine.nodes
+                    ),
+                });
+            }
+            if commitment.committed.0 >= ref_time.0 {
+                return Err(SuiteError::RuleViolation {
+                    benchmark: id.name(),
+                    rule: format!(
+                        "committed {} s does not improve upon the reference {} s",
+                        commitment.committed.0, ref_time.0
+                    ),
+                });
+            }
+            let speedup = ref_time.0 / commitment.committed.0;
+            speedups.insert(id, speedup);
+            weighted_log_speedup += weight * speedup.ln();
+            weighted_seconds += weight * commitment.committed.0;
+            total_weight += weight;
+        }
+        let mean_speedup = (weighted_log_speedup / total_weight).exp();
+        let seconds_per_workload = weighted_seconds / total_weight;
+        let tco_result = tco.evaluate(&self.machine);
+        let value_for_money = tco_result.workloads_per_million_eur(seconds_per_workload);
+        Ok(ProposalEvaluation {
+            name: self.name.clone(),
+            mean_speedup,
+            seconds_per_workload,
+            value_for_money,
+            tco_total_eur: tco_result.total_eur,
+            speedups,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jubench_core::BenchmarkId as B;
+
+    fn reference() -> ReferenceSet {
+        let mut r = ReferenceSet::new();
+        r.add(B::Arbor, TimeMetric(498.0), 8, 1.0);
+        r.add(B::Gromacs, TimeMetric(600.0), 3, 2.0);
+        r
+    }
+
+    fn proposal(name: &str, arbor: f64, gromacs: f64) -> Proposal {
+        Proposal {
+            name: name.into(),
+            machine: Machine::jupiter_proposal(),
+            price_eur: 500.0e6,
+            commitments: vec![
+                Commitment { id: B::Arbor, committed: TimeMetric(arbor), nodes_used: 4 },
+                Commitment { id: B::Gromacs, committed: TimeMetric(gromacs), nodes_used: 2 },
+            ],
+        }
+    }
+
+    fn tco() -> TcoModel {
+        TcoModel::eurohpc_defaults(500.0e6)
+    }
+
+    #[test]
+    fn evaluation_computes_weighted_speedup() {
+        let eval = proposal("A", 249.0, 200.0).evaluate(&reference(), &tco()).unwrap();
+        // Arbor speedup 2 (weight 1), GROMACS speedup 3 (weight 2):
+        // geometric mean = (2¹·3²)^(1/3).
+        let expect = (2.0f64 * 9.0).powf(1.0 / 3.0);
+        assert!((eval.mean_speedup - expect).abs() < 1e-12);
+        assert_eq!(eval.speedups[&B::Arbor], 2.0);
+        assert_eq!(eval.speedups[&B::Gromacs], 3.0);
+    }
+
+    #[test]
+    fn faster_commitments_win_value_for_money() {
+        let slow = proposal("slow", 400.0, 500.0).evaluate(&reference(), &tco()).unwrap();
+        let fast = proposal("fast", 200.0, 250.0).evaluate(&reference(), &tco()).unwrap();
+        assert!(fast.value_for_money > slow.value_for_money);
+    }
+
+    #[test]
+    fn missing_commitment_is_rejected() {
+        let mut p = proposal("A", 249.0, 200.0);
+        p.commitments.pop();
+        let err = p.evaluate(&reference(), &tco()).unwrap_err();
+        assert!(matches!(err, SuiteError::RuleViolation { .. }));
+    }
+
+    #[test]
+    fn non_improving_commitment_is_rejected() {
+        // §II-C: the reference value is "the value to be improved upon".
+        let err = proposal("A", 498.0, 200.0).evaluate(&reference(), &tco()).unwrap_err();
+        assert!(matches!(err, SuiteError::RuleViolation { .. }));
+    }
+
+    #[test]
+    fn oversubscribed_nodes_rejected() {
+        let mut p = proposal("A", 249.0, 200.0);
+        p.commitments[0].nodes_used = p.machine.nodes + 1;
+        assert!(matches!(
+            p.evaluate(&reference(), &tco()),
+            Err(SuiteError::InvalidNodeCount { .. })
+        ));
+    }
+
+    #[test]
+    fn reference_set_accessors() {
+        let r = reference();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.reference(B::Arbor), Some(TimeMetric(498.0)));
+        assert_eq!(r.reference(B::Hpl), None);
+        assert_eq!(r.ids(), vec![B::Arbor, B::Gromacs]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Ablations of the performance-model design choices DESIGN.md calls out:
+//!
+//! 1. the **large-scale congestion regime** of the network model (without
+//!    it, JUQCS's second Fig. 3 drop disappears — showing the drop is a
+//!    topology effect, not a payload effect),
+//! 2. **communication overlap** (without Arbor's full overlap, its
+//!    near-perfect weak scaling degrades),
+//! 3. the **all-to-all algorithm choice** (Bruck combining vs. the linear
+//!    pairwise exchange — the model picks per message size, as MPI
+//!    libraries do; forcing either one distorts the FFT-transpose codes).
+
+use jubench_apps_common::{AppModel, Phase};
+use jubench_cluster::{
+    pattern_time, CommPattern, Distance, Machine, NetModel, Placement, Work,
+};
+
+/// JUQCS communication efficiency over `nodes_list`, with or without the
+/// congestion regime. Efficiency is normalized to the smallest scale.
+pub fn juqcs_comm_efficiency(nodes_list: &[u32], congestion: bool) -> Vec<(u32, f64)> {
+    let mut net = NetModel::juwels_booster();
+    if !congestion {
+        net.congestion_floor = 1.0;
+    }
+    let mut times = Vec::new();
+    for &nodes in nodes_list {
+        let machine = Machine::juwels_booster().partition(nodes);
+        let qubits = jubench_apps_quantum::Juqcs::qubits_for(
+            &machine,
+            Some(jubench_core::MemoryVariant::Small),
+        );
+        let ranks = machine.devices();
+        let local_bits = qubits - (31 - ranks.leading_zeros());
+        let half_local_bytes = (16u64 << local_bits) / 2;
+        let placement = Placement::per_gpu(machine);
+        let t = pattern_time(
+            CommPattern::PairwiseBisection { bytes: half_local_bytes },
+            &placement,
+            &net,
+        );
+        times.push((nodes, t));
+    }
+    let t0 = times.first().map(|&(_, t)| t).unwrap_or(f64::NAN);
+    times.into_iter().map(|(n, t)| (n, t0 / t)).collect()
+}
+
+/// Exposed-communication fraction of an Arbor-like model at `nodes` nodes
+/// under a given overlap factor.
+pub fn overlap_ablation(nodes: u32, overlap: f64) -> f64 {
+    let machine = Machine::juwels_booster().partition(nodes);
+    let model = AppModel::new(machine, 100)
+        .with_phase(Phase::compute("dynamics", Work::new(5.0e12, 1.0e11)))
+        .with_phase(Phase::comm(
+            "spike exchange",
+            CommPattern::AllGather { bytes_per_rank: 64 << 10 },
+        ))
+        .with_overlap(overlap);
+    let t = model.timing();
+    t.exposed_comm_s / t.total_s
+}
+
+/// Per-iteration all-to-all time under the linear pairwise algorithm and
+/// the Bruck combining algorithm, separately (the production model takes
+/// the minimum of the two).
+pub fn alltoall_algorithms(nodes: u32, bytes_per_pair: u64) -> (f64, f64) {
+    let machine = Machine::juwels_booster().partition(nodes);
+    let placement = Placement::per_gpu(machine);
+    let net = NetModel::juwels_booster();
+    let p = placement.ranks();
+    let rpn = placement.ranks_per_node as u64;
+    let off_node = (p as u64).saturating_sub(rpn);
+    let on_node = (rpn - 1).min(p as u64 - 1);
+    let dist = if machine.cells() > 1 { Distance::InterCell } else { Distance::IntraCell };
+    let linear = off_node as f64 * net.ptp_time(bytes_per_pair, dist, machine.nodes)
+        + on_node as f64 * net.ptp_time(bytes_per_pair, Distance::IntraNode, machine.nodes);
+    let rounds = (p as f64).log2().ceil();
+    let bruck = rounds * net.ptp_time(bytes_per_pair * (p as u64 / 2), dist, machine.nodes);
+    (linear, bruck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SWEEP: [u32; 6] = [2, 8, 64, 128, 256, 512];
+
+    #[test]
+    fn congestion_ablation_removes_the_second_drop() {
+        let with = juqcs_comm_efficiency(&SWEEP, true);
+        let without = juqcs_comm_efficiency(&SWEEP, false);
+        let eff = |series: &[(u32, f64)], n: u32| {
+            series.iter().find(|&&(m, _)| m == n).unwrap().1
+        };
+        // With congestion: efficiency at 512 clearly below 128.
+        assert!(eff(&with, 512) < 0.8 * eff(&with, 128), "second drop present");
+        // Without: flat past the 1→2 transition (already normalized to 2).
+        let flat = eff(&without, 512) / eff(&without, 128);
+        assert!((0.95..=1.05).contains(&flat), "ablated model is flat: {flat}");
+    }
+
+    #[test]
+    fn overlap_ablation_exposes_communication() {
+        let hidden = overlap_ablation(642, 1.0);
+        let exposed = overlap_ablation(642, 0.0);
+        assert_eq!(hidden, 0.0, "full overlap hides everything");
+        assert!(exposed > 0.0, "no overlap exposes the allgather");
+        // Partial overlap sits strictly between.
+        let half = overlap_ablation(642, 0.5);
+        assert!(half > 0.0 && half < exposed);
+    }
+
+    #[test]
+    fn alltoall_choice_depends_on_message_size() {
+        // Small personalized messages: Bruck's log-round combining beats
+        // P−1 latencies.
+        let (linear_small, bruck_small) = alltoall_algorithms(128, 512);
+        assert!(bruck_small < linear_small, "{bruck_small} !< {linear_small}");
+        // Large messages: the linear algorithm moves each byte once, Bruck
+        // moves it log(P)/2·P/(P−1) ≈ log(P)/2 times.
+        let (linear_large, bruck_large) = alltoall_algorithms(128, 4 << 20);
+        assert!(linear_large < bruck_large, "{linear_large} !< {bruck_large}");
+    }
+}

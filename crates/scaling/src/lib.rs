@@ -1,0 +1,26 @@
+//! # jubench-scaling
+//!
+//! The scaling-study harness and figure/table generators:
+//!
+//! - [`full_registry`]: every benchmark of the suite, wired up.
+//! - [`strong`]: the Fig. 2 study — relative runtimes of the Base
+//!   applications at 0.5/0.75/1/1.5/2 × the reference node count.
+//! - [`weak`]: the Fig. 3 study — weak-scaling efficiency of the five
+//!   High-Scaling applications over the Booster's node range, with the
+//!   JUQCS computation/communication split.
+//! - [`tables`]: text renderings of Table I (domains and dwarfs) and
+//!   Table II (application features and execution targets).
+
+pub mod ablations;
+pub mod descriptions;
+pub mod registry;
+pub mod strong;
+pub mod tables;
+pub mod weak;
+
+pub use ablations::{alltoall_algorithms, juqcs_comm_efficiency, overlap_ablation};
+pub use descriptions::{describe, describe_all};
+pub use registry::full_registry;
+pub use strong::{strong_scaling_series, Fig2Point, Fig2Series};
+pub use tables::{render_table1, render_table2};
+pub use weak::{weak_scaling_series, Fig3Series, JUQCS_SPLIT_SERIES};

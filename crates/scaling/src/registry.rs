@@ -1,0 +1,55 @@
+//! Assembly of the full suite registry.
+
+use jubench_core::Registry;
+
+/// Build a registry containing all 23 benchmarks of the suite.
+pub fn full_registry() -> Registry {
+    let mut r = Registry::new();
+    // Application benchmarks.
+    r.register(Box::new(jubench_apps_md::Amber));
+    r.register(Box::new(jubench_apps_neuro::Arbor));
+    r.register(Box::new(jubench_apps_lattice::ChromaQcd::default()));
+    r.register(Box::new(jubench_apps_md::Gromacs::case_a()));
+    r.register(Box::new(jubench_apps_earth::Icon::r02b09()));
+    r.register(Box::new(jubench_apps_quantum::Juqcs));
+    r.register(Box::new(jubench_apps_cfd::NekRs));
+    r.register(Box::new(jubench_apps_earth::ParFlow));
+    r.register(Box::new(jubench_apps_plasma::PiconGpu));
+    r.register(Box::new(jubench_apps_materials::QuantumEspresso));
+    r.register(Box::new(jubench_apps_bio::Soma));
+    r.register(Box::new(jubench_apps_ai::MmoClip));
+    r.register(Box::new(jubench_apps_ai::MegatronLm));
+    r.register(Box::new(jubench_apps_ai::ResNet));
+    r.register(Box::new(jubench_apps_lattice::DynQcd::default()));
+    r.register(Box::new(jubench_apps_bio::Nastja));
+    // Synthetic benchmarks.
+    r.register(Box::new(jubench_synthetic::Graph500::default()));
+    r.register(Box::new(jubench_synthetic::Hpcg::default()));
+    r.register(Box::new(jubench_synthetic::Hpl::default()));
+    r.register(Box::new(jubench_synthetic::Ior::easy()));
+    r.register(Box::new(jubench_synthetic::LinkTest));
+    r.register(Box::new(jubench_synthetic::Osu));
+    r.register(Box::new(jubench_synthetic::Stream::default()));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jubench_core::{BenchmarkId, Category};
+
+    #[test]
+    fn registry_holds_all_23_benchmarks() {
+        let r = full_registry();
+        assert_eq!(r.len(), 23);
+        assert_eq!(r.ids(), BenchmarkId::ALL.to_vec());
+    }
+
+    #[test]
+    fn category_counts_match_the_paper() {
+        let r = full_registry();
+        assert_eq!(r.by_category(Category::Synthetic).count(), 7);
+        assert_eq!(r.by_category(Category::Base).count(), 16);
+        assert_eq!(r.by_category(Category::HighScaling).count(), 5);
+    }
+}

@@ -1,0 +1,496 @@
+//! The per-rank communicator: typed point-to-point messages, collectives,
+//! and virtual-time accounting.
+
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use jubench_cluster::{NetModel, Roofline, Work};
+
+use crate::clock::{ClockStats, VirtualClock};
+use crate::error::SimError;
+use crate::rankmap::RankMap;
+
+/// Typed message payload. Using an enum instead of raw bytes keeps the data
+/// path allocation-light and lets the runtime detect datatype mismatches.
+#[derive(Debug, Clone)]
+pub enum Payload {
+    F64(Vec<f64>),
+    U64(Vec<u64>),
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Payload::F64(_) => "f64",
+            Payload::U64(_) => "u64",
+            Payload::Bytes(_) => "bytes",
+        }
+    }
+
+    fn nbytes(&self) -> u64 {
+        match self {
+            Payload::F64(v) => (v.len() * 8) as u64,
+            Payload::U64(v) => (v.len() * 8) as u64,
+            Payload::Bytes(v) => v.len() as u64,
+        }
+    }
+}
+
+/// A message in flight, carrying the sender's virtual post time so the
+/// receiver can respect causality.
+pub(crate) struct Message {
+    payload: Payload,
+    tag: u32,
+    sent_at: f64,
+}
+
+/// Reduction operators for the collective operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+/// Virtual-time barrier: synchronizes all rank clocks to the maximum.
+pub(crate) struct VBarrier {
+    barrier: std::sync::Barrier,
+    max: Mutex<f64>,
+}
+
+impl VBarrier {
+    pub(crate) fn new(n: usize) -> Self {
+        VBarrier { barrier: std::sync::Barrier::new(n), max: Mutex::new(0.0) }
+    }
+
+    /// Enter with local virtual time `t`; returns the maximum over all
+    /// participants.
+    fn wait(&self, t: f64) -> f64 {
+        {
+            let mut m = self.max.lock();
+            if t > *m {
+                *m = t;
+            }
+        }
+        self.barrier.wait();
+        let v = *self.max.lock();
+        let res = self.barrier.wait();
+        if res.is_leader() {
+            *self.max.lock() = 0.0;
+        }
+        self.barrier.wait();
+        v
+    }
+}
+
+/// The communicator handed to each rank closure by
+/// [`World::run`](crate::world::World::run).
+pub struct Comm {
+    rank: u32,
+    size: u32,
+    /// senders[to] — this rank's outgoing channels.
+    senders: Vec<Sender<Message>>,
+    /// receivers[from] — this rank's incoming channels.
+    receivers: Vec<Receiver<Message>>,
+    clock: VirtualClock,
+    map: RankMap,
+    net: NetModel,
+    device: Roofline,
+    barrier: Arc<VBarrier>,
+    degraded_link: Option<(u32, u32, f64)>,
+}
+
+impl Comm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: u32,
+        size: u32,
+        senders: Vec<Sender<Message>>,
+        receivers: Vec<Receiver<Message>>,
+        map: RankMap,
+        net: NetModel,
+        barrier: Arc<VBarrier>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            senders,
+            receivers,
+            clock: VirtualClock::new(),
+            device: map.device(rank),
+            map,
+            net,
+            barrier,
+            degraded_link: None,
+        }
+    }
+
+    pub(crate) fn with_degraded_link(mut self, degraded: Option<(u32, u32, f64)>) -> Self {
+        self.degraded_link = degraded;
+        self
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Current virtual time of this rank.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Clock statistics so far.
+    pub fn stats(&self) -> ClockStats {
+        self.clock.stats()
+    }
+
+    /// The device roofline of this rank.
+    pub fn device(&self) -> &Roofline {
+        &self.device
+    }
+
+    /// Advance the virtual clock by the roofline time of `work`.
+    pub fn compute(&mut self, work: Work) {
+        self.clock.advance_work(&self.device, work);
+    }
+
+    /// Advance the virtual clock by `seconds` of computation directly.
+    pub fn advance_compute(&mut self, seconds: f64) {
+        self.clock.advance_compute(seconds);
+    }
+
+    fn check_rank(&self, r: u32) -> Result<(), SimError> {
+        if r >= self.size {
+            Err(SimError::InvalidRank { rank: r, size: self.size })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn transfer_time(&self, to_or_from: u32, bytes: u64) -> f64 {
+        let dist = self.map.distance(self.rank, to_or_from);
+        let mut t = self.net.ptp_time(bytes, dist, self.map.job_nodes());
+        if let Some((a, b, factor)) = self.degraded_link {
+            let pair = (self.rank.min(to_or_from), self.rank.max(to_or_from));
+            if pair == (a.min(b), a.max(b)) {
+                t *= factor;
+            }
+        }
+        t
+    }
+
+    // ----- point-to-point -------------------------------------------------
+
+    fn send_payload(&mut self, to: u32, tag: u32, payload: Payload) -> Result<(), SimError> {
+        self.check_rank(to)?;
+        let transfer = self.transfer_time(to, payload.nbytes());
+        // The sender serializes the message through its adapter.
+        self.clock.advance_comm(transfer);
+        let msg = Message { payload, tag, sent_at: self.clock.now() };
+        // Unbounded channel: never blocks; a gone peer just drops the data.
+        let _ = self.senders[to as usize].send(msg);
+        Ok(())
+    }
+
+    fn recv_payload(&mut self, from: u32, tag: Option<u32>) -> Result<Payload, SimError> {
+        self.check_rank(from)?;
+        let msg = self.receivers[from as usize]
+            .recv()
+            .map_err(|_| SimError::PeerGone { from })?;
+        if let Some(expected) = tag {
+            if msg.tag != expected {
+                return Err(SimError::TagMismatch { from, expected, found: msg.tag });
+            }
+        }
+        let transfer = self.transfer_time(from, msg.payload.nbytes());
+        self.clock.recv_until(msg.sent_at, transfer);
+        Ok(msg.payload)
+    }
+
+    /// Send a slice of `f64` to `to` with tag 0.
+    pub fn send_f64(&mut self, to: u32, data: &[f64]) -> Result<(), SimError> {
+        self.send_payload(to, 0, Payload::F64(data.to_vec()))
+    }
+
+    /// Send with an explicit tag.
+    pub fn send_f64_tag(&mut self, to: u32, tag: u32, data: &[f64]) -> Result<(), SimError> {
+        self.send_payload(to, tag, Payload::F64(data.to_vec()))
+    }
+
+    pub fn send_u64(&mut self, to: u32, data: &[u64]) -> Result<(), SimError> {
+        self.send_payload(to, 0, Payload::U64(data.to_vec()))
+    }
+
+    pub fn send_bytes(&mut self, to: u32, data: &[u8]) -> Result<(), SimError> {
+        self.send_payload(to, 0, Payload::Bytes(data.to_vec()))
+    }
+
+    /// Receive the next `f64` message from `from` (any tag).
+    pub fn recv_f64(&mut self, from: u32) -> Result<Vec<f64>, SimError> {
+        match self.recv_payload(from, None)? {
+            Payload::F64(v) => Ok(v),
+            other => Err(SimError::TypeMismatch {
+                from,
+                expected: "f64",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Receive an `f64` message from `from`, requiring `tag`.
+    pub fn recv_f64_tag(&mut self, from: u32, tag: u32) -> Result<Vec<f64>, SimError> {
+        match self.recv_payload(from, Some(tag))? {
+            Payload::F64(v) => Ok(v),
+            other => Err(SimError::TypeMismatch {
+                from,
+                expected: "f64",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    pub fn recv_u64(&mut self, from: u32) -> Result<Vec<u64>, SimError> {
+        match self.recv_payload(from, None)? {
+            Payload::U64(v) => Ok(v),
+            other => Err(SimError::TypeMismatch {
+                from,
+                expected: "u64",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    pub fn recv_bytes(&mut self, from: u32) -> Result<Vec<u8>, SimError> {
+        match self.recv_payload(from, None)? {
+            Payload::Bytes(v) => Ok(v),
+            other => Err(SimError::TypeMismatch {
+                from,
+                expected: "bytes",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Simultaneous exchange with `peer`: send `data`, receive the peer's
+    /// buffer. Safe against deadlock because sends never block.
+    pub fn sendrecv_f64(&mut self, peer: u32, data: &[f64]) -> Result<Vec<f64>, SimError> {
+        self.send_f64(peer, data)?;
+        self.recv_f64(peer)
+    }
+
+    /// Exchange `u64` data with `peer`.
+    pub fn sendrecv_u64(&mut self, peer: u32, data: &[u64]) -> Result<Vec<u64>, SimError> {
+        self.send_u64(peer, data)?;
+        self.recv_u64(peer)
+    }
+
+    // ----- collectives ----------------------------------------------------
+
+    /// Barrier: synchronizes all virtual clocks to the maximum.
+    pub fn barrier(&mut self) {
+        let target = self.barrier.wait(self.clock.now());
+        self.clock.sync_to(target);
+    }
+
+    /// In-place ring allreduce (reduce-scatter + allgather).
+    pub fn allreduce_f64(&mut self, buf: &mut [f64], op: ReduceOp) -> Result<(), SimError> {
+        let p = self.size as usize;
+        if p == 1 || buf.is_empty() {
+            return Ok(());
+        }
+        let r = self.rank as usize;
+        let right = ((r + 1) % p) as u32;
+        let left = ((r + p - 1) % p) as u32;
+        let n = buf.len();
+        let chunk = move |i: usize| -> std::ops::Range<usize> {
+            let base = n / p;
+            let rem = n % p;
+            let start = i * base + i.min(rem);
+            let len = base + usize::from(i < rem);
+            start..start + len
+        };
+        // Reduce-scatter.
+        for s in 0..p - 1 {
+            let send_idx = (r + p - s) % p;
+            let recv_idx = (r + p - s - 1) % p;
+            let out = buf[chunk(send_idx)].to_vec();
+            self.send_f64(right, &out)?;
+            let incoming = self.recv_f64(left)?;
+            for (dst, src) in buf[chunk(recv_idx)].iter_mut().zip(incoming) {
+                *dst = op.apply(*dst, src);
+            }
+        }
+        // Allgather of the reduced chunks.
+        for s in 0..p - 1 {
+            let send_idx = (r + 1 + p - s) % p;
+            let recv_idx = (r + p - s) % p;
+            let out = buf[chunk(send_idx)].to_vec();
+            self.send_f64(right, &out)?;
+            let incoming = self.recv_f64(left)?;
+            buf[chunk(recv_idx)].copy_from_slice(&incoming);
+        }
+        Ok(())
+    }
+
+    /// Allreduce of a single scalar (CG dot products and friends).
+    pub fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> Result<f64, SimError> {
+        let mut buf = [value];
+        self.allreduce_f64(&mut buf, op)?;
+        Ok(buf[0])
+    }
+
+    /// Ring allgather: returns the concatenation of every rank's `local`
+    /// contribution, ordered by rank. All contributions must have equal
+    /// length.
+    pub fn allgather_f64(&mut self, local: &[f64]) -> Result<Vec<f64>, SimError> {
+        let p = self.size as usize;
+        let n = local.len();
+        let r = self.rank as usize;
+        let mut out = vec![0.0; n * p];
+        out[r * n..(r + 1) * n].copy_from_slice(local);
+        if p == 1 {
+            return Ok(out);
+        }
+        let right = ((r + 1) % p) as u32;
+        let left = ((r + p - 1) % p) as u32;
+        let mut cur = local.to_vec();
+        for s in 0..p - 1 {
+            self.send_f64(right, &cur)?;
+            cur = self.recv_f64(left)?;
+            let src = (r + p - 1 - s) % p;
+            out[src * n..(src + 1) * n].copy_from_slice(&cur);
+        }
+        Ok(out)
+    }
+
+    /// Personalized all-to-all: `send[i]` goes to rank `i`; returns the
+    /// vector of buffers received from each rank (`recv[i]` from rank `i`).
+    pub fn alltoall_f64(&mut self, send: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, SimError> {
+        let p = self.size as usize;
+        assert_eq!(send.len(), p, "alltoall needs one buffer per rank");
+        let r = self.rank as usize;
+        let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
+        recv[r] = send[r].clone();
+        for round in 1..p {
+            let dst = ((r + round) % p) as u32;
+            let src = ((r + p - round) % p) as u32;
+            self.send_f64(dst, &send[dst as usize])?;
+            recv[src as usize] = self.recv_f64(src)?;
+        }
+        Ok(recv)
+    }
+
+    /// Binomial-tree broadcast from `root`, in place.
+    pub fn broadcast_f64(&mut self, root: u32, buf: &mut Vec<f64>) -> Result<(), SimError> {
+        self.check_rank(root)?;
+        let p = self.size;
+        if p == 1 {
+            return Ok(());
+        }
+        let relrank = (self.rank + p - root) % p;
+        let mut mask = 1u32;
+        while mask < p {
+            if relrank & mask != 0 {
+                let src = (self.rank + p - mask) % p;
+                *buf = self.recv_f64(src)?;
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relrank + mask < p {
+                let dst = (self.rank + mask) % p;
+                self.send_f64(dst, buf)?;
+            }
+            mask >>= 1;
+        }
+        Ok(())
+    }
+
+    /// Gather every rank's `local` buffer at `root`. Returns `Some` at the
+    /// root (indexed by rank), `None` elsewhere.
+    pub fn gather_f64(&mut self, root: u32, local: &[f64]) -> Result<Option<Vec<Vec<f64>>>, SimError> {
+        self.check_rank(root)?;
+        if self.rank == root {
+            let mut all = vec![Vec::new(); self.size as usize];
+            all[root as usize] = local.to_vec();
+            for from in 0..self.size {
+                if from != root {
+                    all[from as usize] = self.recv_f64(from)?;
+                }
+            }
+            Ok(Some(all))
+        } else {
+            self.send_f64(root, local)?;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_ops() {
+        assert_eq!(ReduceOp::Sum.apply(2.0, 3.0), 5.0);
+        assert_eq!(ReduceOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(ReduceOp::Min.apply(2.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn payload_sizes_and_names() {
+        assert_eq!(Payload::F64(vec![0.0; 4]).nbytes(), 32);
+        assert_eq!(Payload::U64(vec![0; 2]).nbytes(), 16);
+        assert_eq!(Payload::Bytes(vec![0; 3]).nbytes(), 3);
+        assert_eq!(Payload::F64(vec![]).type_name(), "f64");
+    }
+
+    #[test]
+    fn vbarrier_returns_max() {
+        let b = Arc::new(VBarrier::new(3));
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || b.wait(t as f64)));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 2.0);
+        }
+    }
+
+    #[test]
+    fn vbarrier_resets_between_rounds() {
+        let b = Arc::new(VBarrier::new(2));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            let first = b2.wait(5.0);
+            let second = b2.wait(1.0);
+            (first, second)
+        });
+        let first = b.wait(3.0);
+        let second = b.wait(2.0);
+        let (pf, ps) = h.join().unwrap();
+        assert_eq!((first, pf), (5.0, 5.0));
+        assert_eq!((second, ps), (2.0, 2.0));
+    }
+}

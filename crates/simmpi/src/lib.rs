@@ -1,0 +1,31 @@
+//! # jubench-simmpi
+//!
+//! A simulated message-passing runtime: the substitution for MPI on the
+//! real machines. Ranks run as operating-system threads exchanging real
+//! data through channels, so distributed algorithms execute genuinely (halo
+//! exchanges move actual ghost cells, the JUQCS state-vector swap moves
+//! actual amplitudes). In addition, every rank owns a **virtual clock**:
+//!
+//! - computation advances it by the roofline model's prediction for the
+//!   declared work (see [`jubench_cluster::Roofline`]),
+//! - every message advances it by the network model's prediction for the
+//!   message size and the sender/receiver placement on the machine
+//!   ([`jubench_cluster::NetModel`]), respecting causality (a receive
+//!   cannot complete before the matching send was posted, in virtual time).
+//!
+//! The *virtual makespan* of a run — the maximum rank clock — is the
+//! quantity the scaling studies (Figs. 2 and 3 of the paper) report. It is
+//! independent of the host's wall-clock speed, which is what makes
+//! scaling studies reproducible on a development machine.
+
+pub mod clock;
+pub mod comm;
+pub mod error;
+pub mod rankmap;
+pub mod world;
+
+pub use clock::{ClockStats, VirtualClock};
+pub use comm::{Comm, ReduceOp};
+pub use error::SimError;
+pub use rankmap::RankMap;
+pub use world::{RankResult, World};

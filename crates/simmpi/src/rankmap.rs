@@ -1,0 +1,148 @@
+//! Mapping of ranks onto one machine — or onto the two modules of the
+//! Modular Supercomputing Architecture (§II-B: "benchmarks spanning
+//! Cluster and Booster, dubbed *MSA* benchmarks").
+
+use jubench_cluster::{Distance, GpuSpec, Machine, NodeSpec, Placement, Roofline};
+
+/// Where the ranks of a world live.
+#[derive(Debug, Clone, Copy)]
+pub enum RankMap {
+    /// All ranks on one machine with a uniform device.
+    Uniform { placement: Placement, device: Roofline },
+    /// MSA: the first `cluster.ranks()` ranks run on the CPU Cluster (one
+    /// rank per node), the rest on the GPU Booster (one rank per GPU).
+    Msa {
+        cluster: Placement,
+        cluster_device: Roofline,
+        booster: Placement,
+        booster_device: Roofline,
+    },
+}
+
+impl RankMap {
+    /// A JUWELS-like MSA world: `cluster_nodes` CPU nodes plus
+    /// `booster_nodes` GPU nodes.
+    pub fn msa(cluster_nodes: u32, booster_nodes: u32) -> Self {
+        let booster = Machine::juwels_booster().partition(booster_nodes);
+        let cluster = Machine {
+            name: "JUWELS Cluster",
+            nodes: cluster_nodes,
+            node: NodeSpec {
+                gpu: GpuSpec::epyc_rome_node(),
+                gpus_per_node: 1,
+                nics_per_node: 2,
+                nic_bw: 12.5e9,
+                power_w: 700.0,
+            },
+            cell_nodes: 48,
+        };
+        RankMap::Msa {
+            cluster: Placement::per_node(cluster),
+            cluster_device: Roofline::new(GpuSpec::epyc_rome_node()),
+            booster: Placement::per_gpu(booster),
+            booster_device: Roofline::new(booster.node.gpu),
+        }
+    }
+
+    /// Total rank count.
+    pub fn ranks(&self) -> u32 {
+        match self {
+            RankMap::Uniform { placement, .. } => placement.ranks(),
+            RankMap::Msa { cluster, booster, .. } => cluster.ranks() + booster.ranks(),
+        }
+    }
+
+    /// Ranks living on the Cluster module (0 for uniform worlds).
+    pub fn cluster_ranks(&self) -> u32 {
+        match self {
+            RankMap::Uniform { .. } => 0,
+            RankMap::Msa { cluster, .. } => cluster.ranks(),
+        }
+    }
+
+    /// Distance class between two ranks.
+    pub fn distance(&self, a: u32, b: u32) -> Distance {
+        match self {
+            RankMap::Uniform { placement, .. } => placement.distance(a, b),
+            RankMap::Msa { cluster, booster, .. } => {
+                let split = cluster.ranks();
+                match (a < split, b < split) {
+                    (true, true) => cluster.distance(a, b),
+                    (false, false) => booster.distance(a - split, b - split),
+                    _ if a == b => Distance::SameDevice,
+                    _ => Distance::InterModule,
+                }
+            }
+        }
+    }
+
+    /// The roofline device of `rank`.
+    pub fn device(&self, rank: u32) -> Roofline {
+        match self {
+            RankMap::Uniform { device, .. } => *device,
+            RankMap::Msa { cluster, cluster_device, booster_device, .. } => {
+                if rank < cluster.ranks() {
+                    *cluster_device
+                } else {
+                    *booster_device
+                }
+            }
+        }
+    }
+
+    /// Total node count of the job (for the congestion model).
+    pub fn job_nodes(&self) -> u32 {
+        match self {
+            RankMap::Uniform { placement, .. } => placement.machine.nodes,
+            RankMap::Msa { cluster, booster, .. } => {
+                cluster.machine.nodes + booster.machine.nodes
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_map_delegates() {
+        let machine = Machine::juwels_booster().partition(2);
+        let map = RankMap::Uniform {
+            placement: Placement::per_gpu(machine),
+            device: Roofline::new(machine.node.gpu),
+        };
+        assert_eq!(map.ranks(), 8);
+        assert_eq!(map.cluster_ranks(), 0);
+        assert_eq!(map.distance(0, 1), Distance::IntraNode);
+        assert_eq!(map.job_nodes(), 2);
+    }
+
+    #[test]
+    fn msa_split_and_distances() {
+        let map = RankMap::msa(4, 2); // 4 CPU ranks + 8 GPU ranks
+        assert_eq!(map.ranks(), 12);
+        assert_eq!(map.cluster_ranks(), 4);
+        // Within the cluster: node-to-node.
+        assert_eq!(map.distance(0, 1), Distance::IntraCell);
+        // Within the booster: NVLink.
+        assert_eq!(map.distance(4, 5), Distance::IntraNode);
+        // Across modules: the federation gateway.
+        assert_eq!(map.distance(0, 4), Distance::InterModule);
+        assert_eq!(map.distance(11, 3), Distance::InterModule);
+    }
+
+    #[test]
+    fn msa_devices_differ_per_module() {
+        let map = RankMap::msa(2, 2);
+        let cpu = map.device(0);
+        let gpu = map.device(5);
+        assert!(gpu.gpu.fp64_flops > cpu.gpu.fp64_flops);
+        assert!(cpu.gpu.memory_bytes > gpu.gpu.memory_bytes, "CPU nodes have more memory");
+    }
+
+    #[test]
+    fn msa_job_nodes_sum_modules() {
+        assert_eq!(RankMap::msa(4, 2).job_nodes(), 6);
+    }
+}

@@ -1,0 +1,468 @@
+//! The [`World`]: construction of communicators and thread-based execution
+//! of rank closures.
+
+use std::sync::Arc;
+
+use crossbeam::channel::unbounded;
+
+use jubench_cluster::{Machine, NetModel, Placement, Roofline};
+
+use crate::clock::ClockStats;
+use crate::comm::{Comm, VBarrier};
+use crate::rankmap::RankMap;
+
+/// Result of one rank's execution: the closure's return value plus the
+/// rank's final virtual-clock statistics.
+#[derive(Debug, Clone)]
+pub struct RankResult<T> {
+    pub rank: u32,
+    pub value: T,
+    pub clock: ClockStats,
+}
+
+/// A simulated machine (or MSA machine pair) on which rank programs can
+/// be launched.
+#[derive(Debug, Clone, Copy)]
+pub struct World {
+    map: RankMap,
+    net: NetModel,
+    /// Fault injection: one rank pair whose transfers are slowed by the
+    /// factor (> 1), emulating a degraded cable/adapter for the LinkTest
+    /// troubleshooting scenario.
+    degraded_link: Option<(u32, u32, f64)>,
+}
+
+impl World {
+    /// One rank per GPU (the normal Booster launch configuration).
+    pub fn new(machine: Machine) -> Self {
+        World {
+            map: RankMap::Uniform {
+                placement: Placement::per_gpu(machine),
+                device: Roofline::new(machine.node.gpu),
+            },
+            net: NetModel::juwels_booster(),
+            degraded_link: None,
+        }
+    }
+
+    /// One rank per node (CPU-only codes: NAStJA, DynQCD).
+    pub fn per_node(machine: Machine) -> Self {
+        World {
+            map: RankMap::Uniform {
+                placement: Placement::per_node(machine),
+                device: Roofline::new(jubench_cluster::GpuSpec::epyc_rome_node()),
+            },
+            net: NetModel::juwels_booster(),
+            degraded_link: None,
+        }
+    }
+
+    /// An MSA world spanning the Cluster and Booster modules (§II-B): the
+    /// first `cluster_nodes` ranks are CPU-node ranks, the rest GPU ranks.
+    pub fn msa(cluster_nodes: u32, booster_nodes: u32) -> Self {
+        World {
+            map: RankMap::msa(cluster_nodes, booster_nodes),
+            net: NetModel::juwels_booster(),
+            degraded_link: None,
+        }
+    }
+
+    /// Inject a degraded link: transfers between ranks `a` and `b` take
+    /// `factor` × longer (a failing cable, a mis-trained adapter — the
+    /// faults LinkTest exists to localize).
+    pub fn with_degraded_link(mut self, a: u32, b: u32, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        self.degraded_link = Some((a, b, factor));
+        self
+    }
+
+    /// Override the kernel efficiencies of the device roofline (uniform
+    /// worlds only).
+    pub fn with_efficiencies(mut self, flop: f64, bw: f64) -> Self {
+        if let RankMap::Uniform { device, .. } = &mut self.map {
+            *device = device.with_efficiencies(flop, bw);
+        }
+        self
+    }
+
+    /// Override the network model.
+    pub fn with_net(mut self, net: NetModel) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Number of ranks this world launches.
+    pub fn ranks(&self) -> u32 {
+        self.map.ranks()
+    }
+
+    /// The rank map (placement + devices).
+    pub fn rank_map(&self) -> &RankMap {
+        &self.map
+    }
+
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// Launch one thread per rank, run `f`, and collect the results in rank
+    /// order. Panics in a rank are propagated with the rank number.
+    pub fn run<T, F>(&self, f: F) -> Vec<RankResult<T>>
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let n = self.ranks() as usize;
+        assert!(n >= 1, "world needs at least one rank");
+        // channels[from][to]
+        let mut senders: Vec<Vec<_>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut receivers: Vec<Vec<_>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut rx_matrix: Vec<Vec<Option<_>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (from, row) in senders.iter_mut().enumerate() {
+            for to in 0..n {
+                let (s, r) = unbounded();
+                row.push(s);
+                rx_matrix[to][from] = Some(r);
+            }
+        }
+        for (to, row) in rx_matrix.into_iter().enumerate() {
+            receivers[to] = row.into_iter().map(|r| r.unwrap()).collect();
+        }
+
+        let barrier = Arc::new(VBarrier::new(n));
+        let f = &f;
+        let mut results: Vec<Option<RankResult<T>>> = (0..n).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, (tx, rx)) in senders.drain(..).zip(receivers.drain(..)).enumerate() {
+                let barrier = Arc::clone(&barrier);
+                let map = self.map;
+                let net = self.net;
+                let degraded = self.degraded_link;
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::new(
+                        rank as u32,
+                        n as u32,
+                        tx,
+                        rx,
+                        map,
+                        net,
+                        barrier,
+                    )
+                    .with_degraded_link(degraded);
+                    let value = f(&mut comm);
+                    RankResult { rank: rank as u32, value, clock: comm.stats() }
+                }));
+            }
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(res) => results[rank] = Some(res),
+                    Err(payload) => {
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "unknown panic".into());
+                        panic!("rank {rank} panicked: {msg}");
+                    }
+                }
+            }
+        });
+
+        results.into_iter().map(|r| r.expect("all ranks joined")).collect()
+    }
+
+    /// Run and return the virtual makespan: the maximum rank clock total,
+    /// together with the maximum compute and communication shares.
+    pub fn run_timed<T, F>(&self, f: F) -> (Vec<RankResult<T>>, ClockStats)
+    where
+        T: Send,
+        F: Fn(&mut Comm) -> T + Send + Sync,
+    {
+        let results = self.run(f);
+        let makespan = makespan(&results);
+        (results, makespan)
+    }
+}
+
+/// Aggregate per-rank clocks into a makespan: total = max over ranks of the
+/// rank totals; the compute/comm split is taken from the critical rank.
+pub fn makespan<T>(results: &[RankResult<T>]) -> ClockStats {
+    results
+        .iter()
+        .map(|r| r.clock)
+        .max_by(|a, b| a.total_s().partial_cmp(&b.total_s()).unwrap())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+
+    fn small_world(nodes: u32) -> World {
+        World::new(Machine::juwels_booster().partition(nodes))
+    }
+
+    #[test]
+    fn ranks_counts() {
+        assert_eq!(small_world(2).ranks(), 8);
+        assert_eq!(World::per_node(Machine::juwels_booster().partition(3)).ranks(), 3);
+    }
+
+    #[test]
+    fn ring_message_round_trip() {
+        let w = small_world(1); // 4 ranks
+        let results = w.run(|comm| {
+            let p = comm.size();
+            let right = (comm.rank() + 1) % p;
+            let left = (comm.rank() + p - 1) % p;
+            comm.send_f64(right, &[comm.rank() as f64]).unwrap();
+            let got = comm.recv_f64(left).unwrap();
+            got[0]
+        });
+        for r in &results {
+            let left = (r.rank + 4 - 1) % 4;
+            assert_eq!(r.value, left as f64);
+            assert!(r.clock.comm_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let w = small_world(2); // 8 ranks
+        let results = w.run(|comm| {
+            let mut buf: Vec<f64> = (0..10).map(|i| (comm.rank() * 10 + i) as f64).collect();
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum).unwrap();
+            buf
+        });
+        // Element i: sum over r of (10 r + i) = 10*28 + 8 i.
+        for r in &results {
+            for (i, v) in r.value.iter().enumerate() {
+                assert_eq!(*v, 280.0 + 8.0 * i as f64, "rank {} elem {}", r.rank, i);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_min() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            let mx = comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Max).unwrap();
+            let mn = comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Min).unwrap();
+            (mx, mn)
+        });
+        for r in &results {
+            assert_eq!(r.value, (3.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn allreduce_with_buffer_smaller_than_ranks() {
+        let w = small_world(2); // 8 ranks, 3-element buffer
+        let results = w.run(|comm| {
+            let mut buf = vec![1.0, 2.0, 3.0];
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum).unwrap();
+            buf
+        });
+        for r in &results {
+            assert_eq!(r.value, vec![8.0, 16.0, 24.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let w = small_world(1);
+        let results = w.run(|comm| comm.allgather_f64(&[comm.rank() as f64; 2]).unwrap());
+        for r in &results {
+            assert_eq!(r.value, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        }
+    }
+
+    #[test]
+    fn alltoall_delivers_personalized_buffers() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            let p = comm.size();
+            let send: Vec<Vec<f64>> =
+                (0..p).map(|to| vec![(comm.rank() * 100 + to) as f64]).collect();
+            comm.alltoall_f64(send).unwrap()
+        });
+        for r in &results {
+            for (from, buf) in r.value.iter().enumerate() {
+                assert_eq!(buf, &vec![(from as u32 * 100 + r.rank) as f64]);
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_from_nonzero_root() {
+        let w = small_world(2);
+        let results = w.run(|comm| {
+            let mut buf = if comm.rank() == 5 { vec![42.0, 7.0] } else { Vec::new() };
+            comm.broadcast_f64(5, &mut buf).unwrap();
+            buf
+        });
+        for r in &results {
+            assert_eq!(r.value, vec![42.0, 7.0]);
+        }
+    }
+
+    #[test]
+    fn gather_collects_at_root() {
+        let w = small_world(1);
+        let results = w.run(|comm| comm.gather_f64(2, &[comm.rank() as f64]).unwrap());
+        for r in &results {
+            if r.rank == 2 {
+                let all = r.value.as_ref().unwrap();
+                assert_eq!(all.len(), 4);
+                for (i, b) in all.iter().enumerate() {
+                    assert_eq!(b, &vec![i as f64]);
+                }
+            } else {
+                assert!(r.value.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_virtual_clocks() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            // Rank 3 computes for 10 virtual seconds, others are idle.
+            if comm.rank() == 3 {
+                comm.advance_compute(10.0);
+            }
+            comm.barrier();
+            comm.now()
+        });
+        for r in &results {
+            assert!((r.value - 10.0).abs() < 1e-9, "rank {} at {}", r.rank, r.value);
+        }
+    }
+
+    #[test]
+    fn receive_respects_causality() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            if comm.rank() == 0 {
+                comm.advance_compute(5.0);
+                comm.send_f64(1, &[1.0]).unwrap();
+                0.0
+            } else if comm.rank() == 1 {
+                comm.recv_f64(0).unwrap();
+                comm.now()
+            } else {
+                0.0
+            }
+        });
+        // Rank 1 cannot finish its receive before rank 0's virtual send
+        // time (5.0 + transfer).
+        assert!(results[1].value > 5.0);
+    }
+
+    #[test]
+    fn type_mismatch_is_detected() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send_u64(1, &[42]).unwrap();
+                Ok(vec![])
+            } else if comm.rank() == 1 {
+                comm.recv_f64(0)
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert!(matches!(
+            results[1].value,
+            Err(crate::error::SimError::TypeMismatch { from: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn tag_mismatch_is_detected() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send_f64_tag(1, 7, &[1.0]).unwrap();
+                Ok(vec![])
+            } else if comm.rank() == 1 {
+                comm.recv_f64_tag(0, 9)
+            } else {
+                Ok(vec![])
+            }
+        });
+        assert!(matches!(
+            results[1].value,
+            Err(crate::error::SimError::TagMismatch { from: 0, expected: 9, found: 7 })
+        ));
+    }
+
+    #[test]
+    fn invalid_rank_is_rejected() {
+        let w = small_world(1);
+        let results = w.run(|comm| comm.send_f64(99, &[1.0]));
+        assert!(matches!(
+            results[0].value,
+            Err(crate::error::SimError::InvalidRank { rank: 99, size: 4 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked")]
+    fn rank_panic_is_propagated_with_rank() {
+        let w = small_world(1);
+        w.run(|comm| {
+            if comm.rank() == 2 {
+                panic!("injected failure");
+            }
+        });
+    }
+
+    #[test]
+    fn makespan_is_max_rank_clock() {
+        let w = small_world(1);
+        let (_, span) = w.run_timed(|comm| {
+            comm.advance_compute(comm.rank() as f64);
+        });
+        assert_eq!(span.compute_s, 3.0);
+    }
+
+    #[test]
+    fn sendrecv_exchanges_between_pairs() {
+        let w = small_world(1);
+        let results = w.run(|comm| {
+            let peer = comm.rank() ^ 1;
+            comm.sendrecv_f64(peer, &[comm.rank() as f64]).unwrap()[0]
+        });
+        for r in &results {
+            assert_eq!(r.value, (r.rank ^ 1) as f64);
+        }
+    }
+
+    #[test]
+    fn inter_node_comm_costs_more_than_intra_node() {
+        // Same exchange volume; 8 ranks on 2 nodes vs 4 ranks on 1 node.
+        let data = vec![0.0f64; 1 << 16];
+        let intra = {
+            let w = small_world(1);
+            let d = data.clone();
+            let (_, span) = w.run_timed(move |comm| {
+                let peer = comm.rank() ^ 1; // same node always
+                comm.sendrecv_f64(peer, &d).unwrap();
+            });
+            span.comm_s
+        };
+        let inter = {
+            let w = small_world(2);
+            let (_, span) = w.run_timed(move |comm| {
+                let peer = comm.rank() ^ 4; // always the other node
+                comm.sendrecv_f64(peer, &data).unwrap();
+            });
+            span.comm_s
+        };
+        assert!(inter > 2.0 * intra, "inter {inter} vs intra {intra}");
+    }
+}

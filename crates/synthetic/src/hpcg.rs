@@ -1,0 +1,235 @@
+//! HPCG: conjugate gradient on the 27-point stencil with a symmetric
+//! Gauss-Seidel preconditioner — the bandwidth-bound counterpart to HPL.
+
+use std::time::Instant;
+
+use jubench_apps_common::{AppModel, Phase};
+use jubench_cluster::{balanced_dims3, CommPattern, Machine, Work};
+use jubench_core::{
+    suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, Fom, RunConfig, RunOutcome, SuiteError,
+    VerificationOutcome,
+};
+
+/// The 27-point operator on an n³ grid with Dirichlet boundaries: diagonal
+/// 26, off-diagonals −1 (HPCG's standard problem).
+pub struct Stencil27 {
+    pub n: usize,
+}
+
+impl Stencil27 {
+    #[inline]
+    fn idx(&self, i: usize, j: usize, k: usize) -> usize {
+        (i * self.n + j) * self.n + k
+    }
+
+    pub fn len(&self) -> usize {
+        self.n * self.n * self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.n as isize;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                for k in 0..self.n {
+                    let mut s = 26.0 * x[self.idx(i, j, k)];
+                    for di in -1..=1isize {
+                        for dj in -1..=1isize {
+                            for dk in -1..=1isize {
+                                if di == 0 && dj == 0 && dk == 0 {
+                                    continue;
+                                }
+                                let (ii, jj, kk) =
+                                    (i as isize + di, j as isize + dj, k as isize + dk);
+                                if ii >= 0 && ii < n && jj >= 0 && jj < n && kk >= 0 && kk < n {
+                                    s -= x[self.idx(ii as usize, jj as usize, kk as usize)];
+                                }
+                            }
+                        }
+                    }
+                    y[self.idx(i, j, k)] = s;
+                }
+            }
+        }
+    }
+
+    /// One symmetric Gauss-Seidel sweep (forward then backward) on
+    /// A z = r, in place — HPCG's smoother/preconditioner.
+    pub fn sym_gauss_seidel(&self, z: &mut [f64], r: &[f64]) {
+        let n = self.n as isize;
+        let sweep = |z: &mut [f64], order: &mut dyn Iterator<Item = usize>| {
+            for flat in order {
+                let i = flat / (self.n * self.n);
+                let j = (flat / self.n) % self.n;
+                let k = flat % self.n;
+                let mut s = r[flat];
+                for di in -1..=1isize {
+                    for dj in -1..=1isize {
+                        for dk in -1..=1isize {
+                            if di == 0 && dj == 0 && dk == 0 {
+                                continue;
+                            }
+                            let (ii, jj, kk) =
+                                (i as isize + di, j as isize + dj, k as isize + dk);
+                            if ii >= 0 && ii < n && jj >= 0 && jj < n && kk >= 0 && kk < n {
+                                s += z[self.idx(ii as usize, jj as usize, kk as usize)];
+                            }
+                        }
+                    }
+                }
+                z[flat] = s / 26.0;
+            }
+        };
+        sweep(z, &mut (0..self.len()));
+        sweep(z, &mut (0..self.len()).rev());
+    }
+}
+
+/// HPCG-style preconditioned CG; returns (iterations, relative residual,
+/// flops performed).
+pub fn hpcg_pcg(op: &Stencil27, b: &[f64], tol: f64, max_iters: usize) -> (usize, f64, f64) {
+    let len = op.len();
+    let dot = |a: &[f64], c: &[f64]| -> f64 { a.iter().zip(c).map(|(x, y)| x * y).sum() };
+    let mut x = vec![0.0; len];
+    let mut r = b.to_vec();
+    let norm_b = dot(b, b).sqrt();
+    let mut z = vec![0.0; len];
+    op.sym_gauss_seidel(&mut z, &r);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; len];
+    let mut iters = 0;
+    // 27-pt apply ≈ 54 flops/point; SGS ≈ 108; dots and axpys ≈ 10.
+    let flops_per_iter = (54.0 + 108.0 + 10.0) * len as f64;
+    while iters < max_iters && dot(&r, &r).sqrt() / norm_b > tol {
+        op.apply(&p, &mut ap);
+        let alpha = rz / dot(&p, &ap);
+        for i in 0..len {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        z.fill(0.0);
+        op.sym_gauss_seidel(&mut z, &r);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        for i in 0..len {
+            p[i] = z[i] + beta * p[i];
+        }
+        rz = rz_new;
+        iters += 1;
+    }
+    let resid = dot(&r, &r).sqrt() / norm_b;
+    (iters, resid, flops_per_iter * iters as f64)
+}
+
+pub struct Hpcg {
+    pub n: usize,
+}
+
+impl Default for Hpcg {
+    fn default() -> Self {
+        Hpcg { n: 16 }
+    }
+}
+
+impl Benchmark for Hpcg {
+    fn meta(&self) -> BenchmarkMeta {
+        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Hpcg).unwrap()
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
+        self.validate_nodes(cfg.nodes)?;
+        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        // Full-scale model: HPCG is bandwidth-bound; halo + dots.
+        let points_per_gpu = 104.0f64.powi(3); // standard local 104³ block
+        let rank_dims = balanced_dims3(machine.devices());
+        let timing = AppModel::new(machine, 500)
+            .with_efficiencies(0.1, 0.85)
+            .with_phase(Phase::compute(
+                "stencil + sgs",
+                Work::new(172.0 * points_per_gpu, 27.0 * 8.0 * points_per_gpu),
+            ))
+            .with_phase(Phase::comm(
+                "halo",
+                CommPattern::Halo3d {
+                    rank_dims,
+                    bytes_per_face: [(104.0f64 * 104.0 * 8.0) as u64; 3],
+                },
+            ))
+            .with_phase(Phase::comm("dots", CommPattern::AllReduce { bytes: 8 }))
+            .timing();
+
+        // Real execution.
+        let op = Stencil27 { n: self.n };
+        let b = vec![1.0; op.len()];
+        let start = Instant::now();
+        let (iters, resid, flops) = hpcg_pcg(&op, &b, 1e-8, 200);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let rate = flops / elapsed;
+        let verification = VerificationOutcome::tolerance(resid, 1e-8);
+        let mut out = jubench_apps_common::outcome(timing, verification, vec![
+            ("measured_flops".into(), rate),
+            ("pcg_iterations".into(), iters as f64),
+        ]);
+        out.fom = Fom::Flops(rate);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stencil_row_sums() {
+        // Interior rows sum to 26 − 26 = 0; the constant vector maps to
+        // zero in the interior, positive on the boundary.
+        let op = Stencil27 { n: 5 };
+        let ones = vec![1.0; op.len()];
+        let mut y = vec![0.0; op.len()];
+        op.apply(&ones, &mut y);
+        assert_eq!(y[op.idx(2, 2, 2)], 0.0);
+        assert!(y[op.idx(0, 0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn preconditioned_cg_converges_fast() {
+        let op = Stencil27 { n: 12 };
+        let b = vec![1.0; op.len()];
+        let (iters, resid, _) = hpcg_pcg(&op, &b, 1e-8, 100);
+        assert!(resid <= 1e-8);
+        assert!(iters < 40, "HPCG PCG took {iters} iterations");
+    }
+
+    #[test]
+    fn sgs_smooths_the_residual() {
+        let op = Stencil27 { n: 8 };
+        let r = vec![1.0; op.len()];
+        let mut z = vec![0.0; op.len()];
+        op.sym_gauss_seidel(&mut z, &r);
+        // One SGS application of an SPD M-matrix: z stays positive and
+        // bounded by the diagonal solve range.
+        assert!(z.iter().all(|&v| v > 0.0 && v < 2.0));
+    }
+
+    #[test]
+    fn run_reports_flops_and_verifies() {
+        let out = Hpcg { n: 10 }.run(&RunConfig::test(1)).unwrap();
+        assert!(out.verification.passed());
+        assert!(matches!(out.fom, Fom::Flops(f) if f > 0.0));
+    }
+
+    #[test]
+    fn hpcg_fraction_of_peak_is_low() {
+        // The point of HPCG: its model efficiency sits far below HPL's.
+        let machine = Machine::juwels_booster();
+        let out = Hpcg::default().run(&RunConfig::test(936)).unwrap();
+        let points = 104.0f64.powi(3) * machine.devices() as f64;
+        let rate = 172.0 * points * 500.0 / out.virtual_time_s;
+        let frac = rate / machine.peak_flops();
+        assert!(frac < 0.12, "HPCG fraction of peak {frac}");
+    }
+}

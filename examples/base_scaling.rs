@@ -1,0 +1,28 @@
+//! Regenerate the data behind Fig. 2: strong scaling of the Base
+//! applications around their reference node counts (0.5×, 0.75×, 1×,
+//! 1.5×, 2×; benchmarks with algorithmic node-count limitations snap to
+//! the closest compatible count, as in the paper's footnote 1).
+//!
+//! Run with: `cargo run --release --example base_scaling`
+
+use jubench::prelude::*;
+use jubench::scaling::strong_scaling_series;
+
+fn main() {
+    let registry = full_registry();
+    println!("Fig. 2 — relative runtimes of the Base applications\n");
+    for bench in registry.by_category(Category::Base) {
+        let series = strong_scaling_series(bench, 1);
+        println!("{}", series.render());
+    }
+    // Sub-benchmarks with their own reference node counts (Table II):
+    // GROMACS test case C (128 nodes) and ICON R02B10 (300 nodes).
+    println!("GROMACS test case C (27×STMV, 28 M atoms):");
+    println!("{}", strong_scaling_series(&jubench::apps_md::Gromacs::case_c(), 1).render());
+    println!("ICON R02B10 (2.5 km):");
+    println!("{}", strong_scaling_series(&jubench::apps_earth::Icon::r02b10(), 1).render());
+    println!("Reading guide (per the figure caption): the reference execution");
+    println!("sits at (1.00x nodes, 1.00x runtime); points left of it use fewer");
+    println!("nodes (higher runtime), points right of it more nodes (lower");
+    println!("runtime, unless the benchmark is latency- or I/O-bound).");
+}

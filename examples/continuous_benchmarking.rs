@@ -1,0 +1,37 @@
+//! Continuous Benchmarking (§VI): record accepted baselines, then run the
+//! monitoring pass an operator would schedule after each maintenance.
+//!
+//! Run with: `cargo run --release --example continuous_benchmarking`
+
+use jubench::continuous::Monitor;
+use jubench::prelude::*;
+
+fn main() {
+    let registry = full_registry();
+    let monitor = Monitor::default();
+    let watched = [
+        BenchmarkId::Arbor,
+        BenchmarkId::ChromaQcd,
+        BenchmarkId::Juqcs,
+        BenchmarkId::NekRs,
+        BenchmarkId::Hpl,
+        BenchmarkId::Stream,
+    ];
+
+    println!("Recording baselines (acceptance run)…\n");
+    let baselines = monitor.record_baselines(&registry, &watched);
+    let path = std::env::temp_dir().join("jubench-baselines.tsv");
+    baselines.save(&path).expect("save baselines");
+    println!("{}", baselines.to_text());
+    println!("Baselines stored at {}\n", path.display());
+
+    println!("Post-maintenance monitoring pass…\n");
+    let report = monitor.check(&registry, &baselines);
+    println!("{}", report.render());
+    if report.healthy() {
+        println!("System healthy: no performance degradation detected.");
+    } else {
+        println!("DEGRADATION DETECTED in: {:?}", report.regressions());
+    }
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,22 @@
+//! Regenerate the data behind Fig. 3: weak-scaling efficiency of the five
+//! High-Scaling applications over the JUWELS Booster node range, with the
+//! JUQCS computation/communication split.
+//!
+//! Run with: `cargo run --release --example high_scaling_study`
+
+use jubench::scaling::weak::fig3_all_series;
+
+fn main() {
+    println!("Fig. 3 — weak scaling efficiency of the High-Scaling benchmarks");
+    println!("(efficiency = virtual step time at the smallest scale / at this scale)\n");
+    for series in fig3_all_series(1) {
+        println!("{}", series.render());
+    }
+    println!("Expected shape (paper §IV-A2):");
+    println!("  - Arbor stays near 1.0 (communication fully hidden),");
+    println!("  - Chroma-QCD and nekRS decline gently,");
+    println!("  - JUQCS (computation) stays near 1.0,");
+    println!("  - JUQCS (communication) drops sharply from 1 to 2 nodes");
+    println!("    (NVLink → InfiniBand) and again at 256 nodes (large-scale");
+    println!("    congestion regime).");
+}

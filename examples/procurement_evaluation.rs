@@ -1,0 +1,132 @@
+//! The procurement pipeline end to end (§II): build the reference set on
+//! the preparation system, collect commitments from two hypothetical
+//! vendor proposals, evaluate the TCO-based value-for-money metric, and
+//! run the High-Scaling assessment against the 1 EFLOP/s(th) partition.
+//!
+//! Run with: `cargo run --release --example procurement_evaluation`
+
+use jubench::cluster::{GpuSpec, Machine, NodeSpec};
+use jubench::prelude::*;
+use jubench::procurement::{exascale_partition_nodes, HighScalingAssessment};
+
+fn main() {
+    let registry = full_registry();
+
+    // ---- 1. Reference executions on the preparation system -------------
+    println!("=== Reference time metrics (preparation system) ===\n");
+    let mut reference = ReferenceSet::new();
+    let base_ids = [
+        (BenchmarkId::Arbor, 1.0),
+        (BenchmarkId::Gromacs, 1.5),
+        (BenchmarkId::Juqcs, 1.0),
+        (BenchmarkId::NekRs, 1.5),
+        (BenchmarkId::MegatronLm, 2.0), // AI gains importance (§V-C)
+        (BenchmarkId::Nastja, 0.5),
+    ];
+    for (id, weight) in base_ids {
+        let bench = registry.get(id).unwrap();
+        let nodes = bench.reference_nodes();
+        let out = bench.run(&RunConfig::test(nodes)).expect("reference run");
+        let tm = out.fom.time_metric().expect("base benchmarks have time metrics");
+        println!("  {:<14} {:>5} nodes   {:>12.2} s   weight {weight}", id.name(), nodes, tm.0);
+        reference.add(id, tm, nodes, weight);
+    }
+
+    // ---- 2. Two hypothetical system proposals --------------------------
+    // Proposal A: many medium accelerators; Proposal B: fewer, stronger,
+    // more memory per device.
+    let machine_a = Machine {
+        name: "Proposal A",
+        nodes: 4800,
+        node: NodeSpec { gpu: GpuSpec::next_gen_96gb(), ..NodeSpec::juwels_booster() },
+        cell_nodes: 48,
+    };
+    let machine_b = Machine {
+        name: "Proposal B",
+        nodes: 3600,
+        node: NodeSpec {
+            gpu: GpuSpec {
+                name: "BigMem-128GB",
+                fp64_flops: 45.0e12,
+                memory_bytes: 128 * (1 << 30),
+                mem_bw: 5.2e12,
+            },
+            power_w: 3200.0,
+            ..NodeSpec::juwels_booster()
+        },
+        cell_nodes: 48,
+    };
+
+    let commitments = |speedup: f64| -> Vec<Commitment> {
+        reference
+            .ids()
+            .into_iter()
+            .map(|id| Commitment {
+                id,
+                committed: TimeMetric(reference.reference(id).unwrap().0 / speedup),
+                nodes_used: 4,
+            })
+            .collect()
+    };
+    let proposal_a = Proposal {
+        name: "A (breadth)".into(),
+        machine: machine_a,
+        price_eur: 480.0e6,
+        commitments: commitments(3.1),
+    };
+    let proposal_b = Proposal {
+        name: "B (big memory)".into(),
+        machine: machine_b,
+        price_eur: 510.0e6,
+        commitments: commitments(3.6),
+    };
+
+    // ---- 3. TCO / value-for-money evaluation ----------------------------
+    println!("\n=== Value-for-money evaluation ===\n");
+    for proposal in [&proposal_a, &proposal_b] {
+        let tco = TcoModel::eurohpc_defaults(proposal.price_eur);
+        let eval = proposal.evaluate(&reference, &tco).expect("valid proposal");
+        println!(
+            "  {:<16} mean speedup {:>5.2}x   TCO {:>6.0} M EUR   value {:>8.1} workloads/M EUR",
+            eval.name,
+            eval.mean_speedup,
+            eval.tco_total_eur / 1e6,
+            eval.value_for_money
+        );
+    }
+
+    // ---- 4. High-Scaling assessment -------------------------------------
+    println!("\n=== High-Scaling assessment (1 EFLOP/s(th) partition) ===\n");
+    let suite = suite_meta();
+    for proposal in [&proposal_a, &proposal_b] {
+        let nodes = exascale_partition_nodes(&proposal.machine);
+        println!(
+            "  {}: 1 EFLOP/s(th) partition = {} nodes (of {})",
+            proposal.name, nodes, proposal.machine.nodes
+        );
+        for meta in suite.iter().filter(|m| m.high_scale.is_some()) {
+            let hs = meta.high_scale.unwrap();
+            // Reference runtime on the 50 PF partition; the committed
+            // runtime improves with the proposal's per-device speed.
+            let reference_rt = TimeMetric(600.0);
+            let speed_ratio =
+                proposal.machine.node.gpu.fp64_flops / GpuSpec::a100_40gb().fp64_flops;
+            let committed = TimeMetric(600.0 / speed_ratio * 1.15);
+            let assessment = HighScalingAssessment::build(
+                meta.id,
+                hs.variants,
+                proposal.machine.node.gpu.memory_bytes,
+                reference_rt,
+                committed,
+            )
+            .expect("assessment");
+            println!(
+                "    {:<12} variant {:<7} ratio {:>5.3}",
+                meta.id.name(),
+                assessment.variant.to_string(),
+                assessment.ratio()
+            );
+        }
+    }
+    println!("\nSmaller High-Scaling ratios and larger value-for-money win the award.");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: run a few benchmarks of the suite through a JUBE-style
+//! workflow and print the result table, the way §III-B describes the
+//! production setup ("After execution, the benchmark results are presented
+//! by JUBE in a concise tabular form, including the FOM").
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use jubench::jube::step::output1;
+use jubench::prelude::*;
+
+fn main() {
+    let registry = full_registry();
+
+    // A JUBE workflow sweeping one benchmark over a node-count parameter
+    // space, with tag-selected variants.
+    let mut workflow = Workflow::new();
+    workflow.params.set_list("nodes", ["4", "8", "16"]);
+    workflow.params.set("benchmark", "JUQCS");
+    workflow.params.set("variant", "base");
+    workflow.params.set_tagged("variant", "small", "S");
+
+    workflow.add_step(Step::new("execute", move |ctx| {
+        let registry = full_registry();
+        let bench = registry.get(BenchmarkId::Juqcs).unwrap();
+        let nodes: u32 = ctx.param_as("nodes").ok_or("missing nodes")?;
+        let mut cfg = RunConfig::test(nodes);
+        if ctx.param("variant") == Some("S") {
+            cfg = cfg.with_variant(MemoryVariant::Small);
+        }
+        let out = bench.run(&cfg).map_err(|e| e.to_string())?;
+        let mut o = output1("fom_s", format!("{:.3}", out.virtual_time_s));
+        o.insert("qubits".into(), format!("{}", out.metric("qubits").unwrap_or(0.0)));
+        o.insert("verified".into(), format!("{}", out.verification.passed()));
+        o.insert(
+            "comm_share".into(),
+            format!("{:.1}%", 100.0 * out.comm_time_s / out.virtual_time_s),
+        );
+        Ok(o)
+    }));
+
+    println!("=== JUQCS through the JUBE-style workflow (Base workload) ===\n");
+    let results = workflow.execute(&["small"]).expect("workflow runs");
+    let table = ResultTable::new(["benchmark", "nodes", "qubits", "fom_s", "comm_share", "verified"]);
+    println!("{}", table.render(&results));
+
+    // Direct API: one Base run of every procurement-relevant application.
+    println!("=== Base reference runs (8-node-class partitions) ===\n");
+    println!(
+        "{:<18} {:>6} {:>14} {:>10} {:>9}",
+        "benchmark", "nodes", "virtual[s]", "comm[%]", "verified"
+    );
+    for bench in registry.by_category(Category::Base) {
+        let meta = bench.meta();
+        if !meta.used_in_procurement {
+            continue;
+        }
+        let nodes = bench.reference_nodes();
+        match bench.run(&RunConfig::test(nodes)) {
+            Ok(out) => println!(
+                "{:<18} {:>6} {:>14.2} {:>9.1}% {:>9}",
+                meta.id.name(),
+                nodes,
+                out.virtual_time_s,
+                100.0 * out.comm_time_s / out.virtual_time_s.max(1e-12),
+                out.verification.passed()
+            ),
+            Err(e) => println!("{:<18} {:>6}  failed: {e}", meta.id.name(), nodes),
+        }
+    }
+}

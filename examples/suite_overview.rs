@@ -1,0 +1,15 @@
+//! Regenerate Table I (benchmarks → domains and Berkeley dwarfs) and
+//! Table II (application features and execution targets) from the suite
+//! metadata.
+//!
+//! Run with: `cargo run --release --example suite_overview`
+
+use jubench::scaling::{render_table1, render_table2};
+
+fn main() {
+    println!("Table I — relation of benchmarks to domains and Berkeley dwarfs");
+    println!("(* = prepared for the procurement but not used)\n");
+    println!("{}", render_table1());
+    println!("Table II — application features and execution targets\n");
+    println!("{}", render_table2());
+}

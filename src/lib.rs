@@ -1,0 +1,69 @@
+//! # jubench — a Rust reproduction of the JUPITER Benchmark Suite
+//!
+//! This crate is the facade over the workspace implementing
+//! *"Application-Driven Exascale: The JUPITER Benchmark Suite"* (Herten et
+//! al., SC 2024): the 23 benchmarks (16 applications + 7 synthetic codes),
+//! the JUBE-like workflow engine, the machine/network model substituting
+//! the JUWELS Booster preparation system, the simulated MPI runtime, and
+//! the TCO/value-for-money procurement methodology.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use jubench::prelude::*;
+//!
+//! // Run the JUQCS Base benchmark (n = 36 qubits) on an 8-node partition
+//! // of the modeled JUWELS Booster.
+//! let registry = jubench::scaling::full_registry();
+//! let juqcs = registry.get(BenchmarkId::Juqcs).unwrap();
+//! let out = juqcs.run(&RunConfig::test(8)).unwrap();
+//! assert!(out.verification.passed());
+//! assert_eq!(out.metric("qubits"), Some(36.0));
+//! ```
+//!
+//! ## Crate map
+//!
+//! - [`core`]: suite abstractions — [`prelude::Benchmark`], FOMs,
+//!   categories, dwarfs, Tables I/II metadata.
+//! - [`jube`]: the workflow engine (parameters, tags, steps, result
+//!   tables).
+//! - [`cluster`]: the machine, topology, network, and roofline models.
+//! - [`simmpi`]: the simulated MPI runtime with virtual-time clocks.
+//! - [`kernels`]: shared numerics (FFT, LU, CG, multigrid, stencils).
+//! - `apps_*`: the sixteen application proxies.
+//! - [`synthetic`]: the seven synthetic benchmarks.
+//! - [`procurement`]: TCO, commitments, High-Scaling assessment.
+//! - [`scaling`]: the Fig. 2 / Fig. 3 studies and table renderers.
+
+pub use jubench_apps_ai as apps_ai;
+pub use jubench_apps_bio as apps_bio;
+pub use jubench_apps_cfd as apps_cfd;
+pub use jubench_apps_earth as apps_earth;
+pub use jubench_apps_lattice as apps_lattice;
+pub use jubench_apps_md as apps_md;
+pub use jubench_apps_neuro as apps_neuro;
+pub use jubench_apps_plasma as apps_plasma;
+pub use jubench_apps_quantum as apps_quantum;
+pub use jubench_cluster as cluster;
+pub use jubench_continuous as continuous;
+pub use jubench_core as core;
+pub use jubench_jube as jube;
+pub use jubench_kernels as kernels;
+pub use jubench_apps_materials as apps_materials;
+pub use jubench_procurement as procurement;
+pub use jubench_scaling as scaling;
+pub use jubench_simmpi as simmpi;
+pub use jubench_synthetic as synthetic;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use jubench_cluster::{Machine, NetModel, Placement, Roofline, Work};
+    pub use jubench_core::{
+        suite_meta, Benchmark, BenchmarkId, Category, Fom, MemoryVariant, Registry, RunConfig,
+        RunOutcome, SuiteError, TimeMetric, VerificationOutcome,
+    };
+    pub use jubench_jube::{ParameterSet, ResultTable, Step, Workflow};
+    pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
+    pub use jubench_scaling::full_registry;
+    pub use jubench_simmpi::{Comm, ReduceOp, World};
+}

@@ -1,0 +1,150 @@
+//! End-to-end procurement: reference runs → commitments → TCO
+//! value-for-money → High-Scaling assessment, with real benchmark
+//! executions producing the reference time metrics.
+
+use jubench::cluster::{GpuSpec, Machine, NodeSpec};
+use jubench::prelude::*;
+use jubench::procurement::{exascale_partition_nodes, HighScalingAssessment};
+
+fn build_reference() -> ReferenceSet {
+    let registry = full_registry();
+    let mut reference = ReferenceSet::new();
+    for (id, weight) in [
+        (BenchmarkId::Arbor, 1.0),
+        (BenchmarkId::Juqcs, 1.0),
+        (BenchmarkId::NekRs, 1.5),
+    ] {
+        let bench = registry.get(id).unwrap();
+        let nodes = bench.reference_nodes();
+        let out = bench.run(&RunConfig::test(nodes)).unwrap();
+        reference.add(id, out.fom.time_metric().unwrap(), nodes, weight);
+    }
+    reference
+}
+
+fn proposal_machine() -> Machine {
+    Machine {
+        name: "test proposal",
+        nodes: 4000,
+        node: NodeSpec { gpu: GpuSpec::next_gen_96gb(), ..NodeSpec::juwels_booster() },
+        cell_nodes: 48,
+    }
+}
+
+#[test]
+fn full_procurement_round_trip() {
+    let reference = build_reference();
+    assert_eq!(reference.len(), 3);
+    let commitments: Vec<Commitment> = reference
+        .ids()
+        .into_iter()
+        .map(|id| Commitment {
+            id,
+            committed: TimeMetric(reference.reference(id).unwrap().0 / 3.0),
+            nodes_used: 3,
+        })
+        .collect();
+    let proposal = Proposal {
+        name: "vendor X".into(),
+        machine: proposal_machine(),
+        price_eur: 500.0e6,
+        commitments,
+    };
+    let tco = TcoModel::eurohpc_defaults(proposal.price_eur);
+    let eval = proposal.evaluate(&reference, &tco).unwrap();
+    assert!((eval.mean_speedup - 3.0).abs() < 1e-9);
+    assert!(eval.value_for_money > 0.0);
+    assert!(eval.tco_total_eur > proposal.price_eur, "opex must add to capex");
+}
+
+#[test]
+fn weights_shift_the_outcome() {
+    // Two proposals: one fast on Arbor, one fast on nekRS. Re-weighting
+    // the reference flips the preference (the "right number and balance"
+    // discussion of §V-C).
+    let registry = full_registry();
+    let run = |id: BenchmarkId| {
+        let bench = registry.get(id).unwrap();
+        let out = bench.run(&RunConfig::test(bench.reference_nodes())).unwrap();
+        out.fom.time_metric().unwrap()
+    };
+    let arbor_ref = run(BenchmarkId::Arbor);
+    let nekrs_ref = run(BenchmarkId::NekRs);
+
+    let mk_ref = |arbor_weight: f64, nekrs_weight: f64| {
+        let mut r = ReferenceSet::new();
+        r.add(BenchmarkId::Arbor, arbor_ref, 8, arbor_weight);
+        r.add(BenchmarkId::NekRs, nekrs_ref, 8, nekrs_weight);
+        r
+    };
+    let mk_proposal = |name: &str, arbor_speed: f64, nekrs_speed: f64| Proposal {
+        name: name.into(),
+        machine: proposal_machine(),
+        price_eur: 500.0e6,
+        commitments: vec![
+            Commitment {
+                id: BenchmarkId::Arbor,
+                committed: TimeMetric(arbor_ref.0 / arbor_speed),
+                nodes_used: 4,
+            },
+            Commitment {
+                id: BenchmarkId::NekRs,
+                committed: TimeMetric(nekrs_ref.0 / nekrs_speed),
+                nodes_used: 4,
+            },
+        ],
+    };
+    let tco = TcoModel::eurohpc_defaults(500.0e6);
+    let a = mk_proposal("arbor-fast", 5.0, 2.0);
+    let b = mk_proposal("nekrs-fast", 2.0, 5.0);
+
+    let arbor_heavy = mk_ref(5.0, 1.0);
+    let eval_a = a.evaluate(&arbor_heavy, &tco).unwrap();
+    let eval_b = b.evaluate(&arbor_heavy, &tco).unwrap();
+    assert!(eval_a.mean_speedup > eval_b.mean_speedup);
+
+    let nekrs_heavy = mk_ref(1.0, 5.0);
+    let eval_a = a.evaluate(&nekrs_heavy, &tco).unwrap();
+    let eval_b = b.evaluate(&nekrs_heavy, &tco).unwrap();
+    assert!(eval_b.mean_speedup > eval_a.mean_speedup);
+}
+
+#[test]
+fn high_scaling_assessment_uses_best_fitting_variant() {
+    let machine = proposal_machine();
+    let nodes = exascale_partition_nodes(&machine);
+    assert!(nodes > 0 && nodes <= machine.nodes);
+    // Arbor offers T/S/M/L; a 96 GB device takes L.
+    let meta = suite_meta();
+    let arbor = meta.iter().find(|m| m.id == BenchmarkId::Arbor).unwrap();
+    let assess = HighScalingAssessment::build(
+        BenchmarkId::Arbor,
+        arbor.high_scale.unwrap().variants,
+        machine.node.gpu.memory_bytes,
+        TimeMetric(600.0),
+        TimeMetric(550.0),
+    )
+    .unwrap();
+    assert_eq!(assess.variant, MemoryVariant::Large);
+    assert!((assess.ratio() - 550.0 / 600.0).abs() < 1e-12);
+}
+
+#[test]
+fn commitments_must_cover_the_reference_set() {
+    let reference = build_reference();
+    let proposal = Proposal {
+        name: "incomplete".into(),
+        machine: proposal_machine(),
+        price_eur: 500.0e6,
+        commitments: vec![Commitment {
+            id: BenchmarkId::Arbor,
+            committed: TimeMetric(1.0),
+            nodes_used: 1,
+        }],
+    };
+    let tco = TcoModel::eurohpc_defaults(500.0e6);
+    assert!(matches!(
+        proposal.evaluate(&reference, &tco),
+        Err(SuiteError::RuleViolation { .. })
+    ));
+}

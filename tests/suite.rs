@@ -1,0 +1,144 @@
+//! Cross-crate integration: the full registry executes, verifies, and
+//! reports consistently.
+
+use jubench::prelude::*;
+
+/// Every benchmark of the suite runs at a small scale and passes its own
+/// verification — the suite-wide "thorough testing ensures stable
+/// execution in different environments" requirement (§II-C).
+#[test]
+fn every_benchmark_runs_and_verifies() {
+    let registry = full_registry();
+    assert_eq!(registry.len(), 23);
+    for bench in registry.iter() {
+        let meta = bench.meta();
+        let nodes = match meta.id {
+            BenchmarkId::Ior => 65, // hard-rule-safe and easy-valid
+            BenchmarkId::Stream | BenchmarkId::Amber => 1,
+            _ => bench.reference_nodes().min(16),
+        };
+        let nodes = (1..=nodes)
+            .rev()
+            .find(|&n| bench.validate_nodes(n).is_ok())
+            .expect("some valid node count");
+        let out = bench
+            .run(&RunConfig::test(nodes))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", meta.id.name()));
+        assert!(
+            out.verification.passed(),
+            "{} failed verification: {:?}",
+            meta.id.name(),
+            out.verification
+        );
+        assert!(out.virtual_time_s > 0.0, "{}", meta.id.name());
+        assert!(out.virtual_time_s.is_finite(), "{}", meta.id.name());
+    }
+}
+
+/// Base benchmarks yield time metrics; synthetic ones use their own FOM
+/// classes (§II-C: synthetic benchmarks are "evaluated distinctly").
+#[test]
+fn fom_classes_match_categories() {
+    let registry = full_registry();
+    for bench in registry.by_category(Category::Base) {
+        let nodes = (1..=bench.reference_nodes().min(16))
+            .rev()
+            .find(|&n| bench.validate_nodes(n).is_ok())
+            .unwrap();
+        let out = bench.run(&RunConfig::test(nodes)).unwrap();
+        assert!(
+            out.fom.time_metric().is_some(),
+            "{} must normalize to a time metric",
+            bench.meta().id.name()
+        );
+    }
+    let synthetic_foms: Vec<_> = registry
+        .by_category(Category::Synthetic)
+        .map(|b| {
+            let nodes = match b.meta().id {
+                BenchmarkId::Ior => 65,
+                BenchmarkId::Stream => 1,
+                _ => 4,
+            };
+            let out = b.run(&RunConfig::test(nodes)).unwrap();
+            (b.meta().id, out.fom)
+        })
+        .collect();
+    for (id, fom) in synthetic_foms {
+        let is_time_free = fom.time_metric().is_none();
+        assert!(is_time_free, "{} should use a synthetic FOM, got {fom:?}", id.name());
+    }
+}
+
+/// Runs are deterministic per seed — the reproducibility requirement.
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let registry = full_registry();
+    for id in [BenchmarkId::Juqcs, BenchmarkId::Nastja, BenchmarkId::ChromaQcd] {
+        let bench = registry.get(id).unwrap();
+        let a = bench.run(&RunConfig::test(8).with_seed(42)).unwrap();
+        let b = bench.run(&RunConfig::test(8).with_seed(42)).unwrap();
+        assert_eq!(a.virtual_time_s, b.virtual_time_s, "{}", id.name());
+        assert_eq!(a.metrics, b.metrics, "{}", id.name());
+    }
+}
+
+/// The memory-variant machinery: High-Scaling benchmarks accept their
+/// offered variants and reject others.
+#[test]
+fn high_scaling_variants_are_enforced() {
+    let registry = full_registry();
+    for bench in registry.by_category(Category::HighScaling) {
+        let meta = bench.meta();
+        let hs = meta.high_scale.unwrap();
+        let nodes = (1..=8).rev().find(|&n| bench.validate_nodes(n).is_ok()).unwrap();
+        for &v in hs.variants {
+            // Variant runs may legitimately fail for memory reasons at a
+            // small node count (JUQCS Base needs ≥ 8 nodes), but must not
+            // fail with UnsupportedVariant.
+            match bench.run(&RunConfig::test(nodes).with_variant(v)) {
+                Ok(_) => {}
+                Err(SuiteError::UnsupportedVariant { .. }) => {
+                    panic!("{} rejected its offered variant {v}", meta.id.name())
+                }
+                Err(_) => {}
+            }
+        }
+    }
+}
+
+/// Bench-scale runs exercise the larger real-execution workloads and
+/// still verify (the `WorkloadScale` axis of every proxy).
+#[test]
+fn bench_scale_runs_verify() {
+    let registry = full_registry();
+    for id in [BenchmarkId::Juqcs, BenchmarkId::NekRs, BenchmarkId::PIConGpu] {
+        let bench = registry.get(id).unwrap();
+        let nodes = (1..=bench.reference_nodes().min(8))
+            .rev()
+            .find(|&n| bench.validate_nodes(n).is_ok())
+            .unwrap();
+        let out = bench.run(&RunConfig::bench(nodes)).unwrap();
+        assert!(out.verification.passed(), "{} at bench scale", id.name());
+    }
+}
+
+/// The virtual-time decomposition is consistent: compute + exposed comm
+/// equals the total.
+#[test]
+fn timing_decomposition_is_consistent() {
+    let registry = full_registry();
+    for id in [BenchmarkId::Arbor, BenchmarkId::NekRs, BenchmarkId::Gromacs] {
+        let bench = registry.get(id).unwrap();
+        let out = bench.run(&RunConfig::test(bench.reference_nodes().min(8))).unwrap();
+        let sum = out.compute_time_s + out.comm_time_s;
+        assert!(
+            (sum - out.virtual_time_s).abs() < 1e-9 * out.virtual_time_s.max(1.0),
+            "{}: {} + {} != {}",
+            id.name(),
+            out.compute_time_s,
+            out.comm_time_s,
+            out.virtual_time_s
+        );
+    }
+}

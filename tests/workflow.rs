@@ -1,0 +1,108 @@
+//! The Fig. 1 pipeline as an integration test: a benchmark is prepared,
+//! parameterized, executed, verified, and its results tabulated — the
+//! JUBE-driven life cycle of §III-B, with real benchmark executions
+//! behind the steps.
+
+use jubench::jube::step::output1;
+use jubench::prelude::*;
+
+fn nekrs_workflow() -> Workflow {
+    let mut wf = Workflow::new();
+    // Parameter space: two node counts; a tag switches the HS variant.
+    wf.params.set_list("nodes", ["4", "8"]);
+    wf.params.set("variant", "base");
+    wf.params.set_tagged("variant", "large", "L");
+    wf.params.set("tasks", "${nodes}x4");
+
+    // compile → execute → verify → analyse, in JUBE's dependency style.
+    wf.add_step(Step::new("compile", |_| {
+        // Stands in for the source build: the binary is this process.
+        Ok(output1("binary", "nekrs-proxy"))
+    }));
+    wf.add_step(
+        Step::new("execute", |ctx| {
+            let nodes: u32 = ctx.param_as("nodes").ok_or("missing nodes")?;
+            let mut cfg = RunConfig::test(nodes);
+            if ctx.param("variant") == Some("L") {
+                cfg = cfg.with_variant(MemoryVariant::Large);
+            }
+            let out = jubench::apps_cfd::NekRs.run(&cfg).map_err(|e| e.to_string())?;
+            let mut o = output1("runtime_s", format!("{:.4}", out.virtual_time_s));
+            o.insert("verified".into(), out.verification.passed().to_string());
+            o.insert(
+                "elements_per_gpu".into(),
+                format!("{}", out.metric("elements_per_gpu").unwrap_or(0.0)),
+            );
+            Ok(o)
+        })
+        .after("compile"),
+    );
+    wf.add_step(
+        Step::new("verify", |ctx| {
+            if ctx.output("execute", "verified") != Some("true") {
+                return Err("verification failed".into());
+            }
+            Ok(output1("status", "ok"))
+        })
+        .after("execute"),
+    );
+    wf
+}
+
+#[test]
+fn pipeline_runs_the_parameter_space() {
+    let wf = nekrs_workflow();
+    let results = wf.execute(&[]).expect("workflow");
+    assert_eq!(results.len(), 2, "two node counts");
+    for r in &results {
+        assert_eq!(r.value("status"), Some("ok"));
+        assert!(r.value("runtime_s").unwrap().parse::<f64>().unwrap() > 0.0);
+    }
+    // Parameter substitution reached the steps.
+    assert_eq!(results[0].value("tasks"), Some("4x4"));
+    assert_eq!(results[1].value("tasks"), Some("8x4"));
+}
+
+#[test]
+fn tags_switch_the_memory_variant() {
+    let wf = nekrs_workflow();
+    let base = wf.execute(&[]).unwrap();
+    let large = wf.execute(&["large"]).unwrap();
+    let epg = |r: &jubench::jube::WorkpackageResult| {
+        r.value("elements_per_gpu").unwrap().parse::<f64>().unwrap()
+    };
+    // Base on 8 nodes: 22,472 elements/GPU; the L variant keeps the
+    // 642-node per-GPU share (≈ 22,492) instead.
+    assert!((epg(&base[1]) - 22_472.0).abs() < 1.0);
+    assert!((epg(&large[1]) - 22_492.0).abs() < 2.0);
+}
+
+#[test]
+fn result_table_extracts_the_fom() {
+    let wf = nekrs_workflow();
+    let results = wf.execute(&[]).unwrap();
+    let table = ResultTable::new(["nodes", "runtime_s", "status"]);
+    let rendered = table.render(&results);
+    assert!(rendered.contains("runtime_s"));
+    let foms = table.numeric_column(&results, "runtime_s");
+    assert_eq!(foms.len(), 2);
+    assert!(foms[0] > foms[1], "8 nodes beat 4 nodes: {foms:?}");
+}
+
+#[test]
+fn failing_verification_aborts_the_workflow() {
+    let mut wf = Workflow::new();
+    wf.params.set("nodes", "4");
+    wf.add_step(Step::new("execute", |_| Ok(output1("verified", "false"))));
+    wf.add_step(
+        Step::new("verify", |ctx| {
+            if ctx.output("execute", "verified") != Some("true") {
+                return Err("computational result does not match the reference".into());
+            }
+            Ok(output1("status", "ok"))
+        })
+        .after("execute"),
+    );
+    let err = wf.execute(&[]).unwrap_err();
+    assert!(err.to_string().contains("verify"));
+}
