@@ -9,7 +9,6 @@ use jubench_core::{
 };
 use jubench_kernels::{gemm, rank_rng, Matrix};
 use jubench_simmpi::{Comm, ReduceOp, SimError};
-use rand::Rng;
 
 use crate::nn::Linear;
 
@@ -61,7 +60,11 @@ impl TwoTower {
         // schemes" of OpenCLIP reduce to this global gather).
         let all_txt = comm.allgather_f64(&txt_emb.data)?;
         let global_b = all_txt.len() / self.dim;
-        let all_txt = Matrix { rows: global_b, cols: self.dim, data: all_txt };
+        let all_txt = Matrix {
+            rows: global_b,
+            cols: self.dim,
+            data: all_txt,
+        };
         let my_offset = comm.rank() as usize * local_b;
 
         // Logits for local image rows against all texts.
@@ -88,9 +91,7 @@ impl TwoTower {
         let grad_img = gemm(&grad_logits, &all_txt);
         self.image_tower.zero_grad();
         self.image_tower.backward(images, &grad_img);
-        let local_block = Matrix::from_fn(local_b, local_b, |i, j| {
-            grad_logits[(i, my_offset + j)]
-        });
+        let local_block = Matrix::from_fn(local_b, local_b, |i, j| grad_logits[(i, my_offset + j)]);
         let grad_txt = gemm(&local_block.transpose(), &img_emb);
         self.text_tower.zero_grad();
         self.text_tower.backward(texts, &grad_txt);
@@ -142,7 +143,9 @@ impl MmoClip {
             ))
             .with_phase(Phase::comm(
                 "embedding allgather",
-                CommPattern::AllGather { bytes_per_rank: embed_bytes },
+                CommPattern::AllGather {
+                    bytes_per_rank: embed_bytes,
+                },
             ))
             .with_phase(Phase::comm(
                 "gradient allreduce",
@@ -154,7 +157,10 @@ impl MmoClip {
 
 impl Benchmark for MmoClip {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::MmoClip).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::MmoClip)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {

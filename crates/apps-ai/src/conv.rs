@@ -16,12 +16,13 @@ pub struct Conv2d {
 impl Conv2d {
     pub fn new(kernel: usize, filters: usize, seed: u64) -> Self {
         let mut rng = jubench_kernels::rank_rng(seed, 0);
-        use rand::Rng;
         let scale = (2.0 / (kernel * kernel) as f64).sqrt();
         Conv2d {
             kernel,
             filters,
-            w: Matrix::from_fn(filters, kernel * kernel, |_, _| rng.gen_range(-scale..scale)),
+            w: Matrix::from_fn(filters, kernel * kernel, |_, _| {
+                rng.gen_range(-scale..scale)
+            }),
             grad_w: Matrix::zeros(filters, kernel * kernel),
         }
     }

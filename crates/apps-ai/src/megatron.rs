@@ -36,7 +36,11 @@ impl Parallelism {
         let after_tp = (devices / tensor).max(1);
         let pipeline = 8u32.min(after_tp);
         let data = (after_tp / pipeline).max(1);
-        Parallelism { tensor, pipeline, data }
+        Parallelism {
+            tensor,
+            pipeline,
+            data,
+        }
     }
 
     pub fn total(&self) -> u32 {
@@ -81,7 +85,10 @@ impl MegatronLm {
                     .map(|_| CommPattern::AllReduce { bytes: tp_bytes })
                     .collect(),
             })
-            .with_phase(Phase::comm("pipeline p2p", CommPattern::Pipeline { bytes: pp_bytes }))
+            .with_phase(Phase::comm(
+                "pipeline p2p",
+                CommPattern::Pipeline { bytes: pp_bytes },
+            ))
             .with_phase(Phase::comm(
                 "gradient allreduce",
                 CommPattern::RingAllReduce { bytes: dp_bytes },
@@ -92,7 +99,10 @@ impl MegatronLm {
 
 impl Benchmark for MegatronLm {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::MegatronLm).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::MegatronLm)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -118,7 +128,8 @@ impl Benchmark for MegatronLm {
                 mlp.zero_grad();
                 mlp.train_step(&x, &labels);
                 let mut grads = mlp.grads_flat();
-                comm.allreduce_f64(&mut grads, jubench_simmpi::ReduceOp::Sum).unwrap();
+                comm.allreduce_f64(&mut grads, jubench_simmpi::ReduceOp::Sum)
+                    .unwrap();
                 let p = comm.size() as f64;
                 for g in grads.iter_mut() {
                     *g /= p;
@@ -128,7 +139,8 @@ impl Benchmark for MegatronLm {
                 fin = mlp.loss(&x, &labels);
             }
             // Weight checksum for cross-rank consistency.
-            let checksum: f64 = mlp.l1.w.data.iter().sum::<f64>() + mlp.l2.w.data.iter().sum::<f64>();
+            let checksum: f64 =
+                mlp.l1.w.data.iter().sum::<f64>() + mlp.l2.w.data.iter().sum::<f64>();
             (initial, fin, checksum)
         });
         let checksum0 = results[0].value.2;
@@ -149,20 +161,29 @@ impl Benchmark for MegatronLm {
             }
         };
 
-        let mut out = jubench_apps_common::outcome(timing, verification, vec![
-            ("tokens_per_second".into(), tokens_per_s),
-            ("parameters".into(), PARAMETERS),
-            ("final_loss".into(), results[0].value.1),
-        ]);
+        let mut out = jubench_apps_common::outcome(
+            timing,
+            verification,
+            vec![
+                ("tokens_per_second".into(), tokens_per_s),
+                ("parameters".into(), PARAMETERS),
+                ("final_loss".into(), results[0].value.1),
+            ],
+        );
         // The paper's FOM conversion: rate × pre-defined token count.
-        out.fom = Fom::Rate { per_second: tokens_per_s, items: FOM_TOKENS };
+        out.fom = Fom::Rate {
+            per_second: tokens_per_s,
+            items: FOM_TOKENS,
+        };
         Ok(out)
     }
 }
 
 /// Helper for tests: run the analytic model only.
 pub fn model_time(nodes: u32) -> f64 {
-    MegatronLm::model(Machine::juwels_booster().partition(nodes)).timing().total_s
+    MegatronLm::model(Machine::juwels_booster().partition(nodes))
+        .timing()
+        .total_s
 }
 
 /// Matrix re-export check (keeps the GEMM path hot in benches).
@@ -181,7 +202,14 @@ mod tests {
     fn parallelism_layout_on_96_nodes() {
         // 96 nodes × 4 GPUs = 384 devices: TP 4 × PP 8 × DP 12.
         let p = Parallelism::for_devices(384);
-        assert_eq!(p, Parallelism { tensor: 4, pipeline: 8, data: 12 });
+        assert_eq!(
+            p,
+            Parallelism {
+                tensor: 4,
+                pipeline: 8,
+                data: 12
+            }
+        );
         assert_eq!(p.total(), 384);
     }
 
@@ -211,7 +239,10 @@ mod tests {
     fn data_parallel_training_verifies() {
         let out = MegatronLm.run(&RunConfig::test(96)).unwrap();
         assert!(out.verification.passed());
-        assert!(matches!(out.verification, VerificationOutcome::FrameworkInherent { .. }));
+        assert!(matches!(
+            out.verification,
+            VerificationOutcome::FrameworkInherent { .. }
+        ));
         assert!(out.metric("final_loss").unwrap() < (4.0f64).ln());
     }
 

@@ -2,7 +2,6 @@
 
 use jubench_kernels::rank_rng;
 use jubench_kernels::{gemm, Matrix};
-use rand::Rng;
 
 /// A fully-connected layer y = x·W + b (x is batch-major: batch × in).
 pub struct Linear {

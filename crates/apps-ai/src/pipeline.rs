@@ -24,7 +24,12 @@ pub struct PipelineStage {
 
 impl PipelineStage {
     pub fn new(layer: Linear, is_last: bool) -> Self {
-        PipelineStage { layer, is_last, saved_inputs: Vec::new(), saved_activations: Vec::new() }
+        PipelineStage {
+            layer,
+            is_last,
+            saved_inputs: Vec::new(),
+            saved_activations: Vec::new(),
+        }
     }
 
     /// Forward one micro-batch; returns the stage output.
@@ -40,9 +45,15 @@ impl PipelineStage {
     /// wrt the stage input.
     fn backward(&mut self, grad_out: Matrix) -> Matrix {
         let input = self.saved_inputs.pop().expect("forward/backward imbalance");
-        let act = self.saved_activations.pop().expect("forward/backward imbalance");
-        let grad_pre =
-            if self.is_last { grad_out } else { tanh_backward(&act, &grad_out) };
+        let act = self
+            .saved_activations
+            .pop()
+            .expect("forward/backward imbalance");
+        let grad_pre = if self.is_last {
+            grad_out
+        } else {
+            tanh_backward(&act, &grad_out)
+        };
         self.layer.backward(&input, &grad_pre)
     }
 }
@@ -59,7 +70,11 @@ fn pack(m: &Matrix) -> Vec<f64> {
 fn unpack(buf: &[f64]) -> Matrix {
     let rows = buf[0] as usize;
     let cols = buf[1] as usize;
-    Matrix { rows, cols, data: buf[2..2 + rows * cols].to_vec() }
+    Matrix {
+        rows,
+        cols,
+        data: buf[2..2 + rows * cols].to_vec(),
+    }
 }
 
 /// Run one GPipe-style training step across all ranks: `micro_batches`
@@ -149,10 +164,10 @@ mod tests {
                     data: x2.data[mb * 4 * 6..(mb + 1) * 4 * 6].to_vec(),
                 })
                 .collect();
-            let micro_labels: Vec<Vec<usize>> =
-                (0..3).map(|mb| labels2[mb * 4..(mb + 1) * 4].to_vec()).collect();
-            let loss =
-                pipeline_train_step(comm, &mut stage, &micro_inputs, &micro_labels).unwrap();
+            let micro_labels: Vec<Vec<usize>> = (0..3)
+                .map(|mb| labels2[mb * 4..(mb + 1) * 4].to_vec())
+                .collect();
+            let loss = pipeline_train_step(comm, &mut stage, &micro_inputs, &micro_labels).unwrap();
             (loss, stage.layer.grads_flat())
         });
         // Loss on the last stage matches the monolithic loss. Gradients
@@ -160,7 +175,10 @@ mod tests {
         // by the micro-batch size (4) and the pipeline by the count (3),
         // while the monolith divides by 12 — identical overall.
         let (pipe_loss, ref grads_last) = results[1].value;
-        assert!((pipe_loss - ref_loss).abs() < 1e-12, "{pipe_loss} vs {ref_loss}");
+        assert!(
+            (pipe_loss - ref_loss).abs() < 1e-12,
+            "{pipe_loss} vs {ref_loss}"
+        );
         let scale = 3.0; // 3 micro-batches accumulated vs 1 full batch
         for (a, b) in grads_last.iter().zip(&ref_g2) {
             assert!((a / scale - b).abs() < 1e-10, "{a} vs {b}");
@@ -191,14 +209,14 @@ mod tests {
                     data: x.data[mb * 4 * 6..(mb + 1) * 4 * 6].to_vec(),
                 })
                 .collect();
-            let micro_labels: Vec<Vec<usize>> =
-                (0..4).map(|mb| labels[mb * 4..(mb + 1) * 4].to_vec()).collect();
+            let micro_labels: Vec<Vec<usize>> = (0..4)
+                .map(|mb| labels[mb * 4..(mb + 1) * 4].to_vec())
+                .collect();
             let mut first = f64::NAN;
             let mut final_loss = f64::NAN;
             for step in 0..80 {
                 let loss =
-                    pipeline_train_step(comm, &mut stage, &micro_inputs, &micro_labels)
-                        .unwrap();
+                    pipeline_train_step(comm, &mut stage, &micro_inputs, &micro_labels).unwrap();
                 stage.layer.sgd_step(0.3 / 4.0);
                 if rank == last {
                     if step == 0 {

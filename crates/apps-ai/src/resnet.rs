@@ -8,9 +8,8 @@ use jubench_core::{
     suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, RunConfig, RunOutcome, SuiteError,
     VerificationOutcome,
 };
-use jubench_kernels::{rank_rng, Matrix};
+use jubench_kernels::{rank_rng, DetRng, Matrix};
 use jubench_simmpi::ReduceOp;
-use rand::Rng;
 
 use crate::conv::{global_avg_pool, Conv2d};
 
@@ -34,7 +33,9 @@ impl ResNet {
             ))
             .with_phase(Phase::comm(
                 "horovod ring allreduce",
-                CommPattern::RingAllReduce { bytes: (4.0 * PARAMETERS) as u64 },
+                CommPattern::RingAllReduce {
+                    bytes: (4.0 * PARAMETERS) as u64,
+                },
             ))
             .with_overlap(0.5)
     }
@@ -42,7 +43,7 @@ impl ResNet {
     /// A tiny conv classifier distinguishing vertical from horizontal
     /// stripes — linearly separable through a 3×3 conv, so training must
     /// drive the loss down.
-    fn striped_image(n: usize, vertical: bool, rng: &mut impl Rng) -> Vec<f64> {
+    fn striped_image(n: usize, vertical: bool, rng: &mut DetRng) -> Vec<f64> {
         (0..n * n)
             .map(|i| {
                 let (y, x) = (i / n, i % n);
@@ -55,7 +56,10 @@ impl ResNet {
 
 impl Benchmark for ResNet {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::ResNet).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::ResNet)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -71,7 +75,10 @@ impl Benchmark for ResNet {
             let images: Vec<(Vec<f64>, usize)> = (0..8)
                 .map(|k| {
                     let vertical = k % 2 == 0;
-                    (ResNet::striped_image(n, vertical, &mut rng), usize::from(vertical))
+                    (
+                        ResNet::striped_image(n, vertical, &mut rng),
+                        usize::from(vertical),
+                    )
                 })
                 .collect();
             let mut conv = Conv2d::new(3, 2, seed);
@@ -90,7 +97,11 @@ impl Benchmark for ResNet {
                 for (img, label) in &images {
                     let features = conv.forward(img, n);
                     let (pooled, _) = relu_pool(&features);
-                    let logits = Matrix { rows: 1, cols: 2, data: pooled };
+                    let logits = Matrix {
+                        rows: 1,
+                        cols: 2,
+                        data: pooled,
+                    };
                     total += crate::nn::softmax_xent(&logits, &[*label]).0;
                 }
                 total / images.len() as f64
@@ -101,7 +112,11 @@ impl Benchmark for ResNet {
                 for (img, label) in &images {
                     let features = conv.forward(img, n);
                     let (pooled, act) = relu_pool(&features);
-                    let logits = Matrix { rows: 1, cols: 2, data: pooled };
+                    let logits = Matrix {
+                        rows: 1,
+                        cols: 2,
+                        data: pooled,
+                    };
                     let (_, grad_logits) = crate::nn::softmax_xent(&logits, &[*label]);
                     // Back through the pool (spread evenly) and the ReLU
                     // (mask inactive units).
@@ -140,7 +155,10 @@ impl Benchmark for ResNet {
         Ok(outcome(
             timing,
             verification,
-            vec![("parameters".into(), PARAMETERS), ("final_loss".into(), fin)],
+            vec![
+                ("parameters".into(), PARAMETERS),
+                ("final_loss".into(), fin),
+            ],
         ))
     }
 }

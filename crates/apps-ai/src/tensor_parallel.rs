@@ -70,9 +70,7 @@ impl ColumnParallelLinear {
         let p = comm.size() as usize;
         let w = grad_out_full.cols / p;
         let lo = comm.rank() as usize * w;
-        let grad_local = Matrix::from_fn(grad_out_full.rows, w, |i, j| {
-            grad_out_full[(i, lo + j)]
-        });
+        let grad_local = Matrix::from_fn(grad_out_full.rows, w, |i, j| grad_out_full[(i, lo + j)]);
         // Local parameter gradients (no communication — the shard owns
         // them outright).
         let gw = gemm(&x.transpose(), &grad_local);

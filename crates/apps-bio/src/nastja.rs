@@ -37,14 +37,20 @@ impl Nastja {
             .with_phase(Phase::compute("potts sweep", work))
             .with_phase(Phase::comm(
                 "boundary exchange",
-                CommPattern::Halo3d { rank_dims, bytes_per_face: [face; 3] },
+                CommPattern::Halo3d {
+                    rank_dims,
+                    bytes_per_face: [face; 3],
+                },
             ))
     }
 }
 
 impl Benchmark for Nastja {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Nastja).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Nastja)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -69,12 +75,16 @@ impl Benchmark for Nastja {
             for _ in 0..5 {
                 accepted += block.sweep(comm).unwrap();
             }
-            let e0 = comm.allreduce_scalar(block.local_energy(), ReduceOp::Sum).unwrap();
+            let e0 = comm
+                .allreduce_scalar(block.local_energy(), ReduceOp::Sum)
+                .unwrap();
             block.temperature = 0.01;
             for _ in 0..cold_sweeps {
                 accepted += block.sweep(comm).unwrap();
             }
-            let e1 = comm.allreduce_scalar(block.local_energy(), ReduceOp::Sum).unwrap();
+            let e1 = comm
+                .allreduce_scalar(block.local_energy(), ReduceOp::Sum)
+                .unwrap();
             let sites1: u64 = block.volumes().values().sum();
             let composition = block.global_type_volumes(comm).unwrap();
             (sites0, sites1, e0, e1, accepted, composition)
@@ -132,7 +142,9 @@ mod tests {
     #[test]
     fn cpu_only_per_node_placement() {
         let m = Nastja.meta();
-        assert!(m.targets.contains(&jubench_core::ExecutionTarget::ClusterCpu));
+        assert!(m
+            .targets
+            .contains(&jubench_core::ExecutionTarget::ClusterCpu));
     }
 
     #[test]

@@ -14,9 +14,8 @@
 use std::collections::BTreeMap;
 
 use jubench_kernels::rank_rng;
+use jubench_kernels::DetRng;
 use jubench_simmpi::{Comm, ReduceOp, SimError};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// Cell types: medium (only id 0), plus two sorted cell kinds.
 pub const TYPE_MEDIUM: u8 = 0;
@@ -54,7 +53,7 @@ pub struct PottsBlock {
     pub v_target: f64,
     /// Metropolis temperature.
     pub temperature: f64,
-    rng: SmallRng,
+    rng: DetRng,
 }
 
 impl PottsBlock {
@@ -79,7 +78,11 @@ impl PottsBlock {
         let mut cell_type = BTreeMap::new();
         cell_type.insert(0, TYPE_MEDIUM);
         for c in 0..cells_x * cells_y * cells_z {
-            let t = if type_rng.gen_bool(0.5) { TYPE_A } else { TYPE_B };
+            let t = if type_rng.gen_bool(0.5) {
+                TYPE_A
+            } else {
+                TYPE_B
+            };
             cell_type.insert(c as u32 + 1, t);
         }
         let cell_id = |gx: usize, gy: usize, gz: usize| -> u32 {
@@ -172,7 +175,14 @@ impl PottsBlock {
     }
 
     /// Energy change of copying `new_id` into site (ix, iy, iz).
-    fn delta_e(&self, ix: usize, iy: usize, iz: usize, new_id: u32, volumes: &BTreeMap<u32, u64>) -> f64 {
+    fn delta_e(
+        &self,
+        ix: usize,
+        iy: usize,
+        iz: usize,
+        new_id: u32,
+        volumes: &BTreeMap<u32, u64>,
+    ) -> f64 {
         let old_id = self.sites[self.idx(ix, iy, iz)];
         let (t_old, t_new) = (self.type_of(old_id), self.type_of(new_id));
         let mut de = 0.0;
@@ -187,8 +197,16 @@ impl PottsBlock {
         for (jx, jy, jz) in neigh {
             let nid = self.sites[self.idx(jx, jy, jz)];
             let tn = self.type_of(nid);
-            let before = if nid != old_id { adhesion(t_old, tn) } else { 0.0 };
-            let after = if nid != new_id { adhesion(t_new, tn) } else { 0.0 };
+            let before = if nid != old_id {
+                adhesion(t_old, tn)
+            } else {
+                0.0
+            };
+            let after = if nid != new_id {
+                adhesion(t_new, tn)
+            } else {
+                0.0
+            };
             de += after - before;
         }
         // Volume terms.
@@ -258,8 +276,9 @@ impl PottsBlock {
         let plane = self.ny * self.nz;
         let lx = self.lx();
         let low: Vec<u64> = (0..plane).map(|q| self.sites[plane + q] as u64).collect();
-        let high: Vec<u64> =
-            (0..plane).map(|q| self.sites[lx * plane + q] as u64).collect();
+        let high: Vec<u64> = (0..plane)
+            .map(|q| self.sites[lx * plane + q] as u64)
+            .collect();
         let (from_left, from_right) = if comm.size() == 1 {
             (high.clone(), low.clone())
         } else {
@@ -365,7 +384,12 @@ mod tests {
             (e_hot, e_cold)
         });
         for r in &results {
-            assert!(r.value.1 < r.value.0, "energy {} → {}", r.value.0, r.value.1);
+            assert!(
+                r.value.1 < r.value.0,
+                "energy {} → {}",
+                r.value.0,
+                r.value.1
+            );
         }
     }
 

@@ -10,9 +10,8 @@ use jubench_core::{
     VerificationOutcome,
 };
 use jubench_kernels::rank_rng;
+use jubench_kernels::DetRng;
 use jubench_simmpi::{Comm, ReduceOp, SimError};
-use rand::rngs::SmallRng;
-use rand::Rng;
 
 /// An AB diblock copolymer chain of harmonic-bonded beads.
 #[derive(Debug, Clone)]
@@ -38,7 +37,7 @@ pub struct SomaSystem {
     /// Harmonic bond strength.
     pub bond_k: f64,
     pub temperature: f64,
-    rng: SmallRng,
+    rng: DetRng,
     pub accepted: u64,
     pub attempted: u64,
 }
@@ -170,8 +169,16 @@ impl SomaSystem {
                 let de_field = if c_old == c_new {
                     0.0
                 } else {
-                    let other_old = if is_a { self.density_b[c_old] } else { self.density_a[c_old] };
-                    let other_new = if is_a { self.density_b[c_new] } else { self.density_a[c_new] };
+                    let other_old = if is_a {
+                        self.density_b[c_old]
+                    } else {
+                        self.density_a[c_old]
+                    };
+                    let other_new = if is_a {
+                        self.density_b[c_new]
+                    } else {
+                        self.density_a[c_new]
+                    };
                     let tot_old = self.density_a[c_old] + self.density_b[c_old];
                     let tot_new = self.density_a[c_new] + self.density_b[c_new];
                     self.chi * (other_new - other_old)
@@ -180,8 +187,8 @@ impl SomaSystem {
                 let de_bond =
                     self.bond_energy(chain, bead, &new) - self.bond_energy(chain, bead, &old);
                 let de = de_field + de_bond;
-                let accept = de <= 0.0
-                    || self.rng.gen_range(0.0..1.0) < (-de / self.temperature).exp();
+                let accept =
+                    de <= 0.0 || self.rng.gen_range(0.0..1.0) < (-de / self.temperature).exp();
                 if accept {
                     chain.beads[bead] = new;
                     self.accepted += 1;
@@ -248,14 +255,19 @@ impl Soma {
             .with_phase(Phase::compute("mc moves", work))
             .with_phase(Phase::comm(
                 "field allreduce",
-                CommPattern::AllReduce { bytes: (field_cells * 8.0 * 2.0) as u64 },
+                CommPattern::AllReduce {
+                    bytes: (field_cells * 8.0 * 2.0) as u64,
+                },
             ))
     }
 }
 
 impl Benchmark for Soma {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Soma).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Soma)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -277,7 +289,9 @@ impl Benchmark for Soma {
         });
         let (b0, b1, acc, bond_sq) = results[0].value;
         let verification = if b0 != b1 {
-            VerificationOutcome::Failed { detail: format!("beads changed: {b0} → {b1}") }
+            VerificationOutcome::Failed {
+                detail: format!("beads changed: {b0} → {b1}"),
+            }
         } else if !(0.05..0.999).contains(&acc) {
             VerificationOutcome::Failed {
                 detail: format!("acceptance rate {acc} outside the sane window"),
@@ -317,8 +331,7 @@ mod tests {
         let results = w.run(|comm| {
             let mut sys = SomaSystem::new(comm, 5, 3, 6, 2);
             sys.update_fields(comm).unwrap();
-            let total: f64 =
-                sys.density_a.iter().sum::<f64>() + sys.density_b.iter().sum::<f64>();
+            let total: f64 = sys.density_a.iter().sum::<f64>() + sys.density_b.iter().sum::<f64>();
             total
         });
         // 4 ranks × 3 chains × 6 beads = 72 beads, all deposited.

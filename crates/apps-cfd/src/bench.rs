@@ -45,9 +45,7 @@ impl NekRs {
                 (HS_LARGE_ELEMENTS as f64 / HS_DEVICES * devices as f64).round() as u64
             }
             // The benchmark offers small and large; treat T/M as small.
-            Some(_) => {
-                (HS_SMALL_ELEMENTS as f64 / HS_DEVICES * devices as f64).round() as u64
-            }
+            Some(_) => (HS_SMALL_ELEMENTS as f64 / HS_DEVICES * devices as f64).round() as u64,
         }
     }
 
@@ -64,8 +62,7 @@ impl NekRs {
         // Gather-scatter: surface nodes of the per-rank partition move.
         let rank_dims = balanced_dims3(machine.devices());
         let local_el = balanced_dims3((e_per_gpu.max(1.0)) as u32);
-        let face_nodes =
-            |a: u32, b: u32| (a as f64 * b as f64 * m * m).max(1.0);
+        let face_nodes = |a: u32, b: u32| (a as f64 * b as f64 * m * m).max(1.0);
         let fx = face_nodes(local_el[1], local_el[2]);
         let fy = face_nodes(local_el[0], local_el[2]);
         let fz = face_nodes(local_el[0], local_el[1]);
@@ -79,14 +76,20 @@ impl NekRs {
             .with_efficiencies(0.6, 0.8)
             .with_phase(Phase::compute("sem operator", per_apply))
             .with_phase(Phase::comm("gather-scatter", gather_scatter))
-            .with_phase(Phase::comm("cg reductions", CommPattern::AllReduce { bytes: 16 }))
+            .with_phase(Phase::comm(
+                "cg reductions",
+                CommPattern::AllReduce { bytes: 16 },
+            ))
             .with_overlap(0.3)
     }
 }
 
 impl Benchmark for NekRs {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::NekRs).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::NekRs)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -158,7 +161,11 @@ mod tests {
 
     #[test]
     fn workloads_stay_above_strong_scaling_limit() {
-        for (nodes, variant) in [(8, None), (642, Some(MemoryVariant::Small)), (642, Some(MemoryVariant::Large))] {
+        for (nodes, variant) in [
+            (8, None),
+            (642, Some(MemoryVariant::Small)),
+            (642, Some(MemoryVariant::Large)),
+        ] {
             let mut cfg = RunConfig::test(nodes);
             cfg.variant = variant;
             let out = NekRs.run(&cfg).unwrap();
@@ -192,11 +199,13 @@ mod tests {
         // speedup saturates (the strong-scaling limit).
         let t8 = NekRs::model(Machine::juwels_booster().partition(8), BASE_ELEMENTS).timing();
         let t32 = NekRs::model(Machine::juwels_booster().partition(32), BASE_ELEMENTS).timing();
-        let t128 =
-            NekRs::model(Machine::juwels_booster().partition(128), BASE_ELEMENTS).timing();
+        let t128 = NekRs::model(Machine::juwels_booster().partition(128), BASE_ELEMENTS).timing();
         let speedup_8_32 = t8.total_s / t32.total_s;
         let speedup_32_128 = t32.total_s / t128.total_s;
-        assert!(speedup_8_32 > 2.0, "early strong scaling healthy: {speedup_8_32}");
+        assert!(
+            speedup_8_32 > 2.0,
+            "early strong scaling healthy: {speedup_8_32}"
+        );
         assert!(
             speedup_32_128 < speedup_8_32,
             "efficiency declines beyond the strong-scaling limit: {speedup_32_128} vs {speedup_8_32}"

@@ -75,14 +75,22 @@ pub fn fit_settling(profile: &StepProfile) -> Option<SettlingFit> {
     if ratios.is_empty() {
         // Already settled: a flat profile.
         let asymptote = x.iter().sum::<f64>() / n as f64;
-        return Some(SettlingFit { asymptote, amplitude: 0.0, decay: 0.5 });
+        return Some(SettlingFit {
+            asymptote,
+            amplitude: 0.0,
+            decay: 0.5,
+        });
     }
     ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let decay = ratios[ratios.len() / 2];
     // d[0] = amplitude · (decay − 1) ⇒ amplitude; asymptote = x[0] − amp.
     let amplitude = diffs[0] / (decay - 1.0);
     let asymptote = x[0] - amplitude;
-    Some(SettlingFit { asymptote, amplitude, decay })
+    Some(SettlingFit {
+        asymptote,
+        amplitude,
+        decay,
+    })
 }
 
 /// Predict the total cost of `full_steps` from a `prefix` of measured
@@ -101,7 +109,11 @@ mod tests {
         let profile = synthetic_profile(60, 120.0, 30.0, 0.9);
         let fit = fit_settling(&profile).unwrap();
         assert!((fit.decay - 0.9).abs() < 0.02, "decay {}", fit.decay);
-        assert!((fit.asymptote - 30.0).abs() < 2.0, "asymptote {}", fit.asymptote);
+        assert!(
+            (fit.asymptote - 30.0).abs() < 2.0,
+            "asymptote {}",
+            fit.asymptote
+        );
     }
 
     #[test]
@@ -110,7 +122,9 @@ mod tests {
         // benchmark within a few percent.
         let truth = synthetic_profile(600, 120.0, 30.0, 0.92);
         let true_total: f64 = truth.iterations.iter().sum();
-        let prefix = StepProfile { iterations: truth.iterations[..60].to_vec() };
+        let prefix = StepProfile {
+            iterations: truth.iterations[..60].to_vec(),
+        };
         let (predicted, _) = predict_run(&prefix, 600).unwrap();
         let rel = (predicted - true_total).abs() / true_total;
         assert!(rel < 0.05, "prediction off by {:.1}%", rel * 100.0);
@@ -122,7 +136,9 @@ mod tests {
         // are the expensive ones).
         let truth = synthetic_profile(600, 150.0, 25.0, 0.9);
         let true_total: f64 = truth.iterations.iter().sum();
-        let prefix = StepProfile { iterations: truth.iterations[..50].to_vec() };
+        let prefix = StepProfile {
+            iterations: truth.iterations[..50].to_vec(),
+        };
         let naive = prefix.iterations.iter().sum::<f64>() / 50.0 * 600.0;
         let (predicted, _) = predict_run(&prefix, 600).unwrap();
         let model_err = (predicted - true_total).abs();
@@ -143,13 +159,19 @@ mod tests {
 
     #[test]
     fn too_short_prefix_is_rejected() {
-        let profile = StepProfile { iterations: vec![100.0; 4] };
+        let profile = StepProfile {
+            iterations: vec![100.0; 4],
+        };
         assert!(fit_settling(&profile).is_none());
     }
 
     #[test]
     fn settling_total_matches_sum() {
-        let fit = SettlingFit { asymptote: 30.0, amplitude: 90.0, decay: 0.9 };
+        let fit = SettlingFit {
+            asymptote: 30.0,
+            amplitude: 90.0,
+            decay: 0.9,
+        };
         let explicit: f64 = (0..100).map(|n| fit.at(n)).sum();
         assert!((fit.total(100) - explicit).abs() < 1e-9);
     }

@@ -87,7 +87,12 @@ impl DiffMatrix {
         }
         d[0] = -((n * (n + 1)) as f64) / 4.0;
         d[m * m - 1] = (n * (n + 1)) as f64 / 4.0;
-        DiffMatrix { n, nodes, weights, d }
+        DiffMatrix {
+            n,
+            nodes,
+            weights,
+            d,
+        }
     }
 
     #[inline]
@@ -304,9 +309,16 @@ mod tests {
         let n = 5;
         let (x, w) = gll_nodes_weights(n);
         for degree in 0..=(2 * n - 1) {
-            let integral: f64 =
-                x.iter().zip(&w).map(|(&xi, &wi)| wi * xi.powi(degree as i32)).sum();
-            let exact = if degree % 2 == 1 { 0.0 } else { 2.0 / (degree as f64 + 1.0) };
+            let integral: f64 = x
+                .iter()
+                .zip(&w)
+                .map(|(&xi, &wi)| wi * xi.powi(degree as i32))
+                .sum();
+            let exact = if degree % 2 == 1 {
+                0.0
+            } else {
+                2.0 / (degree as f64 + 1.0)
+            };
             assert!((integral - exact).abs() < 1e-12, "degree {degree}");
         }
     }
@@ -346,8 +358,7 @@ mod tests {
         for i in 0..m {
             for j in 0..m {
                 for k in 0..m {
-                    u[(i * m + j) * m + k] =
-                        dm.nodes[i].powi(2) * dm.nodes[j] * dm.nodes[k];
+                    u[(i * m + j) * m + k] = dm.nodes[i].powi(2) * dm.nodes[j] * dm.nodes[k];
                 }
             }
         }
@@ -414,7 +425,11 @@ mod tests {
         let mut ku = vec![0.0; u.len()];
         el.stiffness(&u, &mut ku);
         let energy: f64 = u.iter().zip(&ku).map(|(a, b)| a * b).sum();
-        assert!((energy - h.powi(3)).abs() < 1e-10, "energy {energy} vs {}", h.powi(3));
+        assert!(
+            (energy - h.powi(3)).abs() < 1e-10,
+            "energy {energy} vs {}",
+            h.powi(3)
+        );
     }
 
     #[test]

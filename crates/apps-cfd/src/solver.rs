@@ -33,7 +33,15 @@ impl SemPoisson {
         let rem = ex % p;
         let x0 = r * base + r.min(rem);
         let x1 = x0 + base + usize::from(r < rem);
-        SemPoisson { dm: DiffMatrix::new(order), ex, ey, ez, x0, x1, h: 1.0 / ex as f64 }
+        SemPoisson {
+            dm: DiffMatrix::new(order),
+            ex,
+            ey,
+            ez,
+            x0,
+            x1,
+            h: 1.0 / ex as f64,
+        }
     }
 
     /// Domain extents.
@@ -44,7 +52,11 @@ impl SemPoisson {
     /// Local nodal-grid dimensions (nodes shared at element interfaces).
     pub fn local_nodes(&self) -> (usize, usize, usize) {
         let n = self.dm.n;
-        ((self.x1 - self.x0) * n + 1, self.ey * n + 1, self.ez * n + 1)
+        (
+            (self.x1 - self.x0) * n + 1,
+            self.ey * n + 1,
+            self.ez * n + 1,
+        )
     }
 
     /// Number of local nodal values.
@@ -110,7 +122,10 @@ impl SemPoisson {
         let m = n + 1;
         let nx = self.local_nodes();
         let mut out = vec![0.0; u.len()];
-        let el = Element3 { dm: &self.dm, h: self.h };
+        let el = Element3 {
+            dm: &self.dm,
+            h: self.h,
+        };
         let mut local = vec![0.0; m * m * m];
         let mut result = vec![0.0; m * m * m];
         for ex in 0..(self.x1 - self.x0) {
@@ -301,7 +316,7 @@ mod tests {
             }
             sp.mask(&mut u);
             let au = sp.apply_a(comm, &u).unwrap();
-            
+
             sp.dot(comm, &u, &au).unwrap()
         });
         // SPD: energy is positive, and all ranks agree on it.

@@ -32,11 +32,19 @@ pub struct Phase {
 
 impl Phase {
     pub fn compute(name: &'static str, work: Work) -> Self {
-        Phase { name, work, patterns: Vec::new() }
+        Phase {
+            name,
+            work,
+            patterns: Vec::new(),
+        }
     }
 
     pub fn comm(name: &'static str, pattern: CommPattern) -> Self {
-        Phase { name, work: Work::ZERO, patterns: vec![pattern] }
+        Phase {
+            name,
+            work: Work::ZERO,
+            patterns: vec![pattern],
+        }
     }
 }
 
@@ -141,7 +149,12 @@ impl AppModel {
         // reduce the makespan below the larger of the two.
         let hidden = (comm * self.comm_overlap).min(compute);
         let exposed = comm - hidden;
-        ModelTiming { compute_s: compute, comm_s: comm, exposed_comm_s: exposed, total_s: compute + exposed }
+        ModelTiming {
+            compute_s: compute,
+            comm_s: comm,
+            exposed_comm_s: exposed,
+            total_s: compute + exposed,
+        }
     }
 }
 
@@ -222,7 +235,12 @@ mod tests {
     fn full_overlap_hides_comm_up_to_compute() {
         let m = AppModel::new(machine(2), 1)
             .with_phase(Phase::compute("c", Work::new(9.7e12 * 0.7, 0.0)))
-            .with_phase(Phase::comm("x", CommPattern::AllGather { bytes_per_rank: 1 << 20 }))
+            .with_phase(Phase::comm(
+                "x",
+                CommPattern::AllGather {
+                    bytes_per_rank: 1 << 20,
+                },
+            ))
             .with_overlap(1.0);
         let t = m.timing();
         assert!(t.comm_s > 0.0);
@@ -235,7 +253,12 @@ mod tests {
         // Tiny compute, huge comm, full overlap: exposed = comm - compute.
         let m = AppModel::new(machine(8), 1)
             .with_phase(Phase::compute("c", Work::new(1e6, 0.0)))
-            .with_phase(Phase::comm("x", CommPattern::AllGather { bytes_per_rank: 1 << 24 }))
+            .with_phase(Phase::comm(
+                "x",
+                CommPattern::AllGather {
+                    bytes_per_rank: 1 << 24,
+                },
+            ))
             .with_overlap(1.0);
         let t = m.timing();
         assert!(t.exposed_comm_s > 0.0);
@@ -251,7 +274,12 @@ mod tests {
 
     #[test]
     fn outcome_carries_model_time_as_fom() {
-        let t = ModelTiming { compute_s: 3.0, comm_s: 2.0, exposed_comm_s: 1.0, total_s: 4.0 };
+        let t = ModelTiming {
+            compute_s: 3.0,
+            comm_s: 2.0,
+            exposed_comm_s: 1.0,
+            total_s: 4.0,
+        };
         let o = outcome(t, VerificationOutcome::Exact { checked_values: 1 }, vec![]);
         assert_eq!(o.fom, Fom::RuntimeSeconds(4.0));
         assert_eq!(o.compute_time_s, 3.0);

@@ -65,11 +65,15 @@ pub struct Icon {
 
 impl Icon {
     pub fn r02b09() -> Self {
-        Icon { resolution: IconResolution::R02B09 }
+        Icon {
+            resolution: IconResolution::R02B09,
+        }
     }
 
     pub fn r02b10() -> Self {
-        Icon { resolution: IconResolution::R02B10 }
+        Icon {
+            resolution: IconResolution::R02B10,
+        }
     }
 
     fn model(&self, machine: Machine) -> (AppModel, f64) {
@@ -103,7 +107,10 @@ impl Icon {
 
 impl Benchmark for Icon {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Icon).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Icon)
+            .unwrap()
     }
 
     fn reference_nodes(&self) -> u32 {
@@ -151,7 +158,10 @@ impl Benchmark for Icon {
             verification,
             vec![
                 ("cells".into(), self.resolution.cells() as f64),
-                ("input_tb".into(), self.resolution.input_bytes() as f64 / 1e12),
+                (
+                    "input_tb".into(),
+                    self.resolution.input_bytes() as f64 / 1e12,
+                ),
                 ("io_time_s".into(), io_time),
                 ("staged_bytes".into(), staged as f64),
             ],
@@ -166,7 +176,9 @@ fn stage_input(seed: u64) -> Result<u64, SuiteError> {
     let dir = std::env::temp_dir().join("jubench-icon");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("input-{seed}.bin"));
-    let payload: Vec<u8> = (0..1 << 16).map(|i| ((i as u64 ^ seed) % 251) as u8).collect();
+    let payload: Vec<u8> = (0..1 << 16)
+        .map(|i| ((i as u64 ^ seed) % 251) as u8)
+        .collect();
     std::fs::File::create(&path)?.write_all(&payload)?;
     let mut back = Vec::new();
     std::fs::File::open(&path)?.read_to_end(&mut back)?;
@@ -204,7 +216,10 @@ mod tests {
     fn run_verifies_key_metrics() {
         let out = Icon::r02b09().run(&RunConfig::test(120)).unwrap();
         assert!(out.verification.passed());
-        assert!(matches!(out.verification, VerificationOutcome::KeyMetrics { .. }));
+        assert!(matches!(
+            out.verification,
+            VerificationOutcome::KeyMetrics { .. }
+        ));
         assert!(out.metric("staged_bytes").unwrap() > 0.0);
     }
 

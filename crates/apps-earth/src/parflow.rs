@@ -9,7 +9,6 @@ use jubench_core::{
 };
 use jubench_kernels::multigrid::{apply_neg_laplacian, relative_residual};
 use jubench_kernels::{poisson_vcycle, rank_rng};
-use rand::Rng;
 
 /// The ClayL problem dimensions.
 pub const CLAYL_CELLS: [u64; 3] = [1008, 1008, 240];
@@ -78,15 +77,24 @@ impl ParFlow {
             .with_phase(Phase::compute("operator + v-cycle", per_iter))
             .with_phase(Phase::comm(
                 "halo",
-                CommPattern::Halo3d { rank_dims, bytes_per_face: [face; 3] },
+                CommPattern::Halo3d {
+                    rank_dims,
+                    bytes_per_face: [face; 3],
+                },
             ))
-            .with_phase(Phase::comm("pcg dots", CommPattern::AllReduce { bytes: 16 }))
+            .with_phase(Phase::comm(
+                "pcg dots",
+                CommPattern::AllReduce { bytes: 16 },
+            ))
     }
 }
 
 impl Benchmark for ParFlow {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::ParFlow).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::ParFlow)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -105,7 +113,10 @@ impl Benchmark for ParFlow {
             timing,
             verification,
             vec![
-                ("cells".into(), CLAYL_CELLS.iter().map(|&c| c as f64).product()),
+                (
+                    "cells".into(),
+                    CLAYL_CELLS.iter().map(|&c| c as f64).product(),
+                ),
                 ("pcg_iterations".into(), iters as f64),
                 ("pcg_residual".into(), resid),
             ],

@@ -77,7 +77,10 @@ impl ShallowWater {
         let rows = self.rows();
         if comm.size() == 1 {
             // Periodic wrap within the single slab.
-            let (first, last) = (field[nx..2 * nx].to_vec(), field[rows * nx..(rows + 1) * nx].to_vec());
+            let (first, last) = (
+                field[nx..2 * nx].to_vec(),
+                field[rows * nx..(rows + 1) * nx].to_vec(),
+            );
             field[..nx].copy_from_slice(&last);
             field[(rows + 1) * nx..].copy_from_slice(&first);
             return Ok(());
@@ -153,8 +156,9 @@ impl ShallowWater {
         let rows = self.rows();
         let mut local = 0.0;
         for i in nx..(rows + 1) * nx {
-            local += 0.5 * (self.depth * (self.u[i] * self.u[i] + self.v[i] * self.v[i])
-                + self.gravity * self.h[i] * self.h[i]);
+            local += 0.5
+                * (self.depth * (self.u[i] * self.u[i] + self.v[i] * self.v[i])
+                    + self.gravity * self.h[i] * self.h[i]);
         }
         comm.allreduce_scalar(local, ReduceOp::Sum)
     }
@@ -221,7 +225,10 @@ mod tests {
         // its peak decrease.
         let initial_peak = results.iter().map(|r| r.value.0).fold(0.0f64, f64::max);
         let final_peak = results[0].value.1;
-        assert!(final_peak < initial_peak, "peak {initial_peak} → {final_peak}");
+        assert!(
+            final_peak < initial_peak,
+            "peak {initial_peak} → {final_peak}"
+        );
         assert!(final_peak > 1.0, "field must not collapse");
     }
 

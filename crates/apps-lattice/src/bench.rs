@@ -33,7 +33,11 @@ fn lattice_model(
     sites_per_rank: f64,
     dirac_applications: u32,
 ) -> AppModel {
-    let ranks = if per_node { machine.nodes } else { machine.devices() };
+    let ranks = if per_node {
+        machine.nodes
+    } else {
+        machine.devices()
+    };
     let rank_dims = balanced_dims4(ranks);
     // Face volume per dimension: sites_per_rank / local extent; with a
     // hypercubic local block, extent ≈ sites^(1/4).
@@ -51,10 +55,16 @@ fn lattice_model(
     base.with_phase(Phase::compute("dirac apply", work))
         .with_phase(Phase::comm(
             "4d halo",
-            CommPattern::Halo4d { rank_dims, bytes_per_face: face_bytes },
+            CommPattern::Halo4d {
+                rank_dims,
+                bytes_per_face: face_bytes,
+            },
         ))
         // CG dot products: two global reductions per iteration.
-        .with_phase(Phase::comm("reductions", CommPattern::AllReduce { bytes: 16 }))
+        .with_phase(Phase::comm(
+            "reductions",
+            CommPattern::AllReduce { bytes: 16 },
+        ))
         // QUDA-style kernels overlap part of the halo with interior work.
         .with_overlap(0.5)
 }
@@ -82,8 +92,9 @@ fn real_lattice_execution(
         let lat = LocalLattice::hot(comm, [2, 2, 2, 2], rank_dims, &mut rng).unwrap();
         let dirac = StaggeredDirac { mass: 0.8 };
         // One pseudofermion solve = the dominant cost of one HMC update.
-        let b: Vec<ColorVector> =
-            (0..lat.volume()).map(|_| ColorVector::random(&mut rng)).collect();
+        let b: Vec<ColorVector> = (0..lat.volume())
+            .map(|_| ColorVector::random(&mut rng))
+            .collect();
         let mut x = Vec::new();
         let stats = cg_normal(comm, &lat, &dirac, &b, &mut x, tol, 800).unwrap();
         (stats, lat.interior_plaquette())
@@ -103,8 +114,10 @@ fn real_lattice_execution(
             });
         }
     }
-    let max_resid =
-        results.iter().map(|r| r.value.0.relative_residual).fold(0.0, f64::max);
+    let max_resid = results
+        .iter()
+        .map(|r| r.value.0.relative_residual)
+        .fold(0.0, f64::max);
     metrics.push(("cg_relative_residual".into(), max_resid));
     metrics.push(("interior_plaquette".into(), plaq_sum / results.len() as f64));
     metrics.push(("cg_iterations".into(), results[0].value.0.iterations as f64));
@@ -146,7 +159,10 @@ impl ChromaQcd {
 
 impl Benchmark for ChromaQcd {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::ChromaQcd).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::ChromaQcd)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -176,8 +192,7 @@ impl Benchmark for ChromaQcd {
         // High-Scaling variants fill each GPU (weak scaling).
         let sites = match cfg.variant {
             None => {
-                Self::base_total_sites(machine.node.gpu.memory_bytes)
-                    / machine.devices() as f64
+                Self::base_total_sites(machine.node.gpu.memory_bytes) / machine.devices() as f64
             }
             Some(v) => Self::sites_per_gpu(v, machine.node.gpu.memory_bytes),
         };
@@ -194,7 +209,11 @@ impl Benchmark for ChromaQcd {
             total_s: per_update.total_s * fom_updates,
         };
 
-        let tol = if is_high_scaling { TOL_HIGH_SCALING } else { TOL_BASE };
+        let tol = if is_high_scaling {
+            TOL_HIGH_SCALING
+        } else {
+            TOL_BASE
+        };
         let (verification, mut metrics) = real_lattice_execution(machine, false, tol, cfg.seed);
         // A real HMC trajectory (pure-gauge sector) on a small lattice:
         // the molecular-dynamics side of the update, with its ΔH.
@@ -229,7 +248,10 @@ impl DynQcd {
 
 impl Benchmark for DynQcd {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::DynQcd).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::DynQcd)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -243,8 +265,7 @@ impl Benchmark for DynQcd {
         let sites_per_node = 0.05 * node_mem / BYTES_PER_SITE * 8.0 / machine.nodes as f64;
         let dirac_apps = 2 * Self::CG_ITERS_PER_PROPAGATOR * self.propagators;
         let timing = lattice_model(machine, true, sites_per_node, dirac_apps).timing();
-        let (verification, mut metrics) =
-            real_lattice_execution(machine, true, TOL_BASE, cfg.seed);
+        let (verification, mut metrics) = real_lattice_execution(machine, true, TOL_BASE, cfg.seed);
         metrics.push(("propagators".into(), self.propagators as f64));
         Ok(outcome(timing, verification, metrics))
     }
@@ -276,7 +297,9 @@ mod tests {
 
     #[test]
     fn chroma_rejects_single_update() {
-        let err = ChromaQcd { updates: 1 }.run(&RunConfig::test(8)).unwrap_err();
+        let err = ChromaQcd { updates: 1 }
+            .run(&RunConfig::test(8))
+            .unwrap_err();
         assert!(matches!(err, SuiteError::RuleViolation { .. }));
     }
 
@@ -291,7 +314,10 @@ mod tests {
         let two = ChromaQcd { updates: 2 }.run(&RunConfig::test(8)).unwrap();
         let three = ChromaQcd { updates: 3 }.run(&RunConfig::test(8)).unwrap();
         let ratio = three.virtual_time_s / two.virtual_time_s;
-        assert!((ratio - 2.0).abs() < 1e-9, "3 updates bill 2× the FOM of 2 updates: {ratio}");
+        assert!(
+            (ratio - 2.0).abs() < 1e-9,
+            "3 updates bill 2× the FOM of 2 updates: {ratio}"
+        );
     }
 
     #[test]

@@ -102,7 +102,11 @@ pub fn cg_normal(
     let norm_b = global_dot(comm, b, b)?.sqrt();
     if norm_b == 0.0 {
         x.iter_mut().for_each(|v| *v = ColorVector::ZERO);
-        return Ok(SolveStats { iterations: 0, converged: true, relative_residual: 0.0 });
+        return Ok(SolveStats {
+            iterations: 0,
+            converged: true,
+            relative_residual: 0.0,
+        });
     }
     let mut ax = vec![ColorVector::ZERO; vol];
     dirac.apply_normal(comm, lat, x, &mut scratch, &mut ax)?;
@@ -127,7 +131,11 @@ pub fn cg_normal(
         iterations += 1;
     }
     let relative_residual = rr.sqrt() / norm_b;
-    Ok(SolveStats { iterations, converged: relative_residual <= tol, relative_residual })
+    Ok(SolveStats {
+        iterations,
+        converged: relative_residual <= tol,
+        relative_residual,
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +152,9 @@ mod tests {
 
     fn random_field(lat: &LocalLattice, seed: u64, rank: u32) -> Vec<ColorVector> {
         let mut rng = rank_rng(seed, rank);
-        (0..lat.volume()).map(|_| ColorVector::random(&mut rng)).collect()
+        (0..lat.volume())
+            .map(|_| ColorVector::random(&mut rng))
+            .collect()
     }
 
     #[test]
@@ -199,12 +209,21 @@ mod tests {
             let rhs_re: f64 = dx.iter().zip(&yv).map(|(a, b)| a.dot(b).re).sum();
             let lhs_im: f64 = xv.iter().zip(&dy).map(|(a, b)| a.dot(b).im).sum();
             let rhs_im: f64 = dx.iter().zip(&yv).map(|(a, b)| a.dot(b).im).sum();
-            let re = comm.allreduce_scalar(lhs_re + rhs_re, ReduceOp::Sum).unwrap();
-            let im = comm.allreduce_scalar(lhs_im + rhs_im, ReduceOp::Sum).unwrap();
+            let re = comm
+                .allreduce_scalar(lhs_re + rhs_re, ReduceOp::Sum)
+                .unwrap();
+            let im = comm
+                .allreduce_scalar(lhs_im + rhs_im, ReduceOp::Sum)
+                .unwrap();
             (re.abs(), im.abs())
         });
         for r in &results {
-            assert!(r.value.0 < 1e-9 && r.value.1 < 1e-9, "rank {}: {:?}", r.rank, r.value);
+            assert!(
+                r.value.0 < 1e-9 && r.value.1 < 1e-9,
+                "rank {}: {:?}",
+                r.rank,
+                r.value
+            );
         }
     }
 
@@ -220,9 +239,10 @@ mod tests {
             // Independent residual check: ‖D†D x − b‖ / ‖b‖.
             let mut scratch = lat.new_field();
             let mut ax = vec![ColorVector::ZERO; lat.volume()];
-            dirac.apply_normal(comm, &lat, &x, &mut scratch, &mut ax).unwrap();
-            let diff: Vec<ColorVector> =
-                ax.iter().zip(&b).map(|(a, bi)| a.sub(bi)).collect();
+            dirac
+                .apply_normal(comm, &lat, &x, &mut scratch, &mut ax)
+                .unwrap();
+            let diff: Vec<ColorVector> = ax.iter().zip(&b).map(|(a, bi)| a.sub(bi)).collect();
             let num = global_dot(comm, &diff, &diff).unwrap().sqrt();
             let den = global_dot(comm, &b, &b).unwrap().sqrt();
             (stats, num / den)

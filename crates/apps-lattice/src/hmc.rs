@@ -13,7 +13,6 @@
 //!   force/action normalization (a wrong constant shows up at O(dt)).
 
 use jubench_kernels::{rank_rng, C64};
-use rand::Rng;
 
 use crate::su3::Su3;
 
@@ -90,7 +89,11 @@ pub fn project_ta(m: &Algebra) -> Algebra {
 pub fn exp_matrix(m: &Algebra) -> Su3 {
     // Scale down so the series converges fast.
     let norm = mat_norm_sqr(m).sqrt();
-    let squarings = if norm > 0.5 { (norm / 0.5).log2().ceil() as u32 } else { 0 };
+    let squarings = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
     let scaled = mat_scale(m, 1.0 / 2f64.powi(squarings as i32));
     // Taylor.
     let mut result = Su3::identity().0;
@@ -110,7 +113,10 @@ pub fn exp_matrix(m: &Algebra) -> Su3 {
 impl GaugeField {
     pub fn cold(dims: [usize; 4]) -> Self {
         let volume = dims.iter().product();
-        GaugeField { dims, links: vec![[Su3::identity(); 4]; volume] }
+        GaugeField {
+            dims,
+            links: vec![[Su3::identity(); 4]; volume],
+        }
     }
 
     pub fn hot(dims: [usize; 4], seed: u64) -> Self {
@@ -252,7 +258,13 @@ pub fn kinetic(momenta: &[[Algebra; 4]]) -> f64 {
 
 /// Leapfrog-integrate `steps` molecular-dynamics steps of size `dt`,
 /// mutating links and momenta in place.
-pub fn leapfrog(field: &mut GaugeField, momenta: &mut [[Algebra; 4]], beta: f64, steps: u32, dt: f64) {
+pub fn leapfrog(
+    field: &mut GaugeField,
+    momenta: &mut [[Algebra; 4]],
+    beta: f64,
+    steps: u32,
+    dt: f64,
+) {
     let half_kick = |field: &GaugeField, momenta: &mut [[Algebra; 4]], h: f64| {
         let force = field.force(beta);
         for (p_site, f_site) in momenta.iter_mut().zip(&force) {
@@ -405,7 +417,10 @@ mod tests {
         assert!(trace.abs() < 1e-12);
         for i in 0..3 {
             for j in 0..3 {
-                assert!((p[i][j] + p[j][i].conj()).abs() < 1e-12, "not anti-Hermitian");
+                assert!(
+                    (p[i][j] + p[j][i].conj()).abs() < 1e-12,
+                    "not anti-Hermitian"
+                );
             }
         }
     }

@@ -1,9 +1,8 @@
 //! The distributed 4D lattice: block decomposition, link storage, halo
 //! exchange, and the plaquette observable.
 
-use jubench_kernels::C64;
+use jubench_kernels::{DetRng, C64};
 use jubench_simmpi::{Comm, SimError};
-use rand::Rng;
 
 use crate::su3::{ColorVector, Su3};
 
@@ -56,7 +55,9 @@ impl LocalLattice {
     /// Global lattice volume in `u64` — the benchmark "contains a fix to
     /// Chroma allowing simulation of 4D lattice volumes greater than 2³¹".
     pub fn global_volume(&self) -> u64 {
-        (0..4).map(|d| self.dims[d] as u64 * self.rank_dims[d] as u64).product()
+        (0..4)
+            .map(|d| self.dims[d] as u64 * self.rank_dims[d] as u64)
+            .product()
     }
 
     #[inline]
@@ -104,7 +105,12 @@ impl LocalLattice {
 
     /// A hot lattice: "The 4D lattice is initialized with a random SU(3)
     /// element on each link." Ghost links must be exchanged afterwards.
-    pub fn hot(comm: &mut Comm, local_dims: [usize; 4], rank_dims: [u32; 4], rng: &mut impl Rng) -> Result<Self, SimError> {
+    pub fn hot(
+        comm: &mut Comm,
+        local_dims: [usize; 4],
+        rank_dims: [u32; 4],
+        rng: &mut DetRng,
+    ) -> Result<Self, SimError> {
         let mut lat = Self::cold(comm, local_dims, rank_dims);
         for site in lat.links.iter_mut() {
             for mu in 0..4 {
@@ -205,11 +211,13 @@ impl LocalLattice {
     }
 
     /// Exchange fermion ghost faces in both directions of every dimension.
-    pub fn exchange_fermion(&self, comm: &mut Comm, field: &mut FermionField) -> Result<(), SimError> {
+    pub fn exchange_fermion(
+        &self,
+        comm: &mut Comm,
+        field: &mut FermionField,
+    ) -> Result<(), SimError> {
         for d in 0..4 {
-            for (side, fixed, dir) in
-                [(0usize, self.dims[d] - 1, -1i32), (1usize, 0, 1)]
-            {
+            for (side, fixed, dir) in [(0usize, self.dims[d] - 1, -1i32), (1usize, 0, 1)] {
                 // side 0 ghost (beyond low boundary) receives the backward
                 // neighbour's high face; side 1 receives the forward
                 // neighbour's low face.
@@ -246,7 +254,13 @@ impl LocalLattice {
     /// Fermion value at `x` displaced by ±1 in dimension `d`, using ghosts
     /// at the block boundary.
     #[inline]
-    pub fn fermion_at(&self, field: &FermionField, x: [usize; 4], d: usize, dir: i32) -> ColorVector {
+    pub fn fermion_at(
+        &self,
+        field: &FermionField,
+        x: [usize; 4],
+        d: usize,
+        dir: i32,
+    ) -> ColorVector {
         let xi = x[d] as i64 + dir as i64;
         if xi < 0 {
             field.ghosts[d][0][self.face_offset(d, x)]
@@ -386,8 +400,7 @@ mod tests {
             lat.interior_plaquette()
         });
         // A disordered gauge field has near-zero average plaquette.
-        let avg: f64 =
-            results.iter().map(|r| r.value).sum::<f64>() / results.len() as f64;
+        let avg: f64 = results.iter().map(|r| r.value).sum::<f64>() / results.len() as f64;
         assert!(avg.abs() < 0.2, "hot plaquette {avg}");
     }
 

@@ -1,7 +1,6 @@
 //! SU(3) color algebra: 3×3 special-unitary matrices and color vectors.
 
-use jubench_kernels::C64;
-use rand::Rng;
+use jubench_kernels::{DetRng, C64};
 
 /// A 3-component complex color vector.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -10,7 +9,7 @@ pub struct ColorVector(pub [C64; 3]);
 impl ColorVector {
     pub const ZERO: ColorVector = ColorVector([C64::ZERO; 3]);
 
-    pub fn random(rng: &mut impl Rng) -> Self {
+    pub fn random(rng: &mut DetRng) -> Self {
         ColorVector(std::array::from_fn(|_| {
             C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
         }))
@@ -99,7 +98,7 @@ impl Su3 {
     /// row from the cross product (guaranteeing det = 1), as in the
     /// benchmark's lattice initialization ("initialized with a random
     /// SU(3) element on each link").
-    pub fn random(rng: &mut impl Rng) -> Su3 {
+    pub fn random(rng: &mut DetRng) -> Su3 {
         loop {
             let mut a = ColorVector::random(rng);
             let norm = a.norm_sqr().sqrt();

@@ -26,9 +26,16 @@ pub struct DistFft {
 impl DistFft {
     pub fn new(comm: &Comm, n: usize) -> Self {
         let p = comm.size() as usize;
-        assert!(n.is_multiple_of(p), "grid side {n} must divide the rank count {p}");
+        assert!(
+            n.is_multiple_of(p),
+            "grid side {n} must divide the rank count {p}"
+        );
         assert!(n.is_power_of_two(), "grid side must be a power of two");
-        DistFft { n, ranks: comm.size(), w: n / p }
+        DistFft {
+            n,
+            ranks: comm.size(),
+            w: n / p,
+        }
     }
 
     /// Local x-slab length in elements: w × n × n.
@@ -194,7 +201,6 @@ mod tests {
     use jubench_cluster::Machine;
     use jubench_kernels::rank_rng;
     use jubench_simmpi::World;
-    use rand::Rng;
 
     fn world4() -> World {
         World::new(Machine::juwels_booster().partition(1)) // 4 ranks
@@ -234,7 +240,8 @@ mod tests {
             for xl in 0..w {
                 for y in 0..n {
                     for z in 0..n {
-                        let phase = 2.0 * std::f64::consts::PI
+                        let phase = 2.0
+                            * std::f64::consts::PI
                             * ((kx * (x0 + xl) + ky * y + kz * z) as f64)
                             / n as f64;
                         slab[(xl * n + y) * n + z] = C64::cis(phase);

@@ -9,7 +9,6 @@
 //! to ELPA.
 
 use jubench_kernels::{fft_3d, ifft_3d, rank_rng, C64};
-use rand::Rng;
 
 pub struct PlaneWaveSolver {
     pub n: usize,
@@ -31,7 +30,11 @@ impl PlaneWaveSolver {
                     .collect()
             })
             .collect();
-        let mut solver = PlaneWaveSolver { n, potential, bands: states };
+        let mut solver = PlaneWaveSolver {
+            n,
+            potential,
+            bands: states,
+        };
         solver.orthonormalize();
         solver
     }
@@ -39,7 +42,11 @@ impl PlaneWaveSolver {
     /// Squared k-vector of grid index `i` (periodic, signed frequencies).
     fn ksq_component(&self, i: usize) -> f64 {
         let n = self.n as f64;
-        let k = if i <= self.n / 2 { i as f64 } else { i as f64 - n };
+        let k = if i <= self.n / 2 {
+            i as f64
+        } else {
+            i as f64 - n
+        };
         let kk = 2.0 * std::f64::consts::PI * k / n;
         kk * kk
     }
@@ -135,7 +142,11 @@ mod tests {
         }
         let energies = solver.energies();
         let e1 = 0.5 * (2.0 * std::f64::consts::PI / n as f64).powi(2);
-        assert!(energies[0].abs() < 1e-4, "ground state energy {}", energies[0]);
+        assert!(
+            energies[0].abs() < 1e-4,
+            "ground state energy {}",
+            energies[0]
+        );
         // Bands 1 and 2 converge into the 6-fold degenerate first shell.
         for (b, &e) in energies.iter().enumerate().skip(1) {
             assert!((e - e1).abs() < 0.1 * e1, "band {b}: {e} vs shell {e1}");
@@ -192,8 +203,7 @@ mod tests {
     #[test]
     fn hamiltonian_is_hermitian() {
         let n = 8;
-        let potential: Vec<f64> =
-            (0..n * n * n).map(|i| ((i as f64) * 0.01).sin()).collect();
+        let potential: Vec<f64> = (0..n * n * n).map(|i| ((i as f64) * 0.01).sin()).collect();
         let solver = PlaneWaveSolver::new(n, 2, potential, 4);
         let a = &solver.bands[0];
         let b = &solver.bands[1];
@@ -201,6 +211,9 @@ mod tests {
         let hb = solver.apply_h(b);
         let lhs = PlaneWaveSolver::dot(a, &hb);
         let rhs = PlaneWaveSolver::dot(&ha, b);
-        assert!((lhs - rhs).abs() < 1e-10, "⟨a|Hb⟩ = {lhs:?}, ⟨Ha|b⟩ = {rhs:?}");
+        assert!(
+            (lhs - rhs).abs() < 1e-10,
+            "⟨a|Hb⟩ = {lhs:?}, ⟨Ha|b⟩ = {rhs:?}"
+        );
     }
 }

@@ -40,22 +40,33 @@ impl QuantumEspresso {
             (bands * 2.0 * 16.0 * points_per_gpu / devices).max(64.0) as u64;
         AppModel::new(machine, CP_STEPS)
             .with_efficiencies(0.6, 0.85)
-            .with_phase(Phase::compute("fft kernel", Work::new(fft_flops, fft_bytes)))
+            .with_phase(Phase::compute(
+                "fft kernel",
+                Work::new(fft_flops, fft_bytes),
+            ))
             .with_phase(Phase::compute(
                 "subspace gemm",
                 Work::new(ortho_flops, 16.0 * bands * points_per_gpu / devices),
             ))
             .with_phase(Phase::comm(
                 "fft transpose",
-                CommPattern::AllToAll { bytes_per_pair: transpose_bytes_per_pair },
+                CommPattern::AllToAll {
+                    bytes_per_pair: transpose_bytes_per_pair,
+                },
             ))
-            .with_phase(Phase::comm("band reductions", CommPattern::AllReduce { bytes: 8 * 64 }))
+            .with_phase(Phase::comm(
+                "band reductions",
+                CommPattern::AllReduce { bytes: 8 * 64 },
+            ))
     }
 }
 
 impl Benchmark for QuantumEspresso {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::QuantumEspresso).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::QuantumEspresso)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -131,7 +142,10 @@ mod tests {
         // "usually a memory-bound kernel" — per the roofline of the A100.
         use jubench_cluster::{GpuSpec, Roofline};
         let grid_points = (FFT_GRID as f64).powi(3);
-        let fft = Work::new(5.0 * grid_points * grid_points.log2(), 3.0 * 16.0 * grid_points);
+        let fft = Work::new(
+            5.0 * grid_points * grid_points.log2(),
+            3.0 * 16.0 * grid_points,
+        );
         let a100 = Roofline::new(GpuSpec::a100_40gb());
         assert!(a100.memory_bound(fft));
     }
@@ -144,7 +158,12 @@ mod tests {
             let t = QuantumEspresso::model(Machine::juwels_booster().partition(nodes)).timing();
             t.exposed_comm_s / t.total_s
         };
-        assert!(frac(64) > frac(8), "comm fraction: 8n={}, 64n={}", frac(8), frac(64));
+        assert!(
+            frac(64) > frac(8),
+            "comm fraction: 8n={}, 64n={}",
+            frac(8),
+            frac(64)
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ fn md_model(machine: Machine, atoms: u64, with_pme: bool) -> AppModel {
         .with_efficiencies(0.5, 0.75)
         .with_phase(Phase::compute(
             "short-range forces",
-            Work::new(FLOPS_PER_ATOM * atoms_per_gpu, BYTES_PER_ATOM * atoms_per_gpu),
+            Work::new(
+                FLOPS_PER_ATOM * atoms_per_gpu,
+                BYTES_PER_ATOM * atoms_per_gpu,
+            ),
         ))
         .with_phase(Phase::comm("halo exchange", halo))
         .with_overlap(0.6);
@@ -129,17 +132,24 @@ pub struct Gromacs {
 
 impl Gromacs {
     pub fn case_a() -> Self {
-        Gromacs { case: GromacsCase::A }
+        Gromacs {
+            case: GromacsCase::A,
+        }
     }
 
     pub fn case_c() -> Self {
-        Gromacs { case: GromacsCase::C }
+        Gromacs {
+            case: GromacsCase::C,
+        }
     }
 }
 
 impl Benchmark for Gromacs {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Gromacs).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Gromacs)
+            .unwrap()
     }
 
     fn reference_nodes(&self) -> u32 {
@@ -166,7 +176,10 @@ impl Amber {
 
 impl Benchmark for Amber {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Amber).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Amber)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -225,7 +238,12 @@ mod tests {
         // reference.
         let series: Vec<f64> = [64u32, 128, 192, 256]
             .iter()
-            .map(|&n| Gromacs::case_c().run(&RunConfig::test(n)).unwrap().virtual_time_s)
+            .map(|&n| {
+                Gromacs::case_c()
+                    .run(&RunConfig::test(n))
+                    .unwrap()
+                    .virtual_time_s
+            })
             .collect();
         assert!(series.windows(2).all(|w| w[1] < w[0]), "{series:?}");
         // The FFT all-to-all erodes scaling: 2× nodes gives < 2× speedup.

@@ -7,7 +7,6 @@
 
 use jubench_kernels::rank_rng;
 use jubench_simmpi::{Comm, ReduceOp, SimError};
-use rand::Rng;
 
 /// A point particle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +66,11 @@ impl MdSystem {
                         rng.gen_range(-0.1..0.1),
                         rng.gen_range(-0.1..0.1),
                     ];
-                    atoms.push(Atom { pos, vel, force: [0.0; 3] });
+                    atoms.push(Atom {
+                        pos,
+                        vel,
+                        force: [0.0; 3],
+                    });
                 }
             }
         }
@@ -304,7 +307,11 @@ impl MdSystem {
     }
 
     /// Global energies (kinetic, potential).
-    pub fn global_energies(&self, comm: &mut Comm, potential_local: f64) -> Result<(f64, f64), SimError> {
+    pub fn global_energies(
+        &self,
+        comm: &mut Comm,
+        potential_local: f64,
+    ) -> Result<(f64, f64), SimError> {
         let ke = comm.allreduce_scalar(self.kinetic(), ReduceOp::Sum)?;
         let pe = comm.allreduce_scalar(potential_local, ReduceOp::Sum)?;
         Ok((ke, pe))
@@ -327,8 +334,16 @@ mod tests {
         let results = w.run(|comm| {
             let mut sys = MdSystem::lattice(comm, 20.0, 1, 2.5, 1);
             sys.atoms.clear();
-            sys.atoms.push(Atom { pos: [5.0, 5.0, 5.0], vel: [0.0; 3], force: [0.0; 3] });
-            sys.atoms.push(Atom { pos: [6.2, 5.0, 5.0], vel: [0.0; 3], force: [0.0; 3] });
+            sys.atoms.push(Atom {
+                pos: [5.0, 5.0, 5.0],
+                vel: [0.0; 3],
+                force: [0.0; 3],
+            });
+            sys.atoms.push(Atom {
+                pos: [6.2, 5.0, 5.0],
+                vel: [0.0; 3],
+                force: [0.0; 3],
+            });
             sys.prepare(comm).unwrap();
             (sys.atoms[0].force, sys.atoms[1].force)
         });
@@ -347,13 +362,24 @@ mod tests {
             let mut sys = MdSystem::lattice(comm, 20.0, 1, 3.0, 1);
             let r_min = 2.0f64.powf(1.0 / 6.0);
             sys.atoms.clear();
-            sys.atoms.push(Atom { pos: [5.0, 5.0, 5.0], vel: [0.0; 3], force: [0.0; 3] });
-            sys.atoms
-                .push(Atom { pos: [5.0 + r_min, 5.0, 5.0], vel: [0.0; 3], force: [0.0; 3] });
+            sys.atoms.push(Atom {
+                pos: [5.0, 5.0, 5.0],
+                vel: [0.0; 3],
+                force: [0.0; 3],
+            });
+            sys.atoms.push(Atom {
+                pos: [5.0 + r_min, 5.0, 5.0],
+                vel: [0.0; 3],
+                force: [0.0; 3],
+            });
             sys.prepare(comm).unwrap();
             sys.atoms[0].force[0].abs()
         });
-        assert!(results[0].value < 1e-10, "force at the LJ minimum: {}", results[0].value);
+        assert!(
+            results[0].value < 1e-10,
+            "force at the LJ minimum: {}",
+            results[0].value
+        );
     }
 
     #[test]
@@ -418,7 +444,11 @@ mod tests {
             mom
         });
         for d in 0..3 {
-            assert!(results[0].value[d].abs() < 1e-9, "momentum {:?}", results[0].value);
+            assert!(
+                results[0].value[d].abs() < 1e-9,
+                "momentum {:?}",
+                results[0].value
+            );
         }
     }
 
@@ -431,9 +461,17 @@ mod tests {
             sys.atoms.clear();
             // Slabs are [0,2),[2,4),[4,6),[6,8) for 4 ranks.
             if comm.rank() == 0 {
-                sys.atoms.push(Atom { pos: [1.9, 4.0, 4.0], vel: [0.0; 3], force: [0.0; 3] });
+                sys.atoms.push(Atom {
+                    pos: [1.9, 4.0, 4.0],
+                    vel: [0.0; 3],
+                    force: [0.0; 3],
+                });
             } else if comm.rank() == 1 {
-                sys.atoms.push(Atom { pos: [2.3, 4.0, 4.0], vel: [0.0; 3], force: [0.0; 3] });
+                sys.atoms.push(Atom {
+                    pos: [2.3, 4.0, 4.0],
+                    vel: [0.0; 3],
+                    force: [0.0; 3],
+                });
             }
             sys.prepare(comm).unwrap();
             sys.atoms.first().map(|a| a.force[0])

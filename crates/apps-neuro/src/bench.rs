@@ -82,7 +82,9 @@ impl Arbor {
             ))
             .with_phase(Phase::comm(
                 "spike exchange",
-                CommPattern::AllGather { bytes_per_rank: spike_bytes },
+                CommPattern::AllGather {
+                    bytes_per_rank: spike_bytes,
+                },
             ))
             // "Communication is performed concurrently with time
             // evolution [...] hiding communication completely."
@@ -92,7 +94,10 @@ impl Arbor {
 
 impl Benchmark for Arbor {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Arbor).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Arbor)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -136,7 +141,9 @@ impl Benchmark for Arbor {
         // "The number of generated spikes is used for validation": each of
         // the 4 rings propagates exactly one spike per epoch.
         let expected = 4 * epochs;
-        let mut verification = VerificationOutcome::Exact { checked_values: results.len() };
+        let mut verification = VerificationOutcome::Exact {
+            checked_values: results.len(),
+        };
         let mut generated = 0u64;
         for r in &results {
             generated += r.value.1;
@@ -174,14 +181,17 @@ mod tests {
     /// Weak-scaling (variant-sized) model timing.
     fn timing(nodes: u32, variant: MemoryVariant) -> ModelTiming {
         let m = booster(nodes);
-        Arbor::model(m, Arbor::cells_per_gpu(variant, m.node.gpu.memory_bytes) as f64).timing()
+        Arbor::model(
+            m,
+            Arbor::cells_per_gpu(variant, m.node.gpu.memory_bytes) as f64,
+        )
+        .timing()
     }
 
     /// Base (fixed-total) model timing.
     fn base_timing(nodes: u32) -> ModelTiming {
         let m = booster(nodes);
-        let per_gpu =
-            Arbor::base_total_cells(m.node.gpu.memory_bytes) as f64 / m.devices() as f64;
+        let per_gpu = Arbor::base_total_cells(m.node.gpu.memory_bytes) as f64 / m.devices() as f64;
         Arbor::model(m, per_gpu).timing()
     }
 
@@ -208,8 +218,16 @@ mod tests {
         assert!(series.windows(2).all(|w| w[1] < w[0]), "{series:?}");
         // Halving/doubling around the reference changes runtime by
         // roughly the right factors.
-        assert!(series[0] / series[1] > 1.3, "4→8 nodes speedup {}", series[0] / series[1]);
-        assert!(series[1] / series[3] > 1.5, "8→16 nodes speedup {}", series[1] / series[3]);
+        assert!(
+            series[0] / series[1] > 1.3,
+            "4→8 nodes speedup {}",
+            series[0] / series[1]
+        );
+        assert!(
+            series[1] / series[3] > 1.5,
+            "8→16 nodes speedup {}",
+            series[1] / series[3]
+        );
     }
 
     #[test]

@@ -196,7 +196,10 @@ mod tests {
             cell.step(0.025);
             distal_peak = distal_peak.max(cell.v[11]);
         }
-        assert!(distal_peak > -40.0, "distal compartment only reached {distal_peak}");
+        assert!(
+            distal_peak > -40.0,
+            "distal compartment only reached {distal_peak}"
+        );
     }
 
     #[test]

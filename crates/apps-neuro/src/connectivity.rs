@@ -98,7 +98,10 @@ impl HashResolver {
 
 /// The connection label Arbor-style models generate.
 pub fn connection_label(cell: u64, synapse: u32) -> String {
-    format!("cell_{cell}/dendrite_segment_{}/synapse_{synapse}", cell % 97)
+    format!(
+        "cell_{cell}/dendrite_segment_{}/synapse_{synapse}",
+        cell % 97
+    )
 }
 
 #[cfg(test)]
@@ -149,7 +152,10 @@ mod tests {
             per_label > 4.0 * per_index,
             "labels {per_label:.0} B vs indices {per_index:.0} B per connection"
         );
-        assert!(per_hash < per_label, "hashing must beat strings: {per_hash} vs {per_label}");
+        assert!(
+            per_hash < per_label,
+            "hashing must beat strings: {per_hash} vs {per_label}"
+        );
         // And the hash entry cost is independent of the label length.
         assert!(per_hash <= (8 + std::mem::size_of::<Endpoint>() + 32) as f64 + 1e-9);
     }

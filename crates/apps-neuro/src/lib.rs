@@ -11,11 +11,11 @@
 //! spikes is used for validation" — exactly reproducible here.
 
 pub mod bench;
-pub mod connectivity;
 pub mod cell;
+pub mod connectivity;
 pub mod network;
 
 pub use bench::Arbor;
-pub use connectivity::{HashResolver, IndexResolver, LabelResolver};
 pub use cell::CableCell;
+pub use connectivity::{HashResolver, IndexResolver, LabelResolver};
 pub use network::RingNetwork;

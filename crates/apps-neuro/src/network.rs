@@ -68,14 +68,30 @@ impl RingNetwork {
     /// start with a synaptic stimulus, injecting one spike per ring.
     pub fn build(comm: &Comm, cfg: RingConfig) -> Self {
         assert_eq!(cfg.cells % cfg.ring_size, 0, "cells must fill whole rings");
-        let local_ids: Vec<u32> =
-            (0..cfg.cells).filter(|c| c % comm.size() == comm.rank()).collect();
-        let cells = local_ids.iter().map(|_| CableCell::new(cfg.compartments)).collect();
+        let local_ids: Vec<u32> = (0..cfg.cells)
+            .filter(|c| c % comm.size() == comm.rank())
+            .collect();
+        let cells = local_ids
+            .iter()
+            .map(|_| CableCell::new(cfg.compartments))
+            .collect();
         let drive = local_ids
             .iter()
-            .map(|&c| if c % cfg.ring_size == 0 { cfg.syn_duration_steps } else { 0 })
+            .map(|&c| {
+                if c % cfg.ring_size == 0 {
+                    cfg.syn_duration_steps
+                } else {
+                    0
+                }
+            })
             .collect();
-        RingNetwork { cfg, local_ids, cells, drive, local_spikes: 0 }
+        RingNetwork {
+            cfg,
+            local_ids,
+            cells,
+            drive,
+            local_spikes: 0,
+        }
     }
 
     /// The ring successor of a global cell id.

@@ -67,7 +67,8 @@ impl PiconGpu {
         let local = [local_side, local_side, local_side];
         // Face sizes: field values (8 B/cell) + ~5 % migrating particles
         // of the face layer (56 B each).
-        let face = |a: f64, b: f64| ((a * b) * (8.0 + 0.05 * PARTICLES_PER_CELL as f64 * 56.0)) as u64;
+        let face =
+            |a: f64, b: f64| ((a * b) * (8.0 + 0.05 * PARTICLES_PER_CELL as f64 * 56.0)) as u64;
         let pattern = CommPattern::Halo3d {
             rank_dims,
             bytes_per_face: [
@@ -87,7 +88,10 @@ impl PiconGpu {
 
 impl Benchmark for PiconGpu {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::PIConGpu).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::PIConGpu)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -124,7 +128,9 @@ impl Benchmark for PiconGpu {
         let pic_steps = jubench_apps_common::scale_steps(cfg.scale, 4, 12, 40);
         let results = world.run(move |comm| {
             let mut sim = PicSim::kelvin_helmholtz(comm, [16, 8, 8], 5, 0.8, seed);
-            let charge0 = comm.allreduce_scalar(sim.local_charge(), ReduceOp::Sum).unwrap();
+            let charge0 = comm
+                .allreduce_scalar(sim.local_charge(), ReduceOp::Sum)
+                .unwrap();
             let count0 = comm
                 .allreduce_scalar(sim.particles.len() as f64, ReduceOp::Sum)
                 .unwrap();
@@ -136,7 +142,9 @@ impl Benchmark for PiconGpu {
                     .unwrap();
                 energy_history.push(e);
             }
-            let charge1 = comm.allreduce_scalar(sim.local_charge(), ReduceOp::Sum).unwrap();
+            let charge1 = comm
+                .allreduce_scalar(sim.local_charge(), ReduceOp::Sum)
+                .unwrap();
             let count1 = comm
                 .allreduce_scalar(sim.particles.len() as f64, ReduceOp::Sum)
                 .unwrap();
@@ -181,14 +189,20 @@ mod tests {
     fn base_run_passes_framework_verification() {
         let out = PiconGpu.run(&RunConfig::test(4)).unwrap();
         assert!(out.verification.passed());
-        assert!(matches!(out.verification, VerificationOutcome::FrameworkInherent { .. }));
+        assert!(matches!(
+            out.verification,
+            VerificationOutcome::FrameworkInherent { .. }
+        ));
     }
 
     #[test]
     fn node_limit_is_640() {
         assert!(PiconGpu.validate_nodes(640).is_ok());
         let err = PiconGpu.validate_nodes(642).unwrap_err();
-        assert!(matches!(err, SuiteError::InvalidNodeCount { nodes: 642, .. }));
+        assert!(matches!(
+            err,
+            SuiteError::InvalidNodeCount { nodes: 642, .. }
+        ));
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod bench;
 pub mod pic;
 
 pub use bench::PiconGpu;
-pub use pic::{PicSim, Particle};
+pub use pic::{Particle, PicSim};

@@ -12,7 +12,6 @@
 
 use jubench_kernels::rank_rng;
 use jubench_simmpi::{Comm, ReduceOp, SimError};
-use rand::Rng;
 
 /// One macro-particle.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,7 +114,11 @@ impl PicSim {
             rho: vec![0.0; (lx + 2) * plane],
             phi: vec![0.0; (lx + 2) * plane],
             phi_next: vec![0.0; (lx + 2) * plane],
-            e: [vec![0.0; lx * plane], vec![0.0; lx * plane], vec![0.0; lx * plane]],
+            e: [
+                vec![0.0; lx * plane],
+                vec![0.0; lx * plane],
+                vec![0.0; lx * plane],
+            ],
             particles,
             time_step: 0.05,
         }
@@ -233,8 +236,7 @@ impl PicSim {
         let lx = self.lx();
         let (gy, gz) = (self.grid[1], self.grid[2]);
         // Remove the mean charge (periodic Poisson solvability).
-        let total: f64 =
-            comm.allreduce_scalar(self.deposited_charge(), ReduceOp::Sum)?;
+        let total: f64 = comm.allreduce_scalar(self.deposited_charge(), ReduceOp::Sum)?;
         let cells = (self.grid[0] * gy * gz) as f64;
         let mean = total / cells;
         for ix in 0..lx {
@@ -294,7 +296,9 @@ impl PicSim {
         let lx = self.lx();
         let mut particles = std::mem::take(&mut self.particles);
         for p in particles.iter_mut() {
-            let xl = (p.pos[0] - self.x0 as f64).floor().clamp(0.0, (lx - 1) as f64) as usize;
+            let xl = (p.pos[0] - self.x0 as f64)
+                .floor()
+                .clamp(0.0, (lx - 1) as f64) as usize;
             let iy = (p.pos[1].rem_euclid(gy as f64)).floor() as usize % gy;
             let iz = (p.pos[2].rem_euclid(gz as f64)).floor() as usize % gz;
             let l = self.lidx(xl, iy, iz);
@@ -367,7 +371,11 @@ fn owner_rank(gx: usize, ranks: u32, x: f64) -> u32 {
     let rem = gx % p;
     let cell = (x.floor() as usize).min(gx - 1);
     let wide = rem * (base + 1);
-    let r = if cell < wide { cell / (base + 1) } else { rem + (cell - wide) / base };
+    let r = if cell < wide {
+        cell / (base + 1)
+    } else {
+        rem + (cell - wide) / base
+    };
     r as u32
 }
 

@@ -28,8 +28,7 @@ impl Juqcs {
         match variant {
             None => 36,
             Some(v) => {
-                let budget =
-                    (machine.gpu_memory_bytes() as f64 * v.memory_fraction()) as u128;
+                let budget = (machine.gpu_memory_bytes() as f64 * v.memory_fraction()) as u128;
                 max_qubits(budget)
             }
         }
@@ -47,7 +46,10 @@ impl Juqcs {
 
 impl Benchmark for Juqcs {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Juqcs).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Juqcs)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -109,7 +111,9 @@ impl Benchmark for Juqcs {
                 // pairwise exchange across the machine bisection, moving
                 // half the local amplitudes each way.
                 "state exchange",
-                CommPattern::PairwiseBisection { bytes: half_local_bytes },
+                CommPattern::PairwiseBisection {
+                    bytes: half_local_bytes,
+                },
             ));
         let timing = model.timing();
 
@@ -129,7 +133,8 @@ impl Benchmark for Juqcs {
                 sv.apply(comm, q, Gate1::h()).unwrap();
             }
             for _ in 0..GLOBAL_GATES {
-                sv.apply(comm, real_n - 1, Gate1::phase(std::f64::consts::PI)).unwrap();
+                sv.apply(comm, real_n - 1, Gate1::phase(std::f64::consts::PI))
+                    .unwrap();
             }
             for q in 0..real_n {
                 sv.apply(comm, q, Gate1::h()).unwrap();
@@ -160,8 +165,9 @@ impl Benchmark for Juqcs {
                 }
             }
         }
-        let verification =
-            verification.unwrap_or(VerificationOutcome::Exact { checked_values: checked + results.len() });
+        let verification = verification.unwrap_or(VerificationOutcome::Exact {
+            checked_values: checked + results.len(),
+        });
 
         Ok(outcome(
             timing,
@@ -206,7 +212,10 @@ impl JuqcsMsa {
     pub fn run_msa(cluster_nodes: u32, booster_nodes: u32, seed: u64) -> MsaRunOutcome {
         let world = jubench_simmpi::World::msa(cluster_nodes, booster_nodes);
         let ranks = world.ranks();
-        assert!(ranks.is_power_of_two(), "MSA rank split must stay a power of two");
+        assert!(
+            ranks.is_power_of_two(),
+            "MSA rank split must stay a power of two"
+        );
         let split = world.rank_map().cluster_ranks();
         let n = ranks.trailing_zeros() + 6;
         let _ = seed;
@@ -218,8 +227,10 @@ impl JuqcsMsa {
             // The top qubit is encoded in the module-selector rank bit:
             // applying a gate there moves half of each module's state
             // through the gateway.
-            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI)).unwrap();
-            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI)).unwrap();
+            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI))
+                .unwrap();
+            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI))
+                .unwrap();
             for q in 0..n {
                 sv.apply(comm, q, Gate1::h()).unwrap();
             }
@@ -227,7 +238,9 @@ impl JuqcsMsa {
             let norm = sv.norm_sqr(comm).unwrap();
             (zero, norm, sv.bytes_exchanged)
         });
-        let mut verification = VerificationOutcome::Exact { checked_values: results.len() };
+        let mut verification = VerificationOutcome::Exact {
+            checked_values: results.len(),
+        };
         let mut bytes = 0;
         let mut cluster_comm_s = 0.0f64;
         let mut booster_comm_s = 0.0f64;
@@ -242,8 +255,9 @@ impl JuqcsMsa {
                 booster_comm_s = booster_comm_s.max(r.clock.comm_s);
             }
             if (norm - 1.0).abs() > 1e-10 {
-                verification =
-                    VerificationOutcome::Failed { detail: format!("norm {norm}") };
+                verification = VerificationOutcome::Failed {
+                    detail: format!("norm {norm}"),
+                };
             }
             if let Some((re, im)) = zero {
                 if (re - 1.0).abs() > 1e-10 || im.abs() > 1e-10 {
@@ -277,14 +291,22 @@ mod tests {
     use jubench_core::WorkloadScale;
 
     fn cfg(nodes: u32) -> RunConfig {
-        RunConfig { nodes, variant: None, scale: WorkloadScale::Test, seed: 1 }
+        RunConfig {
+            nodes,
+            variant: None,
+            scale: WorkloadScale::Test,
+            seed: 1,
+        }
     }
 
     #[test]
     fn base_run_verifies_exactly_on_8_nodes() {
         let out = Juqcs.run(&cfg(8)).unwrap();
         assert!(out.verification.passed());
-        assert!(matches!(out.verification, VerificationOutcome::Exact { .. }));
+        assert!(matches!(
+            out.verification,
+            VerificationOutcome::Exact { .. }
+        ));
         assert_eq!(out.metric("qubits"), Some(36.0));
         assert!(out.virtual_time_s > 0.0);
         assert!(out.comm_time_s > 0.0);
@@ -322,7 +344,9 @@ mod tests {
 
     #[test]
     fn small_variant_runs_on_512_nodes() {
-        let out = Juqcs.run(&cfg(512).with_variant(MemoryVariant::Small)).unwrap();
+        let out = Juqcs
+            .run(&cfg(512).with_variant(MemoryVariant::Small))
+            .unwrap();
         assert_eq!(out.metric("qubits"), Some(41.0));
         assert!(out.verification.passed());
     }
@@ -337,8 +361,12 @@ mod tests {
     fn communication_drops_from_1_to_2_nodes() {
         // Weak-scaling communication efficiency: the per-gate exchange
         // moves from NVLink (intra-node) to InfiniBand (inter-node).
-        let t1 = Juqcs.run(&cfg(1).with_variant(MemoryVariant::Small)).unwrap();
-        let t2 = Juqcs.run(&cfg(2).with_variant(MemoryVariant::Small)).unwrap();
+        let t1 = Juqcs
+            .run(&cfg(1).with_variant(MemoryVariant::Small))
+            .unwrap();
+        let t2 = Juqcs
+            .run(&cfg(2).with_variant(MemoryVariant::Small))
+            .unwrap();
         assert!(
             t2.comm_time_s > 3.0 * t1.comm_time_s,
             "inter-node exchange must be far slower: {} vs {}",
@@ -351,8 +379,12 @@ mod tests {
 
     #[test]
     fn communication_enters_large_scale_regime_at_256_nodes() {
-        let t128 = Juqcs.run(&cfg(128).with_variant(MemoryVariant::Small)).unwrap();
-        let t512 = Juqcs.run(&cfg(512).with_variant(MemoryVariant::Small)).unwrap();
+        let t128 = Juqcs
+            .run(&cfg(128).with_variant(MemoryVariant::Small))
+            .unwrap();
+        let t512 = Juqcs
+            .run(&cfg(512).with_variant(MemoryVariant::Small))
+            .unwrap();
         assert!(
             t512.comm_time_s > 1.3 * t128.comm_time_s,
             "congestion drop missing: {} vs {}",
@@ -385,8 +417,10 @@ mod tests {
             for q in 0..n {
                 sv.apply(comm, q, Gate1::h()).unwrap();
             }
-            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI)).unwrap();
-            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI)).unwrap();
+            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI))
+                .unwrap();
+            sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::PI))
+                .unwrap();
             for q in 0..n {
                 sv.apply(comm, q, Gate1::h()).unwrap();
             }

@@ -35,12 +35,22 @@ impl Gate1 {
 
     /// Pauli-X (NOT).
     pub fn x() -> Self {
-        Gate1 { g00: C64::ZERO, g01: C64::ONE, g10: C64::ONE, g11: C64::ZERO }
+        Gate1 {
+            g00: C64::ZERO,
+            g01: C64::ONE,
+            g10: C64::ONE,
+            g11: C64::ZERO,
+        }
     }
 
     /// Phase gate diag(1, e^{iθ}).
     pub fn phase(theta: f64) -> Self {
-        Gate1 { g00: C64::ONE, g01: C64::ZERO, g10: C64::ZERO, g11: C64::cis(theta) }
+        Gate1 {
+            g00: C64::ONE,
+            g01: C64::ZERO,
+            g10: C64::ZERO,
+            g11: C64::cis(theta),
+        }
     }
 }
 
@@ -65,7 +75,10 @@ impl DistStateVector {
         let p = comm.size();
         assert!(p.is_power_of_two(), "rank count {p} must be a power of two");
         let rank_bits = p.trailing_zeros();
-        assert!(n > rank_bits, "need at least one local qubit: n={n}, ranks={p}");
+        assert!(
+            n > rank_bits,
+            "need at least one local qubit: n={n}, ranks={p}"
+        );
         let local_bits = n - rank_bits;
         let mut amps = vec![C64::ZERO; 1usize << local_bits];
         if comm.rank() == 0 {
@@ -166,7 +179,11 @@ impl DistStateVector {
             payload.push(self.amps[i].im);
         }
         let incoming = comm.sendrecv_f64(partner, &payload)?;
-        assert_eq!(incoming.len(), payload.len(), "partner moved a different half");
+        assert_eq!(
+            incoming.len(),
+            payload.len(),
+            "partner moved a different half"
+        );
         for (slot, &i) in moving.iter().enumerate() {
             self.amps[i] = C64::new(incoming[2 * slot], incoming[2 * slot + 1]);
         }
@@ -281,7 +298,10 @@ mod tests {
             // State should be |10000⟩ = index 16.
             for (i, amp) in r.value.iter().enumerate() {
                 let expect = if i == 16 { 1.0 } else { 0.0 };
-                assert!((amp.re - expect).abs() < 1e-12 && amp.im.abs() < 1e-12, "index {i}");
+                assert!(
+                    (amp.re - expect).abs() < 1e-12 && amp.im.abs() < 1e-12,
+                    "index {i}"
+                );
             }
         }
     }
@@ -293,8 +313,10 @@ mod tests {
             let n = 4u32;
             let mut sv = DistStateVector::zero_state(comm, n);
             sv.apply(comm, 3, Gate1::x()).unwrap(); // global qubit -> |1000>
-            sv.apply(comm, 3, Gate1::phase(std::f64::consts::FRAC_PI_2)).unwrap();
-            sv.apply(comm, 3, Gate1::phase(std::f64::consts::FRAC_PI_2)).unwrap();
+            sv.apply(comm, 3, Gate1::phase(std::f64::consts::FRAC_PI_2))
+                .unwrap();
+            sv.apply(comm, 3, Gate1::phase(std::f64::consts::FRAC_PI_2))
+                .unwrap();
             full_state(comm, &sv)
         });
         for r in &results {

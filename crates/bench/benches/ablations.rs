@@ -2,8 +2,9 @@
 //! `jubench_scaling::ablations`): regenerates the comparison series and
 //! times the ablated evaluations.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_bench::banner;
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_scaling::{alltoall_algorithms, juqcs_comm_efficiency, overlap_ablation};
 
 const SWEEP: [u32; 8] = [2, 4, 8, 32, 64, 128, 256, 512];
@@ -49,7 +50,9 @@ fn bench_ablations(c: &mut Criterion) {
     group.bench_function("juqcs_congestion_sweep", |b| {
         b.iter(|| juqcs_comm_efficiency(&SWEEP, true).len())
     });
-    group.bench_function("alltoall_pair", |b| b.iter(|| alltoall_algorithms(128, 4096)));
+    group.bench_function("alltoall_pair", |b| {
+        b.iter(|| alltoall_algorithms(128, 4096))
+    });
     group.finish();
 }
 

@@ -1,12 +1,13 @@
 //! Micro-benchmarks of the application proxies' hot kernels — the
 //! measured analogue of each app's dominant cost center from Table I.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_apps_ai::nn::{synthetic_task, MlpClassifier};
 use jubench_apps_cfd::sem::{DiffMatrix, Element3};
 use jubench_apps_lattice::{dirac::StaggeredDirac, LocalLattice};
 use jubench_apps_neuro::CableCell;
 use jubench_apps_quantum::statevector::{DistStateVector, Gate1};
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_cluster::Machine;
 use jubench_kernels::rank_rng;
 use jubench_simmpi::World;
@@ -34,8 +35,7 @@ fn bench_app_kernels(c: &mut Criterion) {
         b.iter(|| {
             let results = world.run(|comm| {
                 let mut rng = rank_rng(7, comm.rank());
-                let lat =
-                    LocalLattice::hot(comm, [2, 2, 2, 2], [2, 2, 2, 2], &mut rng).unwrap();
+                let lat = LocalLattice::hot(comm, [2, 2, 2, 2], [2, 2, 2, 2], &mut rng).unwrap();
                 let dirac = StaggeredDirac { mass: 0.8 };
                 let mut f = lat.new_field();
                 for v in f.v.iter_mut() {

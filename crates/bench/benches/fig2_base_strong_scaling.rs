@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo bench -p jubench-bench --bench fig2_base_strong_scaling`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_bench::banner;
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_core::{Category, RunConfig};
 use jubench_scaling::{full_registry, strong_scaling_series};
 
@@ -17,9 +18,15 @@ fn regenerate_figure() {
     }
     // Sub-benchmarks with their own reference node counts (Table II).
     println!("GROMACS test case C (27×STMV, 28 M atoms):");
-    println!("{}", strong_scaling_series(&jubench_apps_md::Gromacs::case_c(), 1).render());
+    println!(
+        "{}",
+        strong_scaling_series(&jubench_apps_md::Gromacs::case_c(), 1).render()
+    );
     println!("ICON R02B10 (2.5 km):");
-    println!("{}", strong_scaling_series(&jubench_apps_earth::Icon::r02b10(), 1).render());
+    println!(
+        "{}",
+        strong_scaling_series(&jubench_apps_earth::Icon::r02b10(), 1).render()
+    );
 }
 
 fn bench_fig2(c: &mut Criterion) {

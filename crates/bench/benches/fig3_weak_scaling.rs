@@ -4,8 +4,9 @@
 //!
 //! Run with: `cargo bench -p jubench-bench --bench fig3_weak_scaling`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_bench::banner;
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_core::{MemoryVariant, RunConfig};
 use jubench_scaling::weak::{fig3_all_series, juqcs_split_series};
 

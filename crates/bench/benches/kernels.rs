@@ -1,12 +1,12 @@
 //! Micro-benchmarks of the shared numeric kernels — the measured
 //! (non-virtual) performance substrate of the suite.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use jubench_bench::harness::{BatchSize, Criterion};
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_kernels::{
     cg::{cg_solve, DenseOp},
-    fft_3d, gemm, lu_factor, poisson_vcycle, rank_rng, thomas_solve, C64, Grid3, Matrix,
+    fft_3d, gemm, lu_factor, poisson_vcycle, rank_rng, thomas_solve, Grid3, Matrix, C64,
 };
-use rand::Rng;
 
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");

@@ -2,8 +2,9 @@
 //! table for two hypothetical proposals and the High-Scaling
 //! ratio/variant selections.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_bench::banner;
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_cluster::{GpuSpec, Machine, NodeSpec};
 use jubench_core::{BenchmarkId, MemoryVariant, TimeMetric};
 use jubench_procurement::{
@@ -26,7 +27,10 @@ fn proposal(name: &str, speedup: f64, gpu: GpuSpec, nodes: u32, price: f64) -> P
         machine: Machine {
             name: "proposal",
             nodes,
-            node: NodeSpec { gpu, ..NodeSpec::juwels_booster() },
+            node: NodeSpec {
+                gpu,
+                ..NodeSpec::juwels_booster()
+            },
             cell_nodes: 48,
         },
         price_eur: price,

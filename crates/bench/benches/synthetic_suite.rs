@@ -2,8 +2,9 @@
 //! micro-benchmarked — the measured counterpart of the paper's
 //! hardware-feature tests.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_bench::banner;
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_core::{Benchmark, Fom, RunConfig};
 use jubench_synthetic::{
     graph500::{bfs, kronecker_edges, Csr},
@@ -14,14 +15,26 @@ use jubench_synthetic::{
 fn regenerate_synthetic_results() {
     banner("Synthetic benchmark FOMs (regenerated)");
     let runs: Vec<(&str, Fom)> = vec![
-        ("Graph500", Graph500 { scale: 10 }.run(&RunConfig::test(4)).unwrap().fom),
+        (
+            "Graph500",
+            Graph500 { scale: 10 }.run(&RunConfig::test(4)).unwrap().fom,
+        ),
         ("HPCG", Hpcg { n: 12 }.run(&RunConfig::test(4)).unwrap().fom),
         ("HPL", Hpl { n: 64 }.run(&RunConfig::test(4)).unwrap().fom),
-        ("IOR easy", Ior::easy().run(&RunConfig::test(65)).unwrap().fom),
-        ("IOR hard", Ior::hard().run(&RunConfig::test(65)).unwrap().fom),
+        (
+            "IOR easy",
+            Ior::easy().run(&RunConfig::test(65)).unwrap().fom,
+        ),
+        (
+            "IOR hard",
+            Ior::hard().run(&RunConfig::test(65)).unwrap().fom,
+        ),
         ("LinkTest", LinkTest.run(&RunConfig::test(936)).unwrap().fom),
         ("OSU", Osu.run(&RunConfig::test(2)).unwrap().fom),
-        ("STREAM", Stream { n: 500_000 }.run(&RunConfig::test(1)).unwrap().fom),
+        (
+            "STREAM",
+            Stream { n: 500_000 }.run(&RunConfig::test(1)).unwrap().fom,
+        ),
     ];
     for (name, fom) in runs {
         println!("  {name:<10} {:>14.4e} {}", fom.value(), fom.unit());

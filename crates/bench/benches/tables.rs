@@ -3,8 +3,9 @@
 //!
 //! Run with: `cargo bench -p jubench-bench --bench tables`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jubench_bench::banner;
+use jubench_bench::harness::Criterion;
+use jubench_bench::{criterion_group, criterion_main};
 use jubench_scaling::{render_table1, render_table2};
 
 fn regenerate_tables() {

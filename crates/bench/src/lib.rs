@@ -1,14 +1,20 @@
 //! # jubench-bench
 //!
-//! The benchmark harness crate: one Criterion bench target per table and
-//! figure of the paper (see DESIGN.md §5 for the experiment index), plus
+//! The benchmark harness crate: one bench target per table and figure of
+//! the paper (see DESIGN.md §5 for the experiment index), plus
 //! micro-benchmarks of the real numeric kernels.
 //!
 //! Each figure/table bench *prints the regenerated rows or series once*
 //! (the reproduction artifact) and then times the generating computation
 //! so regressions in the models and kernels are visible in CI.
+//!
+//! The timing harness ([`harness`]) is a small in-repo replacement for the
+//! subset of the Criterion API the bench targets use — the suite carries
+//! no external dependencies so it builds in offline containers.
 
-/// Print a banner separating the regenerated artifact from Criterion's
+pub mod harness;
+
+/// Print a banner separating the regenerated artifact from the harness's
 /// timing output.
 pub fn banner(title: &str) {
     println!("\n================================================================");

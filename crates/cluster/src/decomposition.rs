@@ -59,11 +59,20 @@ pub fn cost_4d(
     let volume: u64 = local.iter().product();
     // Cost the worst per-dimension face through the halo pattern.
     let face_bytes = (0..4)
-        .map(|d| if dims[d] > 1 { volume / local[d] * bytes_per_site_face } else { 0 })
+        .map(|d| {
+            if dims[d] > 1 {
+                volume / local[d] * bytes_per_site_face
+            } else {
+                0
+            }
+        })
         .max()
         .unwrap_or(0);
     Some(pattern_time(
-        CommPattern::Halo4d { rank_dims: dims, bytes_per_face: face_bytes },
+        CommPattern::Halo4d {
+            rank_dims: dims,
+            bytes_per_face: face_bytes,
+        },
         &placement,
         &net,
     ))
@@ -82,8 +91,14 @@ pub fn best_4d_decomposition(
     for dims in factorizations(ranks, 4) {
         let dims4 = [dims[0], dims[1], dims[2], dims[3]];
         if let Some(t) = cost_4d(machine, lattice, dims4, bytes_per_site_face) {
-            let candidate = DecompositionChoice { rank_dims: dims, halo_seconds: t };
-            if best.as_ref().is_none_or(|b| candidate.halo_seconds < b.halo_seconds) {
+            let candidate = DecompositionChoice {
+                rank_dims: dims,
+                halo_seconds: t,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate.halo_seconds < b.halo_seconds)
+            {
                 best = Some(candidate);
             }
         }
@@ -98,8 +113,11 @@ pub fn best_3d_decomposition(
     bytes_per_cell_face: u64,
     per_node: bool,
 ) -> DecompositionChoice {
-    let placement =
-        if per_node { Placement::per_node(machine) } else { Placement::per_gpu(machine) };
+    let placement = if per_node {
+        Placement::per_node(machine)
+    } else {
+        Placement::per_gpu(machine)
+    };
     let net = NetModel::juwels_booster();
     let ranks = placement.ranks();
     let mut best: Option<DecompositionChoice> = None;
@@ -125,8 +143,14 @@ pub fn best_3d_decomposition(
             &placement,
             &net,
         );
-        let candidate = DecompositionChoice { rank_dims: dims, halo_seconds: t };
-        if best.as_ref().is_none_or(|b| candidate.halo_seconds < b.halo_seconds) {
+        let candidate = DecompositionChoice {
+            rank_dims: dims,
+            halo_seconds: t,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| candidate.halo_seconds < b.halo_seconds)
+        {
             best = Some(candidate);
         }
     }
@@ -162,7 +186,11 @@ mod tests {
         let machine = booster(4);
         let choice = best_4d_decomposition(machine, [64, 64, 64, 64], 48);
         let active_dims = choice.rank_dims.iter().filter(|&&d| d > 1).count();
-        assert_eq!(active_dims, 1, "expected a slab, got {:?}", choice.rank_dims);
+        assert_eq!(
+            active_dims, 1,
+            "expected a slab, got {:?}",
+            choice.rank_dims
+        );
         let balanced = cost_4d(machine, [64, 64, 64, 64], [2, 2, 2, 2], 48).unwrap();
         assert!(choice.halo_seconds <= balanced);
     }
@@ -184,7 +212,13 @@ mod tests {
         let machine = booster(8);
         let lattice = [64u64, 64, 64, 64];
         let best = best_4d_decomposition(machine, lattice, 48);
-        for dims in [[32u32, 1, 1, 1], [1, 32, 1, 1], [2, 2, 2, 4], [4, 4, 2, 1], [2, 16, 1, 1]] {
+        for dims in [
+            [32u32, 1, 1, 1],
+            [1, 32, 1, 1],
+            [2, 2, 2, 4],
+            [4, 4, 2, 1],
+            [2, 16, 1, 1],
+        ] {
             if let Some(t) = cost_4d(machine, lattice, dims, 48) {
                 assert!(
                     best.halo_seconds <= t + 1e-15,

@@ -23,7 +23,9 @@ pub mod patterns;
 pub mod roofline;
 pub mod topology;
 
-pub use decomposition::{best_3d_decomposition, best_4d_decomposition, cost_4d, DecompositionChoice};
+pub use decomposition::{
+    best_3d_decomposition, best_4d_decomposition, cost_4d, DecompositionChoice,
+};
 pub use machine::{GpuSpec, Machine, NodeSpec};
 pub use netmodel::{LinkParams, NetModel};
 pub use patterns::{balanced_dims3, balanced_dims4, cost_on, pattern_time, CommPattern};

@@ -115,7 +115,11 @@ impl Machine {
     /// system: "about 640 nodes" (§II-C; 642 × 4 × 9.7 TF ≈ 25 PF FP64,
     /// which the paper counts as 50 PF(th) including tensor-core peak).
     pub fn high_scaling_partition() -> Self {
-        Machine { name: "JUWELS Booster 50 PF partition", nodes: 642, ..Self::juwels_booster() }
+        Machine {
+            name: "JUWELS Booster 50 PF partition",
+            nodes: 642,
+            ..Self::juwels_booster()
+        }
     }
 
     /// An envisioned JUPITER-class proposal: a partition with 20× the
@@ -132,12 +136,22 @@ impl Machine {
         let reference = Self::high_scaling_partition();
         let target_flops = 20.0 * reference.peak_flops();
         let nodes = (target_flops / node.peak_flops()).ceil() as u32;
-        Machine { name: "JUPITER proposal", nodes, node, cell_nodes: 48 }
+        Machine {
+            name: "JUPITER proposal",
+            nodes,
+            node,
+            cell_nodes: 48,
+        }
     }
 
     /// A sub-partition of this machine with `nodes` nodes.
     pub fn partition(&self, nodes: u32) -> Machine {
-        assert!(nodes >= 1 && nodes <= self.nodes, "partition of {} nodes from {}", nodes, self.nodes);
+        assert!(
+            nodes >= 1 && nodes <= self.nodes,
+            "partition of {} nodes from {}",
+            nodes,
+            self.nodes
+        );
         Machine { nodes, ..*self }
     }
 
@@ -178,7 +192,10 @@ mod tests {
         // 936 × 4 × 9.7 TF = 36.3 PF FP64 vector peak; the paper's
         // 73 PF(th) counts FP64 tensor-core peak (×2).
         let pf = m.peak_flops() / 1e15;
-        assert!((pf * 2.0 - 73.0).abs() < 1.0, "2x vector peak ≈ 73 PF, got {pf}");
+        assert!(
+            (pf * 2.0 - 73.0).abs() < 1.0,
+            "2x vector peak ≈ 73 PF, got {pf}"
+        );
     }
 
     #[test]

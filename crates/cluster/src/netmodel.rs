@@ -55,10 +55,22 @@ impl NetModel {
     /// Model parameters calibrated to JUWELS Booster.
     pub fn juwels_booster() -> Self {
         NetModel {
-            intra_node: LinkParams { latency_s: 2.0e-6, bandwidth: 300.0e9 },
-            intra_cell: LinkParams { latency_s: 2.5e-6, bandwidth: 25.0e9 },
-            inter_cell: LinkParams { latency_s: 3.5e-6, bandwidth: 25.0e9 },
-            inter_module: LinkParams { latency_s: 6.0e-6, bandwidth: 12.5e9 },
+            intra_node: LinkParams {
+                latency_s: 2.0e-6,
+                bandwidth: 300.0e9,
+            },
+            intra_cell: LinkParams {
+                latency_s: 2.5e-6,
+                bandwidth: 25.0e9,
+            },
+            inter_cell: LinkParams {
+                latency_s: 3.5e-6,
+                bandwidth: 25.0e9,
+            },
+            inter_module: LinkParams {
+                latency_s: 6.0e-6,
+                bandwidth: 12.5e9,
+            },
             device_copy_bw: 1.3e12,
             congestion_onset_nodes: 256,
             congestion_floor: 0.55,

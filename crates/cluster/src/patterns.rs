@@ -17,9 +17,15 @@ pub enum CommPattern {
     /// Nearest-neighbour halo exchange on a 3D rank grid: each rank
     /// exchanges two faces per dimension (GROMACS short-range, ICON,
     /// ParFlow, NAStJA, PIConGPU fields).
-    Halo3d { rank_dims: [u32; 3], bytes_per_face: [u64; 3] },
+    Halo3d {
+        rank_dims: [u32; 3],
+        bytes_per_face: [u64; 3],
+    },
     /// Halo exchange on a 4D rank grid (lattice QCD).
-    Halo4d { rank_dims: [u32; 4], bytes_per_face: u64 },
+    Halo4d {
+        rank_dims: [u32; 4],
+        bytes_per_face: u64,
+    },
     /// Tree/ring allreduce of `bytes` per rank (CG dot products, gradient
     /// reductions).
     AllReduce { bytes: u64 },
@@ -67,10 +73,14 @@ pub fn pattern_time(pattern: CommPattern, placement: &Placement, net: &NetModel)
     let p = placement.ranks().max(1);
     let job_nodes = placement.machine.nodes;
     match pattern {
-        CommPattern::Halo3d { rank_dims, bytes_per_face } => {
-            halo_time(&rank_dims, &bytes_per_face, placement, net)
-        }
-        CommPattern::Halo4d { rank_dims, bytes_per_face } => {
+        CommPattern::Halo3d {
+            rank_dims,
+            bytes_per_face,
+        } => halo_time(&rank_dims, &bytes_per_face, placement, net),
+        CommPattern::Halo4d {
+            rank_dims,
+            bytes_per_face,
+        } => {
             let faces = [bytes_per_face; 4];
             halo_time_nd(&rank_dims, &faces, placement, net)
         }
@@ -104,8 +114,7 @@ pub fn pattern_time(pattern: CommPattern, placement: &Placement, net: &NetModel)
             let on_node = (rpn - 1).min(p as u64 - 1);
             let linear = off_node as f64
                 * net.ptp_time(bytes_per_pair, off_node_distance(placement), job_nodes)
-                + on_node as f64
-                    * net.ptp_time(bytes_per_pair, Distance::IntraNode, job_nodes);
+                + on_node as f64 * net.ptp_time(bytes_per_pair, Distance::IntraNode, job_nodes);
             // Bruck combining algorithm: ⌈log₂P⌉ rounds moving P/2
             // personalized payloads each — what MPI libraries switch to
             // for small messages to avoid P latencies.
@@ -126,7 +135,10 @@ pub fn pattern_time(pattern: CommPattern, placement: &Placement, net: &NetModel)
             let worst = worst_distance(placement);
             (p - 1) as f64 * net.ptp_time(bytes_per_rank, worst, job_nodes)
         }
-        CommPattern::Butterfly { bytes_per_rank, stages } => {
+        CommPattern::Butterfly {
+            bytes_per_rank,
+            stages,
+        } => {
             // Stage k exchanges with the partner 2^k ranks away.
             (0..stages)
                 .map(|k| {
@@ -293,17 +305,39 @@ mod tests {
             ranks_per_node: 1,
         };
         let net = NetModel::juwels_booster();
-        assert_eq!(pattern_time(CommPattern::AllReduce { bytes: 1 << 20 }, &p, &net), 0.0);
-        assert_eq!(pattern_time(CommPattern::AllGather { bytes_per_rank: 1024 }, &p, &net), 0.0);
-        assert_eq!(pattern_time(CommPattern::RingAllReduce { bytes: 1024 }, &p, &net), 0.0);
+        assert_eq!(
+            pattern_time(CommPattern::AllReduce { bytes: 1 << 20 }, &p, &net),
+            0.0
+        );
+        assert_eq!(
+            pattern_time(
+                CommPattern::AllGather {
+                    bytes_per_rank: 1024
+                },
+                &p,
+                &net
+            ),
+            0.0
+        );
+        assert_eq!(
+            pattern_time(CommPattern::RingAllReduce { bytes: 1024 }, &p, &net),
+            0.0
+        );
     }
 
     #[test]
     fn allreduce_grows_with_scale() {
         let net = NetModel::juwels_booster();
-        let t8 = pattern_time(CommPattern::AllReduce { bytes: 1 << 20 }, &placement(8), &net);
-        let t512 =
-            pattern_time(CommPattern::AllReduce { bytes: 1 << 20 }, &placement(512), &net);
+        let t8 = pattern_time(
+            CommPattern::AllReduce { bytes: 1 << 20 },
+            &placement(8),
+            &net,
+        );
+        let t512 = pattern_time(
+            CommPattern::AllReduce { bytes: 1 << 20 },
+            &placement(512),
+            &net,
+        );
         assert!(t512 > t8);
     }
 
@@ -312,8 +346,22 @@ mod tests {
         // With 4 ranks per node, stages 0 and 1 stay on NVLink.
         let p = placement(64);
         let net = NetModel::juwels_booster();
-        let local = pattern_time(CommPattern::Butterfly { bytes_per_rank: 1 << 26, stages: 2 }, &p, &net);
-        let global = pattern_time(CommPattern::Butterfly { bytes_per_rank: 1 << 26, stages: 8 }, &p, &net);
+        let local = pattern_time(
+            CommPattern::Butterfly {
+                bytes_per_rank: 1 << 26,
+                stages: 2,
+            },
+            &p,
+            &net,
+        );
+        let global = pattern_time(
+            CommPattern::Butterfly {
+                bytes_per_rank: 1 << 26,
+                stages: 8,
+            },
+            &p,
+            &net,
+        );
         // The 6 non-local stages dominate heavily.
         assert!(global > local * 10.0);
     }
@@ -325,7 +373,10 @@ mod tests {
             let p = placement(nodes);
             let dims = balanced_dims3(p.ranks());
             pattern_time(
-                CommPattern::Halo3d { rank_dims: dims, bytes_per_face: [1 << 20; 3] },
+                CommPattern::Halo3d {
+                    rank_dims: dims,
+                    bytes_per_face: [1 << 20; 3],
+                },
                 &p,
                 &net,
             )
@@ -337,9 +388,20 @@ mod tests {
     #[test]
     fn alltoall_is_expensive_at_scale() {
         let net = NetModel::juwels_booster();
-        let t8 = pattern_time(CommPattern::AllToAll { bytes_per_pair: 1 << 14 }, &placement(8), &net);
-        let t128 =
-            pattern_time(CommPattern::AllToAll { bytes_per_pair: 1 << 14 }, &placement(128), &net);
+        let t8 = pattern_time(
+            CommPattern::AllToAll {
+                bytes_per_pair: 1 << 14,
+            },
+            &placement(8),
+            &net,
+        );
+        let t128 = pattern_time(
+            CommPattern::AllToAll {
+                bytes_per_pair: 1 << 14,
+            },
+            &placement(128),
+            &net,
+        );
         assert!(t128 > 8.0 * t8);
     }
 
@@ -364,10 +426,16 @@ mod tests {
     #[test]
     fn bisection_pairs_slower_across_cells() {
         let net = NetModel::juwels_booster();
-        let single_cell =
-            pattern_time(CommPattern::PairwiseBisection { bytes: 16 << 20 }, &placement(48), &net);
-        let multi_cell =
-            pattern_time(CommPattern::PairwiseBisection { bytes: 16 << 20 }, &placement(936), &net);
+        let single_cell = pattern_time(
+            CommPattern::PairwiseBisection { bytes: 16 << 20 },
+            &placement(48),
+            &net,
+        );
+        let multi_cell = pattern_time(
+            CommPattern::PairwiseBisection { bytes: 16 << 20 },
+            &placement(936),
+            &net,
+        );
         assert!(multi_cell > single_cell);
     }
 

@@ -19,7 +19,10 @@ pub struct Work {
 }
 
 impl Work {
-    pub const ZERO: Work = Work { flops: 0.0, bytes: 0.0 };
+    pub const ZERO: Work = Work {
+        flops: 0.0,
+        bytes: 0.0,
+    };
 
     pub fn new(flops: f64, bytes: f64) -> Self {
         Work { flops, bytes }
@@ -38,7 +41,10 @@ impl Work {
 impl std::ops::Add for Work {
     type Output = Work;
     fn add(self, rhs: Work) -> Work {
-        Work { flops: self.flops + rhs.flops, bytes: self.bytes + rhs.bytes }
+        Work {
+            flops: self.flops + rhs.flops,
+            bytes: self.bytes + rhs.bytes,
+        }
     }
 }
 
@@ -55,7 +61,11 @@ pub struct Roofline {
 
 impl Roofline {
     pub fn new(gpu: GpuSpec) -> Self {
-        Roofline { gpu, flop_efficiency: 0.7, bw_efficiency: 0.8 }
+        Roofline {
+            gpu,
+            flop_efficiency: 0.7,
+            bw_efficiency: 0.8,
+        }
     }
 
     pub fn with_efficiencies(mut self, flop: f64, bw: f64) -> Self {

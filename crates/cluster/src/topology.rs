@@ -33,12 +33,18 @@ pub struct Placement {
 impl Placement {
     /// One rank per GPU.
     pub fn per_gpu(machine: Machine) -> Self {
-        Placement { ranks_per_node: machine.node.gpus_per_node, machine }
+        Placement {
+            ranks_per_node: machine.node.gpus_per_node,
+            machine,
+        }
     }
 
     /// One rank per node (CPU-style codes: NAStJA, DynQCD).
     pub fn per_node(machine: Machine) -> Self {
-        Placement { machine, ranks_per_node: 1 }
+        Placement {
+            machine,
+            ranks_per_node: 1,
+        }
     }
 
     /// Total number of ranks.

@@ -16,4 +16,4 @@ pub mod baseline;
 pub mod monitor;
 
 pub use baseline::BaselineStore;
-pub use monitor::{CheckStatus, Monitor, RegressionReport};
+pub use monitor::{CheckEntry, CheckStatus, MetricProvenance, Monitor, RegressionReport};

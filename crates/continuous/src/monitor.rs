@@ -23,6 +23,30 @@ pub enum CheckStatus {
     Failed,
 }
 
+/// Where a compared number came from: the metric and the run
+/// configuration that produced it. Regression triage starts with
+/// reproducing the measurement; this is the recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricProvenance {
+    /// The [`jubench_core::RunOutcome`] field compared.
+    pub metric: &'static str,
+    /// Seed of the monitoring run.
+    pub seed: u64,
+    /// Node count of the monitoring run (`None` when the comparison was
+    /// made from a bare measurement map without registry access).
+    pub nodes: Option<u32>,
+}
+
+impl MetricProvenance {
+    /// Compact render for report tables, e.g. `seed 193 @ 8n`.
+    pub fn label(&self) -> String {
+        match self.nodes {
+            Some(n) => format!("seed {} @ {}n", self.seed, n),
+            None => format!("seed {}", self.seed),
+        }
+    }
+}
+
 /// One row of a [`RegressionReport`].
 #[derive(Debug, Clone)]
 pub struct CheckEntry {
@@ -30,6 +54,8 @@ pub struct CheckEntry {
     pub baseline_s: Option<f64>,
     pub measured_s: Option<f64>,
     pub status: CheckStatus,
+    /// How the measured value was obtained.
+    pub provenance: MetricProvenance,
 }
 
 /// The outcome of one monitoring pass.
@@ -58,13 +84,13 @@ impl RegressionReport {
     /// Render the concise status table the operators would read.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "| benchmark        | baseline[s] | measured[s] | status    |\n\
-             |------------------|-------------|-------------|-----------|\n",
+            "| benchmark        | baseline[s] | measured[s] | status    | run            |\n\
+             |------------------|-------------|-------------|-----------|----------------|\n",
         );
         for e in &self.entries {
             let fmt = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_else(|| "-".into());
             out.push_str(&format!(
-                "| {:<16} | {:>11} | {:>11} | {:<9} |\n",
+                "| {:<16} | {:>11} | {:>11} | {:<9} | {:<14} |\n",
                 e.id.name(),
                 fmt(e.baseline_s),
                 fmt(e.measured_s),
@@ -74,7 +100,8 @@ impl RegressionReport {
                     CheckStatus::Improved => "improved",
                     CheckStatus::MissingBaseline => "no-base",
                     CheckStatus::Failed => "FAILED",
-                }
+                },
+                e.provenance.label()
             ));
         }
         out
@@ -94,7 +121,10 @@ pub struct Monitor {
 
 impl Default for Monitor {
     fn default() -> Self {
-        Monitor { tolerance: 0.05, seed: 0xC1 }
+        Monitor {
+            tolerance: 0.05,
+            seed: 0xC1,
+        }
     }
 }
 
@@ -105,7 +135,9 @@ fn monitor_nodes(bench: &dyn Benchmark) -> Option<u32> {
         BenchmarkId::Stream | BenchmarkId::Amber => 1,
         _ => bench.reference_nodes().min(16),
     };
-    (1..=preferred).rev().find(|&n| bench.validate_nodes(n).is_ok())
+    (1..=preferred)
+        .rev()
+        .find(|&n| bench.validate_nodes(n).is_ok())
 }
 
 impl Monitor {
@@ -120,7 +152,10 @@ impl Monitor {
         for &id in ids {
             let measured = registry.get(id).and_then(|bench| {
                 let nodes = monitor_nodes(bench)?;
-                let cfg = RunConfig { seed: self.seed, ..RunConfig::test(nodes) };
+                let cfg = RunConfig {
+                    seed: self.seed,
+                    ..RunConfig::test(nodes)
+                };
                 match bench.run(&cfg) {
                     Ok(res) if res.verification.passed() => Some(res.virtual_time_s),
                     _ => None,
@@ -164,17 +199,32 @@ impl Monitor {
                     }
                 }
             };
-            entries.push(CheckEntry { id, baseline_s: baseline, measured_s: measured, status });
+            entries.push(CheckEntry {
+                id,
+                baseline_s: baseline,
+                measured_s: measured,
+                status,
+                provenance: MetricProvenance {
+                    metric: "virtual_time_s",
+                    seed: self.seed,
+                    nodes: None,
+                },
+            });
         }
         RegressionReport { entries }
     }
 
     /// The full pass: measure the benchmarks present in the baseline store
-    /// and compare.
+    /// and compare. With registry access the entries carry full
+    /// provenance, including the node count of each monitoring run.
     pub fn check(&self, registry: &Registry, baselines: &BaselineStore) -> RegressionReport {
         let ids: Vec<BenchmarkId> = baselines.iter().map(|(id, _)| id).collect();
         let measurements = self.measure(registry, &ids);
-        self.compare(baselines, &measurements)
+        let mut report = self.compare(baselines, &measurements);
+        for e in &mut report.entries {
+            e.provenance.nodes = registry.get(e.id).and_then(|b| monitor_nodes(b));
+        }
+        report
     }
 }
 
@@ -185,7 +235,10 @@ mod tests {
 
     #[test]
     fn classification_logic() {
-        let monitor = Monitor { tolerance: 0.10, seed: 1 };
+        let monitor = Monitor {
+            tolerance: 0.10,
+            seed: 1,
+        };
         let mut baselines = BaselineStore::new();
         baselines.set(B::Arbor, 100.0);
         baselines.set(B::Hpl, 50.0);
@@ -207,6 +260,30 @@ mod tests {
         assert_eq!(report.regressions(), vec![B::Arbor]);
         let rendered = report.render();
         assert!(rendered.contains("REGRESSED") && rendered.contains("no-base"));
+        assert!(rendered.contains("seed 1"), "provenance column present");
+    }
+
+    #[test]
+    fn compare_stamps_metric_provenance() {
+        let monitor = Monitor {
+            tolerance: 0.05,
+            seed: 7,
+        };
+        let mut baselines = BaselineStore::new();
+        baselines.set(B::Arbor, 10.0);
+        let mut measurements = BTreeMap::new();
+        measurements.insert(B::Arbor, Some(10.0));
+        let report = monitor.compare(&baselines, &measurements);
+        let p = report.entries[0].provenance;
+        assert_eq!(p.metric, "virtual_time_s");
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.nodes, None);
+        assert_eq!(p.label(), "seed 7");
+        let full = MetricProvenance {
+            nodes: Some(8),
+            ..p
+        };
+        assert_eq!(full.label(), "seed 7 @ 8n");
     }
 
     #[test]

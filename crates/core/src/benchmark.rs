@@ -39,12 +39,21 @@ pub struct RunConfig {
 impl RunConfig {
     /// Test-scale run on `nodes` nodes with the default seed.
     pub fn test(nodes: u32) -> Self {
-        RunConfig { nodes, variant: None, scale: WorkloadScale::Test, seed: 0x5EED }
+        RunConfig {
+            nodes,
+            variant: None,
+            scale: WorkloadScale::Test,
+            seed: 0x5EED,
+        }
     }
 
     /// Bench-scale run on `nodes` nodes.
     pub fn bench(nodes: u32) -> Self {
-        RunConfig { nodes, scale: WorkloadScale::Bench, ..RunConfig::test(nodes) }
+        RunConfig {
+            nodes,
+            scale: WorkloadScale::Bench,
+            ..RunConfig::test(nodes)
+        }
     }
 
     pub fn with_variant(mut self, variant: MemoryVariant) -> Self {
@@ -80,7 +89,10 @@ pub struct RunOutcome {
 impl RunOutcome {
     /// Look up a named metric.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
     }
 }
 
@@ -143,7 +155,9 @@ mod tests {
 
     #[test]
     fn run_config_builders() {
-        let cfg = RunConfig::test(8).with_variant(MemoryVariant::Large).with_seed(7);
+        let cfg = RunConfig::test(8)
+            .with_variant(MemoryVariant::Large)
+            .with_seed(7);
         assert_eq!(cfg.nodes, 8);
         assert_eq!(cfg.variant, Some(MemoryVariant::Large));
         assert_eq!(cfg.seed, 7);

@@ -26,9 +26,15 @@ pub enum SuiteError {
         available_bytes: u64,
     },
     /// A benchmark rule was violated (the paper's "execution rules").
-    RuleViolation { benchmark: &'static str, rule: String },
+    RuleViolation {
+        benchmark: &'static str,
+        rule: String,
+    },
     /// Result verification failed.
-    VerificationFailed { benchmark: &'static str, detail: String },
+    VerificationFailed {
+        benchmark: &'static str,
+        detail: String,
+    },
     /// Workflow-level error (parameter resolution, step ordering, ...).
     Workflow(String),
     /// I/O error from disk-based benchmarks (IOR, input staging).

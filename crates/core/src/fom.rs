@@ -100,19 +100,32 @@ mod tests {
 
     #[test]
     fn runtime_is_its_own_time_metric() {
-        assert_eq!(Fom::RuntimeSeconds(498.0).time_metric(), Some(TimeMetric(498.0)));
+        assert_eq!(
+            Fom::RuntimeSeconds(498.0).time_metric(),
+            Some(TimeMetric(498.0))
+        );
     }
 
     #[test]
     fn rate_normalizes_by_predefined_items() {
         // Megatron-LM style: 20e6 tokens at 10e3 tokens/s -> 2000 s.
-        let fom = Fom::Rate { per_second: 1.0e4, items: 2.0e7 };
+        let fom = Fom::Rate {
+            per_second: 1.0e4,
+            items: 2.0e7,
+        };
         assert_eq!(fom.time_metric(), Some(TimeMetric(2000.0)));
     }
 
     #[test]
     fn zero_rate_has_no_time_metric() {
-        assert_eq!(Fom::Rate { per_second: 0.0, items: 1.0 }.time_metric(), None);
+        assert_eq!(
+            Fom::Rate {
+                per_second: 0.0,
+                items: 1.0
+            }
+            .time_metric(),
+            None
+        );
     }
 
     #[test]
@@ -130,7 +143,11 @@ mod tests {
         assert!(Fom::Flops(1.0).higher_is_better());
         assert!(Fom::Teps(1.0).higher_is_better());
         assert!(Fom::BytesPerSecond(1.0).higher_is_better());
-        assert!(Fom::Rate { per_second: 1.0, items: 1.0 }.higher_is_better());
+        assert!(Fom::Rate {
+            per_second: 1.0,
+            items: 1.0
+        }
+        .higher_is_better());
     }
 
     #[test]

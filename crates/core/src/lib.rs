@@ -25,9 +25,7 @@ pub use benchmark::{Benchmark, RunConfig, RunOutcome, WorkloadScale};
 pub use checklist::{Checklist, ChecklistItem};
 pub use error::SuiteError;
 pub use fom::{Fom, TimeMetric};
-pub use meta::{
-    suite_meta, BenchmarkId, BenchmarkMeta, Category, Domain, Dwarf, ExecutionTarget,
-};
+pub use meta::{suite_meta, BenchmarkId, BenchmarkMeta, Category, Domain, Dwarf, ExecutionTarget};
 pub use registry::Registry;
 pub use variant::MemoryVariant;
 pub use verify::VerificationOutcome;

@@ -302,7 +302,10 @@ pub fn suite_meta() -> Vec<BenchmarkMeta> {
             languages: "C++, CUDA/HIP",
             license: "BSD-3-Clause",
             base_nodes: NodeSpecification::Fixed(8),
-            high_scale: Some(HighScaleSpec { nodes: 642, variants: TSML }),
+            high_scale: Some(HighScaleSpec {
+                nodes: 642,
+                variants: TSML,
+            }),
             targets: &[T::BoosterGpu],
             used_in_procurement: true,
         },
@@ -314,7 +317,10 @@ pub fn suite_meta() -> Vec<BenchmarkMeta> {
             languages: "C++, QUDA, CUDA/HIP",
             license: "JLab",
             base_nodes: NodeSpecification::Fixed(8),
-            high_scale: Some(HighScaleSpec { nodes: 512, variants: SML }),
+            high_scale: Some(HighScaleSpec {
+                nodes: 512,
+                variants: SML,
+            }),
             targets: &[T::BoosterGpu],
             used_in_procurement: true,
         },
@@ -350,7 +356,10 @@ pub fn suite_meta() -> Vec<BenchmarkMeta> {
             languages: "Fortran, CUDA/OpenMP",
             license: "None",
             base_nodes: NodeSpecification::Fixed(8),
-            high_scale: Some(HighScaleSpec { nodes: 512, variants: SL }),
+            high_scale: Some(HighScaleSpec {
+                nodes: 512,
+                variants: SL,
+            }),
             targets: &[T::BoosterGpu, T::Msa],
             used_in_procurement: true,
         },
@@ -362,7 +371,10 @@ pub fn suite_meta() -> Vec<BenchmarkMeta> {
             languages: "C++/C, OCCA, CUDA/HIP/SYCL",
             license: "BSD-3-Clause",
             base_nodes: NodeSpecification::Fixed(8),
-            high_scale: Some(HighScaleSpec { nodes: 642, variants: SL }),
+            high_scale: Some(HighScaleSpec {
+                nodes: 642,
+                variants: SL,
+            }),
             targets: &[T::BoosterGpu],
             used_in_procurement: true,
         },
@@ -386,7 +398,10 @@ pub fn suite_meta() -> Vec<BenchmarkMeta> {
             languages: "C++, Alpaka, CUDA/HIP",
             license: "GPLv3+",
             base_nodes: NodeSpecification::Fixed(4),
-            high_scale: Some(HighScaleSpec { nodes: 640, variants: SML }),
+            high_scale: Some(HighScaleSpec {
+                nodes: 640,
+                variants: SML,
+            }),
             targets: &[T::BoosterGpu],
             used_in_procurement: true,
         },
@@ -582,7 +597,10 @@ mod tests {
     #[test]
     fn seven_synthetic_sixteen_applications() {
         let meta = suite_meta();
-        let synthetic = meta.iter().filter(|m| m.category == Category::Synthetic).count();
+        let synthetic = meta
+            .iter()
+            .filter(|m| m.category == Category::Synthetic)
+            .count();
         let apps = meta.iter().filter(|m| m.is_application()).count();
         assert_eq!(synthetic, 7);
         assert_eq!(apps, 16);
@@ -633,7 +651,13 @@ mod tests {
     #[test]
     fn high_scale_node_counts_match_paper() {
         let meta = suite_meta();
-        let hs = |id: BenchmarkId| meta.iter().find(|m| m.id == id).unwrap().high_scale.unwrap();
+        let hs = |id: BenchmarkId| {
+            meta.iter()
+                .find(|m| m.id == id)
+                .unwrap()
+                .high_scale
+                .unwrap()
+        };
         // 642 nodes = 50 PFLOP/s(th) sub-partition; 512 for powers-of-two
         // codes; 640 for PIConGPU's 3D decomposition.
         assert_eq!(hs(B::Arbor).nodes, 642);

@@ -112,9 +112,15 @@ mod tests {
         r.register(Box::new(Fake(BenchmarkId::Hpl))); // Synthetic
         let base: Vec<_> = r.by_category(Category::Base).map(|b| b.meta().id).collect();
         assert_eq!(base, vec![BenchmarkId::Arbor, BenchmarkId::Gromacs]);
-        let hs: Vec<_> = r.by_category(Category::HighScaling).map(|b| b.meta().id).collect();
+        let hs: Vec<_> = r
+            .by_category(Category::HighScaling)
+            .map(|b| b.meta().id)
+            .collect();
         assert_eq!(hs, vec![BenchmarkId::Arbor]);
-        let syn: Vec<_> = r.by_category(Category::Synthetic).map(|b| b.meta().id).collect();
+        let syn: Vec<_> = r
+            .by_category(Category::Synthetic)
+            .map(|b| b.meta().id)
+            .collect();
         assert_eq!(syn, vec![BenchmarkId::Hpl]);
     }
 

@@ -36,7 +36,10 @@ impl VerificationOutcome {
     /// Build a tolerance verification, failing if the deviation exceeds it.
     pub fn tolerance(max_deviation: f64, tolerance: f64) -> Self {
         if max_deviation.is_finite() && max_deviation <= tolerance {
-            VerificationOutcome::WithinTolerance { max_deviation, tolerance }
+            VerificationOutcome::WithinTolerance {
+                max_deviation,
+                tolerance,
+            }
         } else {
             VerificationOutcome::Failed {
                 detail: format!("deviation {max_deviation:e} exceeds tolerance {tolerance:e}"),

@@ -79,8 +79,12 @@ impl Archive {
         let mut expected: BTreeMap<&str, u64> = BTreeMap::new();
         let mut package: Option<u64> = None;
         for line in manifest.lines() {
-            let Some((hash, name)) = line.split_once("  ") else { continue };
-            let Ok(h) = u64::from_str_radix(hash.trim(), 16) else { continue };
+            let Some((hash, name)) = line.split_once("  ") else {
+                continue;
+            };
+            let Ok(h) = u64::from_str_radix(hash.trim(), 16) else {
+                continue;
+            };
             if name == "PACKAGE" {
                 package = Some(h);
             } else {

@@ -21,17 +21,31 @@ pub enum JubeError {
 impl fmt::Display for JubeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JubeError::UnknownParameter { name, referenced_by } => {
-                write!(f, "unknown parameter ${{{name}}} referenced by '{referenced_by}'")
+            JubeError::UnknownParameter {
+                name,
+                referenced_by,
+            } => {
+                write!(
+                    f,
+                    "unknown parameter ${{{name}}} referenced by '{referenced_by}'"
+                )
             }
             JubeError::CyclicParameters { involved } => {
-                write!(f, "cyclic parameter references involving: {}", involved.join(", "))
+                write!(
+                    f,
+                    "cyclic parameter references involving: {}",
+                    involved.join(", ")
+                )
             }
             JubeError::UnknownDependency { step, depends_on } => {
                 write!(f, "step '{step}' depends on unknown step '{depends_on}'")
             }
             JubeError::CyclicSteps { involved } => {
-                write!(f, "cyclic step dependencies involving: {}", involved.join(", "))
+                write!(
+                    f,
+                    "cyclic step dependencies involving: {}",
+                    involved.join(", ")
+                )
             }
             JubeError::DuplicateStep { step } => write!(f, "step '{step}' defined twice"),
             JubeError::StepFailed { step, message } => {
@@ -49,9 +63,14 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = JubeError::UnknownParameter { name: "nodes".into(), referenced_by: "tasks".into() };
+        let e = JubeError::UnknownParameter {
+            name: "nodes".into(),
+            referenced_by: "tasks".into(),
+        };
         assert!(e.to_string().contains("${nodes}"));
-        let e = JubeError::CyclicSteps { involved: vec!["a".into(), "b".into()] };
+        let e = JubeError::CyclicSteps {
+            involved: vec!["a".into(), "b".into()],
+        };
         assert!(e.to_string().contains("a, b"));
     }
 }

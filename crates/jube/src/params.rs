@@ -35,7 +35,10 @@ impl ParameterSet {
         self.defs
             .entry(name.to_string())
             .or_default()
-            .push(ParamDef { values: vec![value.into()], tag: None });
+            .push(ParamDef {
+                values: vec![value.into()],
+                tag: None,
+            });
         self
     }
 
@@ -45,20 +48,26 @@ impl ParameterSet {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.defs.entry(name.to_string()).or_default().push(ParamDef {
-            values: values.into_iter().map(Into::into).collect(),
-            tag: None,
-        });
+        self.defs
+            .entry(name.to_string())
+            .or_default()
+            .push(ParamDef {
+                values: values.into_iter().map(Into::into).collect(),
+                tag: None,
+            });
         self
     }
 
     /// Define a tag-restricted value that overrides the default when the
     /// tag is active (JUBE's variant selection, §III-B).
     pub fn set_tagged(&mut self, name: &str, tag: &str, value: impl Into<String>) -> &mut Self {
-        self.defs.entry(name.to_string()).or_default().push(ParamDef {
-            values: vec![value.into()],
-            tag: Some(tag.to_string()),
-        });
+        self.defs
+            .entry(name.to_string())
+            .or_default()
+            .push(ParamDef {
+                values: vec![value.into()],
+                tag: Some(tag.to_string()),
+            });
         self
     }
 
@@ -148,11 +157,7 @@ pub fn substitute_all(mut params: ResolvedParams) -> Result<ResolvedParams, Jube
 }
 
 /// Replace every `${name}` occurrence in `value` once.
-fn substitute_once(
-    value: &str,
-    params: &ResolvedParams,
-    owner: &str,
-) -> Result<String, JubeError> {
+fn substitute_once(value: &str, params: &ResolvedParams, owner: &str) -> Result<String, JubeError> {
     let mut out = String::with_capacity(value.len());
     let mut rest = value;
     while let Some(start) = rest.find("${") {
@@ -163,10 +168,12 @@ fn substitute_once(
             referenced_by: owner.to_string(),
         })?;
         let name = &after[..end];
-        let replacement = params.get(name).ok_or_else(|| JubeError::UnknownParameter {
-            name: name.to_string(),
-            referenced_by: owner.to_string(),
-        })?;
+        let replacement = params
+            .get(name)
+            .ok_or_else(|| JubeError::UnknownParameter {
+                name: name.to_string(),
+                referenced_by: owner.to_string(),
+            })?;
         out.push_str(replacement);
         rest = &after[end + 1..];
     }
@@ -242,9 +249,15 @@ mod tests {
         ps.set_tagged("resolution", "r02b10", "R02B10");
         ps.set_tagged("nodes", "r02b10", "300");
         let base = &ps.expand(&[]).unwrap()[0];
-        assert_eq!((base["resolution"].as_str(), base["nodes"].as_str()), ("R02B09", "120"));
+        assert_eq!(
+            (base["resolution"].as_str(), base["nodes"].as_str()),
+            ("R02B09", "120")
+        );
         let fine = &ps.expand(&["r02b10"]).unwrap()[0];
-        assert_eq!((fine["resolution"].as_str(), fine["nodes"].as_str()), ("R02B10", "300"));
+        assert_eq!(
+            (fine["resolution"].as_str(), fine["nodes"].as_str()),
+            ("R02B10", "300")
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl Platform {
             "sbatch --partition=${partition} --nodes=${nodes} \
              --ntasks-per-node=${tasks_per_node} --gres=gpu:${gpus_per_node} ${script}",
         );
-        Platform { name: "juwels-booster", params }
+        Platform {
+            name: "juwels-booster",
+            params,
+        }
     }
 
     /// JUWELS Cluster: CPU nodes, one task per node with OpenMP threads.
@@ -49,7 +52,10 @@ impl Platform {
             "sbatch --partition=${partition} --nodes=${nodes} \
              --ntasks-per-node=${tasks_per_node} --cpus-per-task=${threads_per_task} ${script}",
         );
-        Platform { name: "juwels-cluster", params }
+        Platform {
+            name: "juwels-cluster",
+            params,
+        }
     }
 
     /// A generic envisioned-system platform a vendor would fill in.

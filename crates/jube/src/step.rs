@@ -51,7 +51,11 @@ impl Step {
         name: &str,
         action: impl Fn(&StepContext<'_>) -> Result<StepOutput, String> + Send + Sync + 'static,
     ) -> Self {
-        Step { name: name.to_string(), depends: Vec::new(), action: Box::new(action) }
+        Step {
+            name: name.to_string(),
+            depends: Vec::new(),
+            action: Box::new(action),
+        }
     }
 
     /// Add a dependency (JUBE's `depend` attribute).
@@ -61,8 +65,10 @@ impl Step {
     }
 
     pub(crate) fn run(&self, ctx: &StepContext<'_>) -> Result<StepOutput, JubeError> {
-        (self.action)(ctx)
-            .map_err(|message| JubeError::StepFailed { step: self.name.clone(), message })
+        (self.action)(ctx).map_err(|message| JubeError::StepFailed {
+            step: self.name.clone(),
+            message,
+        })
     }
 }
 
@@ -83,7 +89,10 @@ mod tests {
         params.insert("nodes".into(), "8".into());
         let mut outputs = BTreeMap::new();
         outputs.insert("compile".to_string(), output1("binary", "app.x"));
-        let ctx = StepContext { params: &params, outputs: &outputs };
+        let ctx = StepContext {
+            params: &params,
+            outputs: &outputs,
+        };
         assert_eq!(ctx.param("nodes"), Some("8"));
         assert_eq!(ctx.param_as::<u32>("nodes"), Some(8));
         assert_eq!(ctx.param_as::<u32>("missing"), None);
@@ -96,13 +105,20 @@ mod tests {
         let s = Step::new("execute", |_| Err("segfault".into()));
         let params = ResolvedParams::new();
         let outputs = BTreeMap::new();
-        let err = s.run(&StepContext { params: &params, outputs: &outputs }).unwrap_err();
+        let err = s
+            .run(&StepContext {
+                params: &params,
+                outputs: &outputs,
+            })
+            .unwrap_err();
         assert!(matches!(err, JubeError::StepFailed { ref step, .. } if step == "execute"));
     }
 
     #[test]
     fn after_builds_dependency_list() {
-        let s = Step::new("verify", |_| Ok(StepOutput::new())).after("execute").after("compile");
+        let s = Step::new("verify", |_| Ok(StepOutput::new()))
+            .after("execute")
+            .after("compile");
         assert_eq!(s.depends, vec!["execute", "compile"]);
     }
 }

@@ -15,7 +15,9 @@ impl ResultTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        ResultTable { columns: columns.into_iter().map(Into::into).collect() }
+        ResultTable {
+            columns: columns.into_iter().map(Into::into).collect(),
+        }
     }
 
     pub fn columns(&self) -> &[String] {
@@ -54,7 +56,10 @@ impl ResultTable {
         let mut out = String::new();
         out.push_str(&render_row(&self.columns));
         out.push('\n');
-        let sep: String = widths.iter().map(|w| format!("|{}", "-".repeat(w + 2))).collect();
+        let sep: String = widths
+            .iter()
+            .map(|w| format!("|{}", "-".repeat(w + 2)))
+            .collect();
         out.push_str(&sep);
         out.push_str("|\n");
         for row in &rows {

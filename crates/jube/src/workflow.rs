@@ -1,10 +1,56 @@
 //! The workflow: parameter space × dependency-ordered steps.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use jubench_trace::{EventKind, StepPhase, TraceEvent, TraceSink, WORKFLOW_NODE};
 
 use crate::error::JubeError;
 use crate::params::{ParameterSet, ResolvedParams};
 use crate::step::{Step, StepContext, StepOutput};
+
+/// Emits step-lifecycle events for one workpackage. The workflow engine
+/// has no virtual clock; events are stamped with a monotonic phase
+/// counter (one unit per phase) so the exported timeline shows ordering
+/// and the reports can count phases.
+struct StepTracer<'a> {
+    sink: Option<&'a dyn TraceSink>,
+    workpackage: u32,
+    seq: u64,
+    t: f64,
+}
+
+impl<'a> StepTracer<'a> {
+    fn new(sink: Option<&'a dyn TraceSink>, workpackage: u32) -> Self {
+        StepTracer {
+            sink,
+            workpackage,
+            seq: 0,
+            t: 0.0,
+        }
+    }
+
+    fn emit(&mut self, step: &str, phase: StepPhase) {
+        if let Some(sink) = self.sink {
+            let t0 = self.t;
+            self.t += 1.0;
+            let seq = self.seq;
+            self.seq += 1;
+            sink.record(TraceEvent {
+                rank: self.workpackage,
+                node: WORKFLOW_NODE,
+                seq,
+                t_start: t0,
+                t_end: self.t,
+                kind: EventKind::Step {
+                    step: step.to_string(),
+                    phase,
+                    workpackage: self.workpackage,
+                },
+            });
+        }
+    }
+}
 
 /// The result of executing one workpackage (one point of the parameter
 /// space): its parameters and every step's outputs.
@@ -33,6 +79,8 @@ impl WorkpackageResult {
 pub struct Workflow {
     pub params: ParameterSet,
     steps: Vec<Step>,
+    /// Opt-in observability: step lifecycle events are recorded here.
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Workflow {
@@ -41,7 +89,18 @@ impl Workflow {
     }
 
     pub fn with_params(params: ParameterSet) -> Self {
-        Workflow { params, steps: Vec::new() }
+        Workflow {
+            params,
+            ..Self::default()
+        }
+    }
+
+    /// Install a trace sink: subsequent [`Workflow::execute`] calls record
+    /// parameter-resolution, dependency-wait, and execute events per
+    /// workpackage and step. Without a sink the hooks are no-ops.
+    pub fn with_recorder(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Add a step. Names must be unique.
@@ -56,7 +115,9 @@ impl Workflow {
         let mut names = BTreeSet::new();
         for s in &self.steps {
             if !names.insert(s.name.as_str()) {
-                return Err(JubeError::DuplicateStep { step: s.name.clone() });
+                return Err(JubeError::DuplicateStep {
+                    step: s.name.clone(),
+                });
             }
         }
         for s in &self.steps {
@@ -100,11 +161,20 @@ impl Workflow {
         let order = self.ordered_steps()?;
         let points = self.params.expand(tags)?;
         let mut results = Vec::with_capacity(points.len());
-        for params in points {
+        for (wp, params) in points.into_iter().enumerate() {
+            let mut tracer = StepTracer::new(self.sink.as_deref(), wp as u32);
+            tracer.emit("parameters", StepPhase::ParamsResolved);
             let mut outputs: BTreeMap<String, StepOutput> = BTreeMap::new();
             for step in &order {
-                let ctx = StepContext { params: &params, outputs: &outputs };
+                if !step.depends.is_empty() {
+                    tracer.emit(&step.name, StepPhase::DependencyWait);
+                }
+                let ctx = StepContext {
+                    params: &params,
+                    outputs: &outputs,
+                };
                 let out = step.run(&ctx)?;
+                tracer.emit(&step.name, StepPhase::Execute);
                 outputs.insert(step.name.clone(), out);
             }
             results.push(WorkpackageResult { params, outputs });
@@ -131,8 +201,12 @@ mod tests {
         wf.add_step(passthrough("verify").after("execute"));
         wf.add_step(passthrough("execute").after("compile"));
         wf.add_step(passthrough("compile"));
-        let order: Vec<String> =
-            wf.ordered_steps().unwrap().iter().map(|s| s.name.clone()).collect();
+        let order: Vec<String> = wf
+            .ordered_steps()
+            .unwrap()
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
         assert_eq!(order, vec!["compile", "execute", "verify"]);
     }
 
@@ -163,8 +237,10 @@ mod tests {
         }));
         let results = wf.execute(&[]).unwrap();
         assert_eq!(results.len(), 3);
-        let runtimes: Vec<_> =
-            results.iter().map(|r| r.value("runtime").unwrap().to_string()).collect();
+        let runtimes: Vec<_> = results
+            .iter()
+            .map(|r| r.value("runtime").unwrap().to_string())
+            .collect();
         assert_eq!(runtimes, vec!["250", "125", "62"]);
     }
 
@@ -173,7 +249,10 @@ mod tests {
         let mut wf = Workflow::new();
         wf.add_step(passthrough("a").after("b"));
         wf.add_step(passthrough("b").after("a"));
-        assert!(matches!(wf.execute(&[]), Err(JubeError::CyclicSteps { .. })));
+        assert!(matches!(
+            wf.execute(&[]),
+            Err(JubeError::CyclicSteps { .. })
+        ));
     }
 
     #[test]
@@ -191,7 +270,10 @@ mod tests {
         let mut wf = Workflow::new();
         wf.add_step(passthrough("a"));
         wf.add_step(passthrough("a"));
-        assert!(matches!(wf.execute(&[]), Err(JubeError::DuplicateStep { .. })));
+        assert!(matches!(
+            wf.execute(&[]),
+            Err(JubeError::DuplicateStep { .. })
+        ));
     }
 
     #[test]
@@ -199,10 +281,7 @@ mod tests {
         let mut wf = Workflow::new();
         wf.add_step(Step::new("execute", |_| Err("out of memory".into())));
         let err = wf.execute(&[]).unwrap_err();
-        assert_eq!(
-            err.to_string(),
-            "step 'execute' failed: out of memory"
-        );
+        assert_eq!(err.to_string(), "step 'execute' failed: out of memory");
     }
 
     #[test]
@@ -213,8 +292,57 @@ mod tests {
         wf.add_step(Step::new("execute", |ctx| {
             Ok(output1("ran_variant", ctx.param("variant").unwrap()))
         }));
-        assert_eq!(wf.execute(&[]).unwrap()[0].value("ran_variant"), Some("base"));
-        assert_eq!(wf.execute(&["large"]).unwrap()[0].value("ran_variant"), Some("L"));
+        assert_eq!(
+            wf.execute(&[]).unwrap()[0].value("ran_variant"),
+            Some("base")
+        );
+        assert_eq!(
+            wf.execute(&["large"]).unwrap()[0].value("ran_variant"),
+            Some("L")
+        );
+    }
+
+    #[test]
+    fn workflow_records_step_lifecycle_events() {
+        use jubench_trace::Recorder;
+        let rec = Arc::new(Recorder::new());
+        let mut wf = Workflow::new();
+        wf.params.set_list("nodes", ["4", "8"]);
+        wf.add_step(passthrough("execute"));
+        wf.add_step(passthrough("verify").after("execute"));
+        let wf = wf.with_recorder(rec.clone());
+        wf.execute(&[]).unwrap();
+        let events = rec.take_events();
+        // Per workpackage: parameters + execute + (wait + execute) = 4.
+        assert_eq!(events.len(), 8);
+        for e in &events {
+            assert_eq!(e.node, WORKFLOW_NODE);
+        }
+        let wp0: Vec<(String, StepPhase)> = events
+            .iter()
+            .filter(|e| e.rank == 0)
+            .map(|e| match &e.kind {
+                EventKind::Step { step, phase, .. } => (step.clone(), *phase),
+                other => panic!("unexpected kind {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            wp0,
+            vec![
+                ("parameters".into(), StepPhase::ParamsResolved),
+                ("execute".into(), StepPhase::Execute),
+                ("verify".into(), StepPhase::DependencyWait),
+                ("verify".into(), StepPhase::Execute),
+            ]
+        );
+    }
+
+    #[test]
+    fn untraced_workflow_is_unchanged() {
+        let mut wf = Workflow::new();
+        wf.params.set("x", "1");
+        wf.add_step(passthrough("execute"));
+        assert_eq!(wf.execute(&[]).unwrap().len(), 1);
     }
 
     #[test]

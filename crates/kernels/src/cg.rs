@@ -47,7 +47,11 @@ pub fn cg_solve(a: &dyn LinOp, b: &[f64], x: &mut [f64], tol: f64, max_iters: us
     let norm_b = dot(b, b).sqrt();
     if norm_b == 0.0 {
         x.fill(0.0);
-        return CgResult { iterations: 0, converged: true, relative_residual: 0.0 };
+        return CgResult {
+            iterations: 0,
+            converged: true,
+            relative_residual: 0.0,
+        };
     }
     let mut r = vec![0.0; n];
     a.apply(x, &mut r);
@@ -75,7 +79,11 @@ pub fn cg_solve(a: &dyn LinOp, b: &[f64], x: &mut [f64], tol: f64, max_iters: us
         iterations += 1;
     }
     let relative_residual = rr.sqrt() / norm_b;
-    CgResult { iterations, converged: relative_residual <= tol, relative_residual }
+    CgResult {
+        iterations,
+        converged: relative_residual <= tol,
+        relative_residual,
+    }
 }
 
 /// A dense SPD operator for tests and small problems.
@@ -97,7 +105,6 @@ mod tests {
     use super::*;
     use crate::linalg::Matrix;
     use crate::rng::rank_rng;
-    use rand::Rng;
 
     /// Random SPD matrix A = Mᵀ·M + n·I.
     fn spd(n: usize, seed: u64) -> Matrix {

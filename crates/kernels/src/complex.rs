@@ -23,12 +23,18 @@ impl C64 {
     /// e^{iθ}.
     #[inline]
     pub fn cis(theta: f64) -> Self {
-        C64 { re: theta.cos(), im: theta.sin() }
+        C64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     #[inline]
     pub fn conj(self) -> Self {
-        C64 { re: self.re, im: -self.im }
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude |z|².
@@ -45,7 +51,10 @@ impl C64 {
     /// Scale by a real factor.
     #[inline]
     pub fn scale(self, s: f64) -> Self {
-        C64 { re: self.re * s, im: self.im * s }
+        C64 {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 }
 
@@ -53,7 +62,10 @@ impl Add for C64 {
     type Output = C64;
     #[inline]
     fn add(self, o: C64) -> C64 {
-        C64 { re: self.re + o.re, im: self.im + o.im }
+        C64 {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 }
 
@@ -69,7 +81,10 @@ impl Sub for C64 {
     type Output = C64;
     #[inline]
     fn sub(self, o: C64) -> C64 {
-        C64 { re: self.re - o.re, im: self.im - o.im }
+        C64 {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 }
 
@@ -100,7 +115,10 @@ impl Neg for C64 {
     type Output = C64;
     #[inline]
     fn neg(self) -> C64 {
-        C64 { re: -self.re, im: -self.im }
+        C64 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 

@@ -126,15 +126,19 @@ fn fft_3d_dir(data: &mut [C64], nx: usize, ny: usize, nz: usize, inverse: bool) 
 mod tests {
     use super::*;
     use crate::rng::rank_rng;
-    use rand::Rng;
 
     fn random_signal(n: usize, seed: u64) -> Vec<C64> {
         let mut rng = rank_rng(seed, 0);
-        (0..n).map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+        (0..n)
+            .map(|_| C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
     }
 
     fn max_err(a: &[C64], b: &[C64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (*x - *y).abs())
+            .fold(0.0, f64::max)
     }
 
     #[test]
@@ -216,8 +220,7 @@ mod tests {
         for ix in 0..nx {
             for iy in 0..ny {
                 for iz in 0..nz {
-                    let phase = 2.0 * std::f64::consts::PI
-                        * (kx * ix) as f64 / nx as f64
+                    let phase = 2.0 * std::f64::consts::PI * (kx * ix) as f64 / nx as f64
                         + 2.0 * std::f64::consts::PI * (ky * iy) as f64 / ny as f64
                         + 2.0 * std::f64::consts::PI * (kz * iz) as f64 / nz as f64;
                     data[(ix * ny + iy) * nz + iz] = C64::cis(phase);
@@ -230,8 +233,11 @@ mod tests {
             for iy in 0..ny {
                 for iz in 0..nz {
                     let z = data[(ix * ny + iy) * nz + iz];
-                    let expected =
-                        if (ix, iy, iz) == (kx, ky, kz) { total } else { 0.0 };
+                    let expected = if (ix, iy, iz) == (kx, ky, kz) {
+                        total
+                    } else {
+                        0.0
+                    };
                     assert!((z.abs() - expected).abs() < 1e-8, "bin {ix},{iy},{iz}");
                 }
             }

@@ -14,10 +14,20 @@ pub struct Grid3 {
 
 impl Grid3 {
     pub fn zeros(nx: usize, ny: usize, nz: usize) -> Self {
-        Grid3 { nx, ny, nz, data: vec![0.0; (nx + 2) * (ny + 2) * (nz + 2)] }
+        Grid3 {
+            nx,
+            ny,
+            nz,
+            data: vec![0.0; (nx + 2) * (ny + 2) * (nz + 2)],
+        }
     }
 
-    pub fn from_fn(nx: usize, ny: usize, nz: usize, mut f: impl FnMut(usize, usize, usize) -> f64) -> Self {
+    pub fn from_fn(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        mut f: impl FnMut(usize, usize, usize) -> f64,
+    ) -> Self {
         let mut g = Grid3::zeros(nx, ny, nz);
         for i in 0..nx {
             for j in 0..ny {
@@ -123,8 +133,7 @@ impl Grid3 {
                 let mut it = face.iter();
                 for j in 0..self.ny {
                     for k in 0..self.nz {
-                        let idx = (((i as isize + 1 + di) as usize) * (self.ny + 2)
-                            + (j + 1))
+                        let idx = (((i as isize + 1 + di) as usize) * (self.ny + 2) + (j + 1))
                             * (self.nz + 2)
                             + (k + 1);
                         self.data[idx] = *it.next().unwrap();
@@ -138,8 +147,7 @@ impl Grid3 {
                 let mut it = face.iter();
                 for i in 0..self.nx {
                     for k in 0..self.nz {
-                        let idx = ((i + 1) * (self.ny + 2)
-                            + ((j as isize + 1 + dj) as usize))
+                        let idx = ((i + 1) * (self.ny + 2) + ((j as isize + 1 + dj) as usize))
                             * (self.nz + 2)
                             + (k + 1);
                         self.data[idx] = *it.next().unwrap();

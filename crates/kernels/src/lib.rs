@@ -26,5 +26,5 @@ pub use fft::{fft_1d, fft_3d, ifft_1d, ifft_3d};
 pub use grid::Grid3;
 pub use linalg::{gemm, lu_factor, lu_solve, Matrix};
 pub use multigrid::poisson_vcycle;
-pub use rng::rank_rng;
+pub use rng::{rank_rng, DetRng};
 pub use tridiag::thomas_solve;

@@ -2,7 +2,33 @@
 //! factorization with partial pivoting (the computational core of HPL and
 //! of the transformer-training proxies).
 
-use rayon::prelude::*;
+/// Run `f` over contiguous row-chunks of `data` on up to
+/// `available_parallelism` OS threads. `chunk_rows × row_len` elements go
+/// to each thread; the closure receives the global index of its first row.
+/// Small inputs run inline to avoid spawn overhead.
+fn par_row_chunks(data: &mut [f64], row_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+    let rows = data.len().checked_div(row_len).unwrap_or(0);
+    let threads = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(rows.max(1));
+    if threads <= 1 || rows * row_len < 64 * 64 {
+        for (i, row) in data.chunks_mut(row_len).enumerate() {
+            f(i, row);
+        }
+        return;
+    }
+    let chunk_rows = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (c, chunk) in data.chunks_mut(chunk_rows * row_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+                    f(c * chunk_rows + i, row);
+                }
+            });
+        }
+    });
+}
 
 /// A dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,7 +40,11 @@ pub struct Matrix {
 
 impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     pub fn identity(n: usize) -> Self {
@@ -72,26 +102,24 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     }
 }
 
-/// C = A·B using a cache-blocked i-k-j loop order, row-parallel via rayon.
+/// C = A·B using a cache-blocked i-k-j loop order, row-parallel across OS
+/// threads.
 pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols, b.rows, "gemm dimension mismatch");
-    let (m, k, n) = (a.rows, a.cols, b.cols);
-    let mut c = Matrix::zeros(m, n);
-    c.data
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, c_row)| {
-            for kk in 0..k {
-                let aik = a.data[i * k + kk];
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &b.data[kk * n..(kk + 1) * n];
-                for (cj, bj) in c_row.iter_mut().zip(b_row) {
-                    *cj += aik * bj;
-                }
+    let (_m, k, n) = (a.rows, a.cols, b.cols);
+    let mut c = Matrix::zeros(a.rows, n);
+    par_row_chunks(&mut c.data, n, |i, c_row| {
+        for kk in 0..k {
+            let aik = a.data[i * k + kk];
+            if aik == 0.0 {
+                continue;
             }
-        });
+            let b_row = &b.data[kk * n..(kk + 1) * n];
+            for (cj, bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    });
     c
 }
 
@@ -189,7 +217,6 @@ pub fn residual_inf(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::rng::rank_rng;
-    use rand::Rng;
 
     fn random_matrix(n: usize, seed: u64) -> Matrix {
         let mut rng = rank_rng(seed, 0);

@@ -127,7 +127,12 @@ pub fn poisson_vcycle(n: usize, x: &mut [f64], b: &[f64]) {
 pub fn relative_residual(n: usize, x: &[f64], b: &[f64]) -> f64 {
     let mut ax = vec![0.0; x.len()];
     apply_neg_laplacian(n, x, &mut ax);
-    let num: f64 = b.iter().zip(&ax).map(|(bi, axi)| (bi - axi).powi(2)).sum::<f64>().sqrt();
+    let num: f64 = b
+        .iter()
+        .zip(&ax)
+        .map(|(bi, axi)| (bi - axi).powi(2))
+        .sum::<f64>()
+        .sqrt();
     let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
     if den == 0.0 {
         0.0
@@ -140,7 +145,6 @@ pub fn relative_residual(n: usize, x: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::rng::rank_rng;
-    use rand::Rng;
 
     #[test]
     fn vcycles_reduce_residual() {

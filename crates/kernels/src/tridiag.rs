@@ -54,12 +54,16 @@ pub fn tridiag_apply(lower: &[f64], diag: &[f64], upper: &[f64], x: &[f64]) -> V
 mod tests {
     use super::*;
     use crate::rng::rank_rng;
-    use rand::Rng;
 
     #[test]
     fn solves_identity() {
         let n = 5;
-        let x = thomas_solve(&vec![0.0; n], &vec![1.0; n], &vec![0.0; n], &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let x = thomas_solve(
+            &vec![0.0; n],
+            &vec![1.0; n],
+            &vec![0.0; n],
+            &[1.0, 2.0, 3.0, 4.0, 5.0],
+        );
         assert_eq!(x, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
     }
 
@@ -69,7 +73,9 @@ mod tests {
         let mut rng = rank_rng(9, 0);
         let lower: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let upper: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let diag: Vec<f64> = (0..n).map(|i| 3.0 + lower[i].abs() + upper[i].abs()).collect();
+        let diag: Vec<f64> = (0..n)
+            .map(|i| 3.0 + lower[i].abs() + upper[i].abs())
+            .collect();
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
         let rhs = tridiag_apply(&lower, &diag, &upper, &x_true);
         let x = thomas_solve(&lower, &diag, &upper, &rhs);

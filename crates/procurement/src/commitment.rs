@@ -102,7 +102,10 @@ impl Proposal {
                 .find(|c| c.id == id)
                 .ok_or_else(|| SuiteError::RuleViolation {
                     benchmark: id.name(),
-                    rule: format!("proposal '{}' has no commitment for this benchmark", self.name),
+                    rule: format!(
+                        "proposal '{}' has no commitment for this benchmark",
+                        self.name
+                    ),
                 })?;
             if commitment.committed.0 <= 0.0 {
                 return Err(SuiteError::RuleViolation {
@@ -168,8 +171,16 @@ mod tests {
             machine: Machine::jupiter_proposal(),
             price_eur: 500.0e6,
             commitments: vec![
-                Commitment { id: B::Arbor, committed: TimeMetric(arbor), nodes_used: 4 },
-                Commitment { id: B::Gromacs, committed: TimeMetric(gromacs), nodes_used: 2 },
+                Commitment {
+                    id: B::Arbor,
+                    committed: TimeMetric(arbor),
+                    nodes_used: 4,
+                },
+                Commitment {
+                    id: B::Gromacs,
+                    committed: TimeMetric(gromacs),
+                    nodes_used: 2,
+                },
             ],
         }
     }
@@ -180,7 +191,9 @@ mod tests {
 
     #[test]
     fn evaluation_computes_weighted_speedup() {
-        let eval = proposal("A", 249.0, 200.0).evaluate(&reference(), &tco()).unwrap();
+        let eval = proposal("A", 249.0, 200.0)
+            .evaluate(&reference(), &tco())
+            .unwrap();
         // Arbor speedup 2 (weight 1), GROMACS speedup 3 (weight 2):
         // geometric mean = (2¹·3²)^(1/3).
         let expect = (2.0f64 * 9.0).powf(1.0 / 3.0);
@@ -191,8 +204,12 @@ mod tests {
 
     #[test]
     fn faster_commitments_win_value_for_money() {
-        let slow = proposal("slow", 400.0, 500.0).evaluate(&reference(), &tco()).unwrap();
-        let fast = proposal("fast", 200.0, 250.0).evaluate(&reference(), &tco()).unwrap();
+        let slow = proposal("slow", 400.0, 500.0)
+            .evaluate(&reference(), &tco())
+            .unwrap();
+        let fast = proposal("fast", 200.0, 250.0)
+            .evaluate(&reference(), &tco())
+            .unwrap();
         assert!(fast.value_for_money > slow.value_for_money);
     }
 
@@ -207,7 +224,9 @@ mod tests {
     #[test]
     fn non_improving_commitment_is_rejected() {
         // §II-C: the reference value is "the value to be improved upon".
-        let err = proposal("A", 498.0, 200.0).evaluate(&reference(), &tco()).unwrap_err();
+        let err = proposal("A", 498.0, 200.0)
+            .evaluate(&reference(), &tco())
+            .unwrap_err();
         assert!(matches!(err, SuiteError::RuleViolation { .. }));
     }
 

@@ -47,18 +47,24 @@ impl HighScalingAssessment {
         committed: TimeMetric,
     ) -> Result<Self, SuiteError> {
         let reference_gpu = jubench_cluster::GpuSpec::a100_40gb().memory_bytes;
-        let variant = MemoryVariant::best_fit(offered, reference_gpu, proposal_gpu_bytes)
-            .ok_or(SuiteError::UnsupportedVariant {
+        let variant = MemoryVariant::best_fit(offered, reference_gpu, proposal_gpu_bytes).ok_or(
+            SuiteError::UnsupportedVariant {
                 benchmark: id.name(),
                 variant: "none fits the proposed accelerator",
-            })?;
+            },
+        )?;
         if committed.0 <= 0.0 || reference.0 <= 0.0 {
             return Err(SuiteError::RuleViolation {
                 benchmark: id.name(),
                 rule: "High-Scaling runtimes must be positive".into(),
             });
         }
-        Ok(HighScalingAssessment { id, variant, reference, committed })
+        Ok(HighScalingAssessment {
+            id,
+            variant,
+            reference,
+            committed,
+        })
     }
 
     /// "The final assessment is based on the ratio of the runtime value

@@ -10,9 +10,7 @@
 //!    libraries do; forcing either one distorts the FFT-transpose codes).
 
 use jubench_apps_common::{AppModel, Phase};
-use jubench_cluster::{
-    pattern_time, CommPattern, Distance, Machine, NetModel, Placement, Work,
-};
+use jubench_cluster::{pattern_time, CommPattern, Distance, Machine, NetModel, Placement, Work};
 
 /// JUQCS communication efficiency over `nodes_list`, with or without the
 /// congestion regime. Efficiency is normalized to the smallest scale.
@@ -33,7 +31,9 @@ pub fn juqcs_comm_efficiency(nodes_list: &[u32], congestion: bool) -> Vec<(u32, 
         let half_local_bytes = (16u64 << local_bits) / 2;
         let placement = Placement::per_gpu(machine);
         let t = pattern_time(
-            CommPattern::PairwiseBisection { bytes: half_local_bytes },
+            CommPattern::PairwiseBisection {
+                bytes: half_local_bytes,
+            },
             &placement,
             &net,
         );
@@ -51,7 +51,9 @@ pub fn overlap_ablation(nodes: u32, overlap: f64) -> f64 {
         .with_phase(Phase::compute("dynamics", Work::new(5.0e12, 1.0e11)))
         .with_phase(Phase::comm(
             "spike exchange",
-            CommPattern::AllGather { bytes_per_rank: 64 << 10 },
+            CommPattern::AllGather {
+                bytes_per_rank: 64 << 10,
+            },
         ))
         .with_overlap(overlap);
     let t = model.timing();
@@ -69,7 +71,11 @@ pub fn alltoall_algorithms(nodes: u32, bytes_per_pair: u64) -> (f64, f64) {
     let rpn = placement.ranks_per_node as u64;
     let off_node = (p as u64).saturating_sub(rpn);
     let on_node = (rpn - 1).min(p as u64 - 1);
-    let dist = if machine.cells() > 1 { Distance::InterCell } else { Distance::IntraCell };
+    let dist = if machine.cells() > 1 {
+        Distance::InterCell
+    } else {
+        Distance::IntraCell
+    };
     let linear = off_node as f64 * net.ptp_time(bytes_per_pair, dist, machine.nodes)
         + on_node as f64 * net.ptp_time(bytes_per_pair, Distance::IntraNode, machine.nodes);
     let rounds = (p as f64).log2().ceil();
@@ -87,14 +93,18 @@ mod tests {
     fn congestion_ablation_removes_the_second_drop() {
         let with = juqcs_comm_efficiency(&SWEEP, true);
         let without = juqcs_comm_efficiency(&SWEEP, false);
-        let eff = |series: &[(u32, f64)], n: u32| {
-            series.iter().find(|&&(m, _)| m == n).unwrap().1
-        };
+        let eff = |series: &[(u32, f64)], n: u32| series.iter().find(|&&(m, _)| m == n).unwrap().1;
         // With congestion: efficiency at 512 clearly below 128.
-        assert!(eff(&with, 512) < 0.8 * eff(&with, 128), "second drop present");
+        assert!(
+            eff(&with, 512) < 0.8 * eff(&with, 128),
+            "second drop present"
+        );
         // Without: flat past the 1→2 transition (already normalized to 2).
         let flat = eff(&without, 512) / eff(&without, 128);
-        assert!((0.95..=1.05).contains(&flat), "ablated model is flat: {flat}");
+        assert!(
+            (0.95..=1.05).contains(&flat),
+            "ablated model is flat: {flat}"
+        );
     }
 
     #[test]
@@ -113,10 +123,16 @@ mod tests {
         // Small personalized messages: Bruck's log-round combining beats
         // P−1 latencies.
         let (linear_small, bruck_small) = alltoall_algorithms(128, 512);
-        assert!(bruck_small < linear_small, "{bruck_small} !< {linear_small}");
+        assert!(
+            bruck_small < linear_small,
+            "{bruck_small} !< {linear_small}"
+        );
         // Large messages: the linear algorithm moves each byte once, Bruck
         // moves it log(P)/2·P/(P−1) ≈ log(P)/2 times.
         let (linear_large, bruck_large) = alltoall_algorithms(128, 4 << 20);
-        assert!(linear_large < bruck_large, "{linear_large} !< {bruck_large}");
+        assert!(
+            linear_large < bruck_large,
+            "{linear_large} !< {bruck_large}"
+        );
     }
 }

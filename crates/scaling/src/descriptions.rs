@@ -35,7 +35,10 @@ pub fn describe(meta: &BenchmarkMeta) -> String {
         jubench_core::meta::NodeSpecification::Fixed(n) => format!("{n} nodes"),
         jubench_core::meta::NodeSpecification::PerSubBenchmark(list) => format!(
             "{} nodes per sub-benchmark",
-            list.iter().map(|n| n.to_string()).collect::<Vec<_>>().join("/")
+            list.iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
         ),
         jubench_core::meta::NodeSpecification::AtLeast(n) => {
             format!("a freely chosen node count above {n}")

@@ -10,12 +10,16 @@
 //!   JUQCS computation/communication split.
 //! - [`tables`]: text renderings of Table I (domains and dwarfs) and
 //!   Table II (application features and execution targets).
+//! - [`traffic`]: the trace-probed regime-breakdown study — how a
+//!   growing job's bytes migrate from NVLink to the cell and global
+//!   links.
 
 pub mod ablations;
 pub mod descriptions;
 pub mod registry;
 pub mod strong;
 pub mod tables;
+pub mod traffic;
 pub mod weak;
 
 pub use ablations::{alltoall_algorithms, juqcs_comm_efficiency, overlap_ablation};
@@ -23,4 +27,5 @@ pub use descriptions::{describe, describe_all};
 pub use registry::full_registry;
 pub use strong::{strong_scaling_series, Fig2Point, Fig2Series};
 pub use tables::{render_table1, render_table2};
+pub use traffic::{traffic_table, TrafficPoint, TrafficTable};
 pub use weak::{weak_scaling_series, Fig3Series, JUQCS_SPLIT_SERIES};

@@ -18,6 +18,9 @@ pub struct Fig2Point {
     pub runtime_s: f64,
     /// runtime / reference_runtime.
     pub relative_runtime: f64,
+    /// Fraction of the virtual makespan spent communicating — the
+    /// quantity that explains why the curve bends away from ideal.
+    pub comm_fraction: f64,
 }
 
 /// One Base application's strong-scaling series.
@@ -38,8 +41,12 @@ impl Fig2Series {
         );
         for p in &self.points {
             out.push_str(&format!(
-                "  {:>5} nodes  ({:>4.2}x)  {:>10.1} s  ({:>4.2}x)\n",
-                p.nodes, p.relative_nodes, p.runtime_s, p.relative_runtime
+                "  {:>5} nodes  ({:>4.2}x)  {:>10.1} s  ({:>4.2}x)  comm {:>5.1} %\n",
+                p.nodes,
+                p.relative_nodes,
+                p.runtime_s,
+                p.relative_runtime,
+                100.0 * p.comm_fraction
             ));
         }
         out
@@ -69,18 +76,31 @@ pub fn strong_scaling_series(bench: &dyn Benchmark, seed: u64) -> Fig2Series {
         .collect();
     nodes.dedup();
     let reference_runtime_s = bench
-        .run(&RunConfig { seed, ..RunConfig::test(reference_nodes) })
+        .run(&RunConfig {
+            seed,
+            ..RunConfig::test(reference_nodes)
+        })
         .map(|o| o.virtual_time_s)
         .unwrap_or(f64::NAN);
     let points = nodes
         .into_iter()
         .filter_map(|n| {
-            let out = bench.run(&RunConfig { seed, ..RunConfig::test(n) }).ok()?;
+            let out = bench
+                .run(&RunConfig {
+                    seed,
+                    ..RunConfig::test(n)
+                })
+                .ok()?;
             Some(Fig2Point {
                 nodes: n,
                 relative_nodes: n as f64 / reference_nodes as f64,
                 runtime_s: out.virtual_time_s,
                 relative_runtime: out.virtual_time_s / reference_runtime_s,
+                comm_fraction: if out.virtual_time_s > 0.0 {
+                    out.comm_time_s / out.virtual_time_s
+                } else {
+                    0.0
+                },
             })
         })
         .collect();

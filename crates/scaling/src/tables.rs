@@ -145,7 +145,10 @@ mod tests {
     #[test]
     fn category_split_in_tables() {
         let meta = suite_meta();
-        let base = meta.iter().filter(|m| m.category != Category::Synthetic).count();
+        let base = meta
+            .iter()
+            .filter(|m| m.category != Category::Synthetic)
+            .count();
         assert_eq!(base, 16);
     }
 }

@@ -12,13 +12,21 @@ pub struct Fig3Series {
     /// (nodes, efficiency) pairs; efficiency = per-rank time at the
     /// smallest scale divided by per-rank time at this scale.
     pub points: Vec<(u32, f64)>,
+    /// (nodes, comm fraction) pairs for the same sweep: the share of the
+    /// virtual makespan spent communicating at each scale. Empty for
+    /// series without an underlying timed run.
+    pub comm_fractions: Vec<(u32, f64)>,
 }
 
 impl Fig3Series {
     pub fn render(&self) -> String {
         let mut out = format!("{}\n", self.name);
-        for (n, e) in &self.points {
-            out.push_str(&format!("  {n:>5} nodes  efficiency {e:>6.3}\n"));
+        for (i, (n, e)) in self.points.iter().enumerate() {
+            out.push_str(&format!("  {n:>5} nodes  efficiency {e:>6.3}"));
+            if let Some((_, f)) = self.comm_fractions.get(i) {
+                out.push_str(&format!("  comm {:>5.1} %", 100.0 * f));
+            }
+            out.push('\n');
         }
         out
     }
@@ -48,23 +56,31 @@ pub fn sweep_nodes(bench: &dyn Benchmark) -> Vec<u32> {
 /// point runs the benchmark's memory variant (`variant`) at the node
 /// count: the workload fills the partition, so perfect weak scaling means
 /// constant runtime.
-pub fn weak_scaling_series(
-    bench: &dyn Benchmark,
-    variant: MemoryVariant,
-    seed: u64,
-) -> Fig3Series {
+pub fn weak_scaling_series(bench: &dyn Benchmark, variant: MemoryVariant, seed: u64) -> Fig3Series {
     let nodes = sweep_nodes(bench);
     let mut runtimes: Vec<(u32, f64)> = Vec::new();
+    let mut comm_fractions: Vec<(u32, f64)> = Vec::new();
     for n in nodes {
-        let cfg = RunConfig { seed, ..RunConfig::test(n) }.with_variant(variant);
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::test(n)
+        }
+        .with_variant(variant);
         if let Ok(out) = bench.run(&cfg) {
             runtimes.push((n, out.virtual_time_s));
+            let frac = if out.virtual_time_s > 0.0 {
+                out.comm_time_s / out.virtual_time_s
+            } else {
+                0.0
+            };
+            comm_fractions.push((n, frac));
         }
     }
     let t0 = runtimes.first().map(|&(_, t)| t).unwrap_or(f64::NAN);
     Fig3Series {
         name: bench.meta().id.name().to_string(),
         points: runtimes.into_iter().map(|(n, t)| (n, t0 / t)).collect(),
+        comm_fractions,
     }
 }
 
@@ -76,11 +92,25 @@ pub fn juqcs_split_series(seed: u64) -> [Fig3Series; 2] {
     let nodes = sweep_nodes(&bench);
     let mut comp: Vec<(u32, f64)> = Vec::new();
     let mut comm: Vec<(u32, f64)> = Vec::new();
+    let mut comm_fractions: Vec<(u32, f64)> = Vec::new();
     for n in nodes {
-        let cfg = RunConfig { seed, ..RunConfig::test(n) }.with_variant(MemoryVariant::Small);
+        let cfg = RunConfig {
+            seed,
+            ..RunConfig::test(n)
+        }
+        .with_variant(MemoryVariant::Small);
         if let Ok(out) = bench.run(&cfg) {
             comp.push((n, out.compute_time_s));
             comm.push((n, out.comm_time_s));
+            let total = out.compute_time_s + out.comm_time_s;
+            comm_fractions.push((
+                n,
+                if total > 0.0 {
+                    out.comm_time_s / total
+                } else {
+                    0.0
+                },
+            ));
         }
     }
     let norm = |series: Vec<(u32, f64)>| -> Vec<(u32, f64)> {
@@ -88,8 +118,16 @@ pub fn juqcs_split_series(seed: u64) -> [Fig3Series; 2] {
         series.into_iter().map(|(n, t)| (n, t0 / t)).collect()
     };
     [
-        Fig3Series { name: JUQCS_SPLIT_SERIES[0].into(), points: norm(comp) },
-        Fig3Series { name: JUQCS_SPLIT_SERIES[1].into(), points: norm(comm) },
+        Fig3Series {
+            name: JUQCS_SPLIT_SERIES[0].into(),
+            points: norm(comp),
+            comm_fractions: comm_fractions.clone(),
+        },
+        Fig3Series {
+            name: JUQCS_SPLIT_SERIES[1].into(),
+            points: norm(comm),
+            comm_fractions,
+        },
     ]
 }
 
@@ -125,7 +163,12 @@ mod tests {
         // communication enters the large-scale regime at 256 nodes".
         let [comp, comm] = juqcs_split_series(1);
         let eff = |series: &Fig3Series, n: u32| {
-            series.points.iter().find(|&&(m, _)| m == n).map(|&(_, e)| e).unwrap()
+            series
+                .points
+                .iter()
+                .find(|&&(m, _)| m == n)
+                .map(|&(_, e)| e)
+                .unwrap()
         };
         // Computation weak-scales perfectly.
         for &(_, e) in &comp.points {
@@ -133,22 +176,26 @@ mod tests {
         }
         // Communication: sharp 1→2 node drop…
         assert!(eff(&comm, 1) == 1.0);
-        assert!(eff(&comm, 2) < 0.35, "first drop missing: {}", eff(&comm, 2));
+        assert!(
+            eff(&comm, 2) < 0.35,
+            "first drop missing: {}",
+            eff(&comm, 2)
+        );
         // …then roughly flat…
         let mid = eff(&comm, 128);
         assert!((eff(&comm, 4) - mid).abs() < 0.2 * eff(&comm, 4).max(mid));
         // …then the large-scale congestion drop at 256+.
-        assert!(eff(&comm, 512) < 0.75 * mid, "second drop missing: {} vs {mid}", eff(&comm, 512));
+        assert!(
+            eff(&comm, 512) < 0.75 * mid,
+            "second drop missing: {} vs {mid}",
+            eff(&comm, 512)
+        );
     }
 
     #[test]
     fn arbor_stays_near_perfect() {
         let r = full_registry();
-        let s = weak_scaling_series(
-            r.get(BenchmarkId::Arbor).unwrap(),
-            MemoryVariant::Tiny,
-            1,
-        );
+        let s = weak_scaling_series(r.get(BenchmarkId::Arbor).unwrap(), MemoryVariant::Tiny, 1);
         for &(n, e) in &s.points {
             assert!(e > 0.9, "Arbor efficiency {e} at {n} nodes");
         }
@@ -160,7 +207,11 @@ mod tests {
         assert_eq!(series.len(), 6, "4 apps + 2 JUQCS lines");
         for s in &series {
             assert!(s.points.len() >= 5, "{} has too few points", s.name);
-            assert!((s.points[0].1 - 1.0).abs() < 1e-9, "{} not normalized", s.name);
+            assert!(
+                (s.points[0].1 - 1.0).abs() < 1e-9,
+                "{} not normalized",
+                s.name
+            );
             assert!(!s.render().is_empty());
         }
     }

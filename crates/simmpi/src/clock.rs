@@ -77,7 +77,10 @@ impl VirtualClock {
     }
 
     pub fn stats(&self) -> ClockStats {
-        ClockStats { compute_s: self.compute_s, comm_s: self.comm_s }
+        ClockStats {
+            compute_s: self.compute_s,
+            comm_s: self.comm_s,
+        }
     }
 }
 
@@ -92,7 +95,13 @@ mod tests {
         c.advance_compute(1.0);
         c.advance_comm(0.5);
         assert_eq!(c.now(), 1.5);
-        assert_eq!(c.stats(), ClockStats { compute_s: 1.0, comm_s: 0.5 });
+        assert_eq!(
+            c.stats(),
+            ClockStats {
+                compute_s: 1.0,
+                comm_s: 0.5
+            }
+        );
     }
 
     #[test]
@@ -131,7 +140,10 @@ mod tests {
 
     #[test]
     fn comm_fraction() {
-        let s = ClockStats { compute_s: 3.0, comm_s: 1.0 };
+        let s = ClockStats {
+            compute_s: 3.0,
+            comm_s: 1.0,
+        };
         assert!((s.comm_fraction() - 0.25).abs() < 1e-12);
         assert_eq!(ClockStats::default().comm_fraction(), 0.0);
     }

@@ -3,14 +3,26 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::{Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
 
-use jubench_cluster::{NetModel, Roofline, Work};
+use jubench_cluster::{Distance, NetModel, Roofline, Work};
+use jubench_trace::{CollectiveKind, EventKind, Regime, TraceEvent, TraceSink};
 
 use crate::clock::{ClockStats, VirtualClock};
 use crate::error::SimError;
 use crate::rankmap::RankMap;
+
+/// The topology regime a transfer over `dist` is accounted to.
+pub(crate) fn regime_of(dist: Distance) -> Regime {
+    match dist {
+        Distance::SameDevice => Regime::SameDevice,
+        Distance::IntraNode => Regime::IntraNode,
+        Distance::IntraCell => Regime::IntraCell,
+        Distance::InterCell => Regime::InterCell,
+        Distance::InterModule => Regime::InterModule,
+    }
+}
 
 /// Typed message payload. Using an enum instead of raw bytes keeps the data
 /// path allocation-light and lets the runtime detect datatype mismatches.
@@ -74,23 +86,26 @@ pub(crate) struct VBarrier {
 
 impl VBarrier {
     pub(crate) fn new(n: usize) -> Self {
-        VBarrier { barrier: std::sync::Barrier::new(n), max: Mutex::new(0.0) }
+        VBarrier {
+            barrier: std::sync::Barrier::new(n),
+            max: Mutex::new(0.0),
+        }
     }
 
     /// Enter with local virtual time `t`; returns the maximum over all
     /// participants.
     fn wait(&self, t: f64) -> f64 {
         {
-            let mut m = self.max.lock();
+            let mut m = self.max.lock().unwrap();
             if t > *m {
                 *m = t;
             }
         }
         self.barrier.wait();
-        let v = *self.max.lock();
+        let v = *self.max.lock().unwrap();
         let res = self.barrier.wait();
         if res.is_leader() {
-            *self.max.lock() = 0.0;
+            *self.max.lock().unwrap() = 0.0;
         }
         self.barrier.wait();
         v
@@ -112,6 +127,13 @@ pub struct Comm {
     device: Roofline,
     barrier: Arc<VBarrier>,
     degraded_link: Option<(u32, u32, f64)>,
+    /// Node hosting this rank (cached for event stamping).
+    node: u32,
+    /// Opt-in trace sink; `None` keeps every hook a no-op.
+    sink: Option<Arc<dyn TraceSink>>,
+    /// Per-rank event sequence number: `(rank, seq)` totally orders the
+    /// trace deterministically.
+    seq: u64,
 }
 
 impl Comm {
@@ -132,16 +154,43 @@ impl Comm {
             receivers,
             clock: VirtualClock::new(),
             device: map.device(rank),
+            node: map.node_of(rank),
             map,
             net,
             barrier,
             degraded_link: None,
+            sink: None,
+            seq: 0,
         }
     }
 
     pub(crate) fn with_degraded_link(mut self, degraded: Option<(u32, u32, f64)>) -> Self {
         self.degraded_link = degraded;
         self
+    }
+
+    pub(crate) fn with_sink(mut self, sink: Option<Arc<dyn TraceSink>>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Record one event ending at the current clock time. A no-op without
+    /// a sink installed (the `EventKind`s emitted here are plain enums, so
+    /// the disabled path allocates nothing).
+    #[inline]
+    fn emit(&mut self, t_start: f64, kind: EventKind) {
+        if let Some(sink) = &self.sink {
+            let seq = self.seq;
+            self.seq += 1;
+            sink.record(TraceEvent {
+                rank: self.rank,
+                node: self.node,
+                seq,
+                t_start,
+                t_end: self.clock.now(),
+                kind,
+            });
+        }
     }
 
     pub fn rank(&self) -> u32 {
@@ -169,44 +218,69 @@ impl Comm {
 
     /// Advance the virtual clock by the roofline time of `work`.
     pub fn compute(&mut self, work: Work) {
-        self.clock.advance_work(&self.device, work);
+        self.advance_compute(self.device.time(work));
     }
 
     /// Advance the virtual clock by `seconds` of computation directly.
     pub fn advance_compute(&mut self, seconds: f64) {
+        let t0 = self.clock.now();
         self.clock.advance_compute(seconds);
+        self.emit(t0, EventKind::Compute { seconds });
     }
 
     fn check_rank(&self, r: u32) -> Result<(), SimError> {
         if r >= self.size {
-            Err(SimError::InvalidRank { rank: r, size: self.size })
+            Err(SimError::InvalidRank {
+                rank: r,
+                size: self.size,
+            })
         } else {
             Ok(())
         }
     }
 
-    fn transfer_time(&self, to_or_from: u32, bytes: u64) -> f64 {
-        let dist = self.map.distance(self.rank, to_or_from);
+    /// Link properties towards `peer` for a `bytes`-sized transfer: wire
+    /// time, topology regime, and whether the degraded-link fault applied.
+    fn link(&self, peer: u32, bytes: u64) -> (f64, Regime, bool) {
+        let dist = self.map.distance(self.rank, peer);
         let mut t = self.net.ptp_time(bytes, dist, self.map.job_nodes());
+        let mut degraded = false;
         if let Some((a, b, factor)) = self.degraded_link {
-            let pair = (self.rank.min(to_or_from), self.rank.max(to_or_from));
+            let pair = (self.rank.min(peer), self.rank.max(peer));
             if pair == (a.min(b), a.max(b)) {
                 t *= factor;
+                degraded = true;
             }
         }
-        t
+        (t, regime_of(dist), degraded)
     }
 
     // ----- point-to-point -------------------------------------------------
 
     fn send_payload(&mut self, to: u32, tag: u32, payload: Payload) -> Result<(), SimError> {
         self.check_rank(to)?;
-        let transfer = self.transfer_time(to, payload.nbytes());
+        let bytes = payload.nbytes();
+        let (transfer, regime, degraded) = self.link(to, bytes);
+        let t0 = self.clock.now();
         // The sender serializes the message through its adapter.
         self.clock.advance_comm(transfer);
-        let msg = Message { payload, tag, sent_at: self.clock.now() };
+        let msg = Message {
+            payload,
+            tag,
+            sent_at: self.clock.now(),
+        };
         // Unbounded channel: never blocks; a gone peer just drops the data.
         let _ = self.senders[to as usize].send(msg);
+        self.emit(
+            t0,
+            EventKind::Send {
+                peer: to,
+                tag,
+                bytes,
+                regime,
+                degraded,
+            },
+        );
         Ok(())
     }
 
@@ -217,11 +291,29 @@ impl Comm {
             .map_err(|_| SimError::PeerGone { from })?;
         if let Some(expected) = tag {
             if msg.tag != expected {
-                return Err(SimError::TagMismatch { from, expected, found: msg.tag });
+                return Err(SimError::TagMismatch {
+                    from,
+                    expected,
+                    found: msg.tag,
+                });
             }
         }
-        let transfer = self.transfer_time(from, msg.payload.nbytes());
+        let bytes = msg.payload.nbytes();
+        let (transfer, regime, _) = self.link(from, bytes);
+        let t0 = self.clock.now();
+        let wait_s = (msg.sent_at - t0).max(0.0);
         self.clock.recv_until(msg.sent_at, transfer);
+        self.emit(
+            t0,
+            EventKind::Recv {
+                peer: from,
+                tag: msg.tag,
+                bytes,
+                regime,
+                wait_s,
+                transfer_s: transfer,
+            },
+        );
         Ok(msg.payload)
     }
 
@@ -306,12 +398,57 @@ impl Comm {
 
     /// Barrier: synchronizes all virtual clocks to the maximum.
     pub fn barrier(&mut self) {
-        let target = self.barrier.wait(self.clock.now());
+        let t0 = self.clock.now();
+        let target = self.barrier.wait(t0);
         self.clock.sync_to(target);
+        let sync_wait_s = self.clock.now() - t0;
+        self.emit(
+            t0,
+            EventKind::Collective {
+                kind: CollectiveKind::Barrier,
+                algorithm: "max-sync",
+                bytes: 0,
+                sync_wait_s,
+            },
+        );
+    }
+
+    /// Record a collective span `[t0, now]` wrapping the constituent
+    /// point-to-point events. Wire time lives in those wrapped events, so
+    /// the span itself carries `sync_wait_s = 0` and does not enter the
+    /// clock accounting a second time.
+    fn emit_collective(
+        &mut self,
+        t0: f64,
+        kind: CollectiveKind,
+        algorithm: &'static str,
+        bytes: u64,
+    ) {
+        self.emit(
+            t0,
+            EventKind::Collective {
+                kind,
+                algorithm,
+                bytes,
+                sync_wait_s: 0.0,
+            },
+        );
     }
 
     /// In-place ring allreduce (reduce-scatter + allgather).
     pub fn allreduce_f64(&mut self, buf: &mut [f64], op: ReduceOp) -> Result<(), SimError> {
+        let t0 = self.clock.now();
+        self.allreduce_impl(buf, op)?;
+        self.emit_collective(
+            t0,
+            CollectiveKind::Allreduce,
+            "ring",
+            (buf.len() * 8) as u64,
+        );
+        Ok(())
+    }
+
+    fn allreduce_impl(&mut self, buf: &mut [f64], op: ReduceOp) -> Result<(), SimError> {
         let p = self.size as usize;
         if p == 1 || buf.is_empty() {
             return Ok(());
@@ -361,6 +498,18 @@ impl Comm {
     /// contribution, ordered by rank. All contributions must have equal
     /// length.
     pub fn allgather_f64(&mut self, local: &[f64]) -> Result<Vec<f64>, SimError> {
+        let t0 = self.clock.now();
+        let out = self.allgather_impl(local)?;
+        self.emit_collective(
+            t0,
+            CollectiveKind::Allgather,
+            "ring",
+            (local.len() * 8) as u64,
+        );
+        Ok(out)
+    }
+
+    fn allgather_impl(&mut self, local: &[f64]) -> Result<Vec<f64>, SimError> {
         let p = self.size as usize;
         let n = local.len();
         let r = self.rank as usize;
@@ -384,6 +533,14 @@ impl Comm {
     /// Personalized all-to-all: `send[i]` goes to rank `i`; returns the
     /// vector of buffers received from each rank (`recv[i]` from rank `i`).
     pub fn alltoall_f64(&mut self, send: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, SimError> {
+        let t0 = self.clock.now();
+        let bytes = send.iter().map(|b| (b.len() * 8) as u64).sum();
+        let recv = self.alltoall_impl(send)?;
+        self.emit_collective(t0, CollectiveKind::Alltoall, "pairwise", bytes);
+        Ok(recv)
+    }
+
+    fn alltoall_impl(&mut self, send: Vec<Vec<f64>>) -> Result<Vec<Vec<f64>>, SimError> {
         let p = self.size as usize;
         assert_eq!(send.len(), p, "alltoall needs one buffer per rank");
         let r = self.rank as usize;
@@ -400,6 +557,20 @@ impl Comm {
 
     /// Binomial-tree broadcast from `root`, in place.
     pub fn broadcast_f64(&mut self, root: u32, buf: &mut Vec<f64>) -> Result<(), SimError> {
+        let t0 = self.clock.now();
+        self.broadcast_impl(root, buf)?;
+        // Payload size is known once the buffer arrived (non-root ranks
+        // start empty).
+        self.emit_collective(
+            t0,
+            CollectiveKind::Broadcast,
+            "binomial-tree",
+            (buf.len() * 8) as u64,
+        );
+        Ok(())
+    }
+
+    fn broadcast_impl(&mut self, root: u32, buf: &mut Vec<f64>) -> Result<(), SimError> {
         self.check_rank(root)?;
         let p = self.size;
         if p == 1 {
@@ -428,7 +599,23 @@ impl Comm {
 
     /// Gather every rank's `local` buffer at `root`. Returns `Some` at the
     /// root (indexed by rank), `None` elsewhere.
-    pub fn gather_f64(&mut self, root: u32, local: &[f64]) -> Result<Option<Vec<Vec<f64>>>, SimError> {
+    pub fn gather_f64(
+        &mut self,
+        root: u32,
+        local: &[f64],
+    ) -> Result<Option<Vec<Vec<f64>>>, SimError> {
+        let t0 = self.clock.now();
+        let out = self.gather_impl(root, local)?;
+        self.emit_collective(
+            t0,
+            CollectiveKind::Gather,
+            "linear",
+            (local.len() * 8) as u64,
+        );
+        Ok(out)
+    }
+
+    fn gather_impl(&mut self, root: u32, local: &[f64]) -> Result<Option<Vec<Vec<f64>>>, SimError> {
         self.check_rank(root)?;
         if self.rank == root {
             let mut all = vec![Vec::new(); self.size as usize];

@@ -8,9 +8,17 @@ pub enum SimError {
     /// A receive found a message of a different payload type than requested
     /// (e.g. `recv_f64` on a `u64` message) — the moral equivalent of an
     /// MPI datatype mismatch.
-    TypeMismatch { from: u32, expected: &'static str, found: &'static str },
+    TypeMismatch {
+        from: u32,
+        expected: &'static str,
+        found: &'static str,
+    },
     /// A receive found a message with an unexpected tag.
-    TagMismatch { from: u32, expected: u32, found: u32 },
+    TagMismatch {
+        from: u32,
+        expected: u32,
+        found: u32,
+    },
     /// The peer rank terminated (panicked or returned) while this rank was
     /// waiting for a message.
     PeerGone { from: u32 },
@@ -21,15 +29,34 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::TypeMismatch { from, expected, found } => {
-                write!(f, "type mismatch receiving from rank {from}: expected {expected}, found {found}")
+            SimError::TypeMismatch {
+                from,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch receiving from rank {from}: expected {expected}, found {found}"
+                )
             }
-            SimError::TagMismatch { from, expected, found } => {
-                write!(f, "tag mismatch receiving from rank {from}: expected {expected}, found {found}")
+            SimError::TagMismatch {
+                from,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "tag mismatch receiving from rank {from}: expected {expected}, found {found}"
+                )
             }
-            SimError::PeerGone { from } => write!(f, "rank {from} terminated while being waited on"),
+            SimError::PeerGone { from } => {
+                write!(f, "rank {from} terminated while being waited on")
+            }
             SimError::InvalidRank { rank, size } => {
-                write!(f, "rank {rank} out of range for communicator of size {size}")
+                write!(
+                    f,
+                    "rank {rank} out of range for communicator of size {size}"
+                )
             }
         }
     }
@@ -43,7 +70,11 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = SimError::TypeMismatch { from: 3, expected: "f64", found: "u64" };
+        let e = SimError::TypeMismatch {
+            from: 3,
+            expected: "f64",
+            found: "u64",
+        };
         assert!(e.to_string().contains("rank 3"));
         let e = SimError::InvalidRank { rank: 9, size: 4 };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));

@@ -8,7 +8,10 @@ use jubench_cluster::{Distance, GpuSpec, Machine, NodeSpec, Placement, Roofline}
 #[derive(Debug, Clone, Copy)]
 pub enum RankMap {
     /// All ranks on one machine with a uniform device.
-    Uniform { placement: Placement, device: Roofline },
+    Uniform {
+        placement: Placement,
+        device: Roofline,
+    },
     /// MSA: the first `cluster.ranks()` ranks run on the CPU Cluster (one
     /// rank per node), the rest on the GPU Booster (one rank per GPU).
     Msa {
@@ -48,7 +51,9 @@ impl RankMap {
     pub fn ranks(&self) -> u32 {
         match self {
             RankMap::Uniform { placement, .. } => placement.ranks(),
-            RankMap::Msa { cluster, booster, .. } => cluster.ranks() + booster.ranks(),
+            RankMap::Msa {
+                cluster, booster, ..
+            } => cluster.ranks() + booster.ranks(),
         }
     }
 
@@ -64,7 +69,9 @@ impl RankMap {
     pub fn distance(&self, a: u32, b: u32) -> Distance {
         match self {
             RankMap::Uniform { placement, .. } => placement.distance(a, b),
-            RankMap::Msa { cluster, booster, .. } => {
+            RankMap::Msa {
+                cluster, booster, ..
+            } => {
                 let split = cluster.ranks();
                 match (a < split, b < split) {
                     (true, true) => cluster.distance(a, b),
@@ -76,11 +83,34 @@ impl RankMap {
         }
     }
 
+    /// The node index hosting `rank`, unique across the whole world
+    /// (MSA Booster nodes are numbered after the Cluster nodes).
+    pub fn node_of(&self, rank: u32) -> u32 {
+        match self {
+            RankMap::Uniform { placement, .. } => placement.node_of(rank),
+            RankMap::Msa {
+                cluster, booster, ..
+            } => {
+                let split = cluster.ranks();
+                if rank < split {
+                    cluster.node_of(rank)
+                } else {
+                    cluster.machine.nodes + booster.node_of(rank - split)
+                }
+            }
+        }
+    }
+
     /// The roofline device of `rank`.
     pub fn device(&self, rank: u32) -> Roofline {
         match self {
             RankMap::Uniform { device, .. } => *device,
-            RankMap::Msa { cluster, cluster_device, booster_device, .. } => {
+            RankMap::Msa {
+                cluster,
+                cluster_device,
+                booster_device,
+                ..
+            } => {
                 if rank < cluster.ranks() {
                     *cluster_device
                 } else {
@@ -94,9 +124,9 @@ impl RankMap {
     pub fn job_nodes(&self) -> u32 {
         match self {
             RankMap::Uniform { placement, .. } => placement.machine.nodes,
-            RankMap::Msa { cluster, booster, .. } => {
-                cluster.machine.nodes + booster.machine.nodes
-            }
+            RankMap::Msa {
+                cluster, booster, ..
+            } => cluster.machine.nodes + booster.machine.nodes,
         }
     }
 }
@@ -138,11 +168,32 @@ mod tests {
         let cpu = map.device(0);
         let gpu = map.device(5);
         assert!(gpu.gpu.fp64_flops > cpu.gpu.fp64_flops);
-        assert!(cpu.gpu.memory_bytes > gpu.gpu.memory_bytes, "CPU nodes have more memory");
+        assert!(
+            cpu.gpu.memory_bytes > gpu.gpu.memory_bytes,
+            "CPU nodes have more memory"
+        );
     }
 
     #[test]
     fn msa_job_nodes_sum_modules() {
         assert_eq!(RankMap::msa(4, 2).job_nodes(), 6);
+    }
+
+    #[test]
+    fn node_of_is_globally_unique_across_modules() {
+        let machine = Machine::juwels_booster().partition(2);
+        let map = RankMap::Uniform {
+            placement: Placement::per_gpu(machine),
+            device: Roofline::new(machine.node.gpu),
+        };
+        assert_eq!(map.node_of(0), 0);
+        assert_eq!(map.node_of(3), 0);
+        assert_eq!(map.node_of(4), 1);
+
+        let msa = RankMap::msa(4, 2); // 4 CPU ranks (1/node) + 8 GPU ranks (4/node)
+        assert_eq!(msa.node_of(0), 0);
+        assert_eq!(msa.node_of(3), 3);
+        assert_eq!(msa.node_of(4), 4, "first Booster node follows the Cluster");
+        assert_eq!(msa.node_of(8), 5);
     }
 }

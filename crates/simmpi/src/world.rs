@@ -3,9 +3,10 @@
 
 use std::sync::Arc;
 
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 
 use jubench_cluster::{Machine, NetModel, Placement, Roofline};
+use jubench_trace::TraceSink;
 
 use crate::clock::ClockStats;
 use crate::comm::{Comm, VBarrier};
@@ -22,7 +23,7 @@ pub struct RankResult<T> {
 
 /// A simulated machine (or MSA machine pair) on which rank programs can
 /// be launched.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct World {
     map: RankMap,
     net: NetModel,
@@ -30,6 +31,20 @@ pub struct World {
     /// factor (> 1), emulating a degraded cable/adapter for the LinkTest
     /// troubleshooting scenario.
     degraded_link: Option<(u32, u32, f64)>,
+    /// Opt-in observability: every communicator records structured events
+    /// here. `None` (the default) keeps all instrumentation hooks no-ops.
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("map", &self.map)
+            .field("net", &self.net)
+            .field("degraded_link", &self.degraded_link)
+            .field("traced", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl World {
@@ -42,6 +57,7 @@ impl World {
             },
             net: NetModel::juwels_booster(),
             degraded_link: None,
+            sink: None,
         }
     }
 
@@ -54,6 +70,7 @@ impl World {
             },
             net: NetModel::juwels_booster(),
             degraded_link: None,
+            sink: None,
         }
     }
 
@@ -64,6 +81,7 @@ impl World {
             map: RankMap::msa(cluster_nodes, booster_nodes),
             net: NetModel::juwels_booster(),
             degraded_link: None,
+            sink: None,
         }
     }
 
@@ -88,6 +106,14 @@ impl World {
     /// Override the network model.
     pub fn with_net(mut self, net: NetModel) -> Self {
         self.net = net;
+        self
+    }
+
+    /// Install a trace sink: every communicator of subsequent runs records
+    /// compute spans, point-to-point transfers, and collectives into it.
+    /// Without a recorder installed the instrumentation hooks are no-ops.
+    pub fn with_recorder(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -117,10 +143,11 @@ impl World {
         // channels[from][to]
         let mut senders: Vec<Vec<_>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
         let mut receivers: Vec<Vec<_>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut rx_matrix: Vec<Vec<Option<_>>> = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut rx_matrix: Vec<Vec<Option<_>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for (from, row) in senders.iter_mut().enumerate() {
             for to in 0..n {
-                let (s, r) = unbounded();
+                let (s, r) = channel();
                 row.push(s);
                 rx_matrix[to][from] = Some(r);
             }
@@ -140,19 +167,17 @@ impl World {
                 let map = self.map;
                 let net = self.net;
                 let degraded = self.degraded_link;
+                let sink = self.sink.clone();
                 handles.push(scope.spawn(move || {
-                    let mut comm = Comm::new(
-                        rank as u32,
-                        n as u32,
-                        tx,
-                        rx,
-                        map,
-                        net,
-                        barrier,
-                    )
-                    .with_degraded_link(degraded);
+                    let mut comm = Comm::new(rank as u32, n as u32, tx, rx, map, net, barrier)
+                        .with_degraded_link(degraded)
+                        .with_sink(sink);
                     let value = f(&mut comm);
-                    RankResult { rank: rank as u32, value, clock: comm.stats() }
+                    RankResult {
+                        rank: rank as u32,
+                        value,
+                        clock: comm.stats(),
+                    }
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
@@ -170,7 +195,10 @@ impl World {
             }
         });
 
-        results.into_iter().map(|r| r.expect("all ranks joined")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("all ranks joined"))
+            .collect()
     }
 
     /// Run and return the virtual makespan: the maximum rank clock total,
@@ -208,7 +236,10 @@ mod tests {
     #[test]
     fn ranks_counts() {
         assert_eq!(small_world(2).ranks(), 8);
-        assert_eq!(World::per_node(Machine::juwels_booster().partition(3)).ranks(), 3);
+        assert_eq!(
+            World::per_node(Machine::juwels_booster().partition(3)).ranks(),
+            3
+        );
     }
 
     #[test]
@@ -249,8 +280,12 @@ mod tests {
     fn allreduce_max_and_min() {
         let w = small_world(1);
         let results = w.run(|comm| {
-            let mx = comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Max).unwrap();
-            let mn = comm.allreduce_scalar(comm.rank() as f64, ReduceOp::Min).unwrap();
+            let mx = comm
+                .allreduce_scalar(comm.rank() as f64, ReduceOp::Max)
+                .unwrap();
+            let mn = comm
+                .allreduce_scalar(comm.rank() as f64, ReduceOp::Min)
+                .unwrap();
             (mx, mn)
         });
         for r in &results {
@@ -285,8 +320,9 @@ mod tests {
         let w = small_world(1);
         let results = w.run(|comm| {
             let p = comm.size();
-            let send: Vec<Vec<f64>> =
-                (0..p).map(|to| vec![(comm.rank() * 100 + to) as f64]).collect();
+            let send: Vec<Vec<f64>> = (0..p)
+                .map(|to| vec![(comm.rank() * 100 + to) as f64])
+                .collect();
             comm.alltoall_f64(send).unwrap()
         });
         for r in &results {
@@ -300,7 +336,11 @@ mod tests {
     fn broadcast_from_nonzero_root() {
         let w = small_world(2);
         let results = w.run(|comm| {
-            let mut buf = if comm.rank() == 5 { vec![42.0, 7.0] } else { Vec::new() };
+            let mut buf = if comm.rank() == 5 {
+                vec![42.0, 7.0]
+            } else {
+                Vec::new()
+            };
             comm.broadcast_f64(5, &mut buf).unwrap();
             buf
         });
@@ -338,7 +378,12 @@ mod tests {
             comm.now()
         });
         for r in &results {
-            assert!((r.value - 10.0).abs() < 1e-9, "rank {} at {}", r.rank, r.value);
+            assert!(
+                (r.value - 10.0).abs() < 1e-9,
+                "rank {} at {}",
+                r.rank,
+                r.value
+            );
         }
     }
 
@@ -396,7 +441,11 @@ mod tests {
         });
         assert!(matches!(
             results[1].value,
-            Err(crate::error::SimError::TagMismatch { from: 0, expected: 9, found: 7 })
+            Err(crate::error::SimError::TagMismatch {
+                from: 0,
+                expected: 9,
+                found: 7
+            })
         ));
     }
 
@@ -428,6 +477,94 @@ mod tests {
             comm.advance_compute(comm.rank() as f64);
         });
         assert_eq!(span.compute_s, 3.0);
+    }
+
+    #[test]
+    fn recorder_reproduces_clock_stats_exactly() {
+        use jubench_trace::{Recorder, TraceEvent};
+        let rec = Arc::new(Recorder::new());
+        let w = small_world(2).with_recorder(rec.clone());
+        let results = w.run(|comm| {
+            comm.advance_compute(0.5 * (comm.rank() + 1) as f64);
+            let peer = comm.rank() ^ 1;
+            comm.sendrecv_f64(peer, &[comm.rank() as f64; 100]).unwrap();
+            let mut buf = vec![comm.rank() as f64; 16];
+            comm.allreduce_f64(&mut buf, ReduceOp::Sum).unwrap();
+            comm.barrier();
+        });
+        let events = rec.take_events();
+        assert!(!events.is_empty());
+        for r in &results {
+            let mine: Vec<&TraceEvent> = events.iter().filter(|e| e.rank == r.rank).collect();
+            let compute: f64 = mine.iter().map(|e| e.compute_seconds()).sum();
+            let comm: f64 = mine.iter().map(|e| e.comm_seconds()).sum();
+            assert!(
+                (compute - r.clock.compute_s).abs() < 1e-12,
+                "rank {} compute {} vs {}",
+                r.rank,
+                compute,
+                r.clock.compute_s
+            );
+            assert!(
+                (comm - r.clock.comm_s).abs() < 1e-9,
+                "rank {} comm {} vs {}",
+                r.rank,
+                comm,
+                r.clock.comm_s
+            );
+        }
+    }
+
+    #[test]
+    fn untraced_world_records_nothing_and_behaves_identically() {
+        let run = |w: &World| {
+            w.run(|comm| {
+                let peer = comm.rank() ^ 1;
+                comm.sendrecv_f64(peer, &[1.0; 64]).unwrap();
+                comm.now()
+            })
+        };
+        let plain = small_world(1);
+        let rec = Arc::new(jubench_trace::Recorder::new());
+        let traced = small_world(1).with_recorder(rec.clone());
+        let a = run(&plain);
+        let b = run(&traced);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.value, y.value);
+            assert_eq!(x.clock, y.clock);
+        }
+        assert!(!rec.is_empty(), "traced world recorded events");
+    }
+
+    #[test]
+    fn degraded_link_is_flagged_in_trace() {
+        use jubench_trace::EventKind;
+        let rec = Arc::new(jubench_trace::Recorder::new());
+        let w = small_world(1)
+            .with_degraded_link(0, 1, 8.0)
+            .with_recorder(rec.clone());
+        w.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send_f64(1, &[1.0; 32]).unwrap();
+                comm.send_f64(2, &[1.0; 32]).unwrap();
+            } else if comm.rank() == 1 || comm.rank() == 2 {
+                comm.recv_f64(0).unwrap();
+            }
+        });
+        let events = rec.take_events();
+        let degraded_of = |peer: u32| {
+            events
+                .iter()
+                .find_map(|e| match e.kind {
+                    EventKind::Send {
+                        peer: p, degraded, ..
+                    } if e.rank == 0 && p == peer => Some(degraded),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert!(degraded_of(1), "0->1 crosses the degraded pair");
+        assert!(!degraded_of(2), "0->2 is healthy");
     }
 
     #[test]

@@ -10,7 +10,6 @@ use jubench_core::{
     VerificationOutcome,
 };
 use jubench_kernels::rank_rng;
-use rand::Rng;
 
 /// The Graph500 R-MAT parameters (A, B, C; D = 1 − A − B − C).
 const RMAT: [f64; 3] = [0.57, 0.19, 0.19];
@@ -71,7 +70,11 @@ impl Csr {
             targets[cursor[v as usize]] = u;
             cursor[v as usize] += 1;
         }
-        Csr { offsets, targets, vertices }
+        Csr {
+            offsets,
+            targets,
+            vertices,
+        }
     }
 
     pub fn neighbours(&self, v: u32) -> &[u32] {
@@ -235,7 +238,10 @@ impl Default for Graph500 {
 
 impl Benchmark for Graph500 {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Graph500).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Graph500)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -250,7 +256,10 @@ impl Benchmark for Graph500 {
             .with_efficiencies(0.05, 0.3)
             .with_phase(Phase::compute(
                 "frontier expansion",
-                Work::new(8.0 * verts * EDGE_FACTOR as f64 / devices / 64.0, 64.0 * verts / devices),
+                Work::new(
+                    8.0 * verts * EDGE_FACTOR as f64 / devices / 64.0,
+                    64.0 * verts / devices,
+                ),
             ))
             .with_phase(Phase::comm(
                 "frontier exchange",
@@ -278,13 +287,19 @@ impl Benchmark for Graph500 {
         let elapsed = start.elapsed().as_secs_f64().max(1e-9);
         let teps = total_traversed as f64 / elapsed;
         let verification = match validation {
-            Ok(()) => VerificationOutcome::Exact { checked_values: csr.vertices as usize },
+            Ok(()) => VerificationOutcome::Exact {
+                checked_values: csr.vertices as usize,
+            },
             Err(e) => VerificationOutcome::Failed { detail: e },
         };
-        let mut out = jubench_apps_common::outcome(timing, verification, vec![
-            ("measured_teps".into(), teps),
-            ("traversed_edges".into(), total_traversed as f64),
-        ]);
+        let mut out = jubench_apps_common::outcome(
+            timing,
+            verification,
+            vec![
+                ("measured_teps".into(), teps),
+                ("traversed_edges".into(), total_traversed as f64),
+            ],
+        );
         out.fom = Fom::Teps(teps);
         Ok(out)
     }
@@ -307,9 +322,15 @@ mod tests {
         // vertex has far more than the mean degree.
         let edges = kronecker_edges(10, 2);
         let csr = Csr::from_edges(1 << 10, &edges);
-        let max_deg = (0..1u32 << 10).map(|v| csr.neighbours(v).len()).max().unwrap();
+        let max_deg = (0..1u32 << 10)
+            .map(|v| csr.neighbours(v).len())
+            .max()
+            .unwrap();
         let mean = 2.0 * edges.len() as f64 / 1024.0;
-        assert!(max_deg as f64 > 4.0 * mean, "max degree {max_deg}, mean {mean}");
+        assert!(
+            max_deg as f64 > 4.0 * mean,
+            "max degree {max_deg}, mean {mean}"
+        );
     }
 
     #[test]

@@ -72,8 +72,7 @@ impl Stencil27 {
                             if di == 0 && dj == 0 && dk == 0 {
                                 continue;
                             }
-                            let (ii, jj, kk) =
-                                (i as isize + di, j as isize + dj, k as isize + dk);
+                            let (ii, jj, kk) = (i as isize + di, j as isize + dj, k as isize + dk);
                             if ii >= 0 && ii < n && jj >= 0 && jj < n && kk >= 0 && kk < n {
                                 s += z[self.idx(ii as usize, jj as usize, kk as usize)];
                             }
@@ -137,7 +136,10 @@ impl Default for Hpcg {
 
 impl Benchmark for Hpcg {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Hpcg).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Hpcg)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -170,10 +172,14 @@ impl Benchmark for Hpcg {
         let elapsed = start.elapsed().as_secs_f64().max(1e-9);
         let rate = flops / elapsed;
         let verification = VerificationOutcome::tolerance(resid, 1e-8);
-        let mut out = jubench_apps_common::outcome(timing, verification, vec![
-            ("measured_flops".into(), rate),
-            ("pcg_iterations".into(), iters as f64),
-        ]);
+        let mut out = jubench_apps_common::outcome(
+            timing,
+            verification,
+            vec![
+                ("measured_flops".into(), rate),
+                ("pcg_iterations".into(), iters as f64),
+            ],
+        );
         out.fom = Fom::Flops(rate);
         Ok(out)
     }

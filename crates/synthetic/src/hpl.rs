@@ -11,7 +11,6 @@ use jubench_core::{
 };
 use jubench_kernels::linalg::residual_inf;
 use jubench_kernels::{lu_factor, lu_solve, rank_rng, Matrix};
-use rand::Rng;
 
 pub struct Hpl {
     /// Local problem order for the real execution.
@@ -31,7 +30,10 @@ pub fn hpl_flops(n: f64) -> f64 {
 
 impl Benchmark for Hpl {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Hpl).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Hpl)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -46,11 +48,16 @@ impl Benchmark for Hpl {
             .with_efficiencies(0.75, 0.85)
             .with_phase(Phase::compute(
                 "panel + update",
-                Work::new(hpl_flops(n_full) / devices / 100.0, n_full * n_full * 8.0 / devices / 100.0),
+                Work::new(
+                    hpl_flops(n_full) / devices / 100.0,
+                    n_full * n_full * 8.0 / devices / 100.0,
+                ),
             ))
             .with_phase(Phase::comm(
                 "panel broadcast",
-                CommPattern::AllGather { bytes_per_rank: (n_full * 8.0 / devices) as u64 },
+                CommPattern::AllGather {
+                    bytes_per_rank: (n_full * 8.0 / devices) as u64,
+                },
             ))
             .timing();
 
@@ -73,10 +80,14 @@ impl Benchmark for Hpl {
         let scale = a.max_abs() * x.iter().fold(0.0f64, |m, v| m.max(v.abs())) * n as f64;
         let scaled = resid / (f64::EPSILON * scale.max(1e-300));
         let verification = VerificationOutcome::tolerance(scaled, 100.0);
-        let mut out = jubench_apps_common::outcome(timing, verification, vec![
-            ("measured_flops".into(), flops),
-            ("scaled_residual".into(), scaled),
-        ]);
+        let mut out = jubench_apps_common::outcome(
+            timing,
+            verification,
+            vec![
+                ("measured_flops".into(), flops),
+                ("scaled_residual".into(), scaled),
+            ],
+        );
         out.fom = Fom::Flops(flops);
         Ok(out)
     }

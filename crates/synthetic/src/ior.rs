@@ -52,11 +52,19 @@ pub struct Ior {
 
 impl Ior {
     pub fn easy() -> Self {
-        Ior { mode: IorMode::Easy, processes: 4, transfers: 4 }
+        Ior {
+            mode: IorMode::Easy,
+            processes: 4,
+            transfers: 4,
+        }
     }
 
     pub fn hard() -> Self {
-        Ior { mode: IorMode::Hard, processes: 4, transfers: 64 }
+        Ior {
+            mode: IorMode::Hard,
+            processes: 4,
+            transfers: 64,
+        }
     }
 
     fn scratch_dir(&self) -> PathBuf {
@@ -88,8 +96,7 @@ impl Ior {
         match self.mode {
             IorMode::Easy => {
                 for p in 0..self.processes {
-                    let mut f =
-                        File::create(dir.join(format!("easy-{seed}-{p}.dat")))?;
+                    let mut f = File::create(dir.join(format!("easy-{seed}-{p}.dat")))?;
                     for t in 0..self.transfers {
                         f.write_all(&Self::pattern(p, t, transfer))?;
                     }
@@ -173,7 +180,10 @@ impl Ior {
 
 impl Benchmark for Ior {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Ior).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Ior)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -206,7 +216,9 @@ impl Benchmark for Ior {
             virtual_time_s: virtual_time,
             compute_time_s: 0.0,
             comm_time_s: virtual_time,
-            verification: VerificationOutcome::Exact { checked_values: bytes as usize / 2 },
+            verification: VerificationOutcome::Exact {
+                checked_values: bytes as usize / 2,
+            },
             metrics: vec![
                 ("write_bw".into(), write_bw),
                 ("read_bw".into(), read_bw),

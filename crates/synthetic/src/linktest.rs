@@ -26,7 +26,11 @@ impl LinkTest {
         let mut min_bw = f64::INFINITY;
         for r in 0..p / 2 {
             let partner = r + p / 2;
-            let t = net.ptp_time(2 * MESSAGE_BYTES, placement.distance(r, partner), machine.nodes);
+            let t = net.ptp_time(
+                2 * MESSAGE_BYTES,
+                placement.distance(r, partner),
+                machine.nodes,
+            );
             min_bw = min_bw.min(2.0 * MESSAGE_BYTES as f64 / t);
         }
         let aggregate = Topology::new(machine).bisection_bandwidth();
@@ -36,7 +40,10 @@ impl LinkTest {
 
 impl Benchmark for LinkTest {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::LinkTest).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::LinkTest)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -63,8 +70,14 @@ impl Benchmark for LinkTest {
         let results = world.run(move |comm| {
             let p = comm.size();
             let half = p / 2;
-            let partner = if comm.rank() < half { comm.rank() + half } else { comm.rank() - half };
-            let payload: Vec<f64> = (0..bytes / 8).map(|i| (comm.rank() as f64) + i as f64).collect();
+            let partner = if comm.rank() < half {
+                comm.rank() + half
+            } else {
+                comm.rank() - half
+            };
+            let payload: Vec<f64> = (0..bytes / 8)
+                .map(|i| (comm.rank() as f64) + i as f64)
+                .collect();
             let before = comm.now();
             let got = comm.sendrecv_f64(partner, &payload).unwrap();
             let elapsed = comm.now() - before;
@@ -73,14 +86,24 @@ impl Benchmark for LinkTest {
             (ok, 2.0 * bytes as f64 / elapsed)
         });
         let all_ok = results.iter().all(|r| r.value.0);
-        let measured_min = results.iter().map(|r| r.value.1).fold(f64::INFINITY, f64::min);
+        let measured_min = results
+            .iter()
+            .map(|r| r.value.1)
+            .fold(f64::INFINITY, f64::min);
         let verification = if all_ok {
-            VerificationOutcome::Exact { checked_values: results.len() }
+            VerificationOutcome::Exact {
+                checked_values: results.len(),
+            }
         } else {
-            VerificationOutcome::Failed { detail: "bisection payload mismatch".into() }
+            VerificationOutcome::Failed {
+                detail: "bisection payload mismatch".into(),
+            }
         };
         let virtual_time = 2.0 * MESSAGE_BYTES as f64 / min_pair_bw;
-        let clock = ClockStats { compute_s: 0.0, comm_s: virtual_time };
+        let clock = ClockStats {
+            compute_s: 0.0,
+            comm_s: virtual_time,
+        };
         Ok(RunOutcome {
             fom: Fom::BytesPerSecond(min_pair_bw),
             virtual_time_s: clock.total_s(),
@@ -176,8 +199,8 @@ mod tests {
     fn degraded_link_is_localized() {
         // A failing cable between rank 0 and rank 5: the serial scan must
         // single out exactly that peer.
-        let world = World::new(Machine::juwels_booster().partition(2))
-            .with_degraded_link(0, 5, 20.0);
+        let world =
+            World::new(Machine::juwels_booster().partition(2)).with_degraded_link(0, 5, 20.0);
         let scan = serial_scan(&world, 1 << 16);
         let flagged = slow_links(&scan, 0.2);
         assert_eq!(flagged, vec![5], "scan: {scan:?}");

@@ -60,7 +60,8 @@ pub fn allreduce_sweep(machine: Machine, sizes: &[usize]) -> Vec<(usize, f64)> {
         for &n in &sizes {
             let mut buf = vec![1.0f64; n / 8];
             let before = comm.now();
-            comm.allreduce_f64(&mut buf, jubench_simmpi::ReduceOp::Sum).unwrap();
+            comm.allreduce_f64(&mut buf, jubench_simmpi::ReduceOp::Sum)
+                .unwrap();
             points.push((n, comm.now() - before));
         }
         points
@@ -81,7 +82,10 @@ pub struct Osu;
 
 impl Benchmark for Osu {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Osu).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Osu)
+            .unwrap()
     }
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
@@ -102,7 +106,9 @@ impl Benchmark for Osu {
             ("intra_latency_8b".into(), small_latency),
             ("intra_bw_4mib".into(), large_bw),
         ];
-        let mut verification_ok = intra.windows(2).all(|w| w[1].bandwidth >= w[0].bandwidth * 0.5);
+        let mut verification_ok = intra
+            .windows(2)
+            .all(|w| w[1].bandwidth >= w[0].bandwidth * 0.5);
         if let Some(ref inter) = inter {
             metrics.push(("inter_latency_8b".into(), inter[0].latency_s));
             metrics.push(("inter_bw_4mib".into(), inter.last().unwrap().bandwidth));
@@ -120,7 +126,10 @@ impl Benchmark for Osu {
                 detail: "latency/bandwidth ordering violated".into(),
             }
         };
-        let clock = ClockStats { compute_s: 0.0, comm_s: small_latency };
+        let clock = ClockStats {
+            compute_s: 0.0,
+            comm_s: small_latency,
+        };
         Ok(RunOutcome {
             fom: Fom::LatencySeconds(small_latency),
             virtual_time_s: clock.total_s(),
@@ -138,11 +147,7 @@ mod tests {
 
     #[test]
     fn latency_dominates_small_bandwidth_dominates_large() {
-        let points = pingpong_sweep(
-            Machine::juwels_booster().partition(1),
-            1,
-            &[8, 1 << 20],
-        );
+        let points = pingpong_sweep(Machine::juwels_booster().partition(1), 1, &[8, 1 << 20]);
         assert!(points[0].latency_s < points[1].latency_s);
         assert!(points[1].bandwidth > points[0].bandwidth);
     }

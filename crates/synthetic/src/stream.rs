@@ -31,30 +31,43 @@ pub fn stream_kernels(n: usize, reps: usize) -> Result<StreamRates, String> {
     let mut a = vec![1.0f64; n];
     let mut b = vec![2.0f64; n];
     let mut c = vec![0.0f64; n];
-    let mut best = StreamRates { copy: 0.0, scale: 0.0, add: 0.0, triad: 0.0 };
+    let mut best = StreamRates {
+        copy: 0.0,
+        scale: 0.0,
+        add: 0.0,
+        triad: 0.0,
+    };
     for _ in 0..reps {
         // Copy: c = a.
         let t = Instant::now();
         c.copy_from_slice(&a);
-        best.copy = best.copy.max(16.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        best.copy = best
+            .copy
+            .max(16.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
         // Scale: b = s·c.
         let t = Instant::now();
         for i in 0..n {
             b[i] = scalar * c[i];
         }
-        best.scale = best.scale.max(16.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        best.scale = best
+            .scale
+            .max(16.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
         // Add: c = a + b.
         let t = Instant::now();
         for i in 0..n {
             c[i] = a[i] + b[i];
         }
-        best.add = best.add.max(24.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        best.add = best
+            .add
+            .max(24.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
         // Triad: a = b + s·c.
         let t = Instant::now();
         for i in 0..n {
             a[i] = b[i] + scalar * c[i];
         }
-        best.triad = best.triad.max(24.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
+        best.triad = best
+            .triad
+            .max(24.0 * n as f64 / t.elapsed().as_secs_f64().max(1e-9));
     }
     // STREAM's built-in verification: after `reps` passes the arrays have
     // exactly predictable values.
@@ -98,7 +111,10 @@ impl Stream {
 
 impl Benchmark for Stream {
     fn meta(&self) -> BenchmarkMeta {
-        suite_meta().into_iter().find(|m| m.id == BenchmarkId::Stream).unwrap()
+        suite_meta()
+            .into_iter()
+            .find(|m| m.id == BenchmarkId::Stream)
+            .unwrap()
     }
 
     fn validate_nodes(&self, nodes: u32) -> Result<(), SuiteError> {
@@ -115,27 +131,36 @@ impl Benchmark for Stream {
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
         let machine = Machine::juwels_booster().partition(1);
-        let rates = stream_kernels(self.n, 4).map_err(|detail| {
-            SuiteError::VerificationFailed { benchmark: "STREAM", detail }
+        let rates = stream_kernels(self.n, 4).map_err(|detail| SuiteError::VerificationFailed {
+            benchmark: "STREAM",
+            detail,
         })?;
         // Virtual time of the GPU variant: four kernels over a 1 GiB
         // working set at modeled bandwidth.
         let bytes = 4.0 * (1u64 << 30) as f64;
         let device = Roofline::new(machine.node.gpu).with_efficiencies(0.5, 0.85);
         let virtual_time = device.time(Work::new(2.0 * (1u64 << 27) as f64, bytes));
-        let clock = ClockStats { compute_s: virtual_time, comm_s: 0.0 };
+        let clock = ClockStats {
+            compute_s: virtual_time,
+            comm_s: 0.0,
+        };
         Ok(RunOutcome {
             fom: Fom::BytesPerSecond(rates.best()),
             virtual_time_s: clock.total_s(),
             compute_time_s: clock.compute_s,
             comm_time_s: 0.0,
-            verification: VerificationOutcome::Exact { checked_values: 3 * self.n },
+            verification: VerificationOutcome::Exact {
+                checked_values: 3 * self.n,
+            },
             metrics: vec![
                 ("copy".into(), rates.copy),
                 ("scale".into(), rates.scale),
                 ("add".into(), rates.add),
                 ("triad".into(), rates.triad),
-                ("gpu_triad_model".into(), Self::gpu_triad_model(machine.node.gpu)),
+                (
+                    "gpu_triad_model".into(),
+                    Self::gpu_triad_model(machine.node.gpu),
+                ),
             ],
         })
     }

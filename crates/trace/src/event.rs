@@ -1,0 +1,275 @@
+//! The structured event model: everything the simulated runtime can
+//! observe, stamped with virtual time.
+
+/// Topology regime a transfer crossed — the axis the paper's analyses
+/// bucket communication by (NVLink inside a node, InfiniBand inside a
+/// DragonFly+ cell, global optical links between cells, the MSA gateway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Regime {
+    /// Same device: an on-device copy, no network involved.
+    SameDevice,
+    /// Same node: NVLink / NVSwitch.
+    IntraNode,
+    /// Different nodes inside one DragonFly+ cell.
+    IntraCell,
+    /// Across cells via global optical links.
+    InterCell,
+    /// Across MSA modules through the federation gateway.
+    InterModule,
+}
+
+impl Regime {
+    pub const ALL: [Regime; 5] = [
+        Regime::SameDevice,
+        Regime::IntraNode,
+        Regime::IntraCell,
+        Regime::InterCell,
+        Regime::InterModule,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Regime::SameDevice => "same-device",
+            Regime::IntraNode => "intra-node",
+            Regime::IntraCell => "intra-cell",
+            Regime::InterCell => "inter-cell",
+            Regime::InterModule => "inter-module",
+        }
+    }
+}
+
+/// Collective operations the runtime implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CollectiveKind {
+    Barrier,
+    Allreduce,
+    Allgather,
+    Alltoall,
+    Broadcast,
+    Gather,
+}
+
+impl CollectiveKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::Barrier => "barrier",
+            CollectiveKind::Allreduce => "allreduce",
+            CollectiveKind::Allgather => "allgather",
+            CollectiveKind::Alltoall => "alltoall",
+            CollectiveKind::Broadcast => "broadcast",
+            CollectiveKind::Gather => "gather",
+        }
+    }
+}
+
+/// Lifecycle phase of a JUBE workflow step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StepPhase {
+    /// The workpackage's parameter point was resolved.
+    ParamsResolved,
+    /// The step sat waiting for its dependencies to finish.
+    DependencyWait,
+    /// The step body executed.
+    Execute,
+}
+
+impl StepPhase {
+    pub fn label(self) -> &'static str {
+        match self {
+            StepPhase::ParamsResolved => "params-resolved",
+            StepPhase::DependencyWait => "dependency-wait",
+            StepPhase::Execute => "execute",
+        }
+    }
+}
+
+/// What happened during `[t_start, t_end]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A compute span: the virtual clock advanced by `seconds` of modeled
+    /// computation (roofline time or an explicit advance).
+    Compute { seconds: f64 },
+    /// A point-to-point send: the sender serialized `bytes` towards
+    /// `peer` through its adapter.
+    Send {
+        peer: u32,
+        tag: u32,
+        bytes: u64,
+        regime: Regime,
+        degraded: bool,
+    },
+    /// A point-to-point receive: `wait_s` of causality stall (the matching
+    /// send was posted later in virtual time) plus `transfer_s` of wire
+    /// time.
+    Recv {
+        peer: u32,
+        tag: u32,
+        bytes: u64,
+        regime: Regime,
+        wait_s: f64,
+        transfer_s: f64,
+    },
+    /// A collective span wrapping its constituent sends/receives.
+    /// `sync_wait_s` is virtual time the collective advanced the clock
+    /// *directly* (only barriers do; algorithmic collectives account all
+    /// their time through the wrapped point-to-point events). `bytes` is
+    /// this rank's payload contribution.
+    Collective {
+        kind: CollectiveKind,
+        algorithm: &'static str,
+        bytes: u64,
+        sync_wait_s: f64,
+    },
+    /// A JUBE workflow-step lifecycle phase for workpackage `workpackage`.
+    Step {
+        step: String,
+        phase: StepPhase,
+        workpackage: u32,
+    },
+}
+
+impl EventKind {
+    /// Short label used as the Chrome trace event name and as the
+    /// per-op-kind histogram key.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Compute { .. } => "compute",
+            EventKind::Send { .. } => "send",
+            EventKind::Recv { .. } => "recv",
+            EventKind::Collective { kind, .. } => kind.label(),
+            EventKind::Step { phase, .. } => phase.label(),
+        }
+    }
+
+    /// Bytes moved by this event (payload for p2p and collectives).
+    pub fn bytes(&self) -> u64 {
+        match self {
+            EventKind::Send { bytes, .. }
+            | EventKind::Recv { bytes, .. }
+            | EventKind::Collective { bytes, .. } => *bytes,
+            _ => 0,
+        }
+    }
+}
+
+/// The synthetic "node" hosting workflow-engine events in the Chrome
+/// export (JUBE steps do not run on a simulated rank).
+pub const WORKFLOW_NODE: u32 = u32::MAX;
+
+/// One recorded event, stamped with the emitting rank's virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Emitting rank (or workpackage index for workflow events).
+    pub rank: u32,
+    /// Node hosting the rank ([`WORKFLOW_NODE`] for workflow events).
+    pub node: u32,
+    /// Per-rank sequence number: `(rank, seq)` totally orders the trace
+    /// deterministically regardless of OS thread interleaving.
+    pub seq: u64,
+    /// Virtual start time, seconds.
+    pub t_start: f64,
+    /// Virtual end time, seconds.
+    pub t_end: f64,
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Span duration in virtual seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+
+    /// Virtual communication seconds this event accounts for in the
+    /// per-rank clock. Collective spans contribute only their direct
+    /// synchronization wait: their wire time is carried by the wrapped
+    /// send/recv events, so summing this quantity over a rank's events
+    /// reproduces `ClockStats::comm_s` exactly, with no double counting.
+    pub fn comm_seconds(&self) -> f64 {
+        match &self.kind {
+            EventKind::Send { .. } | EventKind::Recv { .. } => self.duration_s(),
+            EventKind::Collective { sync_wait_s, .. } => *sync_wait_s,
+            _ => 0.0,
+        }
+    }
+
+    /// Virtual compute seconds this event accounts for.
+    pub fn compute_seconds(&self) -> f64 {
+        match &self.kind {
+            EventKind::Compute { seconds } => *seconds,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Regime::IntraNode.label(), "intra-node");
+        assert_eq!(CollectiveKind::Allreduce.label(), "allreduce");
+        assert_eq!(StepPhase::Execute.label(), "execute");
+        assert_eq!(EventKind::Compute { seconds: 1.0 }.label(), "compute");
+    }
+
+    #[test]
+    fn regime_all_is_exhaustive_and_ordered() {
+        assert_eq!(Regime::ALL.len(), 5);
+        for w in Regime::ALL.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn comm_seconds_avoids_double_counting() {
+        let send = TraceEvent {
+            rank: 0,
+            node: 0,
+            seq: 0,
+            t_start: 1.0,
+            t_end: 1.5,
+            kind: EventKind::Send {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                regime: Regime::IntraNode,
+                degraded: false,
+            },
+        };
+        assert_eq!(send.comm_seconds(), 0.5);
+        let span = TraceEvent {
+            rank: 0,
+            node: 0,
+            seq: 1,
+            t_start: 1.0,
+            t_end: 2.0,
+            kind: EventKind::Collective {
+                kind: CollectiveKind::Allreduce,
+                algorithm: "ring",
+                bytes: 64,
+                sync_wait_s: 0.0,
+            },
+        };
+        assert_eq!(
+            span.comm_seconds(),
+            0.0,
+            "wire time lives in the wrapped sends"
+        );
+        assert_eq!(span.duration_s(), 1.0);
+    }
+
+    #[test]
+    fn event_bytes() {
+        assert_eq!(EventKind::Compute { seconds: 1.0 }.bytes(), 0);
+        let k = EventKind::Recv {
+            peer: 0,
+            tag: 0,
+            bytes: 24,
+            regime: Regime::InterCell,
+            wait_s: 0.0,
+            transfer_s: 0.1,
+        };
+        assert_eq!(k.bytes(), 24);
+    }
+}

@@ -1,0 +1,339 @@
+//! Aggregate run metrics computed from an event stream: *where virtual
+//! time goes* — the question behind every Base/High-Scaling curve and
+//! result table of the paper.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, Regime, TraceEvent, WORKFLOW_NODE};
+
+/// Bytes and message count of one topology regime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegimeBucket {
+    pub bytes: u64,
+    pub messages: u64,
+}
+
+/// Aggregate statistics of one operation kind (send, recv, allreduce, …).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpStats {
+    pub count: u64,
+    pub bytes: u64,
+    pub seconds: f64,
+    /// Message-size histogram: `size_log2[k]` counts operations whose
+    /// payload was in `[2^k, 2^(k+1))` bytes (zero-byte ops land in bin 0).
+    pub size_log2: BTreeMap<u32, u64>,
+}
+
+/// Per-rank virtual-time and traffic breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RankBreakdown {
+    pub rank: u32,
+    pub node: u32,
+    pub compute_s: f64,
+    pub comm_s: f64,
+    pub sent_bytes: u64,
+    pub sent_messages: u64,
+}
+
+impl RankBreakdown {
+    pub fn total_s(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+
+    /// Fraction of this rank's virtual time spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        let t = self.total_s();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.comm_s / t
+        }
+    }
+}
+
+/// Which rank set the makespan, and what its time was spent on — the
+/// critical-path attribution: speeding up anything else cannot shorten
+/// the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MakespanAttribution {
+    pub rank: u32,
+    pub total_s: f64,
+    pub compute_s: f64,
+    pub comm_s: f64,
+}
+
+impl MakespanAttribution {
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            self.comm_s / self.total_s
+        }
+    }
+}
+
+/// The aggregate report over one recorded run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-rank breakdowns, ordered by rank. Workflow events (which carry
+    /// no virtual time) are excluded.
+    pub ranks: Vec<RankBreakdown>,
+    /// Traffic bucketed by topology regime, counted at the sender.
+    pub regimes: BTreeMap<Regime, RegimeBucket>,
+    /// Per-op-kind statistics (send, recv, barrier, allreduce, …).
+    pub ops: BTreeMap<&'static str, OpStats>,
+    /// Critical-path attribution of the virtual makespan.
+    pub makespan: MakespanAttribution,
+    /// Total events aggregated (including workflow events).
+    pub events: usize,
+}
+
+impl RunReport {
+    /// Aggregate an event stream (as produced by
+    /// [`Recorder::take_events`](crate::Recorder::take_events)).
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut per_rank: BTreeMap<u32, RankBreakdown> = BTreeMap::new();
+        let mut regimes: BTreeMap<Regime, RegimeBucket> = BTreeMap::new();
+        let mut ops: BTreeMap<&'static str, OpStats> = BTreeMap::new();
+        for e in events {
+            if e.node != WORKFLOW_NODE {
+                let r = per_rank.entry(e.rank).or_insert(RankBreakdown {
+                    rank: e.rank,
+                    node: e.node,
+                    ..RankBreakdown::default()
+                });
+                r.compute_s += e.compute_seconds();
+                r.comm_s += e.comm_seconds();
+                if let EventKind::Send { bytes, regime, .. } = e.kind {
+                    r.sent_bytes += bytes;
+                    r.sent_messages += 1;
+                    let bucket = regimes.entry(regime).or_default();
+                    bucket.bytes += bytes;
+                    bucket.messages += 1;
+                }
+            }
+            let op = ops.entry(e.kind.label()).or_default();
+            op.count += 1;
+            op.bytes += e.kind.bytes();
+            op.seconds += e.duration_s();
+            let bin = 63 - e.kind.bytes().max(1).leading_zeros();
+            *op.size_log2.entry(bin).or_default() += 1;
+        }
+        let ranks: Vec<RankBreakdown> = per_rank.into_values().collect();
+        let makespan = ranks
+            .iter()
+            .max_by(|a, b| a.total_s().total_cmp(&b.total_s()))
+            .map(|r| MakespanAttribution {
+                rank: r.rank,
+                total_s: r.total_s(),
+                compute_s: r.compute_s,
+                comm_s: r.comm_s,
+            })
+            .unwrap_or_default();
+        RunReport {
+            ranks,
+            regimes,
+            ops,
+            makespan,
+            events: events.len(),
+        }
+    }
+
+    /// Total bytes sent, over all ranks and regimes.
+    pub fn total_bytes(&self) -> u64 {
+        self.regimes.values().map(|b| b.bytes).sum()
+    }
+
+    /// Total messages sent.
+    pub fn total_messages(&self) -> u64 {
+        self.regimes.values().map(|b| b.messages).sum()
+    }
+
+    /// Bytes sent within one regime.
+    pub fn regime_bytes(&self, regime: Regime) -> u64 {
+        self.regimes.get(&regime).map_or(0, |b| b.bytes)
+    }
+
+    /// Mean communication fraction over ranks.
+    pub fn mean_comm_fraction(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(|r| r.comm_fraction()).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// Render the operator-facing summary tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "makespan: {:.6} s on rank {} (compute {:.6} s, comm {:.6} s, comm fraction {:.1} %)\n",
+            self.makespan.total_s,
+            self.makespan.rank,
+            self.makespan.compute_s,
+            self.makespan.comm_s,
+            100.0 * self.makespan.comm_fraction(),
+        ));
+        out.push_str("\n| regime       |        bytes | messages |\n");
+        out.push_str("|--------------|--------------|----------|\n");
+        for (regime, bucket) in &self.regimes {
+            out.push_str(&format!(
+                "| {:<12} | {:>12} | {:>8} |\n",
+                regime.label(),
+                bucket.bytes,
+                bucket.messages
+            ));
+        }
+        out.push_str("\n| op          |  count |        bytes |   virtual s |\n");
+        out.push_str("|-------------|--------|--------------|-------------|\n");
+        for (op, stats) in &self.ops {
+            out.push_str(&format!(
+                "| {:<11} | {:>6} | {:>12} | {:>11.6} |\n",
+                op, stats.count, stats.bytes, stats.seconds
+            ));
+        }
+        out.push_str("\n| rank | node | compute s |    comm s | comm % |    sent bytes |\n");
+        out.push_str("|------|------|-----------|-----------|--------|---------------|\n");
+        for r in &self.ranks {
+            out.push_str(&format!(
+                "| {:>4} | {:>4} | {:>9.4} | {:>9.4} | {:>5.1} % | {:>13} |\n",
+                r.rank,
+                r.node,
+                r.compute_s,
+                r.comm_s,
+                100.0 * r.comm_fraction(),
+                r.sent_bytes
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CollectiveKind, StepPhase};
+
+    fn send(rank: u32, seq: u64, t: f64, bytes: u64, regime: Regime) -> TraceEvent {
+        TraceEvent {
+            rank,
+            node: rank / 4,
+            seq,
+            t_start: t,
+            t_end: t + 0.5,
+            kind: EventKind::Send {
+                peer: 0,
+                tag: 0,
+                bytes,
+                regime,
+                degraded: false,
+            },
+        }
+    }
+
+    fn compute(rank: u32, seq: u64, t: f64, s: f64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            node: rank / 4,
+            seq,
+            t_start: t,
+            t_end: t + s,
+            kind: EventKind::Compute { seconds: s },
+        }
+    }
+
+    #[test]
+    fn totals_and_buckets() {
+        let events = vec![
+            compute(0, 0, 0.0, 2.0),
+            send(0, 1, 2.0, 100, Regime::IntraNode),
+            send(0, 2, 2.5, 200, Regime::InterCell),
+            compute(1, 0, 0.0, 1.0),
+        ];
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.total_bytes(), 300);
+        assert_eq!(report.total_messages(), 2);
+        assert_eq!(report.regime_bytes(Regime::IntraNode), 100);
+        assert_eq!(report.regime_bytes(Regime::InterCell), 200);
+        assert_eq!(report.regime_bytes(Regime::InterModule), 0);
+        assert_eq!(report.ranks.len(), 2);
+        assert_eq!(report.ranks[0].sent_messages, 2);
+        assert_eq!(report.ranks[1].sent_messages, 0);
+        // Rank 0: 2.0 compute + 1.0 comm; rank 1: 1.0 compute.
+        assert_eq!(report.makespan.rank, 0);
+        assert!((report.makespan.total_s - 3.0).abs() < 1e-12);
+        assert!((report.makespan.comm_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collective_sync_wait_counts_once() {
+        let coll = TraceEvent {
+            rank: 0,
+            node: 0,
+            seq: 0,
+            t_start: 0.0,
+            t_end: 4.0,
+            kind: EventKind::Collective {
+                kind: CollectiveKind::Barrier,
+                algorithm: "max-sync",
+                bytes: 0,
+                sync_wait_s: 4.0,
+            },
+        };
+        let report = RunReport::from_events(&[coll]);
+        assert!((report.ranks[0].comm_s - 4.0).abs() < 1e-12);
+        assert_eq!(report.ops["barrier"].count, 1);
+    }
+
+    #[test]
+    fn workflow_events_do_not_enter_rank_breakdowns() {
+        let step = TraceEvent {
+            rank: 3,
+            node: WORKFLOW_NODE,
+            seq: 0,
+            t_start: 0.0,
+            t_end: 1.0,
+            kind: EventKind::Step {
+                step: "execute".into(),
+                phase: StepPhase::Execute,
+                workpackage: 3,
+            },
+        };
+        let report = RunReport::from_events(&[step]);
+        assert!(report.ranks.is_empty());
+        assert_eq!(report.events, 1);
+        assert_eq!(report.ops["execute"].count, 1);
+    }
+
+    #[test]
+    fn size_histogram_uses_log2_bins() {
+        let events = vec![
+            send(0, 0, 0.0, 1, Regime::IntraNode),
+            send(0, 1, 1.0, 1024, Regime::IntraNode),
+            send(0, 2, 2.0, 1500, Regime::IntraNode),
+        ];
+        let report = RunReport::from_events(&events);
+        let hist = &report.ops["send"].size_log2;
+        assert_eq!(hist[&0], 1);
+        assert_eq!(hist[&10], 2, "1024 and 1500 share the 2^10 bin");
+    }
+
+    #[test]
+    fn render_contains_key_rows() {
+        let events = vec![
+            compute(0, 0, 0.0, 1.0),
+            send(0, 1, 1.0, 64, Regime::IntraCell),
+        ];
+        let s = RunReport::from_events(&events).render();
+        assert!(s.contains("makespan"));
+        assert!(s.contains("intra-cell"));
+        assert!(s.contains("| send"));
+    }
+
+    #[test]
+    fn empty_stream_is_well_formed() {
+        let report = RunReport::from_events(&[]);
+        assert_eq!(report.total_bytes(), 0);
+        assert_eq!(report.makespan.total_s, 0.0);
+        assert_eq!(report.mean_comm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Trace sinks: where instrumented components deliver their events.
+
+use std::panic::RefUnwindSafe;
+use std::sync::Mutex;
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events. Implementations must be thread-safe: every
+/// simulated rank runs on its own OS thread and records concurrently.
+/// `RefUnwindSafe` is required so holders (e.g. a traced `World`) stay
+/// usable inside `catch_unwind` — lock-based sinks satisfy it naturally.
+pub trait TraceSink: Send + Sync + RefUnwindSafe {
+    /// Deliver one event. Called from rank threads; implementations
+    /// should keep this cheap (the virtual clock is stopped, but wall
+    /// time is not free).
+    fn record(&self, event: TraceEvent);
+}
+
+/// The standard in-memory sink: buffers every event, then hands back a
+/// deterministically ordered stream for reporting and export.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain the buffer into a deterministic order: `(rank, seq)`. Rank
+    /// threads interleave arbitrarily in wall time, but each rank stamps
+    /// its events with a private sequence number, so this ordering is
+    /// identical across reruns of a deterministic workload.
+    pub fn take_events(&self) -> Vec<TraceEvent> {
+        let mut events = std::mem::take(&mut *self.events.lock().unwrap());
+        events.sort_by_key(|e| (e.rank, e.seq));
+        events
+    }
+
+    /// Like [`Recorder::take_events`] but leaves the buffer intact.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut events = self.events.lock().unwrap().clone();
+        events.sort_by_key(|e| (e.rank, e.seq));
+        events
+    }
+}
+
+impl TraceSink for Recorder {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().unwrap().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(rank: u32, seq: u64) -> TraceEvent {
+        TraceEvent {
+            rank,
+            node: rank,
+            seq,
+            t_start: 0.0,
+            t_end: 1.0,
+            kind: EventKind::Compute { seconds: 1.0 },
+        }
+    }
+
+    #[test]
+    fn events_sort_by_rank_then_seq() {
+        let r = Recorder::new();
+        r.record(ev(1, 1));
+        r.record(ev(0, 1));
+        r.record(ev(1, 0));
+        r.record(ev(0, 0));
+        let order: Vec<(u32, u64)> = r.take_events().iter().map(|e| (e.rank, e.seq)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn take_drains_snapshot_does_not() {
+        let r = Recorder::new();
+        r.record(ev(0, 0));
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.take_events().len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn recorder_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(Recorder::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let r = std::sync::Arc::clone(&r);
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        r.record(ev(t, i));
+                    }
+                });
+            }
+        });
+        let events = r.take_events();
+        assert_eq!(events.len(), 400);
+        // Deterministic order despite arbitrary thread interleaving.
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!((e.rank, e.seq), ((i / 100) as u32, (i % 100) as u64));
+        }
+    }
+}

@@ -18,9 +18,15 @@ fn main() {
     // Sub-benchmarks with their own reference node counts (Table II):
     // GROMACS test case C (128 nodes) and ICON R02B10 (300 nodes).
     println!("GROMACS test case C (27×STMV, 28 M atoms):");
-    println!("{}", strong_scaling_series(&jubench::apps_md::Gromacs::case_c(), 1).render());
+    println!(
+        "{}",
+        strong_scaling_series(&jubench::apps_md::Gromacs::case_c(), 1).render()
+    );
     println!("ICON R02B10 (2.5 km):");
-    println!("{}", strong_scaling_series(&jubench::apps_earth::Icon::r02b10(), 1).render());
+    println!(
+        "{}",
+        strong_scaling_series(&jubench::apps_earth::Icon::r02b10(), 1).render()
+    );
     println!("Reading guide (per the figure caption): the reference execution");
     println!("sits at (1.00x nodes, 1.00x runtime); points left of it use fewer");
     println!("nodes (higher runtime), points right of it more nodes (lower");

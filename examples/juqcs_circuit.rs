@@ -15,7 +15,10 @@ fn main() {
     let world = World::new(machine);
     let n = 12u32;
 
-    println!("Simulating an {n}-qubit register over {} ranks", world.ranks());
+    println!(
+        "Simulating an {n}-qubit register over {} ranks",
+        world.ranks()
+    );
     println!(
         "(a full {n}-qubit state holds {} complex amplitudes = {} KiB)\n",
         1u64 << n,
@@ -30,10 +33,12 @@ fn main() {
         }
         // …phase-kick the highest (global) qubit after flipping it…
         sv.apply(comm, n - 1, Gate1::x()).unwrap();
-        sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::FRAC_PI_2)).unwrap();
+        sv.apply(comm, n - 1, Gate1::phase(std::f64::consts::FRAC_PI_2))
+            .unwrap();
         // …and undo everything: the state must return to |0…0⟩ with a
         // global phase of i on the top qubit flip path.
-        sv.apply(comm, n - 1, Gate1::phase(-std::f64::consts::FRAC_PI_2)).unwrap();
+        sv.apply(comm, n - 1, Gate1::phase(-std::f64::consts::FRAC_PI_2))
+            .unwrap();
         sv.apply(comm, n - 1, Gate1::x()).unwrap();
         for q in 0..4 {
             sv.apply(comm, q, Gate1::h()).unwrap();

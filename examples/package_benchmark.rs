@@ -29,7 +29,10 @@ fn main() {
             .map_err(|e| e.to_string())?;
         let mut o = output1("fom_s", format!("{:.4}", out.virtual_time_s));
         o.insert("verified".into(), out.verification.passed().to_string());
-        o.insert("submit".into(), ctx.param("submit_cmd").unwrap_or("-").to_string());
+        o.insert(
+            "submit".into(),
+            ctx.param("submit_cmd").unwrap_or("-").to_string(),
+        );
         Ok(o)
     }));
     checklist.mark(id, ChecklistItem::JubeIntegration);

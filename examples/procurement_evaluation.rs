@@ -27,8 +27,16 @@ fn main() {
         let bench = registry.get(id).unwrap();
         let nodes = bench.reference_nodes();
         let out = bench.run(&RunConfig::test(nodes)).expect("reference run");
-        let tm = out.fom.time_metric().expect("base benchmarks have time metrics");
-        println!("  {:<14} {:>5} nodes   {:>12.2} s   weight {weight}", id.name(), nodes, tm.0);
+        let tm = out
+            .fom
+            .time_metric()
+            .expect("base benchmarks have time metrics");
+        println!(
+            "  {:<14} {:>5} nodes   {:>12.2} s   weight {weight}",
+            id.name(),
+            nodes,
+            tm.0
+        );
         reference.add(id, tm, nodes, weight);
     }
 
@@ -38,7 +46,10 @@ fn main() {
     let machine_a = Machine {
         name: "Proposal A",
         nodes: 4800,
-        node: NodeSpec { gpu: GpuSpec::next_gen_96gb(), ..NodeSpec::juwels_booster() },
+        node: NodeSpec {
+            gpu: GpuSpec::next_gen_96gb(),
+            ..NodeSpec::juwels_booster()
+        },
         cell_nodes: 48,
     };
     let machine_b = Machine {

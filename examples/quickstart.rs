@@ -29,7 +29,10 @@ fn main() {
         }
         let out = bench.run(&cfg).map_err(|e| e.to_string())?;
         let mut o = output1("fom_s", format!("{:.3}", out.virtual_time_s));
-        o.insert("qubits".into(), format!("{}", out.metric("qubits").unwrap_or(0.0)));
+        o.insert(
+            "qubits".into(),
+            format!("{}", out.metric("qubits").unwrap_or(0.0)),
+        );
         o.insert("verified".into(), format!("{}", out.verification.passed()));
         o.insert(
             "comm_share".into(),
@@ -40,7 +43,14 @@ fn main() {
 
     println!("=== JUQCS through the JUBE-style workflow (Base workload) ===\n");
     let results = workflow.execute(&["small"]).expect("workflow runs");
-    let table = ResultTable::new(["benchmark", "nodes", "qubits", "fom_s", "comm_share", "verified"]);
+    let table = ResultTable::new([
+        "benchmark",
+        "nodes",
+        "qubits",
+        "fom_s",
+        "comm_share",
+        "verified",
+    ]);
     println!("{}", table.render(&results));
 
     // Direct API: one Base run of every procurement-relevant application.

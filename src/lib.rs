@@ -34,12 +34,15 @@
 //! - [`synthetic`]: the seven synthetic benchmarks.
 //! - [`procurement`]: TCO, commitments, High-Scaling assessment.
 //! - [`scaling`]: the Fig. 2 / Fig. 3 studies and table renderers.
+//! - [`trace`]: virtual-time tracing — structured events from the
+//!   runtime and workflow engine, run reports, Chrome trace export.
 
 pub use jubench_apps_ai as apps_ai;
 pub use jubench_apps_bio as apps_bio;
 pub use jubench_apps_cfd as apps_cfd;
 pub use jubench_apps_earth as apps_earth;
 pub use jubench_apps_lattice as apps_lattice;
+pub use jubench_apps_materials as apps_materials;
 pub use jubench_apps_md as apps_md;
 pub use jubench_apps_neuro as apps_neuro;
 pub use jubench_apps_plasma as apps_plasma;
@@ -49,11 +52,11 @@ pub use jubench_continuous as continuous;
 pub use jubench_core as core;
 pub use jubench_jube as jube;
 pub use jubench_kernels as kernels;
-pub use jubench_apps_materials as apps_materials;
 pub use jubench_procurement as procurement;
 pub use jubench_scaling as scaling;
 pub use jubench_simmpi as simmpi;
 pub use jubench_synthetic as synthetic;
+pub use jubench_trace as trace;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
@@ -66,4 +69,5 @@ pub mod prelude {
     pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
     pub use jubench_scaling::full_registry;
     pub use jubench_simmpi::{Comm, ReduceOp, World};
+    pub use jubench_trace::{chrome_trace_json, Recorder, RunReport, TraceSink};
 }

@@ -4,8 +4,12 @@
 use jubench::continuous::{BaselineStore, CheckStatus, Monitor};
 use jubench::prelude::*;
 
-const WATCHED: [BenchmarkId; 4] =
-    [BenchmarkId::Arbor, BenchmarkId::Juqcs, BenchmarkId::NekRs, BenchmarkId::Hpl];
+const WATCHED: [BenchmarkId; 4] = [
+    BenchmarkId::Arbor,
+    BenchmarkId::Juqcs,
+    BenchmarkId::NekRs,
+    BenchmarkId::Hpl,
+];
 
 #[test]
 fn healthy_system_stays_green() {
@@ -16,16 +20,16 @@ fn healthy_system_stays_green() {
     // Re-measuring the unchanged (deterministic) system: everything OK.
     let report = monitor.check(&registry, &baselines);
     assert!(report.healthy(), "{}", report.render());
-    assert!(report
-        .entries
-        .iter()
-        .all(|e| e.status == CheckStatus::Ok));
+    assert!(report.entries.iter().all(|e| e.status == CheckStatus::Ok));
 }
 
 #[test]
 fn interconnect_degradation_is_detected() {
     let registry = full_registry();
-    let monitor = Monitor { tolerance: 0.05, seed: 0xC1 };
+    let monitor = Monitor {
+        tolerance: 0.05,
+        seed: 0xC1,
+    };
     let baselines = monitor.record_baselines(&registry, &WATCHED);
     // A maintenance left the network 3× slower: communication-bound
     // virtual times inflate. Inject by scaling the comm share of fresh
@@ -38,7 +42,10 @@ fn interconnect_degradation_is_detected() {
             .find(|&n| bench.validate_nodes(n).is_ok())
             .unwrap();
         let out = bench
-            .run(&RunConfig { seed: 0xC1, ..RunConfig::test(nodes) })
+            .run(&RunConfig {
+                seed: 0xC1,
+                ..RunConfig::test(nodes)
+            })
             .unwrap();
         degraded.insert(id, Some(out.compute_time_s + 3.0 * out.comm_time_s));
     }
@@ -47,8 +54,16 @@ fn interconnect_degradation_is_detected() {
     // The communication-heavy benchmark (JUQCS: ~96 % comm) must be
     // flagged; the fully-overlapped one (Arbor: 0 % exposed comm) must not.
     assert!(report.regressions().contains(&BenchmarkId::Juqcs));
-    let arbor = report.entries.iter().find(|e| e.id == BenchmarkId::Arbor).unwrap();
-    assert_eq!(arbor.status, CheckStatus::Ok, "Arbor hides its communication");
+    let arbor = report
+        .entries
+        .iter()
+        .find(|e| e.id == BenchmarkId::Arbor)
+        .unwrap();
+    assert_eq!(
+        arbor.status,
+        CheckStatus::Ok,
+        "Arbor hides its communication"
+    );
 }
 
 #[test]

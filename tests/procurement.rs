@@ -26,7 +26,10 @@ fn proposal_machine() -> Machine {
     Machine {
         name: "test proposal",
         nodes: 4000,
-        node: NodeSpec { gpu: GpuSpec::next_gen_96gb(), ..NodeSpec::juwels_booster() },
+        node: NodeSpec {
+            gpu: GpuSpec::next_gen_96gb(),
+            ..NodeSpec::juwels_booster()
+        },
         cell_nodes: 48,
     }
 }
@@ -54,7 +57,10 @@ fn full_procurement_round_trip() {
     let eval = proposal.evaluate(&reference, &tco).unwrap();
     assert!((eval.mean_speedup - 3.0).abs() < 1e-9);
     assert!(eval.value_for_money > 0.0);
-    assert!(eval.tco_total_eur > proposal.price_eur, "opex must add to capex");
+    assert!(
+        eval.tco_total_eur > proposal.price_eur,
+        "opex must add to capex"
+    );
 }
 
 #[test]
@@ -65,7 +71,9 @@ fn weights_shift_the_outcome() {
     let registry = full_registry();
     let run = |id: BenchmarkId| {
         let bench = registry.get(id).unwrap();
-        let out = bench.run(&RunConfig::test(bench.reference_nodes())).unwrap();
+        let out = bench
+            .run(&RunConfig::test(bench.reference_nodes()))
+            .unwrap();
         out.fom.time_metric().unwrap()
     };
     let arbor_ref = run(BenchmarkId::Arbor);

@@ -66,7 +66,11 @@ fn fom_classes_match_categories() {
         .collect();
     for (id, fom) in synthetic_foms {
         let is_time_free = fom.time_metric().is_none();
-        assert!(is_time_free, "{} should use a synthetic FOM, got {fom:?}", id.name());
+        assert!(
+            is_time_free,
+            "{} should use a synthetic FOM, got {fom:?}",
+            id.name()
+        );
     }
 }
 
@@ -74,7 +78,11 @@ fn fom_classes_match_categories() {
 #[test]
 fn runs_are_deterministic_per_seed() {
     let registry = full_registry();
-    for id in [BenchmarkId::Juqcs, BenchmarkId::Nastja, BenchmarkId::ChromaQcd] {
+    for id in [
+        BenchmarkId::Juqcs,
+        BenchmarkId::Nastja,
+        BenchmarkId::ChromaQcd,
+    ] {
         let bench = registry.get(id).unwrap();
         let a = bench.run(&RunConfig::test(8).with_seed(42)).unwrap();
         let b = bench.run(&RunConfig::test(8).with_seed(42)).unwrap();
@@ -91,7 +99,10 @@ fn high_scaling_variants_are_enforced() {
     for bench in registry.by_category(Category::HighScaling) {
         let meta = bench.meta();
         let hs = meta.high_scale.unwrap();
-        let nodes = (1..=8).rev().find(|&n| bench.validate_nodes(n).is_ok()).unwrap();
+        let nodes = (1..=8)
+            .rev()
+            .find(|&n| bench.validate_nodes(n).is_ok())
+            .unwrap();
         for &v in hs.variants {
             // Variant runs may legitimately fail for memory reasons at a
             // small node count (JUQCS Base needs ≥ 8 nodes), but must not
@@ -112,7 +123,11 @@ fn high_scaling_variants_are_enforced() {
 #[test]
 fn bench_scale_runs_verify() {
     let registry = full_registry();
-    for id in [BenchmarkId::Juqcs, BenchmarkId::NekRs, BenchmarkId::PIConGpu] {
+    for id in [
+        BenchmarkId::Juqcs,
+        BenchmarkId::NekRs,
+        BenchmarkId::PIConGpu,
+    ] {
         let bench = registry.get(id).unwrap();
         let nodes = (1..=bench.reference_nodes().min(8))
             .rev()
@@ -130,7 +145,9 @@ fn timing_decomposition_is_consistent() {
     let registry = full_registry();
     for id in [BenchmarkId::Arbor, BenchmarkId::NekRs, BenchmarkId::Gromacs] {
         let bench = registry.get(id).unwrap();
-        let out = bench.run(&RunConfig::test(bench.reference_nodes().min(8))).unwrap();
+        let out = bench
+            .run(&RunConfig::test(bench.reference_nodes().min(8)))
+            .unwrap();
         let sum = out.compute_time_s + out.comm_time_s;
         assert!(
             (sum - out.virtual_time_s).abs() < 1e-9 * out.virtual_time_s.max(1.0),

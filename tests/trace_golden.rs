@@ -1,0 +1,151 @@
+//! Golden-output tests for the tracing layer: a fixed-seed halo-exchange
+//! run must produce a byte-stable Chrome trace and exactly predictable
+//! regime byte counters, and the derived RunReport must reproduce the
+//! virtual clocks of the runtime exactly.
+
+use std::sync::Arc;
+
+use jubench::cluster::Machine;
+use jubench::prelude::*;
+use jubench::trace::{EventKind, Regime, TraceEvent};
+
+/// The deterministic workload: 8 ranks on 2 Booster nodes; per rank one
+/// compute span, an intra-node exchange (peer `rank ^ 1`), an inter-node
+/// exchange (peer `rank ^ 4`), a ring allreduce, and a barrier.
+fn halo_workload(comm: &mut Comm) {
+    comm.advance_compute(0.25 * (comm.rank() % 4 + 1) as f64);
+    let data = [comm.rank() as f64; 100]; // 800 B payloads
+    comm.sendrecv_f64(comm.rank() ^ 1, &data).unwrap();
+    comm.sendrecv_f64(comm.rank() ^ 4, &data).unwrap();
+    let mut acc = [comm.rank() as f64; 8];
+    comm.allreduce_f64(&mut acc, ReduceOp::Sum).unwrap();
+    comm.barrier();
+}
+
+fn traced_run() -> (Vec<jubench::simmpi::RankResult<()>>, Vec<TraceEvent>) {
+    let rec = Arc::new(Recorder::new());
+    let world = World::new(Machine::juwels_booster().partition(2)).with_recorder(rec.clone());
+    let results = world.run(halo_workload);
+    (results, rec.take_events())
+}
+
+#[test]
+fn chrome_trace_is_byte_stable_across_runs() {
+    let (_, events_a) = traced_run();
+    let (_, events_b) = traced_run();
+    let json_a = chrome_trace_json(&events_a);
+    let json_b = chrome_trace_json(&events_b);
+    assert_eq!(
+        json_a, json_b,
+        "identical deterministic runs must export identical traces"
+    );
+    // Sanity on the format itself.
+    assert!(json_a.starts_with("[\n") && json_a.ends_with("\n]\n"));
+    assert!(json_a.contains("\"process_name\""));
+    assert!(json_a.contains("\"name\":\"node 0\""));
+    assert!(json_a.contains("\"name\":\"node 1\""));
+    assert!(json_a.contains("\"name\":\"rank 7\""));
+    assert!(json_a.contains("\"regime\":\"intra-node\""));
+    assert!(json_a.contains("\"regime\":\"intra-cell\""));
+}
+
+#[test]
+fn regime_byte_counters_are_exact() {
+    let (_, events) = traced_run();
+    let report = RunReport::from_events(&events);
+    // Exchanges: every rank sends 800 B to rank^1 (same node) and 800 B
+    // to rank^4 (other node, same cell): 8 × 800 each.
+    // Allreduce (ring, 8 ranks, 8 elements): 14 sends of one 8-byte chunk
+    // per rank over the right-neighbour ring, of whose 8 links 6 stay on
+    // a node and 2 cross nodes: 6 × 112 B intra, 2 × 112 B inter.
+    assert_eq!(report.regime_bytes(Regime::IntraNode), 8 * 800 + 6 * 112);
+    assert_eq!(report.regime_bytes(Regime::IntraCell), 8 * 800 + 2 * 112);
+    assert_eq!(report.regime_bytes(Regime::SameDevice), 0);
+    assert_eq!(report.regime_bytes(Regime::InterCell), 0);
+    assert_eq!(report.regime_bytes(Regime::InterModule), 0);
+    assert_eq!(report.total_bytes(), 2 * 8 * 800 + 8 * 112);
+}
+
+#[test]
+fn report_reproduces_clock_stats_exactly() {
+    let (results, events) = traced_run();
+    let report = RunReport::from_events(&events);
+    assert_eq!(report.ranks.len(), results.len());
+    for r in &results {
+        let breakdown = report
+            .ranks
+            .iter()
+            .find(|b| b.rank == r.rank)
+            .expect("every rank appears in the report");
+        assert!(
+            (breakdown.compute_s - r.clock.compute_s).abs() < 1e-12,
+            "rank {}: report compute {} vs clock {}",
+            r.rank,
+            breakdown.compute_s,
+            r.clock.compute_s
+        );
+        assert!(
+            (breakdown.comm_s - r.clock.comm_s).abs() < 1e-9,
+            "rank {}: report comm {} vs clock {}",
+            r.rank,
+            breakdown.comm_s,
+            r.clock.comm_s
+        );
+    }
+    // The makespan attribution picks the critical rank.
+    let max_total = results
+        .iter()
+        .map(|r| r.clock.total_s())
+        .fold(0.0f64, f64::max);
+    assert!((report.makespan.total_s - max_total).abs() < 1e-9);
+}
+
+#[test]
+fn regime_buckets_sum_to_per_rank_sent_bytes() {
+    let (_, events) = traced_run();
+    let report = RunReport::from_events(&events);
+    let rank_total: u64 = report.ranks.iter().map(|b| b.sent_bytes).sum();
+    assert_eq!(report.total_bytes(), rank_total);
+    let rank_msgs: u64 = report.ranks.iter().map(|b| b.sent_messages).sum();
+    assert_eq!(report.total_messages(), rank_msgs);
+    // And the raw events agree with both.
+    let event_bytes: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Send { bytes, .. } => Some(bytes),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(event_bytes, rank_total);
+}
+
+#[test]
+fn collective_spans_wrap_their_p2p_events() {
+    let (_, events) = traced_run();
+    // Each rank has exactly one allreduce span and one barrier.
+    for rank in 0..8u32 {
+        let mine: Vec<&TraceEvent> = events.iter().filter(|e| e.rank == rank).collect();
+        let allreduce: Vec<&&TraceEvent> = mine
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Collective { kind, .. }
+                if kind == jubench::trace::CollectiveKind::Allreduce)
+            })
+            .collect();
+        assert_eq!(allreduce.len(), 1, "rank {rank}");
+        let span = allreduce[0];
+        // The 14 ring sends/recvs of the allreduce fall inside the span.
+        let inside = mine
+            .iter()
+            .filter(|e| {
+                matches!(e.kind, EventKind::Send { .. } | EventKind::Recv { .. })
+                    && e.t_start >= span.t_start - 1e-12
+                    && e.t_end <= span.t_end + 1e-12
+            })
+            .count();
+        assert!(
+            inside >= 28,
+            "rank {rank}: {inside} p2p events inside the span"
+        );
+    }
+}

@@ -26,7 +26,9 @@ fn nekrs_workflow() -> Workflow {
             if ctx.param("variant") == Some("L") {
                 cfg = cfg.with_variant(MemoryVariant::Large);
             }
-            let out = jubench::apps_cfd::NekRs.run(&cfg).map_err(|e| e.to_string())?;
+            let out = jubench::apps_cfd::NekRs
+                .run(&cfg)
+                .map_err(|e| e.to_string())?;
             let mut o = output1("runtime_s", format!("{:.4}", out.virtual_time_s));
             o.insert("verified".into(), out.verification.passed().to_string());
             o.insert(
