@@ -11,9 +11,18 @@
 //! compares against the baselines with per-benchmark tolerances, and a
 //! [`RegressionReport`] that classifies each benchmark as OK, regressed,
 //! improved, or missing.
+//!
+//! When a pass runs under an injected [`jubench_faults::FaultPlan`]
+//! (maintenance drills, resilience exercises), feed
+//! [`monitor::fault_affected`] into [`Monitor::compare_with_faults`]:
+//! slow results on fault-touched benchmarks are classified
+//! [`CheckStatus::FaultSuspect`] — outliers attributed to the fault —
+//! rather than regressions, so the drill does not page anyone.
 
 pub mod baseline;
 pub mod monitor;
 
 pub use baseline::BaselineStore;
-pub use monitor::{CheckEntry, CheckStatus, MetricProvenance, Monitor, RegressionReport};
+pub use monitor::{
+    fault_affected, CheckEntry, CheckStatus, MetricProvenance, Monitor, RegressionReport,
+};

@@ -1,0 +1,425 @@
+//! The fault plan: a declarative, seeded schedule of faults in virtual
+//! time.
+
+use jubench_kernels::rng::{rank_rng, DetRng};
+
+/// Stream-family tag separating the message-drop draws from every other
+/// consumer of the plan seed.
+const DROP_STREAM: u64 = 0xD20F_FA17_5EED_0001;
+
+/// One injected fault. Link faults apply to the unordered rank pair
+/// `{a, b}`; message drops are directional (`from → to`); node and crash
+/// faults name a node or rank directly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Transfers between ranks `a` and `b` take `factor` × longer — a
+    /// failing cable or mis-trained adapter, permanently degraded.
+    DegradedLink { a: u32, b: u32, factor: f64 },
+    /// A link that oscillates: within each `period_s` of virtual time the
+    /// link is healthy for the first `up_fraction` of the period and
+    /// degraded by `factor` for the remainder.
+    FlappingLink {
+        a: u32,
+        b: u32,
+        factor: f64,
+        period_s: f64,
+        up_fraction: f64,
+    },
+    /// Computation on `node` takes `factor` × longer while the virtual
+    /// time is within `[from_s, until_s)` — a straggler or a thermal
+    /// throttle window.
+    SlowNode {
+        node: u32,
+        factor: f64,
+        from_s: f64,
+        until_s: f64,
+    },
+    /// Each message `from → to` is lost on the wire with `probability`;
+    /// the receiver observes a virtual-time timeout instead of a payload.
+    MessageDrop {
+        from: u32,
+        to: u32,
+        probability: f64,
+    },
+    /// `rank` fails permanently once its virtual clock reaches `at_s`:
+    /// every later communication attempt errors.
+    RankCrash { rank: u32, at_s: f64 },
+}
+
+fn same_pair(a: u32, b: u32, x: u32, y: u32) -> bool {
+    (a.min(b), a.max(b)) == (x.min(y), x.max(y))
+}
+
+/// A seeded, deterministic fault schedule for one run.
+///
+/// The plan is immutable data; the runtime queries it at operation
+/// boundaries. An empty plan answers every query with the identity
+/// (factor 1, probability 0, no crash), so running under an empty plan is
+/// bit-identical to running with no plan at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    recv_timeout_s: f64,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Virtual seconds a receiver waits on a dropped message before
+    /// reporting a timeout, unless overridden by
+    /// [`FaultPlan::with_recv_timeout`].
+    pub const DEFAULT_RECV_TIMEOUT_S: f64 = 0.1;
+
+    /// An empty plan under `seed`. The seed feeds every stochastic fault
+    /// draw (currently: message drops).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            recv_timeout_s: Self::DEFAULT_RECV_TIMEOUT_S,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A plan that slows a deterministically drawn subset of nodes: about
+    /// `fraction` of the `nodes` are stragglers running `factor` × slower
+    /// (for all of virtual time). The subset depends only on `seed`.
+    pub fn random_stragglers(seed: u64, nodes: u32, fraction: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        let count = (fraction * nodes as f64).round() as u32;
+        let mut rng = rank_rng(seed, u32::MAX);
+        // Partial Fisher–Yates over the node indices.
+        let mut pool: Vec<u32> = (0..nodes).collect();
+        let mut plan = FaultPlan::new(seed);
+        for i in 0..count.min(nodes) as usize {
+            let j = rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+            plan = plan.with_slow_node(pool[i], factor);
+        }
+        plan
+    }
+
+    // ----- builders -------------------------------------------------------
+
+    /// Permanently degrade the link between ranks `a` and `b`.
+    pub fn with_degraded_link(mut self, a: u32, b: u32, factor: f64) -> Self {
+        assert!(factor >= 1.0, "a degradation factor must be ≥ 1");
+        self.faults.push(Fault::DegradedLink { a, b, factor });
+        self
+    }
+
+    /// Add a flapping link: healthy for `up_fraction` of each `period_s`,
+    /// degraded by `factor` for the rest.
+    pub fn with_flapping_link(
+        mut self,
+        a: u32,
+        b: u32,
+        factor: f64,
+        period_s: f64,
+        up_fraction: f64,
+    ) -> Self {
+        assert!(factor >= 1.0 && period_s > 0.0);
+        assert!((0.0..=1.0).contains(&up_fraction));
+        self.faults.push(Fault::FlappingLink {
+            a,
+            b,
+            factor,
+            period_s,
+            up_fraction,
+        });
+        self
+    }
+
+    /// Slow all computation on `node` by `factor`, for all of virtual
+    /// time.
+    pub fn with_slow_node(self, node: u32, factor: f64) -> Self {
+        self.with_slow_node_window(node, factor, 0.0, f64::INFINITY)
+    }
+
+    /// Slow computation on `node` by `factor` within the virtual-time
+    /// window `[from_s, until_s)`.
+    pub fn with_slow_node_window(
+        mut self,
+        node: u32,
+        factor: f64,
+        from_s: f64,
+        until_s: f64,
+    ) -> Self {
+        assert!(factor >= 1.0 && from_s < until_s);
+        self.faults.push(Fault::SlowNode {
+            node,
+            factor,
+            from_s,
+            until_s,
+        });
+        self
+    }
+
+    /// Drop each message `from → to` with `probability`.
+    pub fn with_message_drop(mut self, from: u32, to: u32, probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&probability));
+        self.faults.push(Fault::MessageDrop {
+            from,
+            to,
+            probability,
+        });
+        self
+    }
+
+    /// Crash `rank` once its virtual clock reaches `at_s`.
+    pub fn with_rank_crash(mut self, rank: u32, at_s: f64) -> Self {
+        assert!(at_s >= 0.0);
+        self.faults.push(Fault::RankCrash { rank, at_s });
+        self
+    }
+
+    /// Override the virtual-time receive timeout charged per dropped
+    /// message.
+    pub fn with_recv_timeout(mut self, seconds: f64) -> Self {
+        assert!(seconds > 0.0);
+        self.recv_timeout_s = seconds;
+        self
+    }
+
+    // ----- queries --------------------------------------------------------
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    pub fn recv_timeout_s(&self) -> f64 {
+        self.recv_timeout_s
+    }
+
+    /// Combined slowdown factor of the link `{a, b}` at virtual time `t`
+    /// (product over all matching link faults; 1.0 when healthy).
+    pub fn link_factor(&self, a: u32, b: u32, t: f64) -> f64 {
+        let mut f = 1.0;
+        for fault in &self.faults {
+            match *fault {
+                Fault::DegradedLink { a: x, b: y, factor } if same_pair(a, b, x, y) => {
+                    f *= factor;
+                }
+                Fault::FlappingLink {
+                    a: x,
+                    b: y,
+                    factor,
+                    period_s,
+                    up_fraction,
+                } if same_pair(a, b, x, y) => {
+                    let phase = (t / period_s).fract();
+                    if phase >= up_fraction {
+                        f *= factor;
+                    }
+                }
+                _ => {}
+            }
+        }
+        f
+    }
+
+    /// Combined compute-slowdown factor of `node` at virtual time `t`.
+    pub fn compute_factor(&self, node: u32, t: f64) -> f64 {
+        let mut f = 1.0;
+        for fault in &self.faults {
+            if let Fault::SlowNode {
+                node: n,
+                factor,
+                from_s,
+                until_s,
+            } = *fault
+            {
+                if n == node && t >= from_s && t < until_s {
+                    f *= factor;
+                }
+            }
+        }
+        f
+    }
+
+    /// Probability that a message `from → to` is dropped (combined over
+    /// all matching drop faults).
+    pub fn drop_probability(&self, from: u32, to: u32) -> f64 {
+        let mut keep = 1.0;
+        for fault in &self.faults {
+            if let Fault::MessageDrop {
+                from: f,
+                to: t,
+                probability,
+            } = *fault
+            {
+                if f == from && t == to {
+                    keep *= 1.0 - probability;
+                }
+            }
+        }
+        1.0 - keep
+    }
+
+    /// Earliest virtual crash time of `rank`, if any.
+    pub fn crash_time(&self, rank: u32) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::RankCrash { rank: r, at_s } if r == rank => Some(at_s),
+                _ => None,
+            })
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    /// The unordered rank pairs with a (permanent or flapping) link
+    /// fault, deduplicated and sorted — the ground truth a LinkTest scan
+    /// should recover.
+    pub fn degraded_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::DegradedLink { a, b, .. } | Fault::FlappingLink { a, b, .. } => {
+                    Some((a.min(b), a.max(b)))
+                }
+                _ => None,
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Nodes with an active slow-node fault (at any time), sorted.
+    pub fn slow_nodes(&self) -> Vec<u32> {
+        let mut nodes: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::SlowNode { node, .. } => Some(node),
+                _ => None,
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// The deterministic message-drop stream of `rank`: decorrelated from
+    /// every other rank and from every other consumer of the plan seed.
+    pub fn drop_rng(&self, rank: u32) -> DetRng {
+        rank_rng(self.seed ^ DROP_STREAM, rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let p = FaultPlan::new(7);
+        assert!(p.is_empty());
+        assert_eq!(p.link_factor(0, 1, 5.0), 1.0);
+        assert_eq!(p.compute_factor(3, 5.0), 1.0);
+        assert_eq!(p.drop_probability(0, 1), 0.0);
+        assert_eq!(p.crash_time(0), None);
+        assert!(p.degraded_pairs().is_empty());
+    }
+
+    #[test]
+    fn degraded_links_are_symmetric_and_compose() {
+        let p = FaultPlan::new(0)
+            .with_degraded_link(0, 5, 4.0)
+            .with_degraded_link(5, 0, 2.0);
+        assert_eq!(p.link_factor(0, 5, 0.0), 8.0);
+        assert_eq!(p.link_factor(5, 0, 123.0), 8.0);
+        assert_eq!(p.link_factor(0, 4, 0.0), 1.0);
+        assert_eq!(p.degraded_pairs(), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn flapping_link_follows_its_duty_cycle() {
+        // Healthy for the first 60 % of each 10 s period.
+        let p = FaultPlan::new(0).with_flapping_link(1, 2, 8.0, 10.0, 0.6);
+        assert_eq!(p.link_factor(1, 2, 0.0), 1.0);
+        assert_eq!(p.link_factor(1, 2, 5.9), 1.0);
+        assert_eq!(p.link_factor(1, 2, 6.0), 8.0);
+        assert_eq!(p.link_factor(1, 2, 9.9), 8.0);
+        assert_eq!(p.link_factor(1, 2, 10.0), 1.0, "next period starts up");
+        assert_eq!(p.link_factor(2, 1, 16.5), 8.0, "symmetric");
+    }
+
+    #[test]
+    fn slow_node_window_bounds_apply() {
+        let p = FaultPlan::new(0).with_slow_node_window(2, 3.0, 1.0, 2.0);
+        assert_eq!(p.compute_factor(2, 0.5), 1.0);
+        assert_eq!(p.compute_factor(2, 1.0), 3.0);
+        assert_eq!(p.compute_factor(2, 1.999), 3.0);
+        assert_eq!(p.compute_factor(2, 2.0), 1.0);
+        assert_eq!(p.compute_factor(1, 1.5), 1.0, "other nodes healthy");
+        let always = FaultPlan::new(0).with_slow_node(4, 2.0);
+        assert_eq!(always.compute_factor(4, 1e9), 2.0);
+    }
+
+    #[test]
+    fn drop_probability_is_directional_and_composes() {
+        let p = FaultPlan::new(0)
+            .with_message_drop(0, 1, 0.5)
+            .with_message_drop(0, 1, 0.5);
+        assert!((p.drop_probability(0, 1) - 0.75).abs() < 1e-12);
+        assert_eq!(p.drop_probability(1, 0), 0.0);
+    }
+
+    #[test]
+    fn crash_time_takes_the_earliest() {
+        let p = FaultPlan::new(0)
+            .with_rank_crash(3, 7.0)
+            .with_rank_crash(3, 2.0);
+        assert_eq!(p.crash_time(3), Some(2.0));
+        assert_eq!(p.crash_time(2), None);
+    }
+
+    #[test]
+    fn drop_rng_is_seed_and_rank_deterministic() {
+        let p = FaultPlan::new(42);
+        let mut a = p.drop_rng(0);
+        let mut b = FaultPlan::new(42).drop_rng(0);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = p.drop_rng(1);
+        assert_ne!(p.drop_rng(0).next_u64(), c.next_u64());
+        assert_ne!(
+            FaultPlan::new(43).drop_rng(0).next_u64(),
+            FaultPlan::new(42).drop_rng(0).next_u64()
+        );
+    }
+
+    #[test]
+    fn random_stragglers_are_reproducible_and_sized() {
+        let a = FaultPlan::random_stragglers(9, 16, 0.25, 4.0);
+        let b = FaultPlan::random_stragglers(9, 16, 0.25, 4.0);
+        assert_eq!(a, b);
+        assert_eq!(a.slow_nodes().len(), 4);
+        assert!(a.slow_nodes().iter().all(|&n| n < 16));
+        let none = FaultPlan::random_stragglers(9, 16, 0.0, 4.0);
+        assert!(none.is_empty());
+        let other = FaultPlan::random_stragglers(10, 16, 0.25, 4.0);
+        assert_eq!(other.slow_nodes().len(), 4);
+    }
+
+    #[test]
+    fn recv_timeout_is_configurable() {
+        assert_eq!(
+            FaultPlan::new(0).recv_timeout_s(),
+            FaultPlan::DEFAULT_RECV_TIMEOUT_S
+        );
+        assert_eq!(
+            FaultPlan::new(0).with_recv_timeout(0.5).recv_timeout_s(),
+            0.5
+        );
+    }
+}

@@ -4,6 +4,8 @@
 
 use std::collections::BTreeMap;
 
+use jubench_faults::RetryPolicy;
+
 use crate::error::JubeError;
 use crate::params::ResolvedParams;
 
@@ -42,6 +44,9 @@ type Action = Box<dyn Fn(&StepContext<'_>) -> Result<StepOutput, String> + Send 
 pub struct Step {
     pub name: String,
     pub depends: Vec<String>,
+    /// Resilience policy: how many times to run the action before giving
+    /// up, and what exhaustion means. Defaults to a single attempt.
+    pub retry: RetryPolicy,
     pub(crate) action: Action,
 }
 
@@ -54,6 +59,7 @@ impl Step {
         Step {
             name: name.to_string(),
             depends: Vec::new(),
+            retry: RetryPolicy::none(),
             action: Box::new(action),
         }
     }
@@ -61,6 +67,15 @@ impl Step {
     /// Add a dependency (JUBE's `depend` attribute).
     pub fn after(mut self, dep: &str) -> Self {
         self.depends.push(dep.to_string());
+        self
+    }
+
+    /// Attach a retry policy: a failing action is re-run up to
+    /// `policy.max_attempts` times. The attempt count appears in the
+    /// step's outputs as `"<name>.attempts"` (result tables pick it up),
+    /// and each re-run is recorded as a `step-retry` trace event.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 

@@ -169,13 +169,46 @@ impl Workflow {
                 if !step.depends.is_empty() {
                     tracer.emit(&step.name, StepPhase::DependencyWait);
                 }
-                let ctx = StepContext {
-                    params: &params,
-                    outputs: &outputs,
+                // Run under the step's retry policy: every failed attempt
+                // short of the budget is recorded as a `step-retry` phase
+                // and re-run.
+                let policy = step.retry;
+                let mut attempt = 0u32;
+                let result = loop {
+                    attempt += 1;
+                    let ctx = StepContext {
+                        params: &params,
+                        outputs: &outputs,
+                    };
+                    match step.run(&ctx) {
+                        Ok(out) => break Ok(out),
+                        Err(_) if attempt < policy.max_attempts => {
+                            tracer.emit(&step.name, StepPhase::Retry);
+                        }
+                        Err(e) => break Err(e),
+                    }
                 };
-                let out = step.run(&ctx)?;
-                tracer.emit(&step.name, StepPhase::Execute);
-                outputs.insert(step.name.clone(), out);
+                match result {
+                    Ok(mut out) => {
+                        tracer.emit(&step.name, StepPhase::Execute);
+                        if policy.max_attempts > 1 {
+                            out.insert(format!("{}.attempts", step.name), attempt.to_string());
+                        }
+                        outputs.insert(step.name.clone(), out);
+                    }
+                    Err(e) => match policy.on_exhaustion {
+                        jubench_faults::OnExhaustion::Abort => return Err(e),
+                        jubench_faults::OnExhaustion::Continue => {
+                            // Record the failure in the result table and
+                            // keep the workpackage going: dependent steps
+                            // see an output map with only the failure keys.
+                            let mut out = StepOutput::new();
+                            out.insert(format!("{}.failed", step.name), e.to_string());
+                            out.insert(format!("{}.attempts", step.name), attempt.to_string());
+                            outputs.insert(step.name.clone(), out);
+                        }
+                    },
+                }
             }
             results.push(WorkpackageResult { params, outputs });
         }
@@ -343,6 +376,84 @@ mod tests {
         wf.params.set("x", "1");
         wf.add_step(passthrough("execute"));
         assert_eq!(wf.execute(&[]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn flaky_step_retries_to_success_and_records_attempts() {
+        use jubench_faults::RetryPolicy;
+        use jubench_trace::Recorder;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let rec = Arc::new(Recorder::new());
+        let failures = Arc::new(AtomicU32::new(2)); // fail twice, then pass
+        let mut wf = Workflow::new();
+        wf.params.set("x", "1");
+        let f = Arc::clone(&failures);
+        wf.add_step(
+            Step::new("execute", move |_| {
+                if f.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+                {
+                    Err("transient node failure".into())
+                } else {
+                    Ok(output1("fom", "17"))
+                }
+            })
+            .with_retry(RetryPolicy::new(5, 0.1)),
+        );
+        let wf = wf.with_recorder(rec.clone());
+        let results = wf.execute(&[]).unwrap();
+        assert_eq!(results[0].value("fom"), Some("17"));
+        assert_eq!(results[0].value("execute.attempts"), Some("3"));
+        let retries = rec
+            .take_events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::Step {
+                        phase: StepPhase::Retry,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(retries, 2, "one step-retry event per failed attempt");
+    }
+
+    #[test]
+    fn exhausted_retries_abort_by_default() {
+        use jubench_faults::RetryPolicy;
+        let mut wf = Workflow::new();
+        wf.add_step(
+            Step::new("execute", |_| Err("always down".into()))
+                .with_retry(RetryPolicy::new(3, 0.1)),
+        );
+        let err = wf.execute(&[]).unwrap_err();
+        assert_eq!(err.to_string(), "step 'execute' failed: always down");
+    }
+
+    #[test]
+    fn exhausted_retries_can_continue_and_record_the_failure() {
+        use jubench_faults::RetryPolicy;
+        let mut wf = Workflow::new();
+        wf.add_step(
+            Step::new("execute", |_| Err("always down".into()))
+                .with_retry(RetryPolicy::new(2, 0.1).or_continue()),
+        );
+        wf.add_step(
+            Step::new("verify", |ctx| {
+                let failed = ctx.output("execute", "execute.failed").is_some();
+                Ok(output1("saw_failure", failed))
+            })
+            .after("execute"),
+        );
+        let results = wf.execute(&[]).unwrap();
+        assert_eq!(results[0].value("execute.attempts"), Some("2"));
+        assert!(results[0]
+            .value("execute.failed")
+            .unwrap()
+            .contains("always down"));
+        assert_eq!(results[0].value("saw_failure"), Some("true"));
     }
 
     #[test]

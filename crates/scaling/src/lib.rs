@@ -13,10 +13,14 @@
 //! - [`traffic`]: the trace-probed regime-breakdown study — how a
 //!   growing job's bytes migrate from NVLink to the cell and global
 //!   links.
+//! - [`resilience`]: the straggler study — makespan inflation of an
+//!   allreduce-coupled job as seeded fault plans slow a growing fraction
+//!   of its nodes.
 
 pub mod ablations;
 pub mod descriptions;
 pub mod registry;
+pub mod resilience;
 pub mod strong;
 pub mod tables;
 pub mod traffic;
@@ -25,6 +29,7 @@ pub mod weak;
 pub use ablations::{alltoall_algorithms, juqcs_comm_efficiency, overlap_ablation};
 pub use descriptions::{describe, describe_all};
 pub use registry::full_registry;
+pub use resilience::{resilience_table, ResiliencePoint, ResilienceTable};
 pub use strong::{strong_scaling_series, Fig2Point, Fig2Series};
 pub use tables::{render_table1, render_table2};
 pub use traffic::{traffic_table, TrafficPoint, TrafficTable};

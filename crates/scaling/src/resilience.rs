@@ -1,0 +1,151 @@
+//! The resilience study: what stragglers cost a tightly coupled job.
+//!
+//! Runs an allreduce-heavy probe — the coupling pattern that makes
+//! exascale jobs fault-sensitive, because every rank waits for the
+//! slowest — on a Booster partition under seeded straggler plans of
+//! increasing density, and reports the makespan inflation against the
+//! fault-free baseline. The zero-fraction row is the control: its plan is
+//! empty, its run is bit-identical to the baseline, and its inflation is
+//! exactly 1.0.
+
+use jubench_cluster::Machine;
+use jubench_faults::FaultPlan;
+use jubench_simmpi::{ReduceOp, World};
+
+/// One straggler density's outcome.
+#[derive(Debug, Clone)]
+pub struct ResiliencePoint {
+    /// Requested fraction of the nodes running slow.
+    pub straggler_fraction: f64,
+    /// The nodes the seeded plan actually drew.
+    pub stragglers: Vec<u32>,
+    /// Virtual makespan of the faulted run, seconds.
+    pub makespan_s: f64,
+    /// `makespan_s` over the fault-free makespan.
+    pub inflation: f64,
+}
+
+/// The straggler-density sweep on one partition.
+#[derive(Debug, Clone)]
+pub struct ResilienceTable {
+    pub nodes: u32,
+    /// Compute slowdown factor of each straggler node.
+    pub slowdown: f64,
+    /// Fault-free makespan, seconds (the denominator of every inflation).
+    pub baseline_s: f64,
+    pub points: Vec<ResiliencePoint>,
+}
+
+impl ResilienceTable {
+    /// Render as a markdown table: one row per straggler fraction.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "baseline: {:.6} s on {} nodes (stragglers run {} x slower)\n\n",
+            self.baseline_s, self.nodes, self.slowdown
+        );
+        out.push_str("| stragglers | nodes affected | makespan[s] | inflation |\n");
+        out.push_str("|------------|----------------|-------------|-----------|\n");
+        for p in &self.points {
+            out.push_str(&format!(
+                "| {:>8.1} % | {:>14} | {:>11.6} | {:>8.3} x |\n",
+                100.0 * p.straggler_fraction,
+                p.stragglers.len(),
+                p.makespan_s,
+                p.inflation,
+            ));
+        }
+        out
+    }
+}
+
+/// The probe workload: compute phases coupled by small allreduces, so a
+/// single slow node drags every rank's virtual clock.
+fn probe_makespan(world: &World) -> f64 {
+    let (_, span) = world.run_timed(|comm| {
+        for _ in 0..4 {
+            comm.advance_compute(1e-3);
+            let mut acc = [comm.rank() as f64; 16];
+            comm.allreduce_f64(&mut acc, ReduceOp::Sum).unwrap();
+        }
+    });
+    span.total_s()
+}
+
+/// Sweep straggler densities `fractions` on a `nodes`-node Booster
+/// partition: each point runs under
+/// [`FaultPlan::random_stragglers`]`(seed, nodes, fraction, slowdown)`.
+/// Identical seeds reproduce identical tables.
+pub fn resilience_table(
+    nodes: u32,
+    fractions: &[f64],
+    slowdown: f64,
+    seed: u64,
+) -> ResilienceTable {
+    let base_world = World::new(Machine::juwels_booster().partition(nodes));
+    let baseline_s = probe_makespan(&base_world);
+    let points = fractions
+        .iter()
+        .map(|&fraction| {
+            let plan = FaultPlan::random_stragglers(seed, nodes, fraction, slowdown);
+            let stragglers = plan.slow_nodes();
+            let makespan_s = probe_makespan(&base_world.clone().with_fault_plan(plan));
+            ResiliencePoint {
+                straggler_fraction: fraction,
+                stragglers,
+                makespan_s,
+                inflation: makespan_s / baseline_s,
+            }
+        })
+        .collect();
+    ResilienceTable {
+        nodes,
+        slowdown,
+        baseline_s,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fraction_is_exactly_the_baseline() {
+        let t = resilience_table(2, &[0.0], 4.0, 17);
+        assert!(t.points[0].stragglers.is_empty());
+        assert_eq!(t.points[0].makespan_s, t.baseline_s, "bit-identical run");
+        assert_eq!(t.points[0].inflation, 1.0);
+    }
+
+    #[test]
+    fn stragglers_inflate_the_makespan() {
+        let t = resilience_table(4, &[0.0, 0.25, 1.0], 4.0, 17);
+        assert_eq!(t.points[1].stragglers.len(), 1);
+        assert!(t.points[1].inflation > 1.0, "{}", t.points[1].inflation);
+        // Denser stragglers cannot speed the job up: the critical path is
+        // a slowed node either way, so the two inflations agree to float
+        // noise — compare with a relative epsilon.
+        assert!(
+            t.points[2].inflation >= t.points[1].inflation * (1.0 - 1e-9),
+            "{} !>= {}",
+            t.points[2].inflation,
+            t.points[1].inflation
+        );
+    }
+
+    #[test]
+    fn sweep_is_reproducible_per_seed() {
+        let a = resilience_table(4, &[0.5], 4.0, 23);
+        let b = resilience_table(4, &[0.5], 4.0, 23);
+        assert_eq!(a.points[0].stragglers, b.points[0].stragglers);
+        assert_eq!(a.points[0].makespan_s, b.points[0].makespan_s);
+    }
+
+    #[test]
+    fn render_has_one_row_per_fraction() {
+        let t = resilience_table(2, &[0.0, 0.5], 4.0, 5);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 6, "header block + 2 rows");
+        assert!(s.contains("inflation"));
+    }
+}

@@ -7,6 +7,7 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Mutex;
 
 use jubench_cluster::{Distance, NetModel, Roofline, Work};
+use jubench_faults::{DetRng, FaultPlan, RetryPolicy};
 use jubench_trace::{CollectiveKind, EventKind, Regime, TraceEvent, TraceSink};
 
 use crate::clock::{ClockStats, VirtualClock};
@@ -52,11 +53,15 @@ impl Payload {
 }
 
 /// A message in flight, carrying the sender's virtual post time so the
-/// receiver can respect causality.
+/// receiver can respect causality. A *dropped* message (an injected
+/// message-drop fault) is sent as a tombstone — `dropped: true` — so the
+/// receiver never blocks in wall time; it charges the virtual receive
+/// timeout and reports [`SimError::Timeout`] instead of a payload.
 pub(crate) struct Message {
     payload: Payload,
     tag: u32,
     sent_at: f64,
+    dropped: bool,
 }
 
 /// Reduction operators for the collective operations.
@@ -126,7 +131,17 @@ pub struct Comm {
     net: NetModel,
     device: Roofline,
     barrier: Arc<VBarrier>,
-    degraded_link: Option<(u32, u32, f64)>,
+    /// Injected faults this communicator consults at operation boundaries.
+    /// `None` keeps every fault hook a no-op.
+    plan: Option<Arc<FaultPlan>>,
+    /// Lazily created deterministic message-drop stream (only consumed on
+    /// sends towards a destination with a positive drop probability).
+    drop_rng: Option<DetRng>,
+    /// This rank's scheduled crash time, cached from the plan.
+    crash_at: Option<f64>,
+    /// Set once the crash time has been reached; every further
+    /// communication attempt fails with [`SimError::RankCrashed`].
+    crashed: bool,
     /// Node hosting this rank (cached for event stamping).
     node: u32,
     /// Opt-in trace sink; `None` keeps every hook a no-op.
@@ -158,14 +173,20 @@ impl Comm {
             map,
             net,
             barrier,
-            degraded_link: None,
+            plan: None,
+            drop_rng: None,
+            crash_at: None,
+            crashed: false,
             sink: None,
             seq: 0,
         }
     }
 
-    pub(crate) fn with_degraded_link(mut self, degraded: Option<(u32, u32, f64)>) -> Self {
-        self.degraded_link = degraded;
+    pub(crate) fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
+        if let Some(p) = &plan {
+            self.crash_at = p.crash_time(self.rank);
+        }
+        self.plan = plan;
         self
     }
 
@@ -221,11 +242,21 @@ impl Comm {
         self.advance_compute(self.device.time(work));
     }
 
-    /// Advance the virtual clock by `seconds` of computation directly.
+    /// Advance the virtual clock by `seconds` of computation directly. A
+    /// slow-node fault active on this rank's node stretches the span by
+    /// its factor (the emitted event carries the stretched duration, so
+    /// trace accounting still reproduces the clock exactly).
     pub fn advance_compute(&mut self, seconds: f64) {
         let t0 = self.clock.now();
-        self.clock.advance_compute(seconds);
-        self.emit(t0, EventKind::Compute { seconds });
+        let mut charged = seconds;
+        if let Some(plan) = &self.plan {
+            let factor = plan.compute_factor(self.node, t0);
+            if factor > 1.0 {
+                charged *= factor;
+            }
+        }
+        self.clock.advance_compute(charged);
+        self.emit(t0, EventKind::Compute { seconds: charged });
     }
 
     fn check_rank(&self, r: u32) -> Result<(), SimError> {
@@ -240,14 +271,15 @@ impl Comm {
     }
 
     /// Link properties towards `peer` for a `bytes`-sized transfer: wire
-    /// time, topology regime, and whether the degraded-link fault applied.
+    /// time, topology regime, and whether a link fault applied at the
+    /// current virtual time.
     fn link(&self, peer: u32, bytes: u64) -> (f64, Regime, bool) {
         let dist = self.map.distance(self.rank, peer);
         let mut t = self.net.ptp_time(bytes, dist, self.map.job_nodes());
         let mut degraded = false;
-        if let Some((a, b, factor)) = self.degraded_link {
-            let pair = (self.rank.min(peer), self.rank.max(peer));
-            if pair == (a.min(b), a.max(b)) {
+        if let Some(plan) = &self.plan {
+            let factor = plan.link_factor(self.rank, peer, self.clock.now());
+            if factor > 1.0 {
                 t *= factor;
                 degraded = true;
             }
@@ -255,40 +287,122 @@ impl Comm {
         (t, regime_of(dist), degraded)
     }
 
+    /// Fail every communication attempt once this rank's scheduled crash
+    /// time has passed. The first detection emits a zero-duration `Crash`
+    /// marker event.
+    fn fail_if_crashed(&mut self) -> Result<(), SimError> {
+        if self.crashed {
+            return Err(SimError::RankCrashed { rank: self.rank });
+        }
+        if let Some(at_s) = self.crash_at {
+            if self.clock.now() >= at_s {
+                self.crashed = true;
+                let t0 = self.clock.now();
+                self.emit(t0, EventKind::Crash { at_s });
+                return Err(SimError::RankCrashed { rank: self.rank });
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw the drop fate of one message towards `to`. Consumes the
+    /// deterministic drop stream only when a drop fault applies, so plans
+    /// without drops (and empty plans) leave the send path untouched.
+    fn draw_drop(&mut self, to: u32) -> bool {
+        let Some(plan) = &self.plan else {
+            return false;
+        };
+        let p = plan.drop_probability(self.rank, to);
+        if p <= 0.0 {
+            return false;
+        }
+        self.drop_rng
+            .get_or_insert_with(|| plan.drop_rng(self.rank))
+            .gen_bool(p)
+    }
+
     // ----- point-to-point -------------------------------------------------
 
     fn send_payload(&mut self, to: u32, tag: u32, payload: Payload) -> Result<(), SimError> {
+        self.send_payload_inner(to, tag, payload).map(|_| ())
+    }
+
+    /// Send one message; returns whether it was *delivered* (`false`: an
+    /// injected drop consumed it — a tombstone went out instead, so the
+    /// receiver still unblocks and observes a timeout).
+    fn send_payload_inner(
+        &mut self,
+        to: u32,
+        tag: u32,
+        payload: Payload,
+    ) -> Result<bool, SimError> {
+        self.fail_if_crashed()?;
         self.check_rank(to)?;
         let bytes = payload.nbytes();
         let (transfer, regime, degraded) = self.link(to, bytes);
         let t0 = self.clock.now();
-        // The sender serializes the message through its adapter.
+        // The sender serializes the message through its adapter (dropped
+        // or not — the bytes entered the wire either way).
         self.clock.advance_comm(transfer);
+        let dropped = self.draw_drop(to);
         let msg = Message {
             payload,
             tag,
             sent_at: self.clock.now(),
+            dropped,
         };
         // Unbounded channel: never blocks; a gone peer just drops the data.
         let _ = self.senders[to as usize].send(msg);
-        self.emit(
-            t0,
-            EventKind::Send {
-                peer: to,
-                tag,
-                bytes,
-                regime,
-                degraded,
-            },
-        );
-        Ok(())
+        if dropped {
+            self.emit(
+                t0,
+                EventKind::Drop {
+                    peer: to,
+                    tag,
+                    bytes,
+                    regime,
+                },
+            );
+        } else {
+            self.emit(
+                t0,
+                EventKind::Send {
+                    peer: to,
+                    tag,
+                    bytes,
+                    regime,
+                    degraded,
+                },
+            );
+        }
+        Ok(!dropped)
     }
 
     fn recv_payload(&mut self, from: u32, tag: Option<u32>) -> Result<Payload, SimError> {
+        self.fail_if_crashed()?;
         self.check_rank(from)?;
         let msg = self.receivers[from as usize]
             .recv()
             .map_err(|_| SimError::PeerGone { from })?;
+        if msg.dropped {
+            // The payload was lost on the wire: wait (in virtual time) up
+            // to the sender's post time, then charge the receive timeout.
+            let timeout_s = self
+                .plan
+                .as_ref()
+                .map_or(FaultPlan::DEFAULT_RECV_TIMEOUT_S, |p| p.recv_timeout_s());
+            let t0 = self.clock.now();
+            self.clock.recv_until(msg.sent_at, timeout_s);
+            self.emit(
+                t0,
+                EventKind::Timeout {
+                    peer: from,
+                    tag: msg.tag,
+                    timeout_s,
+                },
+            );
+            return Err(SimError::Timeout { from });
+        }
         if let Some(expected) = tag {
             if msg.tag != expected {
                 return Err(SimError::TagMismatch {
@@ -392,6 +506,70 @@ impl Comm {
     pub fn sendrecv_u64(&mut self, peer: u32, data: &[u64]) -> Result<Vec<u64>, SimError> {
         self.send_u64(peer, data)?;
         self.recv_u64(peer)
+    }
+
+    // ----- resilient point-to-point ---------------------------------------
+
+    /// Send `data` to `to` with bounded retry under `policy`, modeling an
+    /// acknowledged transport: a dropped message is re-sent after an
+    /// exponential backoff charged to the **virtual** clock (recorded as a
+    /// `Retry` trace event). Returns the number of attempts used. The
+    /// matching receiver must call [`Comm::recv_f64_reliable`] with the
+    /// same policy so both sides consume the same number of messages.
+    pub fn send_f64_reliable(
+        &mut self,
+        to: u32,
+        data: &[f64],
+        policy: RetryPolicy,
+    ) -> Result<u32, SimError> {
+        for attempt in 1..=policy.max_attempts {
+            if self.send_payload_inner(to, 0, Payload::F64(data.to_vec()))? {
+                return Ok(attempt);
+            }
+            if attempt < policy.max_attempts {
+                let backoff_s = policy.backoff_s(attempt);
+                let t0 = self.clock.now();
+                self.clock.advance_comm(backoff_s);
+                self.emit(
+                    t0,
+                    EventKind::Retry {
+                        peer: to,
+                        attempt,
+                        backoff_s,
+                    },
+                );
+            }
+        }
+        Err(SimError::RetriesExhausted {
+            peer: to,
+            attempts: policy.max_attempts,
+        })
+    }
+
+    /// Receive from `from`, absorbing up to `policy.max_attempts − 1`
+    /// timeouts (each one the tombstone of a dropped attempt by a
+    /// [`Comm::send_f64_reliable`] sender under the same policy). Returns
+    /// the payload and the number of attempts consumed.
+    pub fn recv_f64_reliable(
+        &mut self,
+        from: u32,
+        policy: RetryPolicy,
+    ) -> Result<(Vec<f64>, u32), SimError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.recv_f64(from) {
+                Ok(v) => return Ok((v, attempts)),
+                Err(SimError::Timeout { .. }) if attempts < policy.max_attempts => continue,
+                Err(SimError::Timeout { .. }) => {
+                    return Err(SimError::RetriesExhausted {
+                        peer: from,
+                        attempts,
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     // ----- collectives ----------------------------------------------------

@@ -24,6 +24,16 @@ pub enum SimError {
     PeerGone { from: u32 },
     /// Rank index out of range.
     InvalidRank { rank: u32, size: u32 },
+    /// A receive observed a dropped message (an injected message-drop
+    /// fault) and gave up after the fault plan's virtual-time receive
+    /// timeout.
+    Timeout { from: u32 },
+    /// The operating rank passed its scheduled crash time: every further
+    /// communication attempt fails with this error.
+    RankCrashed { rank: u32 },
+    /// A resilient operation used up its whole retry budget without
+    /// succeeding.
+    RetriesExhausted { peer: u32, attempts: u32 },
 }
 
 impl fmt::Display for SimError {
@@ -56,6 +66,18 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "rank {rank} out of range for communicator of size {size}"
+                )
+            }
+            SimError::Timeout { from } => {
+                write!(f, "receive from rank {from} timed out (message dropped)")
+            }
+            SimError::RankCrashed { rank } => {
+                write!(f, "rank {rank} has crashed (scheduled fault)")
+            }
+            SimError::RetriesExhausted { peer, attempts } => {
+                write!(
+                    f,
+                    "operation with rank {peer} failed after {attempts} attempts"
                 )
             }
         }

@@ -17,6 +17,20 @@
 //! quantity the scaling studies (Figs. 2 and 3 of the paper) report. It is
 //! independent of the host's wall-clock speed, which is what makes
 //! scaling studies reproducible on a development machine.
+//!
+//! ## Fault injection
+//!
+//! A [`World`] optionally carries a [`jubench_faults::FaultPlan`]
+//! ([`World::with_fault_plan`]): degraded and flapping links stretch
+//! transfer times, slow-node faults stretch compute spans, message drops
+//! turn receives into virtual-time timeouts ([`SimError::Timeout`]), and
+//! rank crashes fail every operation past the scheduled instant
+//! ([`SimError::RankCrashed`]). Dropped messages are delivered as
+//! *tombstones*, so receivers never block in wall time. The resilient
+//! pair [`Comm::send_f64_reliable`] / [`Comm::recv_f64_reliable`] retries
+//! over drops with exponential backoff charged to the virtual clock. The
+//! barrier is **not** crash-safe: a crashed rank must still reach it (or
+//! the run must avoid barriers after the crash time).
 
 pub mod clock;
 pub mod comm;

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use std::sync::mpsc::channel;
 
 use jubench_cluster::{Machine, NetModel, Placement, Roofline};
+use jubench_faults::FaultPlan;
 use jubench_trace::TraceSink;
 
 use crate::clock::ClockStats;
@@ -27,10 +28,11 @@ pub struct RankResult<T> {
 pub struct World {
     map: RankMap,
     net: NetModel,
-    /// Fault injection: one rank pair whose transfers are slowed by the
-    /// factor (> 1), emulating a degraded cable/adapter for the LinkTest
-    /// troubleshooting scenario.
-    degraded_link: Option<(u32, u32, f64)>,
+    /// Fault injection: a seeded, declarative schedule of faults every
+    /// communicator consults at operation boundaries — degraded/flapping
+    /// links, slow nodes, message drops, rank crashes. `None` (and the
+    /// empty plan) is the unfaulted machine.
+    plan: Option<Arc<FaultPlan>>,
     /// Opt-in observability: every communicator records structured events
     /// here. `None` (the default) keeps all instrumentation hooks no-ops.
     sink: Option<Arc<dyn TraceSink>>,
@@ -41,7 +43,7 @@ impl std::fmt::Debug for World {
         f.debug_struct("World")
             .field("map", &self.map)
             .field("net", &self.net)
-            .field("degraded_link", &self.degraded_link)
+            .field("fault_plan", &self.plan)
             .field("traced", &self.sink.is_some())
             .finish()
     }
@@ -56,7 +58,7 @@ impl World {
                 device: Roofline::new(machine.node.gpu),
             },
             net: NetModel::juwels_booster(),
-            degraded_link: None,
+            plan: None,
             sink: None,
         }
     }
@@ -69,7 +71,7 @@ impl World {
                 device: Roofline::new(jubench_cluster::GpuSpec::epyc_rome_node()),
             },
             net: NetModel::juwels_booster(),
-            degraded_link: None,
+            plan: None,
             sink: None,
         }
     }
@@ -80,18 +82,35 @@ impl World {
         World {
             map: RankMap::msa(cluster_nodes, booster_nodes),
             net: NetModel::juwels_booster(),
-            degraded_link: None,
+            plan: None,
             sink: None,
         }
     }
 
+    /// Inject a full fault plan: every communicator of subsequent runs
+    /// consults it at operation boundaries. Replaces any previous plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(Arc::new(plan));
+        self
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.plan.as_deref()
+    }
+
     /// Inject a degraded link: transfers between ranks `a` and `b` take
     /// `factor` × longer (a failing cable, a mis-trained adapter — the
-    /// faults LinkTest exists to localize).
-    pub fn with_degraded_link(mut self, a: u32, b: u32, factor: f64) -> Self {
-        assert!(factor >= 1.0);
-        self.degraded_link = Some((a, b, factor));
-        self
+    /// faults LinkTest exists to localize). Convenience shim over
+    /// [`World::with_fault_plan`]: appends to the existing plan (or to a
+    /// fresh seed-0 plan).
+    pub fn with_degraded_link(self, a: u32, b: u32, factor: f64) -> Self {
+        let plan = self
+            .plan
+            .as_deref()
+            .cloned()
+            .unwrap_or_else(|| FaultPlan::new(0));
+        self.with_fault_plan(plan.with_degraded_link(a, b, factor))
     }
 
     /// Override the kernel efficiencies of the device roofline (uniform
@@ -166,11 +185,11 @@ impl World {
                 let barrier = Arc::clone(&barrier);
                 let map = self.map;
                 let net = self.net;
-                let degraded = self.degraded_link;
+                let plan = self.plan.clone();
                 let sink = self.sink.clone();
                 handles.push(scope.spawn(move || {
                     let mut comm = Comm::new(rank as u32, n as u32, tx, rx, map, net, barrier)
-                        .with_degraded_link(degraded)
+                        .with_fault_plan(plan)
                         .with_sink(sink);
                     let value = f(&mut comm);
                     RankResult {
@@ -565,6 +584,166 @@ mod tests {
         };
         assert!(degraded_of(1), "0->1 crosses the degraded pair");
         assert!(!degraded_of(2), "0->2 is healthy");
+    }
+
+    #[test]
+    fn slow_node_stretches_compute_spans() {
+        let w = small_world(2); // 8 ranks on 2 nodes (4 ranks each)
+        let faulted = w
+            .clone()
+            .with_fault_plan(FaultPlan::new(1).with_slow_node(1, 4.0));
+        let results = faulted.run(|comm| {
+            comm.advance_compute(1.0);
+            comm.now()
+        });
+        for r in &results {
+            let expect = if r.rank >= 4 { 4.0 } else { 1.0 };
+            assert_eq!(r.value, expect, "rank {}", r.rank);
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let run = |w: &World| {
+            w.run(|comm| {
+                comm.advance_compute(0.3 * (comm.rank() + 1) as f64);
+                let mut buf = vec![comm.rank() as f64; 32];
+                comm.allreduce_f64(&mut buf, ReduceOp::Sum).unwrap();
+                comm.stats()
+            })
+        };
+        let plain = run(&small_world(2));
+        let empty = run(&small_world(2).with_fault_plan(FaultPlan::new(99)));
+        for (a, b) in plain.iter().zip(&empty) {
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.clock, b.clock);
+        }
+    }
+
+    #[test]
+    fn dropped_message_times_out_and_charges_virtual_time() {
+        // Certain drop 0 → 1: the receiver gets a tombstone, not a payload.
+        let w = small_world(1).with_fault_plan(
+            FaultPlan::new(5)
+                .with_message_drop(0, 1, 1.0)
+                .with_recv_timeout(0.25),
+        );
+        let results = w.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send_f64(1, &[1.0; 8]).map(|_| 0.0)
+            } else if comm.rank() == 1 {
+                let err = comm.recv_f64(0).unwrap_err();
+                assert_eq!(err, crate::error::SimError::Timeout { from: 0 });
+                Ok(comm.now())
+            } else {
+                Ok(0.0)
+            }
+        });
+        // Rank 1 waited until the (lost) send's post time plus the timeout.
+        let t = results[1].value.clone().unwrap();
+        assert!(t > 0.25, "timeout charged virtual time, got {t}");
+    }
+
+    #[test]
+    fn reliable_pair_survives_drops() {
+        let policy = jubench_faults::RetryPolicy::new(20, 0.01);
+        let w = small_world(1).with_fault_plan(FaultPlan::new(7).with_message_drop(0, 1, 0.5));
+        let results = w.run(move |comm| {
+            if comm.rank() == 0 {
+                let attempts = comm.send_f64_reliable(1, &[42.0; 4], policy).unwrap();
+                (attempts, vec![])
+            } else if comm.rank() == 1 {
+                let (data, attempts) = comm.recv_f64_reliable(0, policy).unwrap();
+                (attempts, data)
+            } else {
+                (0, vec![])
+            }
+        });
+        let (send_attempts, _) = &results[0].value;
+        let (recv_attempts, data) = &results[1].value;
+        assert_eq!(data, &vec![42.0; 4]);
+        assert_eq!(send_attempts, recv_attempts, "both sides stay in step");
+        assert!(*send_attempts >= 1 && *send_attempts <= 20);
+    }
+
+    #[test]
+    fn exhausted_retries_error_on_both_sides() {
+        let policy = jubench_faults::RetryPolicy::new(3, 0.01);
+        let w = small_world(1).with_fault_plan(FaultPlan::new(7).with_message_drop(0, 1, 1.0));
+        let results = w.run(move |comm| {
+            if comm.rank() == 0 {
+                comm.send_f64_reliable(1, &[1.0], policy).map(|_| ())
+            } else if comm.rank() == 1 {
+                comm.recv_f64_reliable(0, policy).map(|_| ())
+            } else {
+                Ok(())
+            }
+        });
+        use crate::error::SimError;
+        assert_eq!(
+            results[0].value,
+            Err(SimError::RetriesExhausted {
+                peer: 1,
+                attempts: 3
+            })
+        );
+        assert_eq!(
+            results[1].value,
+            Err(SimError::RetriesExhausted {
+                peer: 0,
+                attempts: 3
+            })
+        );
+    }
+
+    #[test]
+    fn crashed_rank_fails_operations_and_peers_see_it_gone() {
+        let w = small_world(1).with_fault_plan(FaultPlan::new(0).with_rank_crash(2, 1.0));
+        let results = w.run(|comm| {
+            if comm.rank() == 2 {
+                comm.advance_compute(2.0); // sail past the crash time
+                let err = comm.send_f64(0, &[1.0]).unwrap_err();
+                Err(err)
+            } else if comm.rank() == 0 {
+                // Rank 2's send never happened; its channel closes when it
+                // returns.
+                Err(comm.recv_f64(2).unwrap_err())
+            } else {
+                Ok(())
+            }
+        });
+        use crate::error::SimError;
+        assert_eq!(results[2].value, Err(SimError::RankCrashed { rank: 2 }));
+        assert_eq!(results[0].value, Err(SimError::PeerGone { from: 2 }));
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible_per_seed() {
+        let run = |seed: u64| {
+            let w =
+                small_world(1).with_fault_plan(FaultPlan::new(seed).with_message_drop(0, 1, 0.5));
+            let policy = jubench_faults::RetryPolicy::new(50, 0.01);
+            w.run(move |comm| {
+                if comm.rank() == 0 {
+                    comm.send_f64_reliable(1, &[1.0; 16], policy).unwrap();
+                } else if comm.rank() == 1 {
+                    comm.recv_f64_reliable(0, policy).unwrap();
+                }
+                comm.stats()
+            })
+        };
+        let a = run(11);
+        let b = run(11);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.clock, y.clock);
+        }
+        // A different seed draws a different drop pattern (with 50 %
+        // drops over 50 attempts this differs with overwhelming odds).
+        let c = run(12);
+        assert!(
+            a.iter().zip(&c).any(|(x, y)| x.clock != y.clock),
+            "different seeds should perturb the run"
+        );
     }
 
     #[test]

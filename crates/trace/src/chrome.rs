@@ -87,6 +87,10 @@ fn category(kind: &EventKind) -> &'static str {
         EventKind::Send { .. } | EventKind::Recv { .. } => "p2p",
         EventKind::Collective { .. } => "collective",
         EventKind::Step { .. } => "workflow",
+        EventKind::Drop { .. }
+        | EventKind::Timeout { .. }
+        | EventKind::Retry { .. }
+        | EventKind::Crash { .. } => "fault",
     }
 }
 
@@ -114,6 +118,19 @@ fn args(e: &TraceEvent) -> String {
             escape(step),
             phase.label()
         ),
+        EventKind::Drop { peer, tag, bytes, regime } => format!(
+            "{{\"peer\":{peer},\"tag\":{tag},\"bytes\":{bytes},\"regime\":\"{}\"}}",
+            regime.label()
+        ),
+        EventKind::Timeout { peer, tag, timeout_s } => format!(
+            "{{\"peer\":{peer},\"tag\":{tag},\"timeout_s\":{}}}",
+            fmt_f64(*timeout_s)
+        ),
+        EventKind::Retry { peer, attempt, backoff_s } => format!(
+            "{{\"peer\":{peer},\"attempt\":{attempt},\"backoff_s\":{}}}",
+            fmt_f64(*backoff_s)
+        ),
+        EventKind::Crash { at_s } => format!("{{\"at_s\":{}}}", fmt_f64(*at_s)),
     }
 }
 

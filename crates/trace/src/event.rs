@@ -71,6 +71,8 @@ pub enum StepPhase {
     DependencyWait,
     /// The step body executed.
     Execute,
+    /// A failed attempt is being retried under the step's retry policy.
+    Retry,
 }
 
 impl StepPhase {
@@ -79,6 +81,7 @@ impl StepPhase {
             StepPhase::ParamsResolved => "params-resolved",
             StepPhase::DependencyWait => "dependency-wait",
             StepPhase::Execute => "execute",
+            StepPhase::Retry => "step-retry",
         }
     }
 }
@@ -126,6 +129,29 @@ pub enum EventKind {
         phase: StepPhase,
         workpackage: u32,
     },
+    /// A send whose message was lost on the wire (an injected message
+    /// drop): the sender still serialized `bytes` through its adapter, so
+    /// the span carries the transfer time.
+    Drop {
+        peer: u32,
+        tag: u32,
+        bytes: u64,
+        regime: Regime,
+    },
+    /// A receive that observed a dropped message: the receiver waited for
+    /// the (lost) payload and charged `timeout_s` of virtual time before
+    /// giving up.
+    Timeout { peer: u32, tag: u32, timeout_s: f64 },
+    /// A retry backoff span before attempt `attempt + 1` of a resilient
+    /// operation, charged to the virtual clock as communication.
+    Retry {
+        peer: u32,
+        attempt: u32,
+        backoff_s: f64,
+    },
+    /// The emitting rank hit its scheduled crash time `at_s` — a
+    /// zero-duration marker; every later operation on the rank fails.
+    Crash { at_s: f64 },
 }
 
 impl EventKind {
@@ -138,15 +164,21 @@ impl EventKind {
             EventKind::Recv { .. } => "recv",
             EventKind::Collective { kind, .. } => kind.label(),
             EventKind::Step { phase, .. } => phase.label(),
+            EventKind::Drop { .. } => "drop",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Crash { .. } => "crash",
         }
     }
 
-    /// Bytes moved by this event (payload for p2p and collectives).
+    /// Bytes moved by this event (payload for p2p and collectives;
+    /// dropped sends count the bytes that entered the wire).
     pub fn bytes(&self) -> u64 {
         match self {
             EventKind::Send { bytes, .. }
             | EventKind::Recv { bytes, .. }
-            | EventKind::Collective { bytes, .. } => *bytes,
+            | EventKind::Collective { bytes, .. }
+            | EventKind::Drop { bytes, .. } => *bytes,
             _ => 0,
         }
     }
@@ -186,7 +218,11 @@ impl TraceEvent {
     /// reproduces `ClockStats::comm_s` exactly, with no double counting.
     pub fn comm_seconds(&self) -> f64 {
         match &self.kind {
-            EventKind::Send { .. } | EventKind::Recv { .. } => self.duration_s(),
+            EventKind::Send { .. }
+            | EventKind::Recv { .. }
+            | EventKind::Drop { .. }
+            | EventKind::Timeout { .. }
+            | EventKind::Retry { .. } => self.duration_s(),
             EventKind::Collective { sync_wait_s, .. } => *sync_wait_s,
             _ => 0.0,
         }

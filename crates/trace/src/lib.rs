@@ -24,8 +24,10 @@
 //!
 //! - [`RunReport`]: where virtual time goes. Per-rank compute/comm
 //!   split, traffic bucketed by topology regime (intra-node,
-//!   intra-cell, inter-cell, …), per-operation histograms, and
-//!   critical-path attribution of the makespan.
+//!   intra-cell, inter-cell, …), per-operation histograms,
+//!   critical-path attribution of the makespan, and — when faults were
+//!   injected — a [`FaultStats`] tally plus
+//!   [`RunReport::makespan_inflation`] against a fault-free baseline.
 //! - [`chrome_trace_json`]: a `chrome://tracing` / Perfetto-loadable
 //!   timeline — nodes become processes, ranks become threads.
 //!
@@ -45,5 +47,7 @@ pub mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use event::{CollectiveKind, EventKind, Regime, StepPhase, TraceEvent, WORKFLOW_NODE};
-pub use report::{MakespanAttribution, OpStats, RankBreakdown, RegimeBucket, RunReport};
+pub use report::{
+    FaultStats, MakespanAttribution, OpStats, RankBreakdown, RegimeBucket, RunReport,
+};
 pub use sink::{Recorder, TraceSink};

@@ -72,6 +72,41 @@ impl MakespanAttribution {
     }
 }
 
+/// Aggregate fault and resilience activity observed in one run — the
+/// evidence behind fault attribution: when a run is slower than its
+/// fault-free baseline, these counters say what the runtime was fighting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Messages lost on the wire (injected drops).
+    pub dropped_messages: u64,
+    /// Payload bytes of the dropped messages.
+    pub dropped_bytes: u64,
+    /// Receives that gave up after waiting out the receive timeout.
+    pub timeouts: u64,
+    /// Virtual seconds spent waiting on timeouts (includes the causality
+    /// wait up to the lost send plus the timeout itself).
+    pub timeout_wait_s: f64,
+    /// Retry attempts of resilient operations (comm-level, not workflow).
+    pub retries: u64,
+    /// Virtual seconds of retry backoff charged to clocks.
+    pub retry_backoff_s: f64,
+    /// Ranks that hit their scheduled crash time.
+    pub crashes: u64,
+    /// Sends that crossed a degraded link (slowed, not lost).
+    pub degraded_sends: u64,
+}
+
+impl FaultStats {
+    /// Did the run observe *any* fault or resilience activity?
+    pub fn any(&self) -> bool {
+        self.dropped_messages > 0
+            || self.timeouts > 0
+            || self.retries > 0
+            || self.crashes > 0
+            || self.degraded_sends > 0
+    }
+}
+
 /// The aggregate report over one recorded run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -84,6 +119,8 @@ pub struct RunReport {
     pub ops: BTreeMap<&'static str, OpStats>,
     /// Critical-path attribution of the virtual makespan.
     pub makespan: MakespanAttribution,
+    /// Fault and resilience activity observed in the stream.
+    pub faults: FaultStats,
     /// Total events aggregated (including workflow events).
     pub events: usize,
 }
@@ -95,6 +132,7 @@ impl RunReport {
         let mut per_rank: BTreeMap<u32, RankBreakdown> = BTreeMap::new();
         let mut regimes: BTreeMap<Regime, RegimeBucket> = BTreeMap::new();
         let mut ops: BTreeMap<&'static str, OpStats> = BTreeMap::new();
+        let mut faults = FaultStats::default();
         for e in events {
             if e.node != WORKFLOW_NODE {
                 let r = per_rank.entry(e.rank).or_insert(RankBreakdown {
@@ -111,6 +149,23 @@ impl RunReport {
                     bucket.bytes += bytes;
                     bucket.messages += 1;
                 }
+            }
+            match &e.kind {
+                EventKind::Send { degraded: true, .. } => faults.degraded_sends += 1,
+                EventKind::Drop { bytes, .. } => {
+                    faults.dropped_messages += 1;
+                    faults.dropped_bytes += bytes;
+                }
+                EventKind::Timeout { .. } => {
+                    faults.timeouts += 1;
+                    faults.timeout_wait_s += e.duration_s();
+                }
+                EventKind::Retry { .. } => {
+                    faults.retries += 1;
+                    faults.retry_backoff_s += e.duration_s();
+                }
+                EventKind::Crash { .. } => faults.crashes += 1,
+                _ => {}
             }
             let op = ops.entry(e.kind.label()).or_default();
             op.count += 1;
@@ -135,7 +190,21 @@ impl RunReport {
             regimes,
             ops,
             makespan,
+            faults,
             events: events.len(),
+        }
+    }
+
+    /// Makespan inflation relative to a fault-free baseline run of the
+    /// same workload: `self.makespan / baseline.makespan`. This is the
+    /// fault-attribution headline — 1.0 means the injected faults cost
+    /// nothing; 4.0 means a 4× slowdown attributable to them. Returns
+    /// 1.0 when the baseline makespan is zero.
+    pub fn makespan_inflation(&self, baseline: &RunReport) -> f64 {
+        if baseline.makespan.total_s == 0.0 {
+            1.0
+        } else {
+            self.makespan.total_s / baseline.makespan.total_s
         }
     }
 
@@ -202,6 +271,30 @@ impl RunReport {
                 r.comm_s,
                 100.0 * r.comm_fraction(),
                 r.sent_bytes
+            ));
+        }
+        if self.faults.any() {
+            let f = &self.faults;
+            out.push_str("\nfaults observed:\n");
+            out.push_str(&format!(
+                "| degraded sends | {:>8} |                       |\n",
+                f.degraded_sends
+            ));
+            out.push_str(&format!(
+                "| dropped msgs   | {:>8} | {:>12} bytes    |\n",
+                f.dropped_messages, f.dropped_bytes
+            ));
+            out.push_str(&format!(
+                "| timeouts       | {:>8} | {:>12.6} wait s |\n",
+                f.timeouts, f.timeout_wait_s
+            ));
+            out.push_str(&format!(
+                "| retries        | {:>8} | {:>12.6} backoff s |\n",
+                f.retries, f.retry_backoff_s
+            ));
+            out.push_str(&format!(
+                "| crashes        | {:>8} |                       |\n",
+                f.crashes
             ));
         }
         out
@@ -335,5 +428,94 @@ mod tests {
         assert_eq!(report.total_bytes(), 0);
         assert_eq!(report.makespan.total_s, 0.0);
         assert_eq!(report.mean_comm_fraction(), 0.0);
+        assert!(!report.faults.any());
+        assert_eq!(report.makespan_inflation(&report), 1.0);
+    }
+
+    #[test]
+    fn fault_events_are_tallied() {
+        let events = vec![
+            TraceEvent {
+                rank: 0,
+                node: 0,
+                seq: 0,
+                t_start: 0.0,
+                t_end: 0.25,
+                kind: EventKind::Drop {
+                    peer: 1,
+                    tag: 9,
+                    bytes: 512,
+                    regime: Regime::IntraCell,
+                },
+            },
+            TraceEvent {
+                rank: 1,
+                node: 0,
+                seq: 0,
+                t_start: 0.0,
+                t_end: 0.35,
+                kind: EventKind::Timeout {
+                    peer: 0,
+                    tag: 9,
+                    timeout_s: 0.1,
+                },
+            },
+            TraceEvent {
+                rank: 0,
+                node: 0,
+                seq: 1,
+                t_start: 0.25,
+                t_end: 0.45,
+                kind: EventKind::Retry {
+                    peer: 1,
+                    attempt: 1,
+                    backoff_s: 0.2,
+                },
+            },
+            TraceEvent {
+                rank: 2,
+                node: 1,
+                seq: 0,
+                t_start: 1.0,
+                t_end: 1.0,
+                kind: EventKind::Crash { at_s: 1.0 },
+            },
+            send(3, 0, 0.0, 64, Regime::IntraNode),
+        ];
+        let mut degraded = send(3, 1, 1.0, 64, Regime::IntraNode);
+        degraded.kind = EventKind::Send {
+            peer: 0,
+            tag: 0,
+            bytes: 64,
+            regime: Regime::IntraNode,
+            degraded: true,
+        };
+        let mut events = events;
+        events.push(degraded);
+        let report = RunReport::from_events(&events);
+        let f = &report.faults;
+        assert!(f.any());
+        assert_eq!(f.dropped_messages, 1);
+        assert_eq!(f.dropped_bytes, 512);
+        assert_eq!(f.timeouts, 1);
+        assert!((f.timeout_wait_s - 0.35).abs() < 1e-12);
+        assert_eq!(f.retries, 1);
+        assert!((f.retry_backoff_s - 0.2).abs() < 1e-12);
+        assert_eq!(f.crashes, 1);
+        assert_eq!(f.degraded_sends, 1);
+        // Fault spans charge comm time: drop + retry on rank 0.
+        assert!((report.ranks[0].comm_s - 0.45).abs() < 1e-12);
+        // The rendered report surfaces the fault section.
+        let rendered = report.render();
+        assert!(rendered.contains("faults observed"));
+        assert!(rendered.contains("dropped msgs"));
+    }
+
+    #[test]
+    fn makespan_inflation_vs_baseline() {
+        let baseline = RunReport::from_events(&[compute(0, 0, 0.0, 2.0)]);
+        let faulted = RunReport::from_events(&[compute(0, 0, 0.0, 8.0)]);
+        assert_eq!(faulted.makespan_inflation(&baseline), 4.0);
+        assert_eq!(baseline.makespan_inflation(&baseline), 1.0);
     }
 }

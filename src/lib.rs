@@ -29,6 +29,9 @@
 //!   tables).
 //! - [`cluster`]: the machine, topology, network, and roofline models.
 //! - [`simmpi`]: the simulated MPI runtime with virtual-time clocks.
+//! - [`faults`]: deterministic fault injection — seeded fault plans
+//!   (degraded/flapping links, stragglers, message drops, rank crashes)
+//!   and the retry policies that make runs resilient to them.
 //! - [`kernels`]: shared numerics (FFT, LU, CG, multigrid, stencils).
 //! - `apps_*`: the sixteen application proxies.
 //! - [`synthetic`]: the seven synthetic benchmarks.
@@ -50,6 +53,7 @@ pub use jubench_apps_quantum as apps_quantum;
 pub use jubench_cluster as cluster;
 pub use jubench_continuous as continuous;
 pub use jubench_core as core;
+pub use jubench_faults as faults;
 pub use jubench_jube as jube;
 pub use jubench_kernels as kernels;
 pub use jubench_procurement as procurement;
@@ -65,6 +69,7 @@ pub mod prelude {
         suite_meta, Benchmark, BenchmarkId, Category, Fom, MemoryVariant, Registry, RunConfig,
         RunOutcome, SuiteError, TimeMetric, VerificationOutcome,
     };
+    pub use jubench_faults::{FaultPlan, RetryPolicy};
     pub use jubench_jube::{ParameterSet, ResultTable, Step, Workflow};
     pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
     pub use jubench_scaling::full_registry;

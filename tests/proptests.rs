@@ -342,6 +342,35 @@ fn allreduce_matches_sequential() {
     }
 }
 
+/// Running under an **empty** fault plan is bit-identical to running with
+/// no plan at all: every guard in the runtime must leave the arithmetic
+/// untouched when no fault applies.
+#[test]
+fn empty_fault_plan_is_bit_identical_to_no_plan() {
+    for case in 0..8u64 {
+        let mut rng = rank_rng(0xFA + case, 12);
+        let compute_s = rng.gen_range(1e-4..1e-2);
+        let elems = rng.gen_range(1usize..256);
+        let workload = move |comm: &mut Comm| {
+            comm.advance_compute(compute_s);
+            comm.sendrecv_f64(comm.rank() ^ 1, &vec![1.0; elems])
+                .unwrap();
+            let mut acc = [comm.rank() as f64; 4];
+            comm.allreduce_f64(&mut acc, ReduceOp::Sum).unwrap();
+            comm.barrier();
+        };
+        let machine = Machine::juwels_booster().partition(2);
+        let bare = World::new(machine).run(workload);
+        let planned = World::new(machine)
+            .with_fault_plan(FaultPlan::new(case))
+            .run(workload);
+        for (a, b) in bare.iter().zip(&planned) {
+            assert_eq!(a.clock.compute_s, b.clock.compute_s, "case {case}");
+            assert_eq!(a.clock.comm_s, b.clock.comm_s, "case {case}");
+        }
+    }
+}
+
 /// Gate application preserves the norm for arbitrary phase angles.
 #[test]
 fn quantum_gates_are_unitary() {
