@@ -30,7 +30,7 @@ pub mod step;
 pub mod table;
 pub mod workflow;
 
-pub use archive::{fnv1a64, Archive};
+pub use archive::{fnv1a64, verify_download, Archive};
 pub use error::JubeError;
 pub use params::{ParameterSet, ResolvedParams};
 pub use platform::Platform;

@@ -1,0 +1,180 @@
+//! The campaign study: placement policy × machine size over the full
+//! suite.
+//!
+//! The paper's reference numbers were produced by campaigns of SLURM
+//! jobs on JUWELS Booster, where node placement inside the DragonFly+
+//! cells shaped the High-Scaling results (§II-C). This study derives one
+//! job per suite benchmark (cost from a virtual-time probe run, via
+//! [`registry_jobs`]), then schedules the identical job set on Booster
+//! partitions of different sizes under both placement extremes. On small
+//! partitions the spans stay below the congestion onset and placement is
+//! free; once scattered jobs span enough of the machine, the inter-cell
+//! congestion penalty stretches runtimes and the contiguous campaign
+//! finishes first.
+
+use jubench_cluster::{Machine, NetModel};
+use jubench_core::Registry;
+use jubench_faults::FaultPlan;
+use jubench_sched::{registry_jobs, run_campaign, PlacementPolicy, QueuePolicy, SchedulerConfig};
+
+/// One (machine size, placement) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignPoint {
+    /// Partition size the campaign ran on.
+    pub nodes: u32,
+    pub placement: PlacementPolicy,
+    /// Virtual end-to-end campaign makespan, seconds.
+    pub makespan_s: f64,
+    /// Busy node-seconds over `nodes × makespan`, in `[0, 1]`.
+    pub utilization: f64,
+    /// Mean submit→first-start wait over finished jobs, seconds.
+    pub mean_wait_s: f64,
+    /// Mean stretch (turnaround over runtime) of finished jobs.
+    pub mean_stretch: f64,
+    /// Jain fairness index of the per-job stretches, in `(0, 1]`.
+    pub fairness: f64,
+    /// Jobs that ran to completion.
+    pub finished: usize,
+}
+
+/// The placement × machine-size sweep over one job set.
+#[derive(Debug, Clone)]
+pub struct CampaignTable {
+    /// Jobs in the campaign (one per registry benchmark).
+    pub jobs: usize,
+    /// Total node-seconds the job set demands at ideal service times.
+    pub demand_node_s: f64,
+    pub points: Vec<CampaignPoint>,
+}
+
+impl CampaignTable {
+    /// Render as a markdown table: one row per (size, placement) pair.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "campaign: {} jobs, {:.6} ideal node-seconds\n\n",
+            self.jobs, self.demand_node_s
+        );
+        out.push_str(
+            "| nodes | placement  | makespan[s] | util    | wait[s]  | stretch | fairness |\n",
+        );
+        out.push_str(
+            "|-------|------------|-------------|---------|----------|---------|----------|\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "| {:>5} | {:<10} | {:>11.6} | {:>6.2}% | {:>8.4} | {:>7.3} | {:>8.4} |\n",
+                p.nodes,
+                p.placement.label(),
+                p.makespan_s,
+                100.0 * p.utilization,
+                p.mean_wait_s,
+                p.mean_stretch,
+                p.fairness,
+            ));
+        }
+        out
+    }
+}
+
+/// Sweep `sizes` × both placement policies with the conservative-backfill
+/// queue over the job set derived from `registry` (submissions
+/// `spacing_s` apart, fault-free). The job set is computed once, so every
+/// point schedules the identical campaign; identical inputs reproduce an
+/// identical table.
+pub fn campaign_table(
+    registry: &Registry,
+    sizes: &[u32],
+    spacing_s: f64,
+    seed: u64,
+) -> CampaignTable {
+    let jobs = registry_jobs(registry, spacing_s);
+    let demand_node_s = jobs.iter().map(|j| f64::from(j.nodes) * j.service_s).sum();
+    let plan = FaultPlan::new(seed);
+    let mut points = Vec::new();
+    for &nodes in sizes {
+        for placement in PlacementPolicy::ALL {
+            let schedule = run_campaign(
+                Machine::juwels_booster().partition(nodes),
+                NetModel::juwels_booster(),
+                SchedulerConfig::new(QueuePolicy::ConservativeBackfill, placement, seed),
+                &jobs,
+                &plan,
+            );
+            points.push(CampaignPoint {
+                nodes,
+                placement,
+                makespan_s: schedule.makespan_s,
+                utilization: schedule.utilization(),
+                mean_wait_s: schedule.mean_wait_s(),
+                mean_stretch: schedule.mean_stretch(),
+                fairness: schedule.jain_fairness(),
+                finished: schedule.finished(),
+            });
+        }
+    }
+    CampaignTable {
+        jobs: jobs.len(),
+        demand_node_s,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::full_registry;
+
+    /// 144 nodes (3 cells) fit every reference job but keep spans below
+    /// the congestion onset; 624 nodes (13 cells) let scattered jobs feel
+    /// it.
+    const SIZES: [u32; 2] = [144, 624];
+
+    #[test]
+    fn every_point_schedules_the_whole_suite() {
+        let r = full_registry();
+        let t = campaign_table(&r, &SIZES, 0.05, 7);
+        assert_eq!(t.jobs, r.len());
+        assert_eq!(t.points.len(), SIZES.len() * PlacementPolicy::ALL.len());
+        for p in &t.points {
+            assert_eq!(p.finished, t.jobs, "{} @ {}", p.placement.label(), p.nodes);
+            assert!(p.makespan_s > 0.0);
+            assert!((0.0..=1.0).contains(&p.utilization));
+            assert!(p.fairness > 0.0 && p.fairness <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn contiguous_never_loses_on_the_congested_partition() {
+        let t = campaign_table(&full_registry(), &[624], 0.05, 7);
+        let by = |pl: PlacementPolicy| t.points.iter().find(|p| p.placement == pl).unwrap();
+        let c = by(PlacementPolicy::Contiguous);
+        let s = by(PlacementPolicy::Scatter);
+        assert!(
+            c.makespan_s <= s.makespan_s * (1.0 + 1e-9),
+            "contiguous {} vs scatter {}",
+            c.makespan_s,
+            s.makespan_s
+        );
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let r = full_registry();
+        let a = campaign_table(&r, &[144], 0.05, 7);
+        let b = campaign_table(&r, &[144], 0.05, 7);
+        for (x, y) in a.points.iter().zip(&b.points) {
+            assert_eq!(x.makespan_s, y.makespan_s);
+            assert_eq!(x.mean_wait_s, y.mean_wait_s);
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_point() {
+        let t = campaign_table(&full_registry(), &[144], 0.05, 7);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4 + t.points.len(), "header block + rows");
+        assert!(s.contains("makespan[s]"));
+        assert!(s.contains("contiguous"));
+        assert!(s.contains("scatter"));
+    }
+}

@@ -16,8 +16,12 @@
 //! - [`resilience`]: the straggler study — makespan inflation of an
 //!   allreduce-coupled job as seeded fault plans slow a growing fraction
 //!   of its nodes.
+//! - [`campaign`]: the batch-scheduling study — the full suite as a
+//!   campaign of jobs, swept over placement policy × machine size to
+//!   show what cell-aware placement buys in makespan and wait times.
 
 pub mod ablations;
+pub mod campaign;
 pub mod descriptions;
 pub mod registry;
 pub mod resilience;
@@ -27,6 +31,7 @@ pub mod traffic;
 pub mod weak;
 
 pub use ablations::{alltoall_algorithms, juqcs_comm_efficiency, overlap_ablation};
+pub use campaign::{campaign_table, CampaignPoint, CampaignTable};
 pub use descriptions::{describe, describe_all};
 pub use registry::full_registry;
 pub use resilience::{resilience_table, ResiliencePoint, ResilienceTable};

@@ -1,0 +1,152 @@
+//! The campaign runner: the full suite as a batch of jobs.
+//!
+//! The paper's reference numbers came from running the 23 benchmarks as
+//! campaigns of SLURM jobs on JUWELS Booster (§II-C). This module turns
+//! the suite [`Registry`] into a job set — one job per benchmark at its
+//! reference node count, cost taken from an actual virtual-time run —
+//! and schedules the whole acceptance-style campaign on a machine.
+//! Priorities mirror the suite's structure: High-Scaling candidates
+//! outrank Base benchmarks, which outrank the synthetics.
+
+use jubench_cluster::{Machine, NetModel};
+use jubench_core::{Category, Registry, RunConfig};
+use jubench_faults::FaultPlan;
+
+use crate::job::Job;
+use crate::scheduler::{Schedule, Scheduler, SchedulerConfig};
+
+/// Queue priority of a benchmark category in a campaign.
+pub fn category_priority(category: Category) -> i32 {
+    match category {
+        Category::HighScaling => 2,
+        Category::Base => 1,
+        Category::Synthetic => 0,
+    }
+}
+
+/// Derive one job per registry benchmark: node count from
+/// `reference_nodes()`, service time and communication fraction from a
+/// test-scale virtual-time run, submissions `spacing_s` apart in
+/// registry (id) order. Deterministic: same registry ⇒ same job set.
+pub fn registry_jobs(registry: &Registry, spacing_s: f64) -> Vec<Job> {
+    registry
+        .iter()
+        .enumerate()
+        .map(|(i, bench)| {
+            let meta = bench.meta();
+            let nodes = bench.reference_nodes();
+            let outcome = bench
+                .run(&RunConfig::test(nodes))
+                .unwrap_or_else(|e| panic!("campaign probe of {} failed: {e:?}", meta.id.name()));
+            let service_s = outcome.virtual_time_s.max(1e-9);
+            let comm_fraction = if outcome.virtual_time_s > 0.0 {
+                (outcome.comm_time_s / outcome.virtual_time_s).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            Job::new(i as u32, meta.id.name(), nodes, service_s)
+                .with_comm_fraction(comm_fraction)
+                .with_priority(category_priority(meta.category))
+                .with_submit(i as f64 * spacing_s)
+        })
+        .collect()
+}
+
+/// Schedule `jobs` on `machine` under `plan`.
+pub fn run_campaign(
+    machine: Machine,
+    net: NetModel,
+    config: SchedulerConfig,
+    jobs: &[Job],
+    plan: &FaultPlan,
+) -> Schedule {
+    Scheduler::new(machine, net, config).run(jobs, plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+    use crate::scheduler::QueuePolicy;
+    use jubench_core::{suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, RunOutcome, SuiteError};
+
+    struct Fake(BenchmarkId, f64);
+
+    impl Benchmark for Fake {
+        fn meta(&self) -> BenchmarkMeta {
+            suite_meta().into_iter().find(|m| m.id == self.0).unwrap()
+        }
+        fn run(&self, _cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
+            Ok(RunOutcome {
+                fom: jubench_core::Fom::RuntimeSeconds(self.1),
+                virtual_time_s: self.1,
+                compute_time_s: self.1 * 0.7,
+                comm_time_s: self.1 * 0.3,
+                verification: jubench_core::VerificationOutcome::Exact { checked_values: 0 },
+                metrics: vec![],
+            })
+        }
+    }
+
+    fn small_registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(Box::new(Fake(BenchmarkId::Amber, 2.0)));
+        r.register(Box::new(Fake(BenchmarkId::Juqcs, 1.0)));
+        r.register(Box::new(Fake(BenchmarkId::Hpl, 0.5)));
+        r
+    }
+
+    #[test]
+    fn category_priorities_are_ordered() {
+        assert!(category_priority(Category::HighScaling) > category_priority(Category::Base));
+        assert!(category_priority(Category::Base) > category_priority(Category::Synthetic));
+    }
+
+    #[test]
+    fn registry_jobs_carry_cost_and_priority() {
+        let jobs = registry_jobs(&small_registry(), 0.5);
+        assert_eq!(jobs.len(), 3);
+        // Registry iterates in id order; ids index the jobs.
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, i as u32);
+            assert_eq!(j.submit_s, i as f64 * 0.5);
+            assert!(j.service_s > 0.0);
+            assert!((0.0..=1.0).contains(&j.comm_fraction));
+            assert!((j.comm_fraction - 0.3).abs() < 1e-9);
+        }
+        // Juqcs is High-Scaling, Amber is Base, HPL is synthetic.
+        let by_name = |n: &str| jobs.iter().find(|j| j.name == n).unwrap();
+        assert_eq!(by_name("JUQCS").priority, 2);
+        assert_eq!(by_name("Amber").priority, 1);
+        assert_eq!(by_name("HPL").priority, 0);
+    }
+
+    #[test]
+    fn campaign_schedules_every_job() {
+        let jobs = registry_jobs(&small_registry(), 0.1);
+        let schedule = run_campaign(
+            Machine::juwels_booster().partition(96),
+            NetModel::juwels_booster(),
+            SchedulerConfig::new(
+                QueuePolicy::ConservativeBackfill,
+                PlacementPolicy::Contiguous,
+                11,
+            ),
+            &jobs,
+            &FaultPlan::new(0),
+        );
+        assert_eq!(schedule.finished(), 3);
+        assert!(schedule.makespan_s > 0.0);
+        assert!(schedule.utilization() > 0.0);
+    }
+
+    #[test]
+    fn registry_jobs_are_deterministic() {
+        let a = registry_jobs(&small_registry(), 0.5);
+        let b = registry_jobs(&small_registry(), 0.5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.service_s, y.service_s);
+            assert_eq!(x.comm_fraction, y.comm_fraction);
+        }
+    }
+}

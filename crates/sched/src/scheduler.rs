@@ -1,0 +1,1125 @@
+//! The deterministic virtual-time batch scheduler: FIFO or conservative
+//! backfill over a [`Machine`], with fault-driven capacity loss.
+//!
+//! The simulation is a discrete-event loop over virtual time. All state
+//! lives in ordered containers and every tie is broken by `(priority,
+//! eligible time, job id)`, so an identical seed and job set produces a
+//! bit-identical [`Schedule::log`] — the same determinism contract as
+//! `jubench-faults`. An empty fault plan leaves the schedule identical to
+//! a fault-free run.
+//!
+//! **Conservative backfill.** At every dispatch point the queue is walked
+//! in priority order and each job is given the earliest start compatible
+//! with the running jobs and the *reservations of every job ahead of it*;
+//! a job starts now only when that earliest start is now. Reservations
+//! use each job's worst-case runtime (scatter placement over the whole
+//! machine), an upper bound on any actual runtime, so a backfilled job
+//! can never push a higher-priority reservation later — the classic
+//! conservative guarantee, by construction.
+//!
+//! **Faults.** The scheduler reads a [`FaultPlan`] at node granularity:
+//! `SlowNode { node, from_s, until_s }` drains the node for the window
+//! (capacity removed, jobs running on it preempted) and
+//! `RankCrash { rank, at_s }` crashes node `rank` permanently. Preempted
+//! jobs requeue under their [`RetryPolicy`](jubench_faults::RetryPolicy):
+//! each preemption consumes an attempt and charges the policy's backoff
+//! before the job is eligible again; exhaustion fails the job.
+
+use std::collections::BTreeSet;
+
+use jubench_cluster::{Machine, NetModel};
+use jubench_faults::{Fault, FaultPlan};
+use jubench_trace::{EventKind, SchedPhase, TraceEvent, TraceSink, SCHED_CELL_TRACK_BASE};
+
+use crate::job::Job;
+use crate::placement::{Allocation, PlacementPolicy};
+
+/// Queueing discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueuePolicy {
+    /// Strict priority order with head-of-line blocking: the first job
+    /// that does not fit stalls everything behind it.
+    Fifo,
+    /// Conservative backfill: lower-priority jobs may jump ahead when
+    /// doing so cannot delay any higher-priority reservation.
+    ConservativeBackfill,
+}
+
+impl QueuePolicy {
+    pub fn label(self) -> &'static str {
+        match self {
+            QueuePolicy::Fifo => "fifo",
+            QueuePolicy::ConservativeBackfill => "backfill",
+        }
+    }
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    pub policy: QueuePolicy,
+    pub placement: PlacementPolicy,
+    /// Determinism tag recorded in the schedule log. The scheduler itself
+    /// draws no randomness — stochastic faults carry their own seed in
+    /// the [`FaultPlan`] — but the seed keys the log so that runs are
+    /// comparable bit-for-bit only when they were meant to be.
+    pub seed: u64,
+}
+
+impl SchedulerConfig {
+    pub fn new(policy: QueuePolicy, placement: PlacementPolicy, seed: u64) -> Self {
+        SchedulerConfig {
+            policy,
+            placement,
+            seed,
+        }
+    }
+}
+
+/// Why a job left the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran to completion.
+    Finished,
+    /// Preemptions exhausted the retry policy, or the request could never
+    /// fit the machine's surviving capacity.
+    Failed,
+}
+
+/// One execution attempt of a job.
+#[derive(Debug, Clone)]
+pub struct Attempt {
+    pub start_s: f64,
+    pub end_s: f64,
+    /// Cell of the attempt's first node — its Chrome track.
+    pub cell: u32,
+    /// Cells the allocation touched.
+    pub cells: u32,
+    /// Node-index footprint of the allocation.
+    pub span: u32,
+    /// Placement slowdown applied to the communication share.
+    pub slowdown: f64,
+    /// True when a drain or crash cut the attempt short.
+    pub preempted: bool,
+}
+
+/// Everything the scheduler decided about one job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub id: u32,
+    pub name: String,
+    pub nodes: u32,
+    pub priority: i32,
+    pub submit_s: f64,
+    /// Every execution attempt, in order. Empty for a job that failed
+    /// without ever starting.
+    pub attempts: Vec<Attempt>,
+    /// Last allocation granted (empty when the job never started).
+    pub allocation: Vec<u32>,
+    pub outcome: JobOutcome,
+    /// Completion time of the final attempt, when the job finished.
+    pub end_s: Option<f64>,
+}
+
+impl JobRecord {
+    /// Start of the attempt that completed (the last one).
+    pub fn start_s(&self) -> Option<f64> {
+        self.attempts.last().map(|a| a.start_s)
+    }
+
+    /// Queue wait before the first start.
+    pub fn first_wait_s(&self) -> Option<f64> {
+        self.attempts.first().map(|a| a.start_s - self.submit_s)
+    }
+
+    /// Runtime of the completing attempt.
+    pub fn run_s(&self) -> Option<f64> {
+        match (self.start_s(), self.end_s) {
+            (Some(s), Some(e)) => Some(e - s),
+            _ => None,
+        }
+    }
+
+    /// Bounded slowdown `(end − submit) / run`: 1.0 for a job that never
+    /// waited, larger the more of its life it spent queued or redone.
+    pub fn stretch(&self) -> Option<f64> {
+        match (self.end_s, self.run_s()) {
+            (Some(e), Some(r)) if r > 0.0 => Some((e - self.submit_s) / r),
+            _ => None,
+        }
+    }
+
+    pub fn preemptions(&self) -> u32 {
+        self.attempts.iter().filter(|a| a.preempted).count() as u32
+    }
+}
+
+/// One step of the machine-utilization timeline: `busy_nodes` nodes were
+/// allocated during `[t_start, t_end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilSegment {
+    pub t_start: f64,
+    pub t_end: f64,
+    pub busy_nodes: u32,
+}
+
+/// The completed schedule: per-job records, the deterministic decision
+/// log, and campaign-level statistics.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// Machine the campaign ran on (nodes at full strength).
+    pub machine: Machine,
+    /// One record per job, in job-id order.
+    pub records: Vec<JobRecord>,
+    /// The decision log: one line per scheduler action, bit-identical
+    /// across runs with the same seed and job set.
+    pub log: Vec<String>,
+    /// Time the last activity ended (0 for an empty campaign).
+    pub makespan_s: f64,
+}
+
+impl Schedule {
+    /// Node-seconds of granted allocations (preempted attempts included —
+    /// they occupied the machine too).
+    pub fn busy_node_s(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| {
+                r.attempts
+                    .iter()
+                    .map(|a| (a.end_s - a.start_s) * r.nodes as f64)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Machine utilization over `[0, makespan]`.
+    pub fn utilization(&self) -> f64 {
+        let capacity = self.machine.nodes as f64 * self.makespan_s;
+        if capacity == 0.0 {
+            0.0
+        } else {
+            self.busy_node_s() / capacity
+        }
+    }
+
+    /// Mean queue wait before first start, over jobs that started.
+    pub fn mean_wait_s(&self) -> f64 {
+        let waits: Vec<f64> = self
+            .records
+            .iter()
+            .filter_map(|r| r.first_wait_s())
+            .collect();
+        if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<f64>() / waits.len() as f64
+        }
+    }
+
+    /// Mean bounded slowdown over finished jobs.
+    pub fn mean_stretch(&self) -> f64 {
+        let s: Vec<f64> = self.records.iter().filter_map(|r| r.stretch()).collect();
+        if s.is_empty() {
+            1.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Jain's fairness index over the finished jobs' bounded slowdowns:
+    /// `(Σx)² / (n · Σx²)`, 1.0 when every job was stretched equally,
+    /// approaching `1/n` when one job absorbed all the waiting.
+    pub fn jain_fairness(&self) -> f64 {
+        let s: Vec<f64> = self.records.iter().filter_map(|r| r.stretch()).collect();
+        if s.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = s.iter().sum();
+        let sq: f64 = s.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (s.len() as f64 * sq)
+        }
+    }
+
+    /// Jobs that ran to completion.
+    pub fn finished(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Finished)
+            .count()
+    }
+
+    /// The piecewise-constant busy-node timeline over the campaign,
+    /// segments in time order covering every instant where allocation
+    /// changed.
+    pub fn utilization_timeline(&self) -> Vec<UtilSegment> {
+        let mut deltas: Vec<(f64, i64)> = Vec::new();
+        for r in &self.records {
+            for a in &r.attempts {
+                deltas.push((a.start_s, r.nodes as i64));
+                deltas.push((a.end_s, -(r.nodes as i64)));
+            }
+        }
+        deltas.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut segments = Vec::new();
+        let mut busy: i64 = 0;
+        let mut i = 0;
+        while i < deltas.len() {
+            let t = deltas[i].0;
+            let mut d = 0;
+            while i < deltas.len() && deltas[i].0 == t {
+                d += deltas[i].1;
+                i += 1;
+            }
+            if d == 0 {
+                continue;
+            }
+            if let Some(last) = segments.last_mut() {
+                let l: &mut UtilSegment = last;
+                l.t_end = t;
+            }
+            busy += d;
+            segments.push(UtilSegment {
+                t_start: t,
+                t_end: t,
+                busy_nodes: busy as u32,
+            });
+        }
+        // Drop the trailing zero-width segment (busy is 0 again there).
+        segments.retain(|s| s.t_end > s.t_start);
+        segments
+    }
+
+    /// Emit the schedule into a trace sink as [`SchedPhase`] events: one
+    /// synthetic process per cell ([`SCHED_CELL_TRACK_BASE`]`+ cell`),
+    /// one thread per job. The Submit span covers the queue wait, each
+    /// attempt is a Start span, preemptions and completion are markers.
+    pub fn emit(&self, sink: &dyn TraceSink) {
+        for r in &self.records {
+            let mut seq: u64 = 0;
+            let home = r
+                .attempts
+                .first()
+                .map_or(SCHED_CELL_TRACK_BASE, |a| SCHED_CELL_TRACK_BASE + a.cell);
+            let kind = |phase: SchedPhase, cells: u32| EventKind::Sched {
+                job: r.id,
+                name: r.name.clone(),
+                phase,
+                nodes: r.nodes,
+                cells,
+            };
+            let first_start = r.attempts.first().map_or(r.submit_s, |a| a.start_s);
+            sink.record(TraceEvent {
+                rank: r.id,
+                node: home,
+                seq,
+                t_start: r.submit_s,
+                t_end: first_start,
+                kind: kind(SchedPhase::Submit, 0),
+            });
+            seq += 1;
+            for a in &r.attempts {
+                sink.record(TraceEvent {
+                    rank: r.id,
+                    node: SCHED_CELL_TRACK_BASE + a.cell,
+                    seq,
+                    t_start: a.start_s,
+                    t_end: a.end_s,
+                    kind: kind(SchedPhase::Start, a.cells),
+                });
+                seq += 1;
+                if a.preempted {
+                    sink.record(TraceEvent {
+                        rank: r.id,
+                        node: SCHED_CELL_TRACK_BASE + a.cell,
+                        seq,
+                        t_start: a.end_s,
+                        t_end: a.end_s,
+                        kind: kind(SchedPhase::Preempt, a.cells),
+                    });
+                    seq += 1;
+                }
+            }
+            if let Some(end) = r.end_s {
+                let last = r.attempts.last().expect("a finished job ran");
+                sink.record(TraceEvent {
+                    rank: r.id,
+                    node: SCHED_CELL_TRACK_BASE + last.cell,
+                    seq,
+                    t_start: end,
+                    t_end: end,
+                    kind: kind(SchedPhase::Finish, last.cells),
+                });
+            }
+        }
+    }
+
+    /// Render the per-job table plus the campaign summary as markdown.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "campaign on {} ({} nodes, {} cells): makespan {:.6} s, \
+             utilization {:.1} %, mean wait {:.6} s, fairness {:.3}\n\n",
+            self.machine.name,
+            self.machine.nodes,
+            self.machine.cells(),
+            self.makespan_s,
+            100.0 * self.utilization(),
+            self.mean_wait_s(),
+            self.jain_fairness(),
+        );
+        out.push_str(
+            "| job | name           | nodes | prio |   submit[s] |    start[s] |      end[s] |     wait[s] | cells | slowdown | outcome  |\n",
+        );
+        out.push_str(
+            "|-----|----------------|-------|------|-------------|-------------|-------------|-------------|-------|----------|----------|\n",
+        );
+        for r in &self.records {
+            let (start, end, wait, cells, slow) = match (r.attempts.last(), r.end_s) {
+                (Some(a), Some(e)) => (
+                    format!("{:>11.6}", a.start_s),
+                    format!("{e:>11.6}"),
+                    format!("{:>11.6}", r.first_wait_s().unwrap_or(0.0)),
+                    format!("{:>5}", a.cells),
+                    format!("{:>8.3}", a.slowdown),
+                ),
+                _ => (
+                    format!("{:>11}", "-"),
+                    format!("{:>11}", "-"),
+                    format!("{:>11}", "-"),
+                    format!("{:>5}", "-"),
+                    format!("{:>8}", "-"),
+                ),
+            };
+            out.push_str(&format!(
+                "| {:>3} | {:<14} | {:>5} | {:>4} | {:>11.6} | {start} | {end} | {wait} | {cells} | {slow} | {:<8} |\n",
+                r.id,
+                r.name,
+                r.nodes,
+                r.priority,
+                r.submit_s,
+                match r.outcome {
+                    JobOutcome::Finished => "finished",
+                    JobOutcome::Failed => "failed",
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// The batch scheduler over one machine and network model.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    machine: Machine,
+    net: NetModel,
+    config: SchedulerConfig,
+}
+
+/// A queued job awaiting dispatch.
+struct Pending {
+    idx: usize,
+    eligible_s: f64,
+    attempt: u32,
+}
+
+/// A dispatched job occupying nodes until `end_s`.
+struct Running {
+    idx: usize,
+    alloc: Allocation,
+    end_s: f64,
+    attempt_index: usize,
+}
+
+/// Count-based availability profile for conservative-backfill
+/// reservations: free-node count as a piecewise-constant function of
+/// virtual time, relative to "now".
+struct Profile {
+    now_free: i64,
+    deltas: Vec<(f64, i64)>,
+}
+
+impl Profile {
+    fn available_at(&self, t: f64) -> i64 {
+        self.now_free
+            + self
+                .deltas
+                .iter()
+                .filter(|&&(tt, _)| tt <= t)
+                .map(|&(_, d)| d)
+                .sum::<i64>()
+    }
+
+    fn min_available(&self, from: f64, until: f64) -> i64 {
+        let mut min = self.available_at(from);
+        for &(tt, _) in &self.deltas {
+            if tt > from && tt < until {
+                min = min.min(self.available_at(tt));
+            }
+        }
+        min
+    }
+
+    /// Earliest `s ≥ from` with at least `need` nodes free throughout
+    /// `[s, s + dur)`, or `None` when capacity never suffices.
+    fn earliest_start(&self, from: f64, dur: f64, need: u32) -> Option<f64> {
+        let mut cands: Vec<f64> = vec![from];
+        cands.extend(self.deltas.iter().map(|&(t, _)| t).filter(|&t| t > from));
+        cands.sort_by(f64::total_cmp);
+        cands.dedup();
+        cands
+            .into_iter()
+            .find(|&s| self.min_available(s, s + dur) >= need as i64)
+    }
+
+    fn reserve(&mut self, start: f64, end: f64, nodes: u32) {
+        self.deltas.push((start, -(nodes as i64)));
+        self.deltas.push((end, nodes as i64));
+    }
+}
+
+impl Scheduler {
+    pub fn new(machine: Machine, net: NetModel, config: SchedulerConfig) -> Self {
+        Scheduler {
+            machine,
+            net,
+            config,
+        }
+    }
+
+    /// Actual runtime of `job` on `alloc`: the communication share of its
+    /// service time is inflated by the placement slowdown.
+    fn runtime(&self, job: &Job, alloc: &Allocation) -> f64 {
+        let slow = alloc.slowdown(&self.machine, &self.net);
+        job.service_s * ((1.0 - job.comm_fraction) + job.comm_fraction * slow)
+    }
+
+    /// Upper bound on `runtime` over every possible allocation: full
+    /// cross-cell traffic over the whole machine's footprint. Reservation
+    /// durations use this, so actual runs always finish no later than
+    /// reserved — the conservative-backfill guarantee depends on it.
+    fn worst_case_runtime(&self, job: &Job) -> f64 {
+        let congestion = self.net.congestion_factor(self.machine.nodes);
+        let penalty =
+            (self.net.intra_cell.bandwidth / (self.net.inter_cell.bandwidth * congestion)).max(1.0);
+        job.service_s * ((1.0 - job.comm_fraction) + job.comm_fraction * penalty)
+    }
+
+    /// Run the scheduler over `jobs` under `plan`. See the module docs
+    /// for the fault interpretation and determinism contract.
+    pub fn run(&self, jobs: &[Job], plan: &FaultPlan) -> Schedule {
+        let mut log: Vec<String> = vec![format!(
+            "# sched machine={} nodes={} cells={} policy={} placement={} seed={}",
+            self.machine.name,
+            self.machine.nodes,
+            self.machine.cells(),
+            self.config.policy.label(),
+            self.config.placement.label(),
+            self.config.seed,
+        )];
+        let mut records: Vec<JobRecord> = jobs
+            .iter()
+            .map(|j| JobRecord {
+                id: j.id,
+                name: j.name.clone(),
+                nodes: j.nodes,
+                priority: j.priority,
+                submit_s: j.submit_s,
+                attempts: Vec::new(),
+                allocation: Vec::new(),
+                outcome: JobOutcome::Failed,
+                end_s: None,
+            })
+            .collect();
+
+        // Fault plan → node-granularity capacity events.
+        // Drains: [from, until) windows; crashes: permanent.
+        let mut drain_starts: Vec<(f64, u32, f64)> = Vec::new(); // (from, node, until)
+        let mut drain_ends: Vec<(f64, u32)> = Vec::new();
+        let mut crashes: Vec<(f64, u32)> = Vec::new();
+        for f in plan.faults() {
+            match *f {
+                Fault::SlowNode {
+                    node,
+                    from_s,
+                    until_s,
+                    ..
+                } if node < self.machine.nodes && until_s.is_finite() => {
+                    drain_starts.push((from_s, node, until_s));
+                    drain_ends.push((until_s, node));
+                }
+                Fault::SlowNode { node, from_s, .. } if node < self.machine.nodes => {
+                    // An unbounded slow window is a permanent drain.
+                    crashes.push((from_s, node));
+                }
+                Fault::RankCrash { rank, at_s } if rank < self.machine.nodes => {
+                    crashes.push((at_s, rank));
+                }
+                _ => {}
+            }
+        }
+        drain_starts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        drain_ends.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        crashes.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let mut free: BTreeSet<u32> = (0..self.machine.nodes).collect();
+        let mut down: BTreeSet<u32> = BTreeSet::new(); // drained or crashed
+        let mut crashed: BTreeSet<u32> = BTreeSet::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut submitted: Vec<bool> = vec![false; jobs.len()];
+        let (mut di, mut ei, mut ci) = (0usize, 0usize, 0usize);
+        let mut t = 0.0_f64;
+
+        loop {
+            // --- completions at t --------------------------------------
+            running.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.idx.cmp(&b.idx)));
+            let mut k = 0;
+            while k < running.len() {
+                if running[k].end_s <= t {
+                    let r = running.remove(k);
+                    for &n in &r.alloc.nodes {
+                        if !down.contains(&n) {
+                            free.insert(n);
+                        }
+                    }
+                    let rec = &mut records[r.idx];
+                    rec.outcome = JobOutcome::Finished;
+                    rec.end_s = Some(r.end_s);
+                    log.push(format!(
+                        "[t={:.6}] finish job {} name={}",
+                        t, rec.id, rec.name
+                    ));
+                } else {
+                    k += 1;
+                }
+            }
+
+            // --- capacity transitions at t -----------------------------
+            let mut hit: BTreeSet<u32> = BTreeSet::new();
+            while ci < crashes.len() && crashes[ci].0 <= t {
+                let (_, node) = crashes[ci];
+                ci += 1;
+                if crashed.insert(node) {
+                    down.insert(node);
+                    free.remove(&node);
+                    hit.insert(node);
+                    log.push(format!("[t={t:.6}] crash node {node}"));
+                }
+            }
+            while di < drain_starts.len() && drain_starts[di].0 <= t {
+                let (_, node, until) = drain_starts[di];
+                di += 1;
+                if !crashed.contains(&node) && down.insert(node) {
+                    free.remove(&node);
+                    hit.insert(node);
+                    log.push(format!("[t={t:.6}] drain node {node} until={until:.6}"));
+                }
+            }
+            while ei < drain_ends.len() && drain_ends[ei].0 <= t {
+                let (_, node) = drain_ends[ei];
+                ei += 1;
+                if !crashed.contains(&node) && down.remove(&node) {
+                    // The node returns to service unless occupied (it
+                    // cannot be: its jobs were preempted at drain start).
+                    free.insert(node);
+                    log.push(format!("[t={t:.6}] undrain node {node}"));
+                }
+            }
+            // Preempt running jobs that lost nodes.
+            if !hit.is_empty() {
+                let mut k = 0;
+                while k < running.len() {
+                    if running[k].alloc.nodes.iter().any(|n| hit.contains(n)) {
+                        let r = running.remove(k);
+                        for &n in &r.alloc.nodes {
+                            if !down.contains(&n) {
+                                free.insert(n);
+                            }
+                        }
+                        let job = &jobs[r.idx];
+                        let rec = &mut records[r.idx];
+                        let a = &mut rec.attempts[r.attempt_index];
+                        a.end_s = t;
+                        a.preempted = true;
+                        let attempt = rec.attempts.len() as u32;
+                        if attempt >= job.retry.max_attempts {
+                            rec.outcome = JobOutcome::Failed;
+                            log.push(format!(
+                                "[t={:.6}] fail job {} name={} attempts={attempt} (retries exhausted)",
+                                t, rec.id, rec.name
+                            ));
+                        } else {
+                            let backoff = job.retry.backoff_s(attempt);
+                            pending.push(Pending {
+                                idx: r.idx,
+                                eligible_s: t + backoff,
+                                attempt,
+                            });
+                            log.push(format!(
+                                "[t={:.6}] preempt job {} name={} requeue eligible={:.6}",
+                                t,
+                                rec.id,
+                                rec.name,
+                                t + backoff
+                            ));
+                        }
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+
+            // --- submissions at t --------------------------------------
+            let mut order: Vec<usize> = (0..jobs.len()).collect();
+            order.sort_by(|&a, &b| {
+                jobs[a]
+                    .submit_s
+                    .total_cmp(&jobs[b].submit_s)
+                    .then(jobs[a].id.cmp(&jobs[b].id))
+            });
+            for idx in order {
+                if !submitted[idx] && jobs[idx].submit_s <= t {
+                    submitted[idx] = true;
+                    let job = &jobs[idx];
+                    log.push(format!(
+                        "[t={:.6}] submit job {} name={} nodes={} prio={}",
+                        t, job.id, job.name, job.nodes, job.priority
+                    ));
+                    let alive = self.machine.nodes - crashed.len() as u32;
+                    if job.nodes > alive {
+                        records[idx].outcome = JobOutcome::Failed;
+                        log.push(format!(
+                            "[t={:.6}] fail job {} name={} (requests {} of {alive} surviving nodes)",
+                            t, job.id, job.name, job.nodes
+                        ));
+                    } else {
+                        pending.push(Pending {
+                            idx,
+                            eligible_s: job.submit_s,
+                            attempt: 0,
+                        });
+                    }
+                }
+            }
+
+            // Requests can outlive capacity lost to later crashes.
+            pending.retain(|p| {
+                let alive = self.machine.nodes - crashed.len() as u32;
+                if jobs[p.idx].nodes > alive {
+                    records[p.idx].outcome = JobOutcome::Failed;
+                    log.push(format!(
+                        "[t={:.6}] fail job {} name={} (requests {} of {alive} surviving nodes)",
+                        t, jobs[p.idx].id, jobs[p.idx].name, jobs[p.idx].nodes
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+
+            // --- dispatch ----------------------------------------------
+            self.dispatch(
+                t,
+                jobs,
+                &mut pending,
+                &mut free,
+                &mut running,
+                &mut records,
+                &mut log,
+            );
+
+            // --- advance virtual time ----------------------------------
+            let mut next = f64::INFINITY;
+            for r in &running {
+                next = next.min(r.end_s);
+            }
+            for p in &pending {
+                if p.eligible_s > t {
+                    next = next.min(p.eligible_s);
+                }
+            }
+            for (idx, job) in jobs.iter().enumerate() {
+                if !submitted[idx] {
+                    next = next.min(job.submit_s);
+                }
+            }
+            if ci < crashes.len() {
+                next = next.min(crashes[ci].0);
+            }
+            if di < drain_starts.len() {
+                next = next.min(drain_starts[di].0);
+            }
+            // Drain ends only matter while something is drained or queued.
+            if ei < drain_ends.len() && (!pending.is_empty() || !down.is_empty()) {
+                next = next.min(drain_ends[ei].0);
+            }
+            if !next.is_finite() {
+                break;
+            }
+            // Every candidate above is strictly in the future: events at t
+            // were all consumed this iteration, so time always advances.
+            t = next;
+        }
+
+        let makespan_s = records
+            .iter()
+            .flat_map(|r| r.attempts.iter().map(|a| a.end_s))
+            .fold(0.0_f64, f64::max);
+        log.push(format!("# makespan={makespan_s:.6}"));
+        Schedule {
+            machine: self.machine,
+            records,
+            log,
+            makespan_s,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        t: f64,
+        jobs: &[Job],
+        pending: &mut Vec<Pending>,
+        free: &mut BTreeSet<u32>,
+        running: &mut Vec<Running>,
+        records: &mut [JobRecord],
+        log: &mut Vec<String>,
+    ) {
+        pending.sort_by(|a, b| {
+            jobs[b.idx]
+                .priority
+                .cmp(&jobs[a.idx].priority)
+                .then(a.eligible_s.total_cmp(&b.eligible_s))
+                .then(jobs[a.idx].id.cmp(&jobs[b.idx].id))
+        });
+        let mut profile = Profile {
+            now_free: free.len() as i64,
+            deltas: running
+                .iter()
+                .map(|r| (r.end_s, r.alloc.nodes.len() as i64))
+                .collect(),
+        };
+        let mut i = 0;
+        while i < pending.len() {
+            let job = &jobs[pending[i].idx];
+            let est = self.worst_case_runtime(job);
+            let from = t.max(pending[i].eligible_s);
+            let start = profile.earliest_start(from, est, job.nodes);
+            let starts_now = start == Some(t) && pending[i].eligible_s <= t;
+            if starts_now {
+                let p = pending.remove(i);
+                let alloc = self
+                    .config
+                    .placement
+                    .place(&self.machine, free, job.nodes)
+                    .expect("profile said the job fits now");
+                for n in &alloc.nodes {
+                    free.remove(n);
+                }
+                let dur = self.runtime(job, &alloc);
+                let rec = &mut records[p.idx];
+                rec.allocation = alloc.nodes.clone();
+                rec.attempts.push(Attempt {
+                    start_s: t,
+                    end_s: t + dur,
+                    cell: alloc.primary_cell(&self.machine),
+                    cells: alloc.cell_count(&self.machine),
+                    span: alloc.span(),
+                    slowdown: alloc.slowdown(&self.machine, &self.net),
+                    preempted: false,
+                });
+                log.push(format!(
+                    "[t={:.6}] start job {} name={} attempt={} nodes={}..{} cells={} span={} slowdown={:.6} end={:.6}",
+                    t,
+                    rec.id,
+                    rec.name,
+                    p.attempt + 1,
+                    alloc.nodes.first().unwrap(),
+                    alloc.nodes.last().unwrap(),
+                    alloc.cell_count(&self.machine),
+                    alloc.span(),
+                    alloc.slowdown(&self.machine, &self.net),
+                    t + dur,
+                ));
+                profile.reserve(t, t + dur, job.nodes);
+                running.push(Running {
+                    idx: p.idx,
+                    alloc,
+                    end_s: t + dur,
+                    attempt_index: records[p.idx].attempts.len() - 1,
+                });
+                continue; // re-examine position i (next job shifted in)
+            }
+            // A job whose capacity can never be satisfied against the
+            // current reservations gets none: it blocks nothing and waits
+            // for capacity churn (e.g. a drain ending).
+            if let Some(s) = start {
+                profile.reserve(s, s + est, job.nodes);
+            }
+            if self.config.policy == QueuePolicy::Fifo {
+                break; // head-of-line blocking
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::juwels_booster().partition(96)
+    }
+
+    fn net() -> NetModel {
+        NetModel {
+            congestion_onset_nodes: 16,
+            ..NetModel::juwels_booster()
+        }
+    }
+
+    fn sched(policy: QueuePolicy, placement: PlacementPolicy) -> Scheduler {
+        Scheduler::new(machine(), net(), SchedulerConfig::new(policy, placement, 7))
+    }
+
+    #[test]
+    fn single_job_runs_immediately() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![Job::new(0, "a", 8, 2.0)];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        assert_eq!(out.finished(), 1);
+        let r = &out.records[0];
+        assert_eq!(r.first_wait_s(), Some(0.0));
+        assert_eq!(r.end_s, Some(2.0));
+        assert_eq!(out.makespan_s, 2.0);
+        assert_eq!(
+            out.utilization_timeline(),
+            vec![UtilSegment {
+                t_start: 0.0,
+                t_end: 2.0,
+                busy_nodes: 8,
+            }]
+        );
+    }
+
+    #[test]
+    fn schedule_log_is_bit_identical_across_runs() {
+        let s = sched(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+        );
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| {
+                Job::new(i, &format!("j{i}"), 8 + (i % 5) * 16, 1.0 + i as f64 * 0.3)
+                    .with_comm_fraction(0.5)
+                    .with_priority((i % 3) as i32)
+                    .with_submit(i as f64 * 0.4)
+            })
+            .collect();
+        let plan = FaultPlan::new(9)
+            .with_slow_node_window(5, 4.0, 1.0, 3.0)
+            .with_rank_crash(40, 2.5);
+        let a = s.run(&jobs, &plan);
+        let b = s.run(&jobs, &plan);
+        assert_eq!(a.log, b.log, "bit-identical decision log");
+        assert_eq!(a.makespan_s, b.makespan_s);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_fault_free_run() {
+        let s = sched(QueuePolicy::ConservativeBackfill, PlacementPolicy::Scatter);
+        let jobs: Vec<Job> = (0..6)
+            .map(|i| Job::new(i, &format!("j{i}"), 24, 1.5).with_submit(i as f64 * 0.2))
+            .collect();
+        let empty = s.run(&jobs, &FaultPlan::new(123));
+        let none = s.run(&jobs, &FaultPlan::new(456));
+        // The seed lives in the plan's stochastic draws only; an empty
+        // plan of any seed schedules identically.
+        assert_eq!(empty.log, none.log);
+    }
+
+    #[test]
+    fn fifo_blocks_head_of_line() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        // Job 0 takes the whole machine; job 1 waits the full 4 s.
+        let jobs = vec![
+            Job::new(0, "big", 96, 4.0),
+            Job::new(1, "small", 1, 1.0).with_submit(0.5),
+        ];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        assert_eq!(out.records[1].start_s(), Some(4.0));
+        assert_eq!(out.makespan_s, 5.0);
+    }
+
+    #[test]
+    fn backfill_slips_small_jobs_into_holes() {
+        let s = sched(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+        );
+        // 90 nodes busy until t=4; a 90-node job queues behind it; a
+        // 6-node, 1 s job fits the hole without delaying the reservation.
+        let jobs = vec![
+            Job::new(0, "wall", 90, 4.0),
+            Job::new(1, "wide", 90, 2.0).with_submit(0.1),
+            Job::new(2, "tiny", 6, 1.0).with_submit(0.2),
+        ];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        assert_eq!(out.records[2].start_s(), Some(0.2), "backfilled now");
+        assert_eq!(out.records[1].start_s(), Some(4.0), "not delayed");
+    }
+
+    #[test]
+    fn fifo_would_have_stalled_that_backfill() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![
+            Job::new(0, "wall", 90, 4.0),
+            Job::new(1, "wide", 90, 2.0).with_submit(0.1),
+            Job::new(2, "tiny", 6, 1.0).with_submit(0.2),
+        ];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        // FIFO dispatches in queue order: tiny sits behind wide until the
+        // wall clears at t=4 (backfill started it at t=0.2).
+        assert_eq!(out.records[2].start_s(), Some(4.0), "behind the line");
+    }
+
+    #[test]
+    fn priorities_outrank_submit_order() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![
+            Job::new(0, "wall", 96, 2.0),
+            Job::new(1, "low", 96, 1.0)
+                .with_submit(0.1)
+                .with_priority(0),
+            Job::new(2, "high", 96, 1.0)
+                .with_submit(0.2)
+                .with_priority(5),
+        ];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        assert_eq!(out.records[2].start_s(), Some(2.0));
+        assert_eq!(out.records[1].start_s(), Some(3.0));
+    }
+
+    #[test]
+    fn contiguous_beats_scatter_on_congested_campaign() {
+        // Congestion-sensitive jobs on a 2-cell machine: every job fits a
+        // single cell under Contiguous (slowdown 1) but straddles both
+        // cells under Scatter.
+        let jobs: Vec<Job> = (0..4)
+            .map(|i| Job::new(i, &format!("j{i}"), 48, 2.0).with_comm_fraction(0.6))
+            .collect();
+        let plan = FaultPlan::new(0);
+        let contiguous = sched(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+        )
+        .run(&jobs, &plan);
+        let scatter =
+            sched(QueuePolicy::ConservativeBackfill, PlacementPolicy::Scatter).run(&jobs, &plan);
+        assert!(contiguous.machine.cells() >= 2);
+        assert!(
+            contiguous.makespan_s < scatter.makespan_s,
+            "contiguous {} !< scatter {}",
+            contiguous.makespan_s,
+            scatter.makespan_s
+        );
+    }
+
+    #[test]
+    fn drain_preempts_and_requeues() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![
+            Job::new(0, "victim", 8, 4.0).with_retry(jubench_faults::RetryPolicy::new(3, 0.5))
+        ];
+        // Node 3 drains during [1, 2): the job is preempted at t=1 and
+        // requeues with 0.5 s backoff. At t=1.5 the machine still has 95
+        // healthy free nodes, so the restart routes around node 3.
+        let plan = FaultPlan::new(0).with_slow_node_window(3, 8.0, 1.0, 2.0);
+        let out = s.run(&jobs, &plan);
+        let r = &out.records[0];
+        assert_eq!(r.outcome, JobOutcome::Finished);
+        assert_eq!(r.attempts.len(), 2);
+        assert!(r.attempts[0].preempted);
+        assert_eq!(r.attempts[0].end_s, 1.0);
+        assert_eq!(r.attempts[1].start_s, 1.5);
+        assert!(!r.allocation.contains(&3), "drained node routed around");
+        assert_eq!(r.end_s, Some(5.5));
+        assert_eq!(r.preemptions(), 1);
+    }
+
+    #[test]
+    fn crash_exhausts_retries_into_failure() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        // The machine keeps 95 nodes after the crash, but the job insists
+        // on 96: it fails at requeue time.
+        let jobs = vec![Job::new(0, "doomed", 96, 4.0)];
+        let plan = FaultPlan::new(0).with_rank_crash(10, 1.0);
+        let out = s.run(&jobs, &plan);
+        assert_eq!(out.records[0].outcome, JobOutcome::Failed);
+        assert_eq!(out.finished(), 0);
+    }
+
+    #[test]
+    fn crashed_node_is_never_reallocated() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![
+            Job::new(0, "first", 96, 2.0),
+            Job::new(1, "second", 95, 1.0).with_submit(0.1),
+        ];
+        let plan = FaultPlan::new(0).with_rank_crash(0, 1.0);
+        let out = s.run(&jobs, &plan);
+        let r1 = &out.records[1];
+        assert_eq!(r1.outcome, JobOutcome::Finished);
+        assert!(!r1.allocation.contains(&0), "node 0 stayed dark");
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let s = sched(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+        );
+        let jobs = vec![Job::new(0, "a", 96, 2.0), Job::new(1, "b", 96, 2.0)];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        assert_eq!(out.makespan_s, 4.0);
+        assert!((out.utilization() - 1.0).abs() < 1e-12, "back to back");
+        assert_eq!(out.mean_wait_s(), 1.0);
+        // Stretches 1.0 and 2.0 → Jain = 9/10.
+        assert!((out.jain_fairness() - 0.9).abs() < 1e-12);
+        let timeline = out.utilization_timeline();
+        assert_eq!(timeline.len(), 1, "constant 96 busy nodes: {timeline:?}");
+        assert_eq!(timeline[0].busy_nodes, 96);
+    }
+
+    #[test]
+    fn emitted_events_land_on_cell_tracks() {
+        use jubench_trace::{Recorder, RunReport};
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![Job::new(0, "a", 8, 2.0), Job::new(1, "b", 8, 1.0)];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        let rec = Recorder::new();
+        out.emit(&rec);
+        let events = rec.take_events();
+        assert!(events.iter().all(|e| e.is_synthetic()));
+        let report = RunReport::from_events(&events);
+        assert_eq!(report.sched.submitted, 2);
+        assert_eq!(report.sched.started, 2);
+        assert_eq!(report.sched.finished, 2);
+        assert!((report.sched.busy_node_s - out.busy_node_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_has_a_row_per_job() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![Job::new(0, "amber", 8, 2.0), Job::new(1, "icon", 8, 1.0)];
+        let out = s.run(&jobs, &FaultPlan::new(0));
+        let table = out.render();
+        assert!(table.contains("| amber"));
+        assert!(table.contains("| icon"));
+        assert!(table.contains("utilization"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Workflow integration: a JUBE step that submits to the scheduler
+//! instead of executing inline.
+//!
+//! On the real system a JUBE `execute` step does not run the benchmark —
+//! it hands a job script to SLURM. [`submit_step`] mirrors that: the
+//! step pushes a [`Job`] onto a shared [`SubmitQueue`] and returns
+//! immediately; once the workflow finishes, the caller drains the queue
+//! and hands the collected jobs to the
+//! [`Scheduler`](crate::scheduler::Scheduler) (or
+//! [`run_campaign`](crate::campaign::run_campaign)).
+
+use std::sync::{Arc, Mutex};
+
+use jubench_jube::{Step, StepOutput};
+
+use crate::job::Job;
+
+/// A shared, thread-safe queue of submitted jobs. Cloning shares the
+/// underlying queue (workflow steps run on worker threads).
+#[derive(Debug, Clone, Default)]
+pub struct SubmitQueue {
+    inner: Arc<Mutex<Vec<Job>>>,
+}
+
+impl SubmitQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a job; returns its queue position.
+    pub fn submit(&self, job: Job) -> usize {
+        let mut q = self.inner.lock().unwrap();
+        q.push(job);
+        q.len() - 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take every submitted job, ordered by job id (steps may submit from
+    /// concurrent workpackages; id order keeps the handoff to the
+    /// scheduler deterministic).
+    pub fn drain(&self) -> Vec<Job> {
+        let mut jobs = std::mem::take(&mut *self.inner.lock().unwrap());
+        jobs.sort_by_key(|j| j.id);
+        jobs
+    }
+}
+
+/// A workflow step that submits `job` to `queue` instead of executing
+/// anything inline. The step's outputs record the submission (`job.id`,
+/// `job.nodes`) so dependent steps and result tables can pick it up.
+pub fn submit_step(name: &str, queue: &SubmitQueue, job: Job) -> Step {
+    let queue = queue.clone();
+    Step::new(name, move |_ctx| {
+        let mut out = StepOutput::new();
+        out.insert("job.id".to_string(), job.id.to_string());
+        out.insert("job.nodes".to_string(), job.nodes.to_string());
+        queue.submit(job.clone());
+        Ok(out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_drain_in_id_order() {
+        let q = SubmitQueue::new();
+        assert!(q.is_empty());
+        q.submit(Job::new(2, "b", 4, 1.0));
+        q.submit(Job::new(0, "a", 8, 2.0));
+        assert_eq!(q.len(), 2);
+        let jobs = q.drain();
+        assert_eq!(jobs[0].id, 0);
+        assert_eq!(jobs[1].id, 2);
+        assert!(q.is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn queue_clones_share_state() {
+        let q = SubmitQueue::new();
+        let q2 = q.clone();
+        q2.submit(Job::new(0, "a", 1, 1.0));
+        assert_eq!(q.len(), 1);
+    }
+}

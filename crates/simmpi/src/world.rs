@@ -104,6 +104,11 @@ impl World {
     /// faults LinkTest exists to localize). Convenience shim over
     /// [`World::with_fault_plan`]: appends to the existing plan (or to a
     /// fresh seed-0 plan).
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a FaultPlan with FaultPlan::with_degraded_link and install it \
+                via World::with_fault_plan — plans compose faults and carry the seed"
+    )]
     pub fn with_degraded_link(self, a: u32, b: u32, factor: f64) -> Self {
         let plan = self
             .plan
@@ -560,7 +565,7 @@ mod tests {
         use jubench_trace::EventKind;
         let rec = Arc::new(jubench_trace::Recorder::new());
         let w = small_world(1)
-            .with_degraded_link(0, 1, 8.0)
+            .with_fault_plan(FaultPlan::new(0).with_degraded_link(0, 1, 8.0))
             .with_recorder(rec.clone());
         w.run(|comm| {
             if comm.rank() == 0 {

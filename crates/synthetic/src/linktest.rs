@@ -276,8 +276,8 @@ mod tests {
     fn degraded_link_is_localized() {
         // A failing cable between rank 0 and rank 5: the serial scan must
         // single out exactly that peer.
-        let world =
-            World::new(Machine::juwels_booster().partition(2)).with_degraded_link(0, 5, 20.0);
+        let plan = jubench_faults::FaultPlan::new(0).with_degraded_link(0, 5, 20.0);
+        let world = World::new(Machine::juwels_booster().partition(2)).with_fault_plan(plan);
         let scan = serial_scan(&world, 1 << 16);
         let flagged = slow_links(&scan, 0.2);
         assert_eq!(flagged, vec![5], "scan: {scan:?}");

@@ -7,7 +7,7 @@
 //! ordered by `(rank, seq)` and all numbers are formatted through the
 //! same fixed-precision paths.
 
-use crate::event::{EventKind, TraceEvent, WORKFLOW_NODE};
+use crate::event::{EventKind, TraceEvent, SCHED_CELL_TRACK_BASE, WORKFLOW_NODE};
 
 /// Serialize an ordered event stream (as produced by
 /// [`Recorder::take_events`](crate::Recorder::take_events)) to Chrome
@@ -32,6 +32,8 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         }
         let tname = if node == WORKFLOW_NODE {
             format!("workpackage {rank}")
+        } else if node >= SCHED_CELL_TRACK_BASE {
+            format!("job {rank}")
         } else {
             format!("rank {rank}")
         };
@@ -49,6 +51,8 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 fn node_name(node: u32) -> String {
     if node == WORKFLOW_NODE {
         "workflow".to_string()
+    } else if node >= SCHED_CELL_TRACK_BASE {
+        format!("cell {}", node - SCHED_CELL_TRACK_BASE)
     } else {
         format!("node {node}")
     }
@@ -91,6 +95,7 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::Timeout { .. }
         | EventKind::Retry { .. }
         | EventKind::Crash { .. } => "fault",
+        EventKind::Sched { .. } => "sched",
     }
 }
 
@@ -131,6 +136,11 @@ fn args(e: &TraceEvent) -> String {
             fmt_f64(*backoff_s)
         ),
         EventKind::Crash { at_s } => format!("{{\"at_s\":{}}}", fmt_f64(*at_s)),
+        EventKind::Sched { job, name, phase, nodes, cells } => format!(
+            "{{\"job\":{job},\"name\":\"{}\",\"phase\":\"{}\",\"nodes\":{nodes},\"cells\":{cells}}}",
+            escape(name),
+            phase.label()
+        ),
     }
 }
 
@@ -245,6 +255,33 @@ mod tests {
         let a = chrome_trace_json(&sample());
         let b = chrome_trace_json(&sample());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sched_events_get_cell_tracks() {
+        use crate::event::SchedPhase;
+        let events = vec![TraceEvent {
+            rank: 4,
+            node: SCHED_CELL_TRACK_BASE + 2,
+            seq: 0,
+            t_start: 1.0,
+            t_end: 3.0,
+            kind: EventKind::Sched {
+                job: 4,
+                name: "icon".into(),
+                phase: SchedPhase::Start,
+                nodes: 96,
+                cells: 2,
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"name\":\"cell 2\""));
+        assert!(json.contains("\"name\":\"job 4\""));
+        assert!(json.contains("\"cat\":\"sched\""));
+        assert!(json.contains("\"name\":\"job-run\""));
+        assert!(json.contains(
+            "\"job\":4,\"name\":\"icon\",\"phase\":\"job-run\",\"nodes\":96,\"cells\":2"
+        ));
     }
 
     #[test]

@@ -86,6 +86,32 @@ impl StepPhase {
     }
 }
 
+/// Lifecycle phase of a batch-scheduler job (`jubench-sched`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SchedPhase {
+    /// The job entered the queue; the span covers its queue wait
+    /// (`[submit, start]`).
+    Submit,
+    /// The job ran; the span covers its execution (`[start, end]`).
+    Start,
+    /// The job was preempted by a node drain or crash — a zero-duration
+    /// marker at the preemption time.
+    Preempt,
+    /// The job finished — a zero-duration marker at the end time.
+    Finish,
+}
+
+impl SchedPhase {
+    pub fn label(self) -> &'static str {
+        match self {
+            SchedPhase::Submit => "job-wait",
+            SchedPhase::Start => "job-run",
+            SchedPhase::Preempt => "job-preempt",
+            SchedPhase::Finish => "job-finish",
+        }
+    }
+}
+
 /// What happened during `[t_start, t_end]`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
@@ -152,6 +178,18 @@ pub enum EventKind {
     /// The emitting rank hit its scheduled crash time `at_s` — a
     /// zero-duration marker; every later operation on the rank fails.
     Crash { at_s: f64 },
+    /// A batch-scheduler job lifecycle phase (`jubench-sched`): job
+    /// `job` on `nodes` nodes spanning `cells` DragonFly+ cells. The
+    /// event's `node` field is the job's per-cell track
+    /// ([`SCHED_CELL_TRACK_BASE`] plus the primary cell index), its
+    /// `rank` the job id.
+    Sched {
+        job: u32,
+        name: String,
+        phase: SchedPhase,
+        nodes: u32,
+        cells: u32,
+    },
 }
 
 impl EventKind {
@@ -168,6 +206,7 @@ impl EventKind {
             EventKind::Timeout { .. } => "timeout",
             EventKind::Retry { .. } => "retry",
             EventKind::Crash { .. } => "crash",
+            EventKind::Sched { phase, .. } => phase.label(),
         }
     }
 
@@ -187,6 +226,13 @@ impl EventKind {
 /// The synthetic "node" hosting workflow-engine events in the Chrome
 /// export (JUBE steps do not run on a simulated rank).
 pub const WORKFLOW_NODE: u32 = u32::MAX;
+
+/// Base of the synthetic node-id range hosting batch-scheduler cell
+/// tracks in the Chrome export: cell `c` of the scheduled machine maps
+/// to node `SCHED_CELL_TRACK_BASE + c`. [`WORKFLOW_NODE`] sits above
+/// this base, so `node >= SCHED_CELL_TRACK_BASE` identifies every
+/// synthetic track (see [`TraceEvent::is_synthetic`]).
+pub const SCHED_CELL_TRACK_BASE: u32 = u32::MAX - 4096;
 
 /// One recorded event, stamped with the emitting rank's virtual time.
 #[derive(Debug, Clone, PartialEq)]
@@ -209,6 +255,13 @@ impl TraceEvent {
     /// Span duration in virtual seconds.
     pub fn duration_s(&self) -> f64 {
         self.t_end - self.t_start
+    }
+
+    /// Whether the event lives on a synthetic track (workflow engine or
+    /// batch-scheduler cell) rather than on a simulated rank's node.
+    /// Synthetic events are excluded from per-rank clock breakdowns.
+    pub fn is_synthetic(&self) -> bool {
+        self.node >= SCHED_CELL_TRACK_BASE
     }
 
     /// Virtual communication seconds this event accounts for in the
@@ -293,6 +346,41 @@ mod tests {
             "wire time lives in the wrapped sends"
         );
         assert_eq!(span.duration_s(), 1.0);
+    }
+
+    #[test]
+    fn sched_labels_and_synthetic_tracks() {
+        assert_eq!(SchedPhase::Submit.label(), "job-wait");
+        assert_eq!(SchedPhase::Start.label(), "job-run");
+        let k = EventKind::Sched {
+            job: 3,
+            name: "amber".into(),
+            phase: SchedPhase::Finish,
+            nodes: 8,
+            cells: 1,
+        };
+        assert_eq!(k.label(), "job-finish");
+        assert_eq!(k.bytes(), 0);
+        let e = TraceEvent {
+            rank: 3,
+            node: SCHED_CELL_TRACK_BASE,
+            seq: 0,
+            t_start: 0.0,
+            t_end: 1.0,
+            kind: k,
+        };
+        assert!(e.is_synthetic());
+        assert_eq!(e.comm_seconds(), 0.0);
+        assert_eq!(e.compute_seconds(), 0.0);
+        let workflow = TraceEvent {
+            rank: 0,
+            node: WORKFLOW_NODE,
+            seq: 0,
+            t_start: 0.0,
+            t_end: 0.0,
+            kind: EventKind::Compute { seconds: 0.0 },
+        };
+        assert!(workflow.is_synthetic(), "workflow track is synthetic too");
     }
 
     #[test]

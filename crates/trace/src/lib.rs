@@ -29,7 +29,10 @@
 //!   injected — a [`FaultStats`] tally plus
 //!   [`RunReport::makespan_inflation`] against a fault-free baseline.
 //! - [`chrome_trace_json`]: a `chrome://tracing` / Perfetto-loadable
-//!   timeline — nodes become processes, ranks become threads.
+//!   timeline — nodes become processes, ranks become threads. Batch
+//!   scheduler campaigns (`jubench-sched`) add one synthetic process
+//!   per DragonFly+ cell ([`SCHED_CELL_TRACK_BASE`]) with one thread
+//!   per job, carrying [`SchedPhase`] wait/run/preempt/finish spans.
 //!
 //! ## Accounting identity
 //!
@@ -46,8 +49,11 @@ pub mod report;
 pub mod sink;
 
 pub use chrome::chrome_trace_json;
-pub use event::{CollectiveKind, EventKind, Regime, StepPhase, TraceEvent, WORKFLOW_NODE};
+pub use event::{
+    CollectiveKind, EventKind, Regime, SchedPhase, StepPhase, TraceEvent, SCHED_CELL_TRACK_BASE,
+    WORKFLOW_NODE,
+};
 pub use report::{
-    FaultStats, MakespanAttribution, OpStats, RankBreakdown, RegimeBucket, RunReport,
+    FaultStats, MakespanAttribution, OpStats, RankBreakdown, RegimeBucket, RunReport, SchedStats,
 };
 pub use sink::{Recorder, TraceSink};

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{EventKind, Regime, TraceEvent, WORKFLOW_NODE};
+use crate::event::{EventKind, Regime, SchedPhase, TraceEvent};
 
 /// Bytes and message count of one topology regime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -107,6 +107,46 @@ impl FaultStats {
     }
 }
 
+/// Aggregate batch-scheduler activity observed in one stream — the
+/// campaign-level view: how many jobs moved through the queue and how
+/// much machine time they consumed versus waited for.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SchedStats {
+    /// Jobs that entered the queue (Submit spans).
+    pub submitted: u64,
+    /// Job dispatches (Start spans; preempted jobs restart, so this can
+    /// exceed `finished`).
+    pub started: u64,
+    /// Preemptions by node drains or crashes.
+    pub preempted: u64,
+    /// Jobs that ran to completion.
+    pub finished: u64,
+    /// Node-seconds of execution: each Start span's duration times its
+    /// node count — the numerator of machine utilization.
+    pub busy_node_s: f64,
+    /// Total queue-wait seconds across Submit spans.
+    pub wait_s: f64,
+}
+
+impl SchedStats {
+    /// Did the stream carry any scheduler events?
+    pub fn any(&self) -> bool {
+        self.submitted > 0 || self.started > 0 || self.preempted > 0 || self.finished > 0
+    }
+
+    /// Machine utilization over `[0, makespan_s]` on a `nodes`-node
+    /// machine: busy node-seconds over available node-seconds. Returns
+    /// 0.0 when the denominator is zero.
+    pub fn utilization(&self, nodes: u32, makespan_s: f64) -> f64 {
+        let capacity = nodes as f64 * makespan_s;
+        if capacity == 0.0 {
+            0.0
+        } else {
+            self.busy_node_s / capacity
+        }
+    }
+}
+
 /// The aggregate report over one recorded run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -121,6 +161,8 @@ pub struct RunReport {
     pub makespan: MakespanAttribution,
     /// Fault and resilience activity observed in the stream.
     pub faults: FaultStats,
+    /// Batch-scheduler activity observed in the stream.
+    pub sched: SchedStats,
     /// Total events aggregated (including workflow events).
     pub events: usize,
 }
@@ -133,8 +175,9 @@ impl RunReport {
         let mut regimes: BTreeMap<Regime, RegimeBucket> = BTreeMap::new();
         let mut ops: BTreeMap<&'static str, OpStats> = BTreeMap::new();
         let mut faults = FaultStats::default();
+        let mut sched = SchedStats::default();
         for e in events {
-            if e.node != WORKFLOW_NODE {
+            if !e.is_synthetic() {
                 let r = per_rank.entry(e.rank).or_insert(RankBreakdown {
                     rank: e.rank,
                     node: e.node,
@@ -165,6 +208,18 @@ impl RunReport {
                     faults.retry_backoff_s += e.duration_s();
                 }
                 EventKind::Crash { .. } => faults.crashes += 1,
+                EventKind::Sched { phase, nodes, .. } => match phase {
+                    SchedPhase::Submit => {
+                        sched.submitted += 1;
+                        sched.wait_s += e.duration_s();
+                    }
+                    SchedPhase::Start => {
+                        sched.started += 1;
+                        sched.busy_node_s += e.duration_s() * *nodes as f64;
+                    }
+                    SchedPhase::Preempt => sched.preempted += 1,
+                    SchedPhase::Finish => sched.finished += 1,
+                },
                 _ => {}
             }
             let op = ops.entry(e.kind.label()).or_default();
@@ -191,6 +246,7 @@ impl RunReport {
             ops,
             makespan,
             faults,
+            sched,
             events: events.len(),
         }
     }
@@ -297,6 +353,26 @@ impl RunReport {
                 f.crashes
             ));
         }
+        if self.sched.any() {
+            let s = &self.sched;
+            out.push_str("\nscheduler activity:\n");
+            out.push_str(&format!(
+                "| jobs submitted | {:>8} | {:>12.6} wait s |\n",
+                s.submitted, s.wait_s
+            ));
+            out.push_str(&format!(
+                "| jobs started   | {:>8} | {:>12.6} busy node s |\n",
+                s.started, s.busy_node_s
+            ));
+            out.push_str(&format!(
+                "| jobs preempted | {:>8} |                       |\n",
+                s.preempted
+            ));
+            out.push_str(&format!(
+                "| jobs finished  | {:>8} |                       |\n",
+                s.finished
+            ));
+        }
         out
     }
 }
@@ -304,7 +380,7 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{CollectiveKind, StepPhase};
+    use crate::event::{CollectiveKind, StepPhase, SCHED_CELL_TRACK_BASE, WORKFLOW_NODE};
 
     fn send(rank: u32, seq: u64, t: f64, bytes: u64, regime: Regime) -> TraceEvent {
         TraceEvent {
@@ -509,6 +585,44 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("faults observed"));
         assert!(rendered.contains("dropped msgs"));
+    }
+
+    #[test]
+    fn sched_events_are_tallied_and_kept_out_of_rank_breakdowns() {
+        let ev = |phase, t0: f64, t1: f64| TraceEvent {
+            rank: 7,
+            node: SCHED_CELL_TRACK_BASE,
+            seq: 0,
+            t_start: t0,
+            t_end: t1,
+            kind: EventKind::Sched {
+                job: 7,
+                name: "amber".into(),
+                phase,
+                nodes: 4,
+                cells: 1,
+            },
+        };
+        let events = vec![
+            ev(SchedPhase::Submit, 0.0, 2.0),
+            ev(SchedPhase::Start, 2.0, 5.0),
+            ev(SchedPhase::Finish, 5.0, 5.0),
+        ];
+        let report = RunReport::from_events(&events);
+        assert!(report.ranks.is_empty(), "cell tracks carry no rank time");
+        let s = &report.sched;
+        assert!(s.any());
+        assert_eq!(s.submitted, 1);
+        assert_eq!(s.started, 1);
+        assert_eq!(s.preempted, 0);
+        assert_eq!(s.finished, 1);
+        assert!((s.wait_s - 2.0).abs() < 1e-12);
+        assert!((s.busy_node_s - 12.0).abs() < 1e-12);
+        assert!((s.utilization(4, 5.0) - 0.6).abs() < 1e-12);
+        assert_eq!(s.utilization(0, 0.0), 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("scheduler activity"));
+        assert!(rendered.contains("jobs submitted"));
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Campaign walkthrough: the full 23-benchmark suite as a batch of jobs
+//! on a Booster partition. Derives one job per benchmark (cost probed
+//! from a virtual-time run, priority from its category), schedules the
+//! campaign with conservative backfill under both placement policies,
+//! prints the per-job schedule and the utilization timeline, sweeps
+//! placement × machine size in the scaling study's table, and exports
+//! the contiguous campaign as a Chrome trace.
+//!
+//! Run with: `cargo run --release --example campaign`
+
+use std::sync::Arc;
+
+use jubench::prelude::*;
+use jubench::scaling::campaign_table;
+use jubench::sched::{registry_jobs, run_campaign};
+use jubench::trace::RunReport;
+
+fn main() {
+    // ----- the job set: one job per suite benchmark --------------------
+    let registry = full_registry();
+    let jobs = registry_jobs(&registry, 0.05);
+    println!(
+        "campaign of {} jobs (node counts {}..{}), submissions 50 ms apart\n",
+        jobs.len(),
+        jobs.iter().map(|j| j.nodes).min().unwrap(),
+        jobs.iter().map(|j| j.nodes).max().unwrap(),
+    );
+
+    // ----- schedule it on 13 cells under both placements ---------------
+    let machine = Machine::juwels_booster().partition(624);
+    let config =
+        |placement| SchedulerConfig::new(QueuePolicy::ConservativeBackfill, placement, 2024);
+    let contiguous = run_campaign(
+        machine,
+        NetModel::juwels_booster(),
+        config(PlacementPolicy::Contiguous),
+        &jobs,
+        &FaultPlan::new(0),
+    );
+    println!("=== Contiguous placement ===\n");
+    println!("{}", contiguous.render());
+
+    // The utilization timeline: how many nodes were busy when.
+    println!("utilization timeline (contiguous):");
+    for seg in contiguous.utilization_timeline() {
+        println!(
+            "  [{:>9.4} s, {:>9.4} s)  {:>4} / {} nodes busy",
+            seg.t_start, seg.t_end, seg.busy_nodes, machine.nodes
+        );
+    }
+    println!();
+
+    let scatter = run_campaign(
+        machine,
+        NetModel::juwels_booster(),
+        config(PlacementPolicy::Scatter),
+        &jobs,
+        &FaultPlan::new(0),
+    );
+    println!(
+        "placement and the makespan: contiguous {:.4} s vs scatter {:.4} s \
+         ({:+.1} % from cell-aware packing)\n",
+        contiguous.makespan_s,
+        scatter.makespan_s,
+        100.0 * (contiguous.makespan_s / scatter.makespan_s - 1.0),
+    );
+
+    // ----- the placement × machine-size study --------------------------
+    println!("=== Campaign study: placement x machine size ===\n");
+    println!(
+        "{}",
+        campaign_table(&registry, &[144, 624], 0.05, 2024).render()
+    );
+
+    // ----- Chrome trace export -----------------------------------------
+    let recorder = Arc::new(Recorder::new());
+    contiguous.emit(recorder.as_ref());
+    let events = recorder.take_events();
+    let report = RunReport::from_events(&events);
+    println!("{}", report.render());
+    let json = chrome_trace_json(&events);
+    println!(
+        "chrome trace: {} events over {} cell tracks, {} bytes of JSON \
+         (load in chrome://tracing or Perfetto)",
+        events.len(),
+        machine.cells(),
+        json.len(),
+    );
+}

@@ -37,6 +37,9 @@
 //! - [`synthetic`]: the seven synthetic benchmarks.
 //! - [`procurement`]: TCO, commitments, High-Scaling assessment.
 //! - [`scaling`]: the Fig. 2 / Fig. 3 studies and table renderers.
+//! - [`sched`]: the topology-aware batch scheduler and suite campaign
+//!   runner — placement policies, conservative backfill, fault-driven
+//!   preemption, utilization/fairness reporting.
 //! - [`trace`]: virtual-time tracing — structured events from the
 //!   runtime and workflow engine, run reports, Chrome trace export.
 
@@ -58,6 +61,7 @@ pub use jubench_jube as jube;
 pub use jubench_kernels as kernels;
 pub use jubench_procurement as procurement;
 pub use jubench_scaling as scaling;
+pub use jubench_sched as sched;
 pub use jubench_simmpi as simmpi;
 pub use jubench_synthetic as synthetic;
 pub use jubench_trace as trace;
@@ -73,6 +77,7 @@ pub mod prelude {
     pub use jubench_jube::{ParameterSet, ResultTable, Step, Workflow};
     pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
     pub use jubench_scaling::full_registry;
+    pub use jubench_sched::{Job, PlacementPolicy, QueuePolicy, Scheduler, SchedulerConfig};
     pub use jubench_simmpi::{Comm, ReduceOp, World};
     pub use jubench_trace::{chrome_trace_json, Recorder, RunReport, TraceSink};
 }

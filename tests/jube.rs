@@ -1,0 +1,123 @@
+//! The JUBE layer's packaging and platform mechanisms as integration
+//! tests: platform-inherited workflows that hand jobs to the batch
+//! scheduler (the §III-B "batch submission template" path), and result
+//! archives whose manifests survive the round trip.
+
+use jubench::jube::{fnv1a64, verify_download, Archive, Platform};
+use jubench::prelude::*;
+use jubench::sched::{submit_step, SubmitQueue};
+
+/// A platform workflow submits jobs to the scheduler instead of running
+/// them inline — the JUBE → SLURM handoff, end to end.
+#[test]
+fn platform_workflow_feeds_the_scheduler() {
+    let queue = SubmitQueue::new();
+    let mut wf = Workflow::on_platform(&Platform::juwels_booster());
+    wf.params.set("nodes", "8");
+    wf.params.set("script", "bench.job");
+    wf.add_step(submit_step(
+        "submit_amber",
+        &queue,
+        Job::new(0, "amber", 8, 2.0),
+    ));
+    wf.add_step(submit_step(
+        "submit_icon",
+        &queue,
+        Job::new(1, "icon", 96, 1.0).with_priority(1),
+    ));
+    let results = wf.execute(&[]).expect("workflow");
+    // The submit steps expose the submission in their outputs alongside
+    // the platform's parameters.
+    assert!(results[0].value("job.id").is_some());
+    assert_eq!(results[0].value("partition"), Some("booster"));
+
+    let jobs = queue.drain();
+    assert_eq!(jobs.len(), 2);
+    let schedule = Scheduler::new(
+        Machine::juwels_booster().partition(192),
+        NetModel::juwels_booster(),
+        SchedulerConfig::new(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+            0,
+        ),
+    )
+    .run(&jobs, &FaultPlan::new(0));
+    assert_eq!(schedule.finished(), 2);
+}
+
+/// Platform inheritance: the same submit steps run unchanged on another
+/// module; only the platform parameters differ.
+#[test]
+fn submit_steps_are_platform_independent() {
+    for (platform, partition) in [
+        (Platform::juwels_booster(), "booster"),
+        (Platform::juwels_cluster(), "batch"),
+    ] {
+        let queue = SubmitQueue::new();
+        let mut wf = Workflow::on_platform(&platform);
+        wf.params.set("nodes", "4");
+        wf.params.set("script", "s");
+        wf.add_step(submit_step("submit", &queue, Job::new(0, "probe", 4, 1.0)));
+        let results = wf.execute(&[]).unwrap();
+        assert_eq!(results[0].value("partition"), Some(partition));
+        assert_eq!(queue.len(), 1, "{}", platform.name);
+    }
+}
+
+/// A campaign's deliverables — schedule table and decision log — package
+/// into an archive whose manifest detects any tampering.
+#[test]
+fn campaign_results_archive_round_trips() {
+    let jobs = vec![
+        Job::new(0, "amber", 8, 2.0),
+        Job::new(1, "icon", 16, 1.0).with_submit(0.5),
+    ];
+    let schedule = Scheduler::new(
+        Machine::juwels_booster().partition(96),
+        NetModel::juwels_booster(),
+        SchedulerConfig::new(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+            7,
+        ),
+    )
+    .run(&jobs, &FaultPlan::new(0));
+
+    let mut archive = Archive::new();
+    archive.add("campaign.md", schedule.render().into_bytes());
+    archive.add("schedule.log", schedule.log.join("\n").into_bytes());
+    assert_eq!(archive.len(), 2);
+
+    let manifest = archive.manifest();
+    assert!(manifest.contains("campaign.md"));
+    assert!(archive.verify(&manifest).is_empty(), "self-consistent");
+
+    // The package hash commits to the exact schedule: a different seed's
+    // log is a different download.
+    let hash = archive.package_hash();
+    assert!(verify_download(&schedule.log.join("\n").into_bytes(), {
+        fnv1a64(&schedule.log.join("\n").into_bytes())
+    }));
+    let mut tampered = Archive::new();
+    tampered.add("campaign.md", schedule.render().into_bytes());
+    tampered.add("schedule.log", b"forged".to_vec());
+    assert_ne!(tampered.package_hash(), hash);
+    assert!(!tampered.verify(&manifest).is_empty(), "tampering caught");
+}
+
+/// Archive manifests single out exactly the members that changed.
+#[test]
+fn archive_verify_names_the_offending_member() {
+    let mut a = Archive::new();
+    a.add("results.csv", b"1,2,3".to_vec());
+    a.add("run.log", b"ok".to_vec());
+    let manifest = a.manifest();
+
+    let mut b = Archive::new();
+    b.add("results.csv", b"1,2,3".to_vec());
+    b.add("run.log", b"edited".to_vec());
+    let bad = b.verify(&manifest);
+    assert!(bad.iter().any(|m| m.contains("run.log")), "{bad:?}");
+    assert!(bad.iter().all(|m| !m.contains("results.csv")), "{bad:?}");
+}

@@ -371,6 +371,109 @@ fn empty_fault_plan_is_bit_identical_to_no_plan() {
     }
 }
 
+/// Placement never double-books a node: in fault-free runs every job has
+/// one attempt, and any two attempts overlapping in time hold disjoint
+/// node sets drawn from the machine.
+#[test]
+fn scheduler_never_double_books_a_node() {
+    use jubench::sched::JobOutcome;
+    for case in 0..24u64 {
+        let mut rng = rank_rng(0x5C + case, 13);
+        let cells = rng.gen_range(2u32..8);
+        let machine = Machine::juwels_booster().partition(cells * 48);
+        let jobs: Vec<Job> = (0..rng.gen_range(4u32..16))
+            .map(|i| {
+                Job::new(i, &format!("j{i}"), rng.gen_range(1u32..120), {
+                    rng.gen_range(0.1..4.0)
+                })
+                .with_comm_fraction(rng.gen_range(0.0..0.9))
+                .with_priority(rng.gen_range(0u32..3) as i32)
+                .with_submit(rng.gen_range(0.0..2.0))
+            })
+            .collect();
+        for placement in PlacementPolicy::ALL {
+            let schedule = Scheduler::new(
+                machine,
+                NetModel::juwels_booster(),
+                SchedulerConfig::new(QueuePolicy::ConservativeBackfill, placement, case),
+            )
+            .run(&jobs, &FaultPlan::new(0));
+            let done: Vec<_> = schedule
+                .records
+                .iter()
+                .filter(|r| r.outcome == JobOutcome::Finished)
+                .collect();
+            for r in &done {
+                assert_eq!(r.attempts.len(), 1, "fault-free: one attempt");
+                assert_eq!(r.allocation.len(), r.nodes as usize, "case {case}");
+                assert!(r.allocation.iter().all(|&n| n < machine.nodes));
+            }
+            for (i, a) in done.iter().enumerate() {
+                for b in &done[i + 1..] {
+                    let (sa, ea) = (a.attempts[0].start_s, a.end_s.unwrap());
+                    let (sb, eb) = (b.attempts[0].start_s, b.end_s.unwrap());
+                    if sa < eb && sb < ea {
+                        assert!(
+                            a.allocation.iter().all(|n| !b.allocation.contains(n)),
+                            "case {case}: jobs {} and {} overlap in time and nodes",
+                            a.id,
+                            b.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Conservative backfill never delays a higher-priority job: with every
+/// job eligible at t = 0 and placement-independent runtimes, each job
+/// starts exactly when it would have if all lower-priority jobs were
+/// dropped from the queue.
+#[test]
+fn backfill_never_delays_higher_priority_starts() {
+    for case in 0..24u64 {
+        let mut rng = rank_rng(0xBF + case, 14);
+        let machine = Machine::juwels_booster().partition(rng.gen_range(2u32..6) * 48);
+        // comm_fraction 0 ⇒ runtime is independent of where a job lands,
+        // so dropping the low-priority jobs perturbs nothing else.
+        let jobs: Vec<Job> = (0..rng.gen_range(4u32..14))
+            .map(|i| {
+                Job::new(i, &format!("j{i}"), rng.gen_range(1u32..96), {
+                    rng.gen_range(0.1..4.0)
+                })
+                .with_priority(rng.gen_range(0u32..3) as i32)
+            })
+            .collect();
+        let run = |set: &[Job]| {
+            Scheduler::new(
+                machine,
+                NetModel::juwels_booster(),
+                SchedulerConfig::new(
+                    QueuePolicy::ConservativeBackfill,
+                    PlacementPolicy::Contiguous,
+                    case,
+                ),
+            )
+            .run(set, &FaultPlan::new(0))
+        };
+        let full = run(&jobs);
+        for cut in [1i32, 2] {
+            let high: Vec<Job> = jobs.iter().filter(|j| j.priority >= cut).cloned().collect();
+            let filtered = run(&high);
+            for r in &filtered.records {
+                let in_full = full.records.iter().find(|f| f.id == r.id).unwrap();
+                let (a, b) = (in_full.start_s().unwrap(), r.start_s().unwrap());
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "case {case} cut {cut}: job {} starts at {a} with backfill, {b} without",
+                    r.id
+                );
+            }
+        }
+    }
+}
+
 /// Gate application preserves the norm for arbitrary phase angles.
 #[test]
 fn quantum_gates_are_unitary() {

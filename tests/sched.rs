@@ -1,0 +1,163 @@
+//! The batch-scheduling layer end to end: determinism of the schedule
+//! log, the placement → congestion → makespan coupling, and a
+//! full-registry campaign flowing into the scaling table, the run
+//! report, and the Chrome trace export.
+
+use jubench::prelude::*;
+use jubench::scaling::campaign::campaign_table;
+use jubench::sched::{registry_jobs, run_campaign, Schedule};
+use jubench::trace::RunReport;
+use std::sync::Arc;
+
+fn backfill(placement: PlacementPolicy) -> SchedulerConfig {
+    SchedulerConfig::new(QueuePolicy::ConservativeBackfill, placement, 42)
+}
+
+/// A workload whose jobs are communication-heavy and big enough that a
+/// scattered allocation spans past the congestion onset.
+fn congested_jobs() -> Vec<Job> {
+    (0..6u32)
+        .map(|i| {
+            Job::new(i, &format!("job-{i}"), 96, 2.0)
+                .with_comm_fraction(0.6)
+                .with_submit(f64::from(i) * 0.1)
+        })
+        .collect()
+}
+
+#[test]
+fn identical_inputs_give_bit_identical_schedule_logs() {
+    let jobs = congested_jobs();
+    let run = || {
+        Scheduler::new(
+            Machine::juwels_booster().partition(192),
+            NetModel::juwels_booster(),
+            backfill(PlacementPolicy::Contiguous),
+        )
+        .run(&jobs, &FaultPlan::new(3))
+    };
+    let (a, b) = (run(), run());
+    assert!(!a.log.is_empty());
+    assert_eq!(a.log, b.log, "same seed and job set ⇒ same decisions");
+    assert_eq!(a.makespan_s, b.makespan_s);
+}
+
+#[test]
+fn contiguous_placement_beats_scatter_across_cells() {
+    // Booster-sized partition: 13 cells, scattered 96-node jobs span the
+    // whole 624 nodes and cross the 256-node congestion onset.
+    let jobs = congested_jobs();
+    let run = |placement| -> Schedule {
+        Scheduler::new(
+            Machine::juwels_booster().partition(624),
+            NetModel::juwels_booster(),
+            backfill(placement),
+        )
+        .run(&jobs, &FaultPlan::new(3))
+    };
+    let contiguous = run(PlacementPolicy::Contiguous);
+    let scatter = run(PlacementPolicy::Scatter);
+    for s in [&contiguous, &scatter] {
+        assert_eq!(s.finished(), jobs.len(), "every job completes");
+    }
+    assert!(
+        contiguous.makespan_s < scatter.makespan_s,
+        "contiguous {} !< scatter {}",
+        contiguous.makespan_s,
+        scatter.makespan_s
+    );
+    // The schedule records show why: scattered attempts run slowed down.
+    let max_slowdown = |s: &Schedule| {
+        s.records
+            .iter()
+            .flat_map(|r| r.attempts.iter().map(|a| a.slowdown))
+            .fold(1.0f64, f64::max)
+    };
+    assert_eq!(max_slowdown(&contiguous), 1.0, "single-cell placements");
+    assert!(max_slowdown(&scatter) > 1.0);
+}
+
+#[test]
+fn full_registry_campaign_reports_and_exports() {
+    let registry = full_registry();
+    let jobs = registry_jobs(&registry, 0.05);
+    assert_eq!(jobs.len(), registry.len(), "one job per benchmark");
+    let schedule = run_campaign(
+        Machine::juwels_booster().partition(624),
+        NetModel::juwels_booster(),
+        backfill(PlacementPolicy::Contiguous),
+        &jobs,
+        &FaultPlan::new(0),
+    );
+    assert_eq!(schedule.finished(), jobs.len());
+
+    // The campaign report carries utilization and waits for every job.
+    let rendered = schedule.render();
+    assert!(rendered.contains("utilization"));
+    assert!(rendered.contains("wait"));
+    for job in &jobs {
+        assert!(rendered.contains(&job.name), "{} missing", job.name);
+    }
+
+    // Scheduler events flow into the run report…
+    let rec = Arc::new(Recorder::new());
+    schedule.emit(rec.as_ref());
+    let events = rec.take_events();
+    let report = RunReport::from_events(&events);
+    assert_eq!(report.sched.finished as usize, jobs.len());
+    assert!(report.sched.busy_node_s > 0.0);
+    assert!(report.render().contains("scheduler activity"));
+
+    // …and into the Chrome export, on per-cell tracks.
+    let json = chrome_trace_json(&events);
+    assert!(json.contains("\"cell 0\""), "cell process names");
+    assert!(json.contains("\"sched\""), "sched category");
+    assert!(json.contains("job-wait") && json.contains("job-run"));
+}
+
+#[test]
+fn campaign_study_table_couples_placement_to_makespan() {
+    let table = campaign_table(&full_registry(), &[624], 0.05, 7);
+    let rendered = table.render();
+    assert!(rendered.contains("| nodes | placement"));
+    assert!(rendered.contains("contiguous") && rendered.contains("scatter"));
+    let by = |p: PlacementPolicy| table.points.iter().find(|x| x.placement == p).unwrap();
+    let (c, s) = (
+        by(PlacementPolicy::Contiguous),
+        by(PlacementPolicy::Scatter),
+    );
+    assert!(c.makespan_s <= s.makespan_s * (1.0 + 1e-9));
+    assert!(c.utilization > 0.0 && s.utilization > 0.0);
+}
+
+#[test]
+fn faulted_campaign_still_finishes_with_retries() {
+    // Drain two nodes mid-campaign: affected jobs are preempted, requeued
+    // under their retry policy, and the campaign still completes.
+    let jobs = congested_jobs();
+    let plan = FaultPlan::new(1)
+        .with_slow_node_window(5, 2.0, 1.0, 3.0)
+        .with_slow_node_window(100, 2.0, 1.0, 3.0);
+    let schedule = Scheduler::new(
+        Machine::juwels_booster().partition(192),
+        NetModel::juwels_booster(),
+        backfill(PlacementPolicy::Contiguous),
+    )
+    .run(&jobs, &plan);
+    assert_eq!(schedule.finished(), jobs.len());
+    let preemptions: u32 = schedule.records.iter().map(|r| r.preemptions()).sum();
+    assert!(preemptions > 0, "the drains hit running jobs");
+    // The empty-plan control is bit-identical to the fault-free run.
+    let run_with = |plan: &FaultPlan| {
+        Scheduler::new(
+            Machine::juwels_booster().partition(192),
+            NetModel::juwels_booster(),
+            backfill(PlacementPolicy::Contiguous),
+        )
+        .run(&jobs, plan)
+    };
+    assert_eq!(
+        run_with(&FaultPlan::new(9)).log,
+        run_with(&FaultPlan::new(0)).log
+    );
+}
