@@ -159,9 +159,11 @@ impl AppModel {
 }
 
 /// How large the *really executed* partition may be: the real execution
-/// spawns one OS thread per rank, so it is capped while the analytic model
-/// covers the full partition.
-pub const MAX_REAL_RANKS: u32 = 16;
+/// spawns one dedicated OS thread per rank (via
+/// [`jubench_pool::run_dedicated`]), so it is capped at the pool crate's
+/// workspace-wide spawn policy while the analytic model covers the full
+/// partition.
+pub const MAX_REAL_RANKS: u32 = jubench_pool::MAX_DEDICATED_THREADS;
 
 /// A machine partition for the real execution: the requested machine if it
 /// is small enough, otherwise the largest prefix whose rank count stays

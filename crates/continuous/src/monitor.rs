@@ -271,7 +271,7 @@ impl Monitor {
         let measurements = self.measure(registry, &ids);
         let mut report = self.compare(baselines, &measurements);
         for e in &mut report.entries {
-            e.provenance.nodes = registry.get(e.id).and_then(|b| monitor_nodes(b));
+            e.provenance.nodes = registry.get(e.id).and_then(monitor_nodes);
         }
         report
     }

@@ -98,7 +98,11 @@ impl RunOutcome {
 
 /// A benchmark of the suite: a workload with a defined configuration space,
 /// execution procedure, verification, and FOM.
-pub trait Benchmark {
+///
+/// `Send + Sync` is a supertrait so that campaign and scaling sweeps can
+/// fan independent runs of one `&dyn Benchmark` across the shared thread
+/// pool; implementations hold only immutable workload parameters.
+pub trait Benchmark: Send + Sync {
     /// Static metadata (Tables I & II row).
     fn meta(&self) -> BenchmarkMeta;
 

@@ -10,7 +10,7 @@ use crate::meta::{BenchmarkId, Category};
 /// A registry of benchmark implementations keyed by [`BenchmarkId`].
 #[derive(Default)]
 pub struct Registry {
-    entries: BTreeMap<BenchmarkId, Box<dyn Benchmark + Send + Sync>>,
+    entries: BTreeMap<BenchmarkId, Box<dyn Benchmark>>,
 }
 
 impl Registry {
@@ -20,11 +20,11 @@ impl Registry {
 
     /// Register a benchmark. Re-registering an id replaces the previous
     /// implementation (mirroring a submodule update) and returns `true`.
-    pub fn register(&mut self, bench: Box<dyn Benchmark + Send + Sync>) -> bool {
+    pub fn register(&mut self, bench: Box<dyn Benchmark>) -> bool {
         self.entries.insert(bench.meta().id, bench).is_some()
     }
 
-    pub fn get(&self, id: BenchmarkId) -> Option<&(dyn Benchmark + Send + Sync)> {
+    pub fn get(&self, id: BenchmarkId) -> Option<&dyn Benchmark> {
         self.entries.get(&id).map(|b| b.as_ref())
     }
 
@@ -37,17 +37,14 @@ impl Registry {
     }
 
     /// All registered benchmarks in id order.
-    pub fn iter(&self) -> impl Iterator<Item = &(dyn Benchmark + Send + Sync)> {
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Benchmark> {
         self.entries.values().map(|b| b.as_ref())
     }
 
     /// All registered benchmarks of a category. `Category::Base` also
     /// includes the High-Scaling applications, which are Base benchmarks by
     /// definition (§II-B).
-    pub fn by_category(
-        &self,
-        category: Category,
-    ) -> impl Iterator<Item = &(dyn Benchmark + Send + Sync)> {
+    pub fn by_category(&self, category: Category) -> impl Iterator<Item = &dyn Benchmark> {
         self.iter().filter(move |b| {
             let c = b.meta().category;
             c == category || (category == Category::Base && c == Category::HighScaling)

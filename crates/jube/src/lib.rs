@@ -34,6 +34,6 @@ pub use archive::{fnv1a64, verify_download, Archive};
 pub use error::JubeError;
 pub use params::{ParameterSet, ResolvedParams};
 pub use platform::Platform;
-pub use step::{Step, StepOutput};
+pub use step::{output1, Step, StepOutput};
 pub use table::ResultTable;
 pub use workflow::{Workflow, WorkpackageResult};

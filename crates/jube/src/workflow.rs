@@ -154,50 +154,135 @@ impl Workflow {
         Ok(order)
     }
 
+    /// Group the topologically ordered steps into dependency levels:
+    /// `level(step) = 1 + max(level(deps))`. Steps of one level have no
+    /// dependency path between each other and may run concurrently; order
+    /// within a level follows the topological (insertion-preserving)
+    /// order, which fixes the trace emission order.
+    fn level_groups<'a>(order: &[&'a Step]) -> Vec<Vec<&'a Step>> {
+        let mut level_of: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut groups: Vec<Vec<&'a Step>> = Vec::new();
+        for step in order {
+            let lvl = step
+                .depends
+                .iter()
+                .map(|d| level_of[d.as_str()] + 1)
+                .max()
+                .unwrap_or(0);
+            level_of.insert(step.name.as_str(), lvl);
+            if groups.len() <= lvl {
+                groups.resize_with(lvl + 1, Vec::new);
+            }
+            groups[lvl].push(step);
+        }
+        groups
+    }
+
     /// Execute the workflow under the given tags: expand the parameter
     /// space, then run every workpackage through the dependency-ordered
     /// steps.
+    ///
+    /// Execution is parallel on the shared [`jubench_pool`] pool along
+    /// two axes — workpackages are independent by construction, and steps
+    /// of one dependency level run concurrently against a snapshot of the
+    /// strictly-lower levels' outputs (a step must *declare* every
+    /// dependency it reads; undeclared reads across a level are not
+    /// ordered). Results and traces stay byte-identical for any pool
+    /// size: each workpackage buffers its lifecycle events locally and
+    /// the buffers are forwarded to the installed sink in workpackage
+    /// order, with per-step phases emitted in level declaration order.
     pub fn execute(&self, tags: &[&str]) -> Result<Vec<WorkpackageResult>, JubeError> {
         let order = self.ordered_steps()?;
+        let levels = Self::level_groups(&order);
         let points = self.params.expand(tags)?;
+        let pool = jubench_pool::current();
+
+        let per_wp = pool.par_map_indexed(points.len(), |wp| {
+            self.run_workpackage(&pool, wp as u32, &points[wp], &levels)
+        });
+
         let mut results = Vec::with_capacity(points.len());
-        for (wp, params) in points.into_iter().enumerate() {
-            let mut tracer = StepTracer::new(self.sink.as_deref(), wp as u32);
-            tracer.emit("parameters", StepPhase::ParamsResolved);
-            let mut outputs: BTreeMap<String, StepOutput> = BTreeMap::new();
-            for step in &order {
-                if !step.depends.is_empty() {
-                    tracer.emit(&step.name, StepPhase::DependencyWait);
+        for (wp, (buffer, outcome)) in per_wp.into_iter().enumerate() {
+            // Forward the buffered events before inspecting the outcome:
+            // an aborting workpackage still records the phases it reached,
+            // exactly as a live sequential emission would have.
+            if let Some(sink) = self.sink.as_deref() {
+                for event in buffer {
+                    sink.record(event);
                 }
-                // Run under the step's retry policy: every failed attempt
-                // short of the budget is recorded as a `step-retry` phase
-                // and re-run.
-                let policy = step.retry;
+            }
+            match outcome {
+                Ok(outputs) => results.push(WorkpackageResult {
+                    params: points[wp].clone(),
+                    outputs,
+                }),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Run one workpackage through all dependency levels. Returns the
+    /// buffered trace events (empty without an installed sink) and the
+    /// step outputs, or the first in-order abort error.
+    fn run_workpackage(
+        &self,
+        pool: &jubench_pool::ThreadPool,
+        wp: u32,
+        params: &ResolvedParams,
+        levels: &[Vec<&Step>],
+    ) -> (
+        Vec<jubench_trace::TraceEvent>,
+        Result<BTreeMap<String, StepOutput>, JubeError>,
+    ) {
+        let local = self.sink.as_ref().map(|_| jubench_trace::Recorder::new());
+        let mut tracer = StepTracer::new(local.as_ref().map(|r| r as &dyn TraceSink), wp);
+        tracer.emit("parameters", StepPhase::ParamsResolved);
+        let mut outputs: BTreeMap<String, StepOutput> = BTreeMap::new();
+        let mut aborted: Option<JubeError> = None;
+
+        'levels: for level in levels {
+            // Run the whole level against the outputs snapshot of the
+            // lower levels; each step runs its own retry loop.
+            let attempts = pool.par_map_indexed(level.len(), |i| {
+                let step = level[i];
                 let mut attempt = 0u32;
-                let result = loop {
+                loop {
                     attempt += 1;
                     let ctx = StepContext {
-                        params: &params,
+                        params,
                         outputs: &outputs,
                     };
                     match step.run(&ctx) {
-                        Ok(out) => break Ok(out),
-                        Err(_) if attempt < policy.max_attempts => {
-                            tracer.emit(&step.name, StepPhase::Retry);
-                        }
-                        Err(e) => break Err(e),
+                        Ok(out) => break (attempt, Ok(out)),
+                        Err(e) if attempt >= step.retry.max_attempts => break (attempt, Err(e)),
+                        Err(_) => {}
                     }
-                };
+                }
+            });
+            // Deterministic merge + emission, in level declaration order:
+            // every failed attempt short of the budget is a `step-retry`
+            // phase, a success an `step-execute` phase.
+            for (step, (attempt, result)) in level.iter().zip(attempts) {
+                if !step.depends.is_empty() {
+                    tracer.emit(&step.name, StepPhase::DependencyWait);
+                }
+                for _ in 1..attempt {
+                    tracer.emit(&step.name, StepPhase::Retry);
+                }
                 match result {
                     Ok(mut out) => {
                         tracer.emit(&step.name, StepPhase::Execute);
-                        if policy.max_attempts > 1 {
+                        if step.retry.max_attempts > 1 {
                             out.insert(format!("{}.attempts", step.name), attempt.to_string());
                         }
                         outputs.insert(step.name.clone(), out);
                     }
-                    Err(e) => match policy.on_exhaustion {
-                        jubench_faults::OnExhaustion::Abort => return Err(e),
+                    Err(e) => match step.retry.on_exhaustion {
+                        jubench_faults::OnExhaustion::Abort => {
+                            aborted = Some(e);
+                            break 'levels;
+                        }
                         jubench_faults::OnExhaustion::Continue => {
                             // Record the failure in the result table and
                             // keep the workpackage going: dependent steps
@@ -210,9 +295,13 @@ impl Workflow {
                     },
                 }
             }
-            results.push(WorkpackageResult { params, outputs });
         }
-        Ok(results)
+
+        let buffer = local.map(|r| r.take_events()).unwrap_or_default();
+        match aborted {
+            Some(e) => (buffer, Err(e)),
+            None => (buffer, Ok(outputs)),
+        }
     }
 }
 

@@ -2,15 +2,18 @@
 //! factorization with partial pivoting (the computational core of HPL and
 //! of the transformer-training proxies).
 
-/// Run `f` over contiguous row-chunks of `data` on up to
-/// `available_parallelism` OS threads. `chunk_rows × row_len` elements go
-/// to each thread; the closure receives the global index of its first row.
-/// Small inputs run inline to avoid spawn overhead.
+/// Run `f` over contiguous row-chunks of `data` on the shared
+/// [`jubench_pool`] thread pool. `chunk_rows × row_len` elements go to
+/// each task; the closure receives the global index of its first row.
+/// Small inputs run inline to avoid submission overhead.
+///
+/// Each row is computed independently and its inner loops run
+/// sequentially, so results are bitwise identical for any chunking and
+/// any pool size — the numerical kernels stay deterministic under
+/// `JUBENCH_POOL_THREADS`.
 fn par_row_chunks(data: &mut [f64], row_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
     let rows = data.len().checked_div(row_len).unwrap_or(0);
-    let threads = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(rows.max(1));
+    let threads = jubench_pool::current_threads().min(rows.max(1));
     if threads <= 1 || rows * row_len < 64 * 64 {
         for (i, row) in data.chunks_mut(row_len).enumerate() {
             f(i, row);
@@ -18,7 +21,7 @@ fn par_row_chunks(data: &mut [f64], row_len: usize, f: impl Fn(usize, &mut [f64]
         return;
     }
     let chunk_rows = rows.div_ceil(threads);
-    std::thread::scope(|scope| {
+    jubench_pool::scope(|scope| {
         for (c, chunk) in data.chunks_mut(chunk_rows * row_len).enumerate() {
             let f = &f;
             scope.spawn(move || {
@@ -102,8 +105,8 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     }
 }
 
-/// C = A·B using a cache-blocked i-k-j loop order, row-parallel across OS
-/// threads.
+/// C = A·B using a cache-blocked i-k-j loop order, row-parallel across
+/// the shared thread pool.
 pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols, b.rows, "gemm dimension mismatch");
     let (_m, k, n) = (a.rows, a.cols, b.cols);

@@ -1,0 +1,63 @@
+//! The deterministic-map primitive: parallel execution, sequential order.
+
+use std::sync::Mutex;
+
+use crate::pool::ThreadPool;
+
+impl ThreadPool {
+    /// Apply `f` to `0..n`, in parallel across the pool's workers, and
+    /// return the results **in index order** — always, regardless of how
+    /// many workers ran or how their execution interleaved.
+    ///
+    /// This is the determinism workhorse of the workspace: every result
+    /// is written to the slot named by its submission index, so the
+    /// output vector is structurally ordered and a downstream consumer
+    /// (table renderer, trace exporter, FOM aggregator) observes the
+    /// byte-identical sequence it would have seen from a sequential
+    /// `(0..n).map(f)` loop.
+    ///
+    /// If any task panics, the panic is re-raised here after all tasks
+    /// have settled, and the pool stays usable.
+    pub fn par_map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        // Tiny inputs and 1-thread pools: skip the slot machinery. Same
+        // observable behavior — `scope` on one worker runs tasks in
+        // submission order anyway — just cheaper.
+        if self.threads() <= 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        self.scope(|scope| {
+            for (index, slot) in slots.iter().enumerate() {
+                let f = &f;
+                scope.spawn(move || {
+                    let value = f(index);
+                    *slot.lock().unwrap() = Some(value);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("scope returned with an unfilled slot")
+            })
+            .collect()
+    }
+
+    /// [`par_map_indexed`](ThreadPool::par_map_indexed) over the items of
+    /// a slice: `pool.par_map_over(&xs, |x| ...)` is the ordered parallel
+    /// form of `xs.iter().map(f)`.
+    pub fn par_map_over<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+}

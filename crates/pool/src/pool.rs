@@ -1,0 +1,348 @@
+//! The work-stealing pool: per-worker deques, a global injector, and the
+//! structured [`Scope`] API.
+//!
+//! Tasks submitted to the pool must be *cooperative* — pure computations
+//! that run to completion without blocking on other pool tasks. Rank
+//! programs, which block on each other through channels and barriers, use
+//! [`crate::run_dedicated`] instead.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::time::Duration;
+
+type TaskFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// One unit of pool work, tied to the scope that spawned it so panics and
+/// completion propagate back to the scope owner.
+struct Task {
+    run: TaskFn,
+    scope: Arc<ScopeState>,
+}
+
+impl Task {
+    fn execute(self) {
+        let Task { run, scope } = self;
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
+            scope.store_panic(payload);
+        }
+        scope.complete_one();
+    }
+}
+
+/// Join state of one `scope` invocation.
+struct ScopeState {
+    pending: Mutex<usize>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            pending: Mutex::new(0),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    fn add_one(&self) {
+        *self.pending.lock().unwrap() += 1;
+    }
+
+    fn complete_one(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.pending.lock().unwrap() == 0
+    }
+
+    /// Keep the first panic; a scope re-raises at most one.
+    fn store_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+struct Shared {
+    threads: usize,
+    /// The global injector: tasks submitted from outside the pool.
+    injector: Mutex<VecDeque<Task>>,
+    /// Per-worker deques: a worker pushes and pops its own back (LIFO,
+    /// cache-friendly) while thieves steal from the front (FIFO, oldest
+    /// work first).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Sleep protocol: a worker reads the generation *before* scanning
+    /// for work and sleeps only if it is unchanged after a failed scan,
+    /// so a submission between scan and sleep is never lost.
+    sleep_gen: Mutex<u64>,
+    wake_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Live [`ThreadPool`] handles; the last one to drop shuts down.
+    handles: AtomicUsize,
+}
+
+impl Shared {
+    fn wake_all(&self) {
+        *self.sleep_gen.lock().unwrap() += 1;
+        self.wake_cv.notify_all();
+    }
+
+    /// Pop a runnable task: own deque first (when called from worker
+    /// `own`), then the injector, then steal round-robin from the other
+    /// workers.
+    fn find_task(&self, own: Option<usize>) -> Option<Task> {
+        if let Some(i) = own {
+            if let Some(task) = self.deques[i].lock().unwrap().pop_back() {
+                return Some(task);
+            }
+        }
+        if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            return Some(task);
+        }
+        let start = own.map_or(0, |i| i + 1);
+        for k in 0..self.threads {
+            let victim = (start + k) % self.threads;
+            if Some(victim) == own {
+                continue;
+            }
+            if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Execute tasks until `state` has no pending work. The caller
+    /// participates (helps) instead of blocking, so a scope completes
+    /// even when every worker is busy — including on a 1-thread pool
+    /// driven from its own worker.
+    fn help_until_done(&self, state: &ScopeState) {
+        let own = CURRENT_WORKER.with(|w| {
+            w.borrow().as_ref().and_then(|(shared, index)| {
+                let shared = shared.upgrade()?;
+                std::ptr::eq(Arc::as_ptr(&shared), self).then_some(*index)
+            })
+        });
+        loop {
+            if state.is_done() {
+                return;
+            }
+            if let Some(task) = self.find_task(own) {
+                task.execute();
+                continue;
+            }
+            // Nothing stealable: the scope's remaining tasks are in
+            // flight on other threads. Wait for a completion, waking
+            // periodically in case a running task spawns new work.
+            let pending = state.pending.lock().unwrap();
+            if *pending == 0 {
+                return;
+            }
+            let _unused = state
+                .done_cv
+                .wait_timeout(pending, Duration::from_micros(200))
+                .unwrap();
+        }
+    }
+}
+
+thread_local! {
+    /// Set for the lifetime of a worker thread: its pool and worker index.
+    static CURRENT_WORKER: RefCell<Option<(Weak<Shared>, usize)>> = const { RefCell::new(None) };
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    CURRENT_WORKER.with(|w| *w.borrow_mut() = Some((Arc::downgrade(&shared), index)));
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let gen = *shared.sleep_gen.lock().unwrap();
+        if let Some(task) = shared.find_task(Some(index)) {
+            task.execute();
+            continue;
+        }
+        let guard = shared.sleep_gen.lock().unwrap();
+        if *guard == gen && !shared.shutdown.load(Ordering::Acquire) {
+            // No submission raced the scan; sleep until one arrives.
+            drop(shared.wake_cv.wait(guard).unwrap());
+        }
+    }
+}
+
+/// A deterministic work-stealing thread pool.
+///
+/// `ThreadPool` handles are cheap clones of one shared pool; the worker
+/// threads shut down when the last handle drops. Determinism discipline:
+/// the pool itself never reorders *results* — ordering primitives such as
+/// [`ThreadPool::par_map_indexed`] pin every result to its submission
+/// index, so any worker interleaving produces identical output.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            threads,
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep_gen: Mutex::new(0),
+            wake_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            handles: AtomicUsize::new(1),
+        });
+        for index in 0..threads {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("jubench-pool-{index}"))
+                .spawn(move || worker_loop(shared, index))
+                .expect("spawn pool worker");
+        }
+        ThreadPool { shared }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    fn from_shared(shared: Arc<Shared>) -> Self {
+        shared.handles.fetch_add(1, Ordering::AcqRel);
+        ThreadPool { shared }
+    }
+
+    /// The pool owning the current worker thread, if this thread is one.
+    pub(crate) fn of_current_worker() -> Option<ThreadPool> {
+        CURRENT_WORKER.with(|w| {
+            let borrow = w.borrow();
+            let (shared, _) = borrow.as_ref()?;
+            Some(ThreadPool::from_shared(shared.upgrade()?))
+        })
+    }
+
+    /// Structured parallelism, mirroring [`std::thread::scope`]: tasks
+    /// spawned on the scope may borrow from the enclosing stack frame,
+    /// and `scope` does not return until every task has completed — even
+    /// when the body or a task panics (the first panic is re-raised
+    /// afterwards; the pool itself stays usable). The calling thread
+    /// *helps* execute tasks while it waits, so nested scopes on a
+    /// saturated pool always make progress.
+    pub fn scope<'env, T, F>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        let state = Arc::new(ScopeState::new());
+        let scope = Scope {
+            shared: &self.shared,
+            state: Arc::clone(&state),
+            _scope: PhantomData,
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // The wait below is what makes the lifetime erasure in `spawn`
+        // sound: no borrow handed to a task outlives this call.
+        self.shared.help_until_done(&state);
+        match result {
+            Err(body_panic) => resume_unwind(body_panic),
+            Ok(value) => {
+                if let Some(task_panic) = state.take_panic() {
+                    resume_unwind(task_panic);
+                }
+                value
+            }
+        }
+    }
+}
+
+impl Clone for ThreadPool {
+    fn clone(&self) -> Self {
+        ThreadPool::from_shared(Arc::clone(&self.shared))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        if self.shared.handles.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.wake_all();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.shared.threads)
+            .finish()
+    }
+}
+
+/// Handle for spawning borrowed tasks inside [`ThreadPool::scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: &'scope Arc<Shared>,
+    state: Arc<ScopeState>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow anything outliving the scope. Tasks
+    /// run on the pool's workers (or on the scope owner while it waits);
+    /// submission from a worker thread lands on that worker's own deque,
+    /// from anywhere else on the global injector.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.add_one();
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: `ThreadPool::scope` does not return before the pending
+        // count reaches zero (even on panic), so this task — and every
+        // borrow it captures — is finished before 'scope/'env end.
+        let task: TaskFn =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, TaskFn>(task) };
+        let task = Task {
+            run: task,
+            scope: Arc::clone(&self.state),
+        };
+        // Worker-local submission when possible, injector otherwise.
+        let own = CURRENT_WORKER.with(|w| {
+            w.borrow().as_ref().and_then(|(shared, index)| {
+                let shared = shared.upgrade()?;
+                Arc::ptr_eq(&shared, self.shared).then_some(*index)
+            })
+        });
+        match own {
+            Some(index) => self.shared.deques[index].lock().unwrap().push_back(task),
+            None => self.shared.injector.lock().unwrap().push_back(task),
+        }
+        self.shared.wake_all();
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scope")
+            .field("pending", &*self.state.pending.lock().unwrap())
+            .finish()
+    }
+}

@@ -90,28 +90,32 @@ pub fn campaign_table(
     let jobs = registry_jobs(registry, spacing_s);
     let demand_node_s = jobs.iter().map(|j| f64::from(j.nodes) * j.service_s).sum();
     let plan = FaultPlan::new(seed);
-    let mut points = Vec::new();
-    for &nodes in sizes {
-        for placement in PlacementPolicy::ALL {
-            let schedule = run_campaign(
-                Machine::juwels_booster().partition(nodes),
-                NetModel::juwels_booster(),
-                SchedulerConfig::new(QueuePolicy::ConservativeBackfill, placement, seed),
-                &jobs,
-                &plan,
-            );
-            points.push(CampaignPoint {
-                nodes,
-                placement,
-                makespan_s: schedule.makespan_s,
-                utilization: schedule.utilization(),
-                mean_wait_s: schedule.mean_wait_s(),
-                mean_stretch: schedule.mean_stretch(),
-                fairness: schedule.jain_fairness(),
-                finished: schedule.finished(),
-            });
+    // Every (size, placement) cell schedules the identical job set
+    // independently; flatten the nested sweep into one pool fan-out. The
+    // indexed map keeps the sizes-major, placement-minor row order.
+    let cells: Vec<(u32, PlacementPolicy)> = sizes
+        .iter()
+        .flat_map(|&nodes| PlacementPolicy::ALL.into_iter().map(move |p| (nodes, p)))
+        .collect();
+    let points = jubench_pool::par_map_over(&cells, |&(nodes, placement)| {
+        let schedule = run_campaign(
+            Machine::juwels_booster().partition(nodes),
+            NetModel::juwels_booster(),
+            SchedulerConfig::new(QueuePolicy::ConservativeBackfill, placement, seed),
+            &jobs,
+            &plan,
+        );
+        CampaignPoint {
+            nodes,
+            placement,
+            makespan_s: schedule.makespan_s,
+            utilization: schedule.utilization(),
+            mean_wait_s: schedule.mean_wait_s(),
+            mean_stretch: schedule.mean_stretch(),
+            fairness: schedule.jain_fairness(),
+            finished: schedule.finished(),
         }
-    }
+    });
     CampaignTable {
         jobs: jobs.len(),
         demand_node_s,

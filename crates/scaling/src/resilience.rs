@@ -83,20 +83,20 @@ pub fn resilience_table(
 ) -> ResilienceTable {
     let base_world = World::new(Machine::juwels_booster().partition(nodes));
     let baseline_s = probe_makespan(&base_world);
-    let points = fractions
-        .iter()
-        .map(|&fraction| {
-            let plan = FaultPlan::random_stragglers(seed, nodes, fraction, slowdown);
-            let stragglers = plan.slow_nodes();
-            let makespan_s = probe_makespan(&base_world.clone().with_fault_plan(plan));
-            ResiliencePoint {
-                straggler_fraction: fraction,
-                stragglers,
-                makespan_s,
-                inflation: makespan_s / baseline_s,
-            }
-        })
-        .collect();
+    // Each density point derives its own seeded plan and runs its own
+    // world, so the sweep fans across the pool; row order follows
+    // `fractions`.
+    let points = jubench_pool::par_map_over(fractions, |&fraction| {
+        let plan = FaultPlan::random_stragglers(seed, nodes, fraction, slowdown);
+        let stragglers = plan.slow_nodes();
+        let makespan_s = probe_makespan(&base_world.clone().with_fault_plan(plan));
+        ResiliencePoint {
+            straggler_fraction: fraction,
+            stragglers,
+            makespan_s,
+            inflation: makespan_s / baseline_s,
+        }
+    });
     ResilienceTable {
         nodes,
         slowdown,

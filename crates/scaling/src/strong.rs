@@ -82,28 +82,31 @@ pub fn strong_scaling_series(bench: &dyn Benchmark, seed: u64) -> Fig2Series {
         })
         .map(|o| o.virtual_time_s)
         .unwrap_or(f64::NAN);
-    let points = nodes
-        .into_iter()
-        .filter_map(|n| {
-            let out = bench
-                .run(&RunConfig {
-                    seed,
-                    ..RunConfig::test(n)
-                })
-                .ok()?;
-            Some(Fig2Point {
-                nodes: n,
-                relative_nodes: n as f64 / reference_nodes as f64,
-                runtime_s: out.virtual_time_s,
-                relative_runtime: out.virtual_time_s / reference_runtime_s,
-                comm_fraction: if out.virtual_time_s > 0.0 {
-                    out.comm_time_s / out.virtual_time_s
-                } else {
-                    0.0
-                },
+    // Fan the independent node counts across the pool; the indexed map
+    // returns points in sweep order, so the series (and its render) is
+    // byte-identical to the sequential loop.
+    let points = jubench_pool::par_map_over(&nodes, |&n| {
+        let out = bench
+            .run(&RunConfig {
+                seed,
+                ..RunConfig::test(n)
             })
+            .ok()?;
+        Some(Fig2Point {
+            nodes: n,
+            relative_nodes: n as f64 / reference_nodes as f64,
+            runtime_s: out.virtual_time_s,
+            relative_runtime: out.virtual_time_s / reference_runtime_s,
+            comm_fraction: if out.virtual_time_s > 0.0 {
+                out.comm_time_s / out.virtual_time_s
+            } else {
+                0.0
+            },
         })
-        .collect();
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     Fig2Series {
         name: bench.meta().id.name(),
         reference_nodes,

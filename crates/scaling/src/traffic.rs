@@ -90,18 +90,18 @@ fn probe(world: &World, halo_elems: usize, steps: usize) -> RunReport {
     RunReport::from_events(&rec.take_events())
 }
 
-/// Build the traffic table over `node_counts` Booster partitions.
+/// Build the traffic table over `node_counts` Booster partitions. The
+/// per-partition probes are independent (each records into its own
+/// [`Recorder`]) and fan across the shared pool; the indexed map keeps
+/// the rows in `node_counts` order.
 pub fn traffic_table(node_counts: &[u32]) -> TrafficTable {
-    let points = node_counts
-        .iter()
-        .map(|&n| {
-            let world = World::new(Machine::juwels_booster().partition(n));
-            TrafficPoint {
-                nodes: n,
-                report: probe(&world, 4096, 4),
-            }
-        })
-        .collect();
+    let points = jubench_pool::par_map_over(node_counts, |&n| {
+        let world = World::new(Machine::juwels_booster().partition(n));
+        TrafficPoint {
+            nodes: n,
+            report: probe(&world, 4096, 4),
+        }
+    });
     TrafficTable { points }
 }
 

@@ -58,23 +58,25 @@ pub fn sweep_nodes(bench: &dyn Benchmark) -> Vec<u32> {
 /// constant runtime.
 pub fn weak_scaling_series(bench: &dyn Benchmark, variant: MemoryVariant, seed: u64) -> Fig3Series {
     let nodes = sweep_nodes(bench);
-    let mut runtimes: Vec<(u32, f64)> = Vec::new();
-    let mut comm_fractions: Vec<(u32, f64)> = Vec::new();
-    for n in nodes {
+    // Sweep points are independent; the indexed map keeps node order.
+    let outcomes = jubench_pool::par_map_over(&nodes, |&n| {
         let cfg = RunConfig {
             seed,
             ..RunConfig::test(n)
         }
         .with_variant(variant);
-        if let Ok(out) = bench.run(&cfg) {
-            runtimes.push((n, out.virtual_time_s));
-            let frac = if out.virtual_time_s > 0.0 {
-                out.comm_time_s / out.virtual_time_s
-            } else {
-                0.0
-            };
-            comm_fractions.push((n, frac));
-        }
+        bench.run(&cfg).ok().map(|out| (n, out))
+    });
+    let mut runtimes: Vec<(u32, f64)> = Vec::new();
+    let mut comm_fractions: Vec<(u32, f64)> = Vec::new();
+    for (n, out) in outcomes.into_iter().flatten() {
+        runtimes.push((n, out.virtual_time_s));
+        let frac = if out.virtual_time_s > 0.0 {
+            out.comm_time_s / out.virtual_time_s
+        } else {
+            0.0
+        };
+        comm_fractions.push((n, frac));
     }
     let t0 = runtimes.first().map(|&(_, t)| t).unwrap_or(f64::NAN);
     Fig3Series {
@@ -90,28 +92,29 @@ pub fn weak_scaling_series(bench: &dyn Benchmark, variant: MemoryVariant, seed: 
 pub fn juqcs_split_series(seed: u64) -> [Fig3Series; 2] {
     let bench = jubench_apps_quantum::Juqcs;
     let nodes = sweep_nodes(&bench);
-    let mut comp: Vec<(u32, f64)> = Vec::new();
-    let mut comm: Vec<(u32, f64)> = Vec::new();
-    let mut comm_fractions: Vec<(u32, f64)> = Vec::new();
-    for n in nodes {
+    let outcomes = jubench_pool::par_map_over(&nodes, |&n| {
         let cfg = RunConfig {
             seed,
             ..RunConfig::test(n)
         }
         .with_variant(MemoryVariant::Small);
-        if let Ok(out) = bench.run(&cfg) {
-            comp.push((n, out.compute_time_s));
-            comm.push((n, out.comm_time_s));
-            let total = out.compute_time_s + out.comm_time_s;
-            comm_fractions.push((
-                n,
-                if total > 0.0 {
-                    out.comm_time_s / total
-                } else {
-                    0.0
-                },
-            ));
-        }
+        bench.run(&cfg).ok().map(|out| (n, out))
+    });
+    let mut comp: Vec<(u32, f64)> = Vec::new();
+    let mut comm: Vec<(u32, f64)> = Vec::new();
+    let mut comm_fractions: Vec<(u32, f64)> = Vec::new();
+    for (n, out) in outcomes.into_iter().flatten() {
+        comp.push((n, out.compute_time_s));
+        comm.push((n, out.comm_time_s));
+        let total = out.compute_time_s + out.comm_time_s;
+        comm_fractions.push((
+            n,
+            if total > 0.0 {
+                out.comm_time_s / total
+            } else {
+                0.0
+            },
+        ));
     }
     let norm = |series: Vec<(u32, f64)>| -> Vec<(u32, f64)> {
         let t0 = series.first().map(|&(_, t)| t).unwrap_or(f64::NAN);
@@ -134,19 +137,21 @@ pub fn juqcs_split_series(seed: u64) -> [Fig3Series; 2] {
 /// All Fig. 3 series: the five applications plus the JUQCS split.
 pub fn fig3_all_series(seed: u64) -> Vec<Fig3Series> {
     let r = crate::registry::full_registry();
-    let mut series = Vec::new();
-    for id in [
+    let ids = [
         BenchmarkId::Arbor,
         BenchmarkId::ChromaQcd,
         BenchmarkId::NekRs,
         BenchmarkId::PIConGpu,
-    ] {
+    ];
+    // One pool task per application; each nests its own node sweep onto
+    // the same pool. Series order follows `ids`, as before.
+    let mut series = jubench_pool::par_map_over(&ids, |&id| {
         let bench = r.get(id).unwrap();
         // Use each benchmark's smallest offered variant so every sweep
         // point fits in memory.
         let variant = bench.meta().high_scale.unwrap().variants[0];
-        series.push(weak_scaling_series(bench, variant, seed));
-    }
+        weak_scaling_series(bench, variant, seed)
+    });
     series.extend(juqcs_split_series(seed));
     series
 }

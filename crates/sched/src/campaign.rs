@@ -29,27 +29,28 @@ pub fn category_priority(category: Category) -> i32 {
 /// test-scale virtual-time run, submissions `spacing_s` apart in
 /// registry (id) order. Deterministic: same registry ⇒ same job set.
 pub fn registry_jobs(registry: &Registry, spacing_s: f64) -> Vec<Job> {
-    registry
-        .iter()
-        .enumerate()
-        .map(|(i, bench)| {
-            let meta = bench.meta();
-            let nodes = bench.reference_nodes();
-            let outcome = bench
-                .run(&RunConfig::test(nodes))
-                .unwrap_or_else(|e| panic!("campaign probe of {} failed: {e:?}", meta.id.name()));
-            let service_s = outcome.virtual_time_s.max(1e-9);
-            let comm_fraction = if outcome.virtual_time_s > 0.0 {
-                (outcome.comm_time_s / outcome.virtual_time_s).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            Job::new(i as u32, meta.id.name(), nodes, service_s)
-                .with_comm_fraction(comm_fraction)
-                .with_priority(category_priority(meta.category))
-                .with_submit(i as f64 * spacing_s)
-        })
-        .collect()
+    // The probe runs are independent virtual-time executions, so they fan
+    // across the shared pool; the indexed map keeps the jobs in registry
+    // (id) order, which fixes job ids and submit times.
+    let benches: Vec<&dyn jubench_core::Benchmark> = registry.iter().collect();
+    jubench_pool::par_map_indexed(benches.len(), |i| {
+        let bench = benches[i];
+        let meta = bench.meta();
+        let nodes = bench.reference_nodes();
+        let outcome = bench
+            .run(&RunConfig::test(nodes))
+            .unwrap_or_else(|e| panic!("campaign probe of {} failed: {e:?}", meta.id.name()));
+        let service_s = outcome.virtual_time_s.max(1e-9);
+        let comm_fraction = if outcome.virtual_time_s > 0.0 {
+            (outcome.comm_time_s / outcome.virtual_time_s).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        Job::new(i as u32, meta.id.name(), nodes, service_s)
+            .with_comm_fraction(comm_fraction)
+            .with_priority(category_priority(meta.category))
+            .with_submit(i as f64 * spacing_s)
+    })
 }
 
 /// Schedule `jobs` on `machine` under `plan`.

@@ -1,9 +1,8 @@
 //! The [`World`]: construction of communicators and thread-based execution
 //! of rank closures.
 
-use std::sync::Arc;
-
 use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
 
 use jubench_cluster::{Machine, NetModel, Placement, Roofline};
 use jubench_faults::FaultPlan;
@@ -99,25 +98,6 @@ impl World {
         self.plan.as_deref()
     }
 
-    /// Inject a degraded link: transfers between ranks `a` and `b` take
-    /// `factor` × longer (a failing cable, a mis-trained adapter — the
-    /// faults LinkTest exists to localize). Convenience shim over
-    /// [`World::with_fault_plan`]: appends to the existing plan (or to a
-    /// fresh seed-0 plan).
-    #[deprecated(
-        since = "0.1.0",
-        note = "build a FaultPlan with FaultPlan::with_degraded_link and install it \
-                via World::with_fault_plan — plans compose faults and carry the seed"
-    )]
-    pub fn with_degraded_link(self, a: u32, b: u32, factor: f64) -> Self {
-        let plan = self
-            .plan
-            .as_deref()
-            .cloned()
-            .unwrap_or_else(|| FaultPlan::new(0));
-        self.with_fault_plan(plan.with_degraded_link(a, b, factor))
-    }
-
     /// Override the kernel efficiencies of the device roofline (uniform
     /// worlds only).
     pub fn with_efficiencies(mut self, flop: f64, bw: f64) -> Self {
@@ -157,6 +137,12 @@ impl World {
 
     /// Launch one thread per rank, run `f`, and collect the results in rank
     /// order. Panics in a rank are propagated with the rank number.
+    ///
+    /// Rank programs block on each other (channels, the virtual barrier),
+    /// so they execute on counted *dedicated* threads via
+    /// [`jubench_pool::run_dedicated`], never on the bounded work-stealing
+    /// pool — a pool with fewer workers than ranks would deadlock the
+    /// first collective.
     pub fn run<T, F>(&self, f: F) -> Vec<RankResult<T>>
     where
         T: Send,
@@ -181,47 +167,53 @@ impl World {
         }
 
         let barrier = Arc::new(VBarrier::new(n));
-        let f = &f;
-        let mut results: Vec<Option<RankResult<T>>> = (0..n).map(|_| None).collect();
+        // Each rank claims its own channel endpoints out of this handoff
+        // table; `run_dedicated` shares one `Fn(u32)` across all ranks.
+        let endpoints: Vec<Mutex<Option<(Vec<_>, Vec<_>)>>> = senders
+            .drain(..)
+            .zip(receivers.drain(..))
+            .map(|pair| Mutex::new(Some(pair)))
+            .collect();
 
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (rank, (tx, rx)) in senders.drain(..).zip(receivers.drain(..)).enumerate() {
-                let barrier = Arc::clone(&barrier);
-                let map = self.map;
-                let net = self.net;
-                let plan = self.plan.clone();
-                let sink = self.sink.clone();
-                handles.push(scope.spawn(move || {
-                    let mut comm = Comm::new(rank as u32, n as u32, tx, rx, map, net, barrier)
-                        .with_fault_plan(plan)
-                        .with_sink(sink);
-                    let value = f(&mut comm);
-                    RankResult {
-                        rank: rank as u32,
-                        value,
-                        clock: comm.stats(),
-                    }
-                }));
-            }
-            for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
-                    Ok(res) => results[rank] = Some(res),
-                    Err(payload) => {
-                        let msg = payload
-                            .downcast_ref::<String>()
-                            .cloned()
-                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
-                            .unwrap_or_else(|| "unknown panic".into());
-                        panic!("rank {rank} panicked: {msg}");
-                    }
-                }
+        let outcomes = jubench_pool::run_dedicated(n as u32, |rank| {
+            let (tx, rx) = endpoints[rank as usize]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("rank endpoints claimed once");
+            let mut comm = Comm::new(
+                rank,
+                n as u32,
+                tx,
+                rx,
+                self.map,
+                self.net,
+                Arc::clone(&barrier),
+            )
+            .with_fault_plan(self.plan.clone())
+            .with_sink(self.sink.clone());
+            let value = f(&mut comm);
+            RankResult {
+                rank,
+                value,
+                clock: comm.stats(),
             }
         });
 
-        results
+        outcomes
             .into_iter()
-            .map(|r| r.expect("all ranks joined"))
+            .enumerate()
+            .map(|(rank, outcome)| match outcome {
+                Ok(res) => res,
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "unknown panic".into());
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            })
             .collect()
     }
 

@@ -42,10 +42,14 @@
 //!   preemption, utilization/fairness reporting.
 //! - [`trace`]: virtual-time tracing — structured events from the
 //!   runtime and workflow engine, run reports, Chrome trace export.
+//! - [`pool`]: the deterministic work-stealing thread pool every sweep
+//!   runs on — ordered `par_map_indexed`, structured `scope`, counted
+//!   dedicated rank threads, and the `JUBENCH_POOL_THREADS` knob.
 
 pub use jubench_apps_ai as apps_ai;
 pub use jubench_apps_bio as apps_bio;
 pub use jubench_apps_cfd as apps_cfd;
+pub use jubench_apps_common as apps_common;
 pub use jubench_apps_earth as apps_earth;
 pub use jubench_apps_lattice as apps_lattice;
 pub use jubench_apps_materials as apps_materials;
@@ -59,6 +63,7 @@ pub use jubench_core as core;
 pub use jubench_faults as faults;
 pub use jubench_jube as jube;
 pub use jubench_kernels as kernels;
+pub use jubench_pool as pool;
 pub use jubench_procurement as procurement;
 pub use jubench_scaling as scaling;
 pub use jubench_sched as sched;

@@ -474,6 +474,94 @@ fn backfill_never_delays_higher_priority_starts() {
     }
 }
 
+/// `par_map_indexed` is exactly-once and order-preserving: for random
+/// task counts, payloads, and pool widths, every task executes exactly
+/// once and the results come back in submission order — nothing lost,
+/// duplicated, or reordered.
+#[test]
+fn par_map_indexed_is_exactly_once_in_order() {
+    use jubench::pool::{par_map_indexed, with_threads};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for case in 0..48u64 {
+        let mut rng = rank_rng(0xDE + case, 15);
+        let n = rng.gen_range(0usize..200);
+        let threads = rng.gen_range(1usize..9);
+        let payloads: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..1 << 20)).collect();
+        let executions = AtomicUsize::new(0);
+        let out = with_threads(threads, || {
+            par_map_indexed(n, |i| {
+                executions.fetch_add(1, Ordering::Relaxed);
+                // A payload-dependent result that would expose index mixups.
+                payloads[i].wrapping_mul(31).wrapping_add(i as u64)
+            })
+        });
+        assert_eq!(
+            executions.load(Ordering::Relaxed),
+            n,
+            "case {case}: every task exactly once"
+        );
+        let expected: Vec<u64> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.wrapping_mul(31).wrapping_add(i as u64))
+            .collect();
+        assert_eq!(out, expected, "case {case}: submission order preserved");
+    }
+}
+
+/// A panicking task propagates its payload out of `par_map_indexed`, no
+/// task ever runs more than once, and the (cached, shared) pool stays
+/// usable for the next map. At one thread the map is a plain sequential
+/// iteration, so the panic stops it at the bomb; at two or more threads
+/// every spawned task still settles before the scope re-raises.
+#[test]
+fn par_map_indexed_survives_panicking_tasks() {
+    use jubench::pool::{par_map_indexed, with_threads};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    for case in 0..24u64 {
+        let mut rng = rank_rng(0xBE + case, 16);
+        let n = rng.gen_range(2usize..80);
+        let threads = rng.gen_range(1usize..9);
+        let bomb = rng.gen_range(0usize..n);
+        let executions: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(threads, || {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                par_map_indexed(n, |i| {
+                    executions[i].fetch_add(1, Ordering::Relaxed);
+                    if i == bomb {
+                        panic!("bomb at {i}");
+                    }
+                    i
+                })
+            }))
+            .expect_err("panic must propagate to the caller");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .expect("panic payload carried through");
+            assert_eq!(msg, format!("bomb at {bomb}"), "case {case}");
+            for (i, count) in executions.iter().enumerate() {
+                let ran = count.load(Ordering::Relaxed);
+                assert!(ran <= 1, "case {case}: task {i} ran {ran} times");
+                let must_run = threads > 1 || i <= bomb;
+                assert_eq!(
+                    ran, must_run as usize,
+                    "case {case}: task {i} (bomb {bomb}, {threads} threads)"
+                );
+            }
+            // Same pool instance (the per-width pool is cached): it must
+            // execute the next map as if nothing happened.
+            let out = par_map_indexed(n, |i| i * 2);
+            assert_eq!(
+                out,
+                (0..n).map(|i| i * 2).collect::<Vec<_>>(),
+                "case {case}"
+            );
+        });
+    }
+}
+
 /// Gate application preserves the norm for arbitrary phase angles.
 #[test]
 fn quantum_gates_are_unitary() {
