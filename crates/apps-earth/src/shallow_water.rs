@@ -10,6 +10,7 @@
 //! total energy bounded — the "key metrics extracted from the computed
 //! solution" that verify the run.
 
+use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
 use jubench_simmpi::{Comm, ReduceOp, SimError};
 
 /// Per-rank slab of rows (y-decomposition) of the `nx × ny` global grid.
@@ -164,6 +165,85 @@ impl ShallowWater {
     }
 }
 
+impl Checkpointable for ShallowWater {
+    fn kind(&self) -> &'static str {
+        "shallow-water"
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.nx);
+        w.put_usize(self.ny);
+        w.put_usize(self.y0);
+        w.put_usize(self.y1);
+        for field in [&self.h, &self.u, &self.v] {
+            w.put_usize(field.len());
+            for v in field {
+                w.put_f64(*v);
+            }
+        }
+        w.put_f64(self.gravity);
+        w.put_f64(self.depth);
+        w.put_f64(self.coriolis);
+        w.put_f64(self.dt);
+        w.put_f64(self.dx);
+        seal(self.kind(), &w.finish())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let payload = open("shallow-water", bytes)?;
+        let mut r = SnapshotReader::new(&payload);
+        let nx = r.get_usize("nx")?;
+        let ny = r.get_usize("ny")?;
+        let y0 = r.get_usize("y0")?;
+        let y1 = r.get_usize("y1")?;
+        if y1 <= y0 || y1 > ny {
+            return Err(CkptError::Malformed {
+                what: format!("slab bounds [{y0}, {y1}) out of range for ny={ny}"),
+            });
+        }
+        let expect = (y1 - y0 + 2) * nx;
+        let mut fields = Vec::with_capacity(3);
+        for name in ["h field", "u field", "v field"] {
+            let len = r.get_usize(name)?;
+            if len != expect {
+                return Err(CkptError::Malformed {
+                    what: format!("{name} has {len} values, slab needs {expect}"),
+                });
+            }
+            let mut f = Vec::with_capacity(len);
+            for _ in 0..len {
+                f.push(r.get_f64(name)?);
+            }
+            fields.push(f);
+        }
+        let gravity = r.get_f64("gravity")?;
+        let depth = r.get_f64("depth")?;
+        let coriolis = r.get_f64("coriolis")?;
+        let dt = r.get_f64("dt")?;
+        let dx = r.get_f64("dx")?;
+        r.expect_end()?;
+        let v = fields.pop().unwrap();
+        let u = fields.pop().unwrap();
+        let h = fields.pop().unwrap();
+        *self = ShallowWater {
+            nx,
+            ny,
+            y0,
+            y1,
+            h,
+            u,
+            v,
+            gravity,
+            depth,
+            coriolis,
+            dt,
+            dx,
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +310,47 @@ mod tests {
             "peak {initial_peak} → {final_peak}"
         );
         assert!(final_peak > 1.0, "field must not collapse");
+    }
+
+    #[test]
+    fn killed_and_resumed_stepper_is_bit_identical() {
+        let w = World::per_node(Machine::juwels_booster().partition(1));
+        let reference = w.run(|comm| {
+            let mut sw = ShallowWater::gaussian(comm, 16, 16);
+            for _ in 0..40 {
+                sw.step(comm).unwrap();
+            }
+            sw.snapshot()
+        });
+        let w = World::per_node(Machine::juwels_booster().partition(1));
+        let resumed = w.run(|comm| {
+            let mut sw = ShallowWater::gaussian(comm, 16, 16);
+            for _ in 0..17 {
+                sw.step(comm).unwrap();
+            }
+            let snap = sw.snapshot();
+            let mut sw = ShallowWater::gaussian(comm, 16, 16);
+            sw.restore(&snap).unwrap();
+            for _ in 0..23 {
+                sw.step(comm).unwrap();
+            }
+            sw.snapshot()
+        });
+        assert_eq!(resumed[0].value, reference[0].value);
+    }
+
+    #[test]
+    fn corrupt_stepper_snapshot_is_a_typed_error() {
+        let w = World::per_node(Machine::juwels_booster().partition(1));
+        w.run(|comm| {
+            let mut sw = ShallowWater::gaussian(comm, 8, 8);
+            let good = sw.snapshot();
+            assert!(sw.restore(&good[..good.len() - 5]).is_err());
+            let mut bad = good.clone();
+            bad[good.len() / 3] ^= 0x01;
+            assert!(sw.restore(&bad).is_err());
+            sw.restore(&good).unwrap();
+        });
     }
 
     #[test]

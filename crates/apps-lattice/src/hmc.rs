@@ -12,6 +12,7 @@
 //! - the energy violation ΔH shrinks as O(dt²) — which pins the
 //!   force/action normalization (a wrong constant shows up at O(dt)).
 
+use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
 use jubench_kernels::{rank_rng, C64};
 
 use crate::su3::Su3;
@@ -312,6 +313,172 @@ pub fn hmc_trajectory(
     (dh, accept, field.average_plaquette())
 }
 
+/// A resumable HMC Markov chain: the gauge field plus everything the
+/// future of the chain depends on (integrator parameters, the base
+/// seed, the trajectory counter driving per-trajectory seed streams,
+/// and the accumulated history).
+///
+/// Trajectory `t` always draws from seed `base_seed + t`, so a chain
+/// restored from a snapshot replays the *identical* momentum and
+/// Metropolis randomness an uninterrupted chain would have used — the
+/// checkpoint/restart headline invariant.
+pub struct HmcChain {
+    /// Current gauge configuration.
+    pub field: GaugeField,
+    /// Wilson action coupling.
+    pub beta: f64,
+    /// Leapfrog steps per trajectory.
+    pub steps: u32,
+    /// Leapfrog step size.
+    pub dt: f64,
+    seed: u64,
+    trajectory: u64,
+    history: Vec<(f64, bool, f64)>,
+}
+
+impl HmcChain {
+    /// Start a chain from a cold (unit-link) configuration.
+    pub fn cold(dims: [usize; 4], beta: f64, steps: u32, dt: f64, seed: u64) -> Self {
+        HmcChain {
+            field: GaugeField::cold(dims),
+            beta,
+            steps,
+            dt,
+            seed,
+            trajectory: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Trajectories completed so far.
+    pub fn trajectory(&self) -> u64 {
+        self.trajectory
+    }
+
+    /// Per-trajectory (ΔH, accepted, plaquette) records.
+    pub fn history(&self) -> &[(f64, bool, f64)] {
+        &self.history
+    }
+
+    /// Run one trajectory; returns (ΔH, accepted, plaquette).
+    pub fn advance(&mut self) -> (f64, bool, f64) {
+        let traj_seed = self.seed.wrapping_add(self.trajectory);
+        let out = hmc_trajectory(&mut self.field, self.beta, self.steps, self.dt, traj_seed);
+        self.trajectory += 1;
+        self.history.push(out);
+        out
+    }
+
+    /// Run `n` trajectories.
+    pub fn run(&mut self, n: u64) {
+        for _ in 0..n {
+            self.advance();
+        }
+    }
+
+    /// The chain's result table: one line per trajectory. Deterministic
+    /// bytes for a deterministic chain — the artifact the differential
+    /// kill/resume tests compare.
+    pub fn history_table(&self) -> String {
+        let mut out = String::new();
+        for (t, (dh, accepted, plaq)) in self.history.iter().enumerate() {
+            out.push_str(&format!(
+                "traj={t} dh={dh:.12e} accepted={accepted} plaquette={plaq:.12e}\n"
+            ));
+        }
+        out
+    }
+}
+
+impl Checkpointable for HmcChain {
+    fn kind(&self) -> &'static str {
+        "hmc-chain"
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        for d in self.field.dims {
+            w.put_usize(d);
+        }
+        w.put_usize(self.field.links.len());
+        for site in &self.field.links {
+            for mu in site {
+                for row in &mu.0 {
+                    for c in row {
+                        w.put_f64(c.re);
+                        w.put_f64(c.im);
+                    }
+                }
+            }
+        }
+        w.put_f64(self.beta);
+        w.put_u32(self.steps);
+        w.put_f64(self.dt);
+        w.put_u64(self.seed);
+        w.put_u64(self.trajectory);
+        w.put_usize(self.history.len());
+        for (dh, accepted, plaq) in &self.history {
+            w.put_f64(*dh);
+            w.put_bool(*accepted);
+            w.put_f64(*plaq);
+        }
+        seal(self.kind(), &w.finish())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let payload = open("hmc-chain", bytes)?;
+        let mut r = SnapshotReader::new(&payload);
+        let mut dims = [0usize; 4];
+        for d in dims.iter_mut() {
+            *d = r.get_usize("lattice dims")?;
+        }
+        let volume = r.get_usize("link count")?;
+        if volume != dims.iter().product::<usize>() {
+            return Err(CkptError::Malformed {
+                what: format!("link count {volume} does not match dims {dims:?}"),
+            });
+        }
+        let mut links = Vec::with_capacity(volume);
+        for _ in 0..volume {
+            let mut site = [Su3::identity(); 4];
+            for mu in site.iter_mut() {
+                for row in mu.0.iter_mut() {
+                    for c in row.iter_mut() {
+                        let re = r.get_f64("link re")?;
+                        let im = r.get_f64("link im")?;
+                        *c = C64::new(re, im);
+                    }
+                }
+            }
+            links.push(site);
+        }
+        let beta = r.get_f64("beta")?;
+        let steps = r.get_u32("leapfrog steps")?;
+        let dt = r.get_f64("dt")?;
+        let seed = r.get_u64("seed")?;
+        let trajectory = r.get_u64("trajectory counter")?;
+        let n_hist = r.get_usize("history length")?;
+        let mut history = Vec::with_capacity(n_hist);
+        for _ in 0..n_hist {
+            let dh = r.get_f64("history dh")?;
+            let accepted = r.get_bool("history accepted")?;
+            let plaq = r.get_f64("history plaquette")?;
+            history.push((dh, accepted, plaq));
+        }
+        r.expect_end()?;
+        *self = HmcChain {
+            field: GaugeField { dims, links },
+            beta,
+            steps,
+            dt,
+            seed,
+            trajectory,
+            history,
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +573,52 @@ mod tests {
         }
         assert!(accepted >= 4, "only {accepted}/5 trajectories accepted");
         assert!(plaq < 1.0 && plaq > 0.3, "plaquette {plaq}");
+    }
+
+    #[test]
+    fn chain_snapshot_restore_snapshot_is_byte_identity() {
+        let mut chain = HmcChain::cold([2, 2, 2, 2], 5.5, 4, 0.02, 42);
+        chain.run(3);
+        let snap = chain.snapshot();
+        let mut restored = HmcChain::cold([2, 2, 2, 2], 0.0, 1, 1.0, 0);
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn killed_and_resumed_chain_matches_uninterrupted_run() {
+        let mut reference = HmcChain::cold([2, 2, 2, 2], 5.5, 4, 0.02, 42);
+        reference.run(6);
+
+        // "Kill" after 3 trajectories, resume from the snapshot in a
+        // fresh chain, finish the remaining 3.
+        let mut first_half = HmcChain::cold([2, 2, 2, 2], 5.5, 4, 0.02, 42);
+        first_half.run(3);
+        let snap = first_half.snapshot();
+        drop(first_half);
+        let mut resumed = HmcChain::cold([1, 1, 1, 1], 0.0, 1, 1.0, 0);
+        resumed.restore(&snap).unwrap();
+        resumed.run(3);
+
+        assert_eq!(resumed.history_table(), reference.history_table());
+        assert_eq!(resumed.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn corrupt_chain_snapshot_errors_and_leaves_receiver_untouched() {
+        let mut chain = HmcChain::cold([2, 2, 2, 2], 5.5, 4, 0.02, 7);
+        chain.run(2);
+        let good = chain.snapshot();
+
+        let mut target = HmcChain::cold([2, 2, 2, 2], 5.5, 4, 0.02, 7);
+        target.run(1);
+        let before = target.snapshot();
+
+        let mut flipped = good.clone();
+        flipped[good.len() / 2] ^= 0x10;
+        assert!(target.restore(&flipped).is_err());
+        assert!(target.restore(&good[..good.len() - 3]).is_err());
+        assert_eq!(target.snapshot(), before, "failed restore must not mutate");
     }
 
     #[test]

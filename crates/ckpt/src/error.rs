@@ -1,0 +1,86 @@
+//! Typed errors for corrupt or mismatched checkpoint bytes.
+
+use std::fmt;
+
+/// Why a snapshot could not be opened or decoded.
+///
+/// Every failure mode of the envelope and of component payload decoding
+/// maps onto one of these variants; no code path panics on untrusted
+/// bytes. `sched` catches these and falls back to restart-from-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// Fewer bytes than a field needs — the snapshot was cut short.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        what: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// The leading magic is not `b"JBCK"`.
+    BadMagic,
+    /// The envelope declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u16,
+    },
+    /// The envelope is a valid snapshot of a *different* component.
+    WrongKind {
+        /// Kind the caller expected.
+        expected: String,
+        /// Kind found in the envelope.
+        found: String,
+    },
+    /// The FNV-1a checksum over the envelope does not match.
+    ChecksumMismatch {
+        /// Checksum recomputed from the bytes.
+        expected: u64,
+        /// Checksum stored in the envelope.
+        found: u64,
+    },
+    /// A field decoded but its value is impossible (bad UTF-8, an enum
+    /// discriminant out of range, a count that contradicts a length…).
+    Malformed {
+        /// What was being decoded.
+        what: String,
+    },
+    /// Decoding finished with unconsumed bytes left over.
+    TrailingBytes {
+        /// How many bytes were never consumed.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated { what, needed, have } => {
+                write!(
+                    f,
+                    "truncated snapshot: {what} needs {needed} bytes, {have} available"
+                )
+            }
+            CkptError::BadMagic => write!(f, "bad snapshot magic (expected JBCK)"),
+            CkptError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot format version {found}")
+            }
+            CkptError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "snapshot kind mismatch: expected {expected:?}, found {found:?}"
+                )
+            }
+            CkptError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "snapshot checksum mismatch: computed {expected:#018x}, stored {found:#018x}"
+            ),
+            CkptError::Malformed { what } => write!(f, "malformed snapshot field: {what}"),
+            CkptError::TrailingBytes { extra } => {
+                write!(f, "snapshot has {extra} trailing bytes after decoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}

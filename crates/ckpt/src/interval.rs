@@ -1,0 +1,73 @@
+//! Optimal checkpoint-interval formulas (Young 1974, Daly 2006).
+//!
+//! With checkpoint cost `C` and node mean time between failures `M`,
+//! writing checkpoints too often wastes time on I/O while writing them
+//! too rarely loses work to each failure. Young's first-order optimum
+//! balances the two; Daly's higher-order expansion corrects it when `C`
+//! is not small against `M`. The `scaling::ckpt` study sweeps intervals
+//! around these predictions and tabulates the measured makespans.
+
+/// Young's first-order optimal checkpoint interval: `sqrt(2 C M)`.
+///
+/// `cost_s` is the time to write one checkpoint; `mtbf_s` the mean time
+/// between failures of the job's allocation. Both must be positive.
+pub fn young_interval(cost_s: f64, mtbf_s: f64) -> f64 {
+    assert!(
+        cost_s > 0.0 && mtbf_s > 0.0,
+        "cost and MTBF must be positive"
+    );
+    (2.0 * cost_s * mtbf_s).sqrt()
+}
+
+/// Daly's higher-order optimal checkpoint interval.
+///
+/// For `cost_s < 2 * mtbf_s` this is Young's value times a perturbation
+/// series in `sqrt(cost / 2 mtbf)`, minus the checkpoint cost itself;
+/// beyond that regime checkpointing cannot pay for itself within one
+/// failure period and the interval saturates at the MTBF.
+pub fn daly_interval(cost_s: f64, mtbf_s: f64) -> f64 {
+    assert!(
+        cost_s > 0.0 && mtbf_s > 0.0,
+        "cost and MTBF must be positive"
+    );
+    if cost_s < 2.0 * mtbf_s {
+        let x = (cost_s / (2.0 * mtbf_s)).sqrt();
+        (2.0 * cost_s * mtbf_s).sqrt() * (1.0 + x / 3.0 + x * x / 9.0) - cost_s
+    } else {
+        mtbf_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_matches_closed_form() {
+        assert!((young_interval(2.0, 100.0) - 20.0).abs() < 1e-12);
+        assert!((young_interval(0.5, 3600.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn daly_approaches_young_for_cheap_checkpoints() {
+        // As C/M → 0 the correction terms vanish.
+        let c = 1e-6;
+        let m = 1e4;
+        let y = young_interval(c, m);
+        let d = daly_interval(c, m);
+        assert!((d - y).abs() / y < 1e-3);
+    }
+
+    #[test]
+    fn daly_saturates_at_mtbf() {
+        assert_eq!(daly_interval(500.0, 100.0), 100.0);
+    }
+
+    #[test]
+    fn daly_exceeds_young_minus_cost_in_normal_regime() {
+        // The positive series terms mean Daly > Young − C.
+        let (c, m) = (5.0, 1000.0);
+        assert!(daly_interval(c, m) > young_interval(c, m) - c);
+        assert!(daly_interval(c, m) < m);
+    }
+}

@@ -7,6 +7,9 @@ use jubench_kernels::rng::{rank_rng, DetRng};
 /// consumer of the plan seed.
 const DROP_STREAM: u64 = 0xD20F_FA17_5EED_0001;
 
+/// Stream-family tag for the periodic-drain arrival and victim draws.
+const DRAIN_STREAM: u64 = 0xD2A1_4FA1_5EED_0002;
+
 /// One injected fault. Link faults apply to the unordered rank pair
 /// `{a, b}`; message drops are directional (`from → to`); node and crash
 /// faults name a node or rank directly.
@@ -93,6 +96,43 @@ impl FaultPlan {
             let j = rng.gen_range(i..pool.len());
             pool.swap(i, j);
             plan = plan.with_slow_node(pool[i], factor);
+        }
+        plan
+    }
+
+    /// A plan of recurring node outages: failure events arrive with mean
+    /// spacing `mtbf_s` (uniform seeded jitter of ±25 %), each taking a
+    /// deterministically drawn node out of service — a slow-node window
+    /// of `factor` lasting `drain_s` — until `horizon_s`. A failure
+    /// drawn while its victim is already down is skipped, so windows on
+    /// one node never overlap. Identical arguments reproduce an
+    /// identical plan; the batch scheduler reads each window as a drain
+    /// that preempts the jobs on the node.
+    pub fn periodic_drains(
+        seed: u64,
+        nodes: u32,
+        mtbf_s: f64,
+        drain_s: f64,
+        horizon_s: f64,
+        factor: f64,
+    ) -> Self {
+        assert!(nodes > 0, "drains need at least one node to hit");
+        assert!(mtbf_s > 0.0 && drain_s > 0.0 && factor >= 1.0);
+        let mut rng = rank_rng(seed ^ DRAIN_STREAM, u32::MAX);
+        let mut down_until = vec![0.0f64; nodes as usize];
+        let mut plan = FaultPlan::new(seed);
+        let mut t = 0.0;
+        loop {
+            t += mtbf_s * (0.75 + 0.5 * rng.gen_f64());
+            if t >= horizon_s {
+                break;
+            }
+            let node = rng.gen_range(0..nodes as usize);
+            if t < down_until[node] {
+                continue;
+            }
+            down_until[node] = t + drain_s;
+            plan = plan.with_slow_node_window(node as u32, factor, t, t + drain_s);
         }
         plan
     }
@@ -409,6 +449,58 @@ mod tests {
         assert!(none.is_empty());
         let other = FaultPlan::random_stragglers(10, 16, 0.25, 4.0);
         assert_eq!(other.slow_nodes().len(), 4);
+    }
+
+    #[test]
+    fn periodic_drains_are_reproducible_and_bounded() {
+        let a = FaultPlan::periodic_drains(11, 8, 5.0, 0.5, 100.0, 4.0);
+        let b = FaultPlan::periodic_drains(11, 8, 5.0, 0.5, 100.0, 4.0);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        for f in a.faults() {
+            match *f {
+                Fault::SlowNode {
+                    node,
+                    factor,
+                    from_s,
+                    until_s,
+                } => {
+                    assert!(node < 8);
+                    assert_eq!(factor, 4.0);
+                    assert!(from_s > 0.0 && from_s < 100.0);
+                    assert!((until_s - from_s - 0.5).abs() < 1e-12);
+                }
+                ref other => panic!("unexpected fault {other:?}"),
+            }
+        }
+        // ~100/5 arrivals, each within ±25 % of the MTBF spacing.
+        let n = a.faults().len();
+        assert!((10..=30).contains(&n), "{n} drains");
+    }
+
+    #[test]
+    fn periodic_drains_never_overlap_per_node() {
+        // A tight MTBF on one node forces the skip path.
+        let p = FaultPlan::periodic_drains(3, 1, 0.1, 2.0, 50.0, 2.0);
+        let mut windows: Vec<(f64, f64)> = p
+            .faults()
+            .iter()
+            .map(|f| match *f {
+                Fault::SlowNode {
+                    from_s, until_s, ..
+                } => (from_s, until_s),
+                ref other => panic!("unexpected fault {other:?}"),
+            })
+            .collect();
+        windows.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in windows.windows(2) {
+            assert!(w[1].0 >= w[0].1, "{:?} overlaps {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn periodic_drains_past_the_horizon_are_empty() {
+        assert!(FaultPlan::periodic_drains(7, 4, 10.0, 1.0, 5.0, 2.0).is_empty());
     }
 
     #[test]

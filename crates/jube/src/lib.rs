@@ -23,6 +23,7 @@
 //!   including the FOM.
 
 pub mod archive;
+pub mod checkpoint;
 pub mod error;
 pub mod params;
 pub mod platform;
@@ -31,6 +32,7 @@ pub mod table;
 pub mod workflow;
 
 pub use archive::{fnv1a64, verify_download, Archive};
+pub use checkpoint::{CompletedStep, WorkflowCheckpoint};
 pub use error::JubeError;
 pub use params::{ParameterSet, ResolvedParams};
 pub use platform::Platform;

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use jubench_trace::{EventKind, StepPhase, TraceEvent, TraceSink, WORKFLOW_NODE};
 
+use crate::checkpoint::{CompletedStep, WorkflowCheckpoint};
 use crate::error::JubeError;
 use crate::params::{ParameterSet, ResolvedParams};
 use crate::step::{Step, StepContext, StepOutput};
@@ -81,6 +82,9 @@ pub struct Workflow {
     steps: Vec<Step>,
     /// Opt-in observability: step lifecycle events are recorded here.
     sink: Option<Arc<dyn TraceSink>>,
+    /// Opt-in checkpoint/resume: completed steps are recorded here and
+    /// replayed (not re-executed) by subsequent `execute` calls.
+    checkpoint: Option<Arc<WorkflowCheckpoint>>,
 }
 
 impl Workflow {
@@ -100,6 +104,17 @@ impl Workflow {
     /// workpackage and step. Without a sink the hooks are no-ops.
     pub fn with_recorder(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Attach a checkpoint store. Steps already recorded in the store
+    /// are skipped on execution and their outputs, attempt counts, and
+    /// trace phases replayed from the record, so resuming an aborted
+    /// run produces result tables and traces byte-identical to an
+    /// uninterrupted one. Completed steps of *this* run are recorded
+    /// into the store as they finish.
+    pub fn with_checkpoint(mut self, store: Arc<WorkflowCheckpoint>) -> Self {
+        self.checkpoint = Some(store);
         self
     }
 
@@ -241,11 +256,24 @@ impl Workflow {
         let mut outputs: BTreeMap<String, StepOutput> = BTreeMap::new();
         let mut aborted: Option<JubeError> = None;
 
+        // A level-local step outcome: either replayed from the attached
+        // checkpoint store, or freshly executed by the retry loop.
+        enum Outcome {
+            Replayed(CompletedStep),
+            Fresh(u32, Result<StepOutput, JubeError>),
+        }
+
         'levels: for level in levels {
             // Run the whole level against the outputs snapshot of the
-            // lower levels; each step runs its own retry loop.
+            // lower levels; each step runs its own retry loop. Steps
+            // recorded in the checkpoint store skip execution entirely.
             let attempts = pool.par_map_indexed(level.len(), |i| {
                 let step = level[i];
+                if let Some(store) = self.checkpoint.as_deref() {
+                    if let Some(done) = store.lookup(wp, &step.name) {
+                        return Outcome::Replayed(done);
+                    }
+                }
                 let mut attempt = 0u32;
                 loop {
                     attempt += 1;
@@ -254,45 +282,91 @@ impl Workflow {
                         outputs: &outputs,
                     };
                     match step.run(&ctx) {
-                        Ok(out) => break (attempt, Ok(out)),
-                        Err(e) if attempt >= step.retry.max_attempts => break (attempt, Err(e)),
+                        Ok(out) => break Outcome::Fresh(attempt, Ok(out)),
+                        Err(e) if attempt >= step.retry.max_attempts => {
+                            break Outcome::Fresh(attempt, Err(e))
+                        }
                         Err(_) => {}
                     }
                 }
             });
             // Deterministic merge + emission, in level declaration order:
             // every failed attempt short of the budget is a `step-retry`
-            // phase, a success an `step-execute` phase.
-            for (step, (attempt, result)) in level.iter().zip(attempts) {
+            // phase, a success an `step-execute` phase. Replayed steps
+            // re-emit the phases their original execution produced.
+            for (step, outcome) in level.iter().zip(attempts) {
                 if !step.depends.is_empty() {
                     tracer.emit(&step.name, StepPhase::DependencyWait);
                 }
-                for _ in 1..attempt {
-                    tracer.emit(&step.name, StepPhase::Retry);
-                }
-                match result {
-                    Ok(mut out) => {
-                        tracer.emit(&step.name, StepPhase::Execute);
-                        if step.retry.max_attempts > 1 {
-                            out.insert(format!("{}.attempts", step.name), attempt.to_string());
+                match outcome {
+                    Outcome::Replayed(done) => {
+                        for _ in 1..done.attempt {
+                            tracer.emit(&step.name, StepPhase::Retry);
                         }
-                        outputs.insert(step.name.clone(), out);
+                        if done.succeeded {
+                            tracer.emit(&step.name, StepPhase::Execute);
+                        }
+                        outputs.insert(step.name.clone(), done.outputs);
                     }
-                    Err(e) => match step.retry.on_exhaustion {
-                        jubench_faults::OnExhaustion::Abort => {
-                            aborted = Some(e);
-                            break 'levels;
+                    Outcome::Fresh(attempt, result) => {
+                        for _ in 1..attempt {
+                            tracer.emit(&step.name, StepPhase::Retry);
                         }
-                        jubench_faults::OnExhaustion::Continue => {
-                            // Record the failure in the result table and
-                            // keep the workpackage going: dependent steps
-                            // see an output map with only the failure keys.
-                            let mut out = StepOutput::new();
-                            out.insert(format!("{}.failed", step.name), e.to_string());
-                            out.insert(format!("{}.attempts", step.name), attempt.to_string());
-                            outputs.insert(step.name.clone(), out);
+                        match result {
+                            Ok(mut out) => {
+                                tracer.emit(&step.name, StepPhase::Execute);
+                                if step.retry.max_attempts > 1 {
+                                    out.insert(
+                                        format!("{}.attempts", step.name),
+                                        attempt.to_string(),
+                                    );
+                                }
+                                if let Some(store) = self.checkpoint.as_deref() {
+                                    store.record(
+                                        wp,
+                                        &step.name,
+                                        CompletedStep {
+                                            attempt,
+                                            succeeded: true,
+                                            outputs: out.clone(),
+                                        },
+                                    );
+                                }
+                                outputs.insert(step.name.clone(), out);
+                            }
+                            Err(e) => match step.retry.on_exhaustion {
+                                jubench_faults::OnExhaustion::Abort => {
+                                    // Deliberately not recorded: the
+                                    // aborting step re-executes on resume.
+                                    aborted = Some(e);
+                                    break 'levels;
+                                }
+                                jubench_faults::OnExhaustion::Continue => {
+                                    // Record the failure in the result table and
+                                    // keep the workpackage going: dependent steps
+                                    // see an output map with only the failure keys.
+                                    let mut out = StepOutput::new();
+                                    out.insert(format!("{}.failed", step.name), e.to_string());
+                                    out.insert(
+                                        format!("{}.attempts", step.name),
+                                        attempt.to_string(),
+                                    );
+                                    if let Some(store) = self.checkpoint.as_deref() {
+                                        store.record(
+                                            wp,
+                                            &step.name,
+                                            CompletedStep {
+                                                attempt,
+                                                succeeded: false,
+                                                outputs: out.clone(),
+                                            },
+                                        );
+                                    }
+                                    outputs.insert(step.name.clone(), out);
+                                }
+                            },
                         }
-                    },
+                    }
                 }
             }
         }
@@ -543,6 +617,91 @@ mod tests {
             .unwrap()
             .contains("always down"));
         assert_eq!(results[0].value("saw_failure"), Some("true"));
+    }
+
+    #[test]
+    fn resumed_workflow_skips_completed_steps_and_matches_reference() {
+        use crate::checkpoint::WorkflowCheckpoint;
+        use jubench_ckpt::Checkpointable;
+        use jubench_trace::Recorder;
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        // The artifact under comparison: results + trace of a run.
+        let artifact = |wf: &Workflow, rec: &Recorder| -> String {
+            let results = wf.execute(&[]).unwrap();
+            let table: String = results
+                .iter()
+                .map(|r| {
+                    format!(
+                        "nodes={} out={}\n",
+                        r.value("nodes").unwrap(),
+                        r.value("out").unwrap()
+                    )
+                })
+                .collect();
+            let events: Vec<String> = rec
+                .take_events()
+                .iter()
+                .map(|e| format!("{:?}", e))
+                .collect();
+            format!("{table}{}", events.join("\n"))
+        };
+        let build = |compile_runs: Arc<AtomicU32>, fail_once: bool| -> Workflow {
+            let mut wf = Workflow::new();
+            wf.params.set_list("nodes", ["2", "4"]);
+            wf.add_step(Step::new("compile", move |_| {
+                compile_runs.fetch_add(1, Ordering::SeqCst);
+                Ok(crate::step::output1("binary", "bench.x"))
+            }));
+            let failed = Arc::new(AtomicU32::new(0));
+            wf.add_step(
+                Step::new("execute", move |ctx| {
+                    if fail_once && failed.fetch_add(1, Ordering::SeqCst) == 0 {
+                        Err("node died".into())
+                    } else {
+                        Ok(crate::step::output1(
+                            "out",
+                            ctx.param("nodes").unwrap().to_string(),
+                        ))
+                    }
+                })
+                .after("compile"),
+            );
+            wf
+        };
+
+        // Reference: uninterrupted run, no failures.
+        let ref_rec = Arc::new(Recorder::new());
+        let ref_runs = Arc::new(AtomicU32::new(0));
+        let reference = artifact(
+            &build(ref_runs.clone(), false).with_recorder(ref_rec.clone()),
+            &ref_rec,
+        );
+
+        // First run dies in one workpackage's execute step; the store
+        // keeps what completed.
+        let store = Arc::new(WorkflowCheckpoint::new());
+        let crash_runs = Arc::new(AtomicU32::new(0));
+        let wf = build(crash_runs.clone(), true).with_checkpoint(store.clone());
+        assert!(wf.execute(&[]).is_err());
+        assert!(!store.is_empty());
+
+        // Simulate process death: persist the store, restore into a
+        // fresh one, and resume with a traced workflow.
+        let snap = store.snapshot();
+        let mut restored = WorkflowCheckpoint::new();
+        restored.restore(&snap).unwrap();
+        let res_rec = Arc::new(Recorder::new());
+        let res_runs = Arc::new(AtomicU32::new(0));
+        let resumed_wf = build(res_runs.clone(), false)
+            .with_recorder(res_rec.clone())
+            .with_checkpoint(Arc::new(restored));
+        let resumed = artifact(&resumed_wf, &res_rec);
+
+        assert_eq!(resumed, reference, "resume must be byte-identical");
+        // Both compile steps were replayed, never re-run.
+        assert_eq!(res_runs.load(Ordering::SeqCst), 0);
+        assert_eq!(ref_runs.load(Ordering::SeqCst), 2);
     }
 
     #[test]

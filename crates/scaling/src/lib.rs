@@ -19,9 +19,14 @@
 //! - [`campaign`]: the batch-scheduling study — the full suite as a
 //!   campaign of jobs, swept over placement policy × machine size to
 //!   show what cell-aware placement buys in makespan and wait times.
+//! - [`ckpt`]: the checkpoint-interval study — a campaign under
+//!   recurring node drains, swept over checkpoint interval × failure
+//!   rate, with the Young/Daly optimal-interval predictions alongside
+//!   the measured makespans.
 
 pub mod ablations;
 pub mod campaign;
+pub mod ckpt;
 pub mod descriptions;
 pub mod registry;
 pub mod resilience;
@@ -32,6 +37,7 @@ pub mod weak;
 
 pub use ablations::{alltoall_algorithms, juqcs_comm_efficiency, overlap_ablation};
 pub use campaign::{campaign_table, CampaignPoint, CampaignTable};
+pub use ckpt::{ckpt_table, CkptPoint, CkptTable};
 pub use descriptions::{describe, describe_all};
 pub use registry::full_registry;
 pub use resilience::{resilience_table, ResiliencePoint, ResilienceTable};

@@ -2,6 +2,21 @@
 
 use jubench_faults::RetryPolicy;
 
+/// Checkpointing behaviour of a job: write a checkpoint every
+/// `interval_s` seconds of (placement-inflated) work, each write costing
+/// `cost_s` of wall time. A preempted job restarts from its last
+/// completed checkpoint instead of from zero, so the work lost to a
+/// drain or crash is at most one interval plus the progress into the
+/// interrupted write. See [`jubench_ckpt::young_interval`] /
+/// [`jubench_ckpt::daly_interval`] for choosing `interval_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CkptSpec {
+    /// Work between consecutive checkpoint writes, wall seconds.
+    pub interval_s: f64,
+    /// Wall time each checkpoint write costs.
+    pub cost_s: f64,
+}
+
 /// One batch job: a node request plus a cost model. `service_s` is the
 /// job's fault-free runtime on an ideal (single-cell, congestion-free)
 /// allocation; the placement the scheduler actually grants inflates the
@@ -28,6 +43,9 @@ pub struct Job {
     /// preemption consumes one attempt and charges the policy's backoff
     /// before the job becomes eligible again.
     pub retry: RetryPolicy,
+    /// Checkpointing spec, when the job checkpoints. `None` (the
+    /// default) means a preempted job restarts from zero.
+    pub ckpt: Option<CkptSpec>,
 }
 
 impl Job {
@@ -45,6 +63,7 @@ impl Job {
             priority: 0,
             submit_s: 0.0,
             retry: RetryPolicy::new(3, 1.0),
+            ckpt: None,
         }
     }
 
@@ -69,6 +88,14 @@ impl Job {
         self.retry = retry;
         self
     }
+
+    /// Checkpoint every `interval_s` of work at `cost_s` per write.
+    pub fn with_checkpointing(mut self, interval_s: f64, cost_s: f64) -> Self {
+        assert!(interval_s > 0.0, "checkpoint interval must be positive");
+        assert!(cost_s >= 0.0, "checkpoint cost cannot be negative");
+        self.ckpt = Some(CkptSpec { interval_s, cost_s });
+        self
+    }
 }
 
 #[cfg(test)]
@@ -81,13 +108,32 @@ mod tests {
             .with_comm_fraction(0.4)
             .with_priority(2)
             .with_submit(10.0)
-            .with_retry(RetryPolicy::new(5, 0.5));
+            .with_retry(RetryPolicy::new(5, 0.5))
+            .with_checkpointing(0.5, 0.05);
         assert_eq!(j.id, 3);
         assert_eq!(j.nodes, 8);
         assert_eq!(j.comm_fraction, 0.4);
         assert_eq!(j.priority, 2);
         assert_eq!(j.submit_s, 10.0);
         assert_eq!(j.retry.max_attempts, 5);
+        assert_eq!(
+            j.ckpt,
+            Some(CkptSpec {
+                interval_s: 0.5,
+                cost_s: 0.05
+            })
+        );
+    }
+
+    #[test]
+    fn checkpointing_defaults_to_off() {
+        assert_eq!(Job::new(0, "x", 1, 1.0).ckpt, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_ckpt_interval_rejected() {
+        let _ = Job::new(0, "x", 1, 1.0).with_checkpointing(0.0, 0.1);
     }
 
     #[test]

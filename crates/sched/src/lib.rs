@@ -52,9 +52,10 @@ pub mod scheduler;
 pub mod submit;
 
 pub use campaign::{category_priority, registry_jobs, run_campaign};
-pub use job::Job;
+pub use job::{CkptSpec, Job};
 pub use placement::{Allocation, PlacementPolicy};
 pub use scheduler::{
-    Attempt, JobOutcome, JobRecord, QueuePolicy, Schedule, Scheduler, SchedulerConfig, UtilSegment,
+    Attempt, CampaignState, JobOutcome, JobRecord, QueuePolicy, Schedule, Scheduler,
+    SchedulerConfig, UtilSegment,
 };
 pub use submit::{submit_step, SubmitQueue};

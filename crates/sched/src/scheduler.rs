@@ -24,14 +24,31 @@
 //! jobs requeue under their [`RetryPolicy`](jubench_faults::RetryPolicy):
 //! each preemption consumes an attempt and charges the policy's backoff
 //! before the job is eligible again; exhaustion fails the job.
+//!
+//! **Checkpointing.** A job with a [`CkptSpec`] writes a checkpoint
+//! every `interval_s` of (placement-inflated) work at `cost_s` wall time
+//! per write. A preempted checkpointing job banks the work covered by
+//! its completed checkpoints ([`CampaignState`] tracks the credit as
+//! ideal service time), so its requeued attempt only redoes the interval
+//! since the last write — instead of the whole attempt.
+//!
+//! **Snapshot/resume.** The event loop runs over an explicit
+//! [`CampaignState`] which implements
+//! [`Checkpointable`]:
+//! [`Scheduler::begin`] / [`Scheduler::advance`] / [`Scheduler::finish`]
+//! expose the loop stepwise, so a campaign can be stopped at any virtual
+//! time, snapshotted, restored (even in another process) and resumed to
+//! a bit-identical [`Schedule::log`]. [`Scheduler::resume_or_restart`]
+//! degrades a corrupt snapshot into a restart from zero.
 
 use std::collections::BTreeSet;
 
+use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
 use jubench_cluster::{Machine, NetModel};
 use jubench_faults::{Fault, FaultPlan};
 use jubench_trace::{EventKind, SchedPhase, TraceEvent, TraceSink, SCHED_CELL_TRACK_BASE};
 
-use crate::job::Job;
+use crate::job::{CkptSpec, Job};
 use crate::placement::{Allocation, PlacementPolicy};
 
 /// Queueing discipline.
@@ -101,6 +118,17 @@ pub struct Attempt {
     pub slowdown: f64,
     /// True when a drain or crash cut the attempt short.
     pub preempted: bool,
+    /// Checkpoint writes completed during the attempt: the planned count
+    /// for an attempt that ran to completion, the actual count when a
+    /// preemption cut it short. Zero for non-checkpointing jobs.
+    pub ckpts: u32,
+    /// Ideal service time the attempt started with already banked from
+    /// earlier attempts' checkpoints. Zero on a fresh start.
+    pub resumed_service_s: f64,
+    /// Wall-time work lost when the attempt was preempted: progress
+    /// since the last completed checkpoint (for a non-checkpointing job,
+    /// the whole attempt). Zero for attempts that ran to completion.
+    pub lost_s: f64,
 }
 
 /// Everything the scheduler decided about one job.
@@ -119,6 +147,8 @@ pub struct JobRecord {
     pub outcome: JobOutcome,
     /// Completion time of the final attempt, when the job finished.
     pub end_s: Option<f64>,
+    /// The job's checkpointing spec, copied from [`Job::ckpt`].
+    pub ckpt: Option<CkptSpec>,
 }
 
 impl JobRecord {
@@ -297,7 +327,12 @@ impl Schedule {
     /// synthetic process per cell ([`SCHED_CELL_TRACK_BASE`]`+ cell`),
     /// one thread per job. The Submit span covers the queue wait, each
     /// attempt is a Start span, preemptions and completion are markers.
+    /// Checkpointing jobs additionally carry a
+    /// [`CkptPhase`](jubench_trace::CkptPhase) Write span per completed
+    /// write and a Restore marker (with the preceding attempt's lost
+    /// work) at each restart that resumed from banked progress.
     pub fn emit(&self, sink: &dyn TraceSink) {
+        use jubench_trace::CkptPhase;
         for r in &self.records {
             let mut seq: u64 = 0;
             let home = r
@@ -321,6 +356,7 @@ impl Schedule {
                 kind: kind(SchedPhase::Submit, 0),
             });
             seq += 1;
+            let mut prev_lost = 0.0;
             for a in &r.attempts {
                 sink.record(TraceEvent {
                     rank: r.id,
@@ -331,6 +367,47 @@ impl Schedule {
                     kind: kind(SchedPhase::Start, a.cells),
                 });
                 seq += 1;
+                if let Some(spec) = r.ckpt {
+                    if a.resumed_service_s > 0.0 {
+                        sink.record(TraceEvent {
+                            rank: r.id,
+                            node: SCHED_CELL_TRACK_BASE + a.cell,
+                            seq,
+                            t_start: a.start_s,
+                            t_end: a.start_s,
+                            kind: EventKind::Ckpt {
+                                job: r.id,
+                                name: r.name.clone(),
+                                phase: CkptPhase::Restore,
+                                cost_s: 0.0,
+                                lost_s: prev_lost,
+                            },
+                        });
+                        seq += 1;
+                    }
+                    // Write `j` lands after `j` intervals of work and
+                    // `j − 1` earlier writes.
+                    for j in 1..=a.ckpts as u64 {
+                        let w_start =
+                            a.start_s + j as f64 * spec.interval_s + (j - 1) as f64 * spec.cost_s;
+                        sink.record(TraceEvent {
+                            rank: r.id,
+                            node: SCHED_CELL_TRACK_BASE + a.cell,
+                            seq,
+                            t_start: w_start,
+                            t_end: w_start + spec.cost_s,
+                            kind: EventKind::Ckpt {
+                                job: r.id,
+                                name: r.name.clone(),
+                                phase: CkptPhase::Write,
+                                cost_s: spec.cost_s,
+                                lost_s: 0.0,
+                            },
+                        });
+                        seq += 1;
+                    }
+                }
+                prev_lost = a.lost_s;
                 if a.preempted {
                     sink.record(TraceEvent {
                         rank: r.id,
@@ -433,6 +510,308 @@ struct Running {
     attempt_index: usize,
 }
 
+/// The scheduler's complete mid-campaign state: everything the event
+/// loop needs to continue from an arbitrary stop point. Produced by
+/// [`Scheduler::begin`], stepped by [`Scheduler::advance`], turned into
+/// a [`Schedule`] by [`Scheduler::finish`].
+///
+/// Implements [`Checkpointable`]: a campaign stopped at any virtual
+/// time, snapshotted, restored and driven to completion yields records
+/// and a decision log byte-identical to the uninterrupted run. The
+/// snapshot does *not* embed the job set or fault plan — the caller
+/// passes the same ones back to [`Scheduler::advance`]; [`Scheduler::resume`]
+/// cross-checks the job set against the snapshot.
+pub struct CampaignState {
+    t: f64,
+    free: BTreeSet<u32>,
+    down: BTreeSet<u32>,
+    crashed: BTreeSet<u32>,
+    running: Vec<Running>,
+    pending: Vec<Pending>,
+    submitted: Vec<bool>,
+    /// Cursors into the plan's sorted drain-start / drain-end / crash
+    /// event lists (recomputed deterministically from the plan).
+    di: usize,
+    ei: usize,
+    ci: usize,
+    /// Ideal service time each job has banked through checkpoints.
+    service_done: Vec<f64>,
+    records: Vec<JobRecord>,
+    log: Vec<String>,
+    done: bool,
+}
+
+impl CampaignState {
+    /// Current virtual time: the instant of the last processed event.
+    pub fn now(&self) -> f64 {
+        self.t
+    }
+
+    /// True once every job has left the system and no event remains.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The decision log accumulated so far.
+    pub fn log(&self) -> &[String] {
+        &self.log
+    }
+}
+
+fn put_node_set(w: &mut SnapshotWriter, set: &BTreeSet<u32>) {
+    w.put_usize(set.len());
+    for &n in set {
+        w.put_u32(n);
+    }
+}
+
+fn get_node_set(r: &mut SnapshotReader, what: &'static str) -> Result<BTreeSet<u32>, CkptError> {
+    let n = r.get_usize(what)?;
+    let mut set = BTreeSet::new();
+    for _ in 0..n {
+        set.insert(r.get_u32(what)?);
+    }
+    Ok(set)
+}
+
+impl Checkpointable for CampaignState {
+    fn kind(&self) -> &'static str {
+        "sched-campaign"
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.t);
+        put_node_set(&mut w, &self.free);
+        put_node_set(&mut w, &self.down);
+        put_node_set(&mut w, &self.crashed);
+        w.put_usize(self.running.len());
+        for run in &self.running {
+            w.put_usize(run.idx);
+            w.put_usize(run.alloc.nodes.len());
+            for &n in &run.alloc.nodes {
+                w.put_u32(n);
+            }
+            w.put_f64(run.end_s);
+            w.put_usize(run.attempt_index);
+        }
+        w.put_usize(self.pending.len());
+        for p in &self.pending {
+            w.put_usize(p.idx);
+            w.put_f64(p.eligible_s);
+            w.put_u32(p.attempt);
+        }
+        w.put_usize(self.submitted.len());
+        for &s in &self.submitted {
+            w.put_bool(s);
+        }
+        w.put_usize(self.di);
+        w.put_usize(self.ei);
+        w.put_usize(self.ci);
+        w.put_usize(self.service_done.len());
+        for &s in &self.service_done {
+            w.put_f64(s);
+        }
+        w.put_usize(self.records.len());
+        for rec in &self.records {
+            w.put_u32(rec.id);
+            w.put_str(&rec.name);
+            w.put_u32(rec.nodes);
+            w.put_u32(rec.priority as u32);
+            w.put_f64(rec.submit_s);
+            w.put_usize(rec.attempts.len());
+            for a in &rec.attempts {
+                w.put_f64(a.start_s);
+                w.put_f64(a.end_s);
+                w.put_u32(a.cell);
+                w.put_u32(a.cells);
+                w.put_u32(a.span);
+                w.put_f64(a.slowdown);
+                w.put_bool(a.preempted);
+                w.put_u32(a.ckpts);
+                w.put_f64(a.resumed_service_s);
+                w.put_f64(a.lost_s);
+            }
+            w.put_usize(rec.allocation.len());
+            for &n in &rec.allocation {
+                w.put_u32(n);
+            }
+            w.put_u8(match rec.outcome {
+                JobOutcome::Finished => 0,
+                JobOutcome::Failed => 1,
+            });
+            w.put_bool(rec.end_s.is_some());
+            w.put_f64(rec.end_s.unwrap_or(0.0));
+            w.put_bool(rec.ckpt.is_some());
+            let spec = rec.ckpt.unwrap_or(CkptSpec {
+                interval_s: 0.0,
+                cost_s: 0.0,
+            });
+            w.put_f64(spec.interval_s);
+            w.put_f64(spec.cost_s);
+        }
+        w.put_usize(self.log.len());
+        for line in &self.log {
+            w.put_str(line);
+        }
+        w.put_bool(self.done);
+        seal(self.kind(), &w.finish())
+    }
+
+    fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError> {
+        let payload = open("sched-campaign", bytes)?;
+        let mut r = SnapshotReader::new(&payload);
+        let t = r.get_f64("virtual time")?;
+        let free = get_node_set(&mut r, "free node set")?;
+        let down = get_node_set(&mut r, "down node set")?;
+        let crashed = get_node_set(&mut r, "crashed node set")?;
+        let n_running = r.get_usize("running count")?;
+        let mut running = Vec::with_capacity(n_running);
+        for _ in 0..n_running {
+            let idx = r.get_usize("running job index")?;
+            let n_nodes = r.get_usize("allocation length")?;
+            let mut nodes = Vec::with_capacity(n_nodes);
+            for _ in 0..n_nodes {
+                nodes.push(r.get_u32("allocated node")?);
+            }
+            running.push(Running {
+                idx,
+                alloc: Allocation { nodes },
+                end_s: r.get_f64("running end time")?,
+                attempt_index: r.get_usize("running attempt index")?,
+            });
+        }
+        let n_pending = r.get_usize("pending count")?;
+        let mut pending = Vec::with_capacity(n_pending);
+        for _ in 0..n_pending {
+            pending.push(Pending {
+                idx: r.get_usize("pending job index")?,
+                eligible_s: r.get_f64("pending eligible time")?,
+                attempt: r.get_u32("pending attempt")?,
+            });
+        }
+        let n_submitted = r.get_usize("submitted count")?;
+        let mut submitted = Vec::with_capacity(n_submitted);
+        for _ in 0..n_submitted {
+            submitted.push(r.get_bool("submitted flag")?);
+        }
+        let di = r.get_usize("drain-start cursor")?;
+        let ei = r.get_usize("drain-end cursor")?;
+        let ci = r.get_usize("crash cursor")?;
+        let n_service = r.get_usize("service-done count")?;
+        let mut service_done = Vec::with_capacity(n_service);
+        for _ in 0..n_service {
+            service_done.push(r.get_f64("service-done credit")?);
+        }
+        let n_records = r.get_usize("record count")?;
+        let mut records = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let id = r.get_u32("job id")?;
+            let name = r.get_str("job name")?;
+            let nodes = r.get_u32("job nodes")?;
+            let priority = r.get_u32("job priority")? as i32;
+            let submit_s = r.get_f64("job submit time")?;
+            let n_attempts = r.get_usize("attempt count")?;
+            let mut attempts = Vec::with_capacity(n_attempts);
+            for _ in 0..n_attempts {
+                attempts.push(Attempt {
+                    start_s: r.get_f64("attempt start")?,
+                    end_s: r.get_f64("attempt end")?,
+                    cell: r.get_u32("attempt cell")?,
+                    cells: r.get_u32("attempt cells")?,
+                    span: r.get_u32("attempt span")?,
+                    slowdown: r.get_f64("attempt slowdown")?,
+                    preempted: r.get_bool("attempt preempted flag")?,
+                    ckpts: r.get_u32("attempt checkpoint count")?,
+                    resumed_service_s: r.get_f64("attempt resumed service")?,
+                    lost_s: r.get_f64("attempt lost work")?,
+                });
+            }
+            let n_alloc = r.get_usize("record allocation length")?;
+            let mut allocation = Vec::with_capacity(n_alloc);
+            for _ in 0..n_alloc {
+                allocation.push(r.get_u32("record allocated node")?);
+            }
+            let outcome = match r.get_u8("job outcome")? {
+                0 => JobOutcome::Finished,
+                1 => JobOutcome::Failed,
+                other => {
+                    return Err(CkptError::Malformed {
+                        what: format!("job outcome tag {other}"),
+                    })
+                }
+            };
+            let has_end = r.get_bool("end-time presence flag")?;
+            let end_val = r.get_f64("end time")?;
+            let has_ckpt = r.get_bool("ckpt-spec presence flag")?;
+            let interval_s = r.get_f64("ckpt interval")?;
+            let cost_s = r.get_f64("ckpt cost")?;
+            records.push(JobRecord {
+                id,
+                name,
+                nodes,
+                priority,
+                submit_s,
+                attempts,
+                allocation,
+                outcome,
+                end_s: has_end.then_some(end_val),
+                ckpt: has_ckpt.then_some(CkptSpec { interval_s, cost_s }),
+            });
+        }
+        let n_log = r.get_usize("log line count")?;
+        let mut log = Vec::with_capacity(n_log);
+        for _ in 0..n_log {
+            log.push(r.get_str("log line")?);
+        }
+        let done = r.get_bool("done flag")?;
+        r.expect_end()?;
+
+        // Structural consistency: indices must address the decoded
+        // records, or a later event-loop step would panic.
+        let n = records.len();
+        if submitted.len() != n || service_done.len() != n {
+            return Err(CkptError::Malformed {
+                what: format!(
+                    "job-count mismatch: {n} records, {} submitted flags, {} service credits",
+                    submitted.len(),
+                    service_done.len()
+                ),
+            });
+        }
+        for run in &running {
+            if run.idx >= n || run.attempt_index >= records[run.idx].attempts.len() {
+                return Err(CkptError::Malformed {
+                    what: format!("running entry addresses job {} out of range", run.idx),
+                });
+            }
+        }
+        if let Some(p) = pending.iter().find(|p| p.idx >= n) {
+            return Err(CkptError::Malformed {
+                what: format!("pending entry addresses job {} out of range", p.idx),
+            });
+        }
+
+        *self = CampaignState {
+            t,
+            free,
+            down,
+            crashed,
+            running,
+            pending,
+            submitted,
+            di,
+            ei,
+            ci,
+            service_done,
+            records,
+            log,
+            done,
+        };
+        Ok(())
+    }
+}
+
 /// Count-based availability profile for conservative-backfill
 /// reservations: free-node count as a piecewise-constant function of
 /// virtual time, relative to "now".
@@ -489,54 +868,56 @@ impl Scheduler {
         }
     }
 
-    /// Actual runtime of `job` on `alloc`: the communication share of its
-    /// service time is inflated by the placement slowdown.
-    fn runtime(&self, job: &Job, alloc: &Allocation) -> f64 {
-        let slow = alloc.slowdown(&self.machine, &self.net);
-        job.service_s * ((1.0 - job.comm_fraction) + job.comm_fraction * slow)
+    /// Checkpoint writes scheduled into `work_dur` of wall-clock work:
+    /// one per full interval, except that no write follows the final
+    /// stretch (the job finishes instead).
+    fn planned_writes(spec: CkptSpec, work_dur: f64) -> u32 {
+        ((work_dur / spec.interval_s).ceil() as u32).saturating_sub(1)
     }
 
-    /// Upper bound on `runtime` over every possible allocation: full
-    /// cross-cell traffic over the whole machine's footprint. Reservation
-    /// durations use this, so actual runs always finish no later than
-    /// reserved — the conservative-backfill guarantee depends on it.
-    fn worst_case_runtime(&self, job: &Job) -> f64 {
+    /// Actual runtime of an attempt that still owes `remaining_s` of
+    /// ideal service on `alloc`, and the checkpoint writes it schedules:
+    /// the communication share of the remaining service is inflated by
+    /// the placement slowdown, and each planned write adds its cost.
+    fn attempt_runtime(&self, job: &Job, alloc: &Allocation, remaining_s: f64) -> (f64, u32) {
+        let slow = alloc.slowdown(&self.machine, &self.net);
+        let work_dur = remaining_s * ((1.0 - job.comm_fraction) + job.comm_fraction * slow);
+        match job.ckpt {
+            Some(spec) => {
+                let writes = Self::planned_writes(spec, work_dur);
+                (work_dur + writes as f64 * spec.cost_s, writes)
+            }
+            None => (work_dur, 0),
+        }
+    }
+
+    /// Upper bound on [`Self::attempt_runtime`] over every possible
+    /// allocation: full cross-cell traffic over the whole machine's
+    /// footprint (plus the checkpoint writes that worst-case work
+    /// schedules). Reservation durations use this, so actual runs always
+    /// finish no later than reserved — the conservative-backfill
+    /// guarantee depends on it.
+    fn worst_case_runtime(&self, job: &Job, remaining_s: f64) -> f64 {
         let congestion = self.net.congestion_factor(self.machine.nodes);
         let penalty =
             (self.net.intra_cell.bandwidth / (self.net.inter_cell.bandwidth * congestion)).max(1.0);
-        job.service_s * ((1.0 - job.comm_fraction) + job.comm_fraction * penalty)
+        let work = remaining_s * ((1.0 - job.comm_fraction) + job.comm_fraction * penalty);
+        match job.ckpt {
+            Some(spec) => work + Self::planned_writes(spec, work) as f64 * spec.cost_s,
+            None => work,
+        }
     }
 
-    /// Run the scheduler over `jobs` under `plan`. See the module docs
-    /// for the fault interpretation and determinism contract.
-    pub fn run(&self, jobs: &[Job], plan: &FaultPlan) -> Schedule {
-        let mut log: Vec<String> = vec![format!(
-            "# sched machine={} nodes={} cells={} policy={} placement={} seed={}",
-            self.machine.name,
-            self.machine.nodes,
-            self.machine.cells(),
-            self.config.policy.label(),
-            self.config.placement.label(),
-            self.config.seed,
-        )];
-        let mut records: Vec<JobRecord> = jobs
-            .iter()
-            .map(|j| JobRecord {
-                id: j.id,
-                name: j.name.clone(),
-                nodes: j.nodes,
-                priority: j.priority,
-                submit_s: j.submit_s,
-                attempts: Vec::new(),
-                allocation: Vec::new(),
-                outcome: JobOutcome::Failed,
-                end_s: None,
-            })
-            .collect();
-
-        // Fault plan → node-granularity capacity events.
-        // Drains: [from, until) windows; crashes: permanent.
-        let mut drain_starts: Vec<(f64, u32, f64)> = Vec::new(); // (from, node, until)
+    /// Sort the plan's node-granularity capacity events: drain-start
+    /// `(from, node, until)`, drain-end `(until, node)`, crash
+    /// `(at, node)` lists, each in `(time, node)` order. Deterministic,
+    /// so [`CampaignState`] can store bare cursors into them.
+    #[allow(clippy::type_complexity)]
+    fn fault_events(
+        &self,
+        plan: &FaultPlan,
+    ) -> (Vec<(f64, u32, f64)>, Vec<(f64, u32)>, Vec<(f64, u32)>) {
+        let mut drain_starts: Vec<(f64, u32, f64)> = Vec::new();
         let mut drain_ends: Vec<(f64, u32)> = Vec::new();
         let mut crashes: Vec<(f64, u32)> = Vec::new();
         for f in plan.faults() {
@@ -563,17 +944,157 @@ impl Scheduler {
         drain_starts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         drain_ends.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         crashes.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        (drain_starts, drain_ends, crashes)
+    }
 
-        let mut free: BTreeSet<u32> = (0..self.machine.nodes).collect();
-        let mut down: BTreeSet<u32> = BTreeSet::new(); // drained or crashed
-        let mut crashed: BTreeSet<u32> = BTreeSet::new();
-        let mut running: Vec<Running> = Vec::new();
-        let mut pending: Vec<Pending> = Vec::new();
-        let mut submitted: Vec<bool> = vec![false; jobs.len()];
-        let (mut di, mut ei, mut ci) = (0usize, 0usize, 0usize);
-        let mut t = 0.0_f64;
+    /// Run the scheduler over `jobs` under `plan`. See the module docs
+    /// for the fault interpretation and determinism contract. Equivalent
+    /// to [`Self::begin`] + [`Self::advance`] to completion +
+    /// [`Self::finish`].
+    pub fn run(&self, jobs: &[Job], plan: &FaultPlan) -> Schedule {
+        let mut state = self.begin(jobs);
+        self.advance(&mut state, jobs, plan, f64::INFINITY);
+        self.finish(state)
+    }
+
+    /// Fresh campaign state for `jobs`: nothing submitted, virtual time
+    /// zero, the log holding only its header line.
+    pub fn begin(&self, jobs: &[Job]) -> CampaignState {
+        CampaignState {
+            t: 0.0,
+            free: (0..self.machine.nodes).collect(),
+            down: BTreeSet::new(), // drained or crashed
+            crashed: BTreeSet::new(),
+            running: Vec::new(),
+            pending: Vec::new(),
+            submitted: vec![false; jobs.len()],
+            di: 0,
+            ei: 0,
+            ci: 0,
+            service_done: vec![0.0; jobs.len()],
+            records: jobs
+                .iter()
+                .map(|j| JobRecord {
+                    id: j.id,
+                    name: j.name.clone(),
+                    nodes: j.nodes,
+                    priority: j.priority,
+                    submit_s: j.submit_s,
+                    attempts: Vec::new(),
+                    allocation: Vec::new(),
+                    outcome: JobOutcome::Failed,
+                    end_s: None,
+                    ckpt: j.ckpt,
+                })
+                .collect(),
+            log: vec![format!(
+                "# sched machine={} nodes={} cells={} policy={} placement={} seed={}",
+                self.machine.name,
+                self.machine.nodes,
+                self.machine.cells(),
+                self.config.policy.label(),
+                self.config.placement.label(),
+                self.config.seed,
+            )],
+            done: false,
+        }
+    }
+
+    /// Restore a campaign snapshot taken by
+    /// [`CampaignState::snapshot`](Checkpointable::snapshot) and verify
+    /// it matches `jobs`. The same jobs and plan must be passed to the
+    /// subsequent [`Self::advance`] calls — the snapshot stores neither.
+    pub fn resume(&self, bytes: &[u8], jobs: &[Job]) -> Result<CampaignState, CkptError> {
+        let mut state = self.begin(jobs);
+        state.restore(bytes)?;
+        if state.records.len() != jobs.len() {
+            return Err(CkptError::Malformed {
+                what: format!(
+                    "snapshot holds {} jobs, campaign has {}",
+                    state.records.len(),
+                    jobs.len()
+                ),
+            });
+        }
+        if let Some((rec, job)) = state
+            .records
+            .iter()
+            .zip(jobs)
+            .find(|(rec, job)| rec.id != job.id || rec.name != job.name)
+        {
+            return Err(CkptError::Malformed {
+                what: format!(
+                    "snapshot job {} ({}) does not match campaign job {} ({})",
+                    rec.id, rec.name, job.id, job.name
+                ),
+            });
+        }
+        if let Some(&n) = state.free.iter().chain(&state.down).max() {
+            if n >= self.machine.nodes {
+                return Err(CkptError::Malformed {
+                    what: format!(
+                        "snapshot node {n} exceeds machine of {}",
+                        self.machine.nodes
+                    ),
+                });
+            }
+        }
+        Ok(state)
+    }
+
+    /// [`Self::resume`], degrading a corrupt or mismatched snapshot into
+    /// a restart from zero: the error comes back alongside the fresh
+    /// state instead of failing the campaign.
+    pub fn resume_or_restart(
+        &self,
+        bytes: &[u8],
+        jobs: &[Job],
+    ) -> (CampaignState, Option<CkptError>) {
+        match self.resume(bytes, jobs) {
+            Ok(state) => (state, None),
+            Err(e) => (self.begin(jobs), Some(e)),
+        }
+    }
+
+    /// Drive the event loop until the next event lies beyond `until_s`
+    /// (or the campaign completes; returns `true` then). The state stops
+    /// with every event at `state.now() ≤ until_s` fully processed, so
+    /// stopping, snapshotting, restoring and continuing is invisible in
+    /// the log: re-entering at the same instant is a no-op by
+    /// construction. `jobs` and `plan` must be the ones the state was
+    /// begun with.
+    pub fn advance(
+        &self,
+        state: &mut CampaignState,
+        jobs: &[Job],
+        plan: &FaultPlan,
+        until_s: f64,
+    ) -> bool {
+        if state.done {
+            return true;
+        }
+        // Fault plan → node-granularity capacity events.
+        // Drains: [from, until) windows; crashes: permanent.
+        let (drain_starts, drain_ends, crashes) = self.fault_events(plan);
+        let CampaignState {
+            t: now,
+            free,
+            down,
+            crashed,
+            running,
+            pending,
+            submitted,
+            di,
+            ei,
+            ci,
+            service_done,
+            records,
+            log,
+            done,
+        } = state;
 
         loop {
+            let t = *now;
             // --- completions at t --------------------------------------
             running.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.idx.cmp(&b.idx)));
             let mut k = 0;
@@ -599,9 +1120,9 @@ impl Scheduler {
 
             // --- capacity transitions at t -----------------------------
             let mut hit: BTreeSet<u32> = BTreeSet::new();
-            while ci < crashes.len() && crashes[ci].0 <= t {
-                let (_, node) = crashes[ci];
-                ci += 1;
+            while *ci < crashes.len() && crashes[*ci].0 <= t {
+                let (_, node) = crashes[*ci];
+                *ci += 1;
                 if crashed.insert(node) {
                     down.insert(node);
                     free.remove(&node);
@@ -609,18 +1130,18 @@ impl Scheduler {
                     log.push(format!("[t={t:.6}] crash node {node}"));
                 }
             }
-            while di < drain_starts.len() && drain_starts[di].0 <= t {
-                let (_, node, until) = drain_starts[di];
-                di += 1;
+            while *di < drain_starts.len() && drain_starts[*di].0 <= t {
+                let (_, node, until) = drain_starts[*di];
+                *di += 1;
                 if !crashed.contains(&node) && down.insert(node) {
                     free.remove(&node);
                     hit.insert(node);
                     log.push(format!("[t={t:.6}] drain node {node} until={until:.6}"));
                 }
             }
-            while ei < drain_ends.len() && drain_ends[ei].0 <= t {
-                let (_, node) = drain_ends[ei];
-                ei += 1;
+            while *ei < drain_ends.len() && drain_ends[*ei].0 <= t {
+                let (_, node) = drain_ends[*ei];
+                *ei += 1;
                 if !crashed.contains(&node) && down.remove(&node) {
                     // The node returns to service unless occupied (it
                     // cannot be: its jobs were preempted at drain start).
@@ -644,6 +1165,34 @@ impl Scheduler {
                         let a = &mut rec.attempts[r.attempt_index];
                         a.end_s = t;
                         a.preempted = true;
+                        let elapsed = t - a.start_s;
+                        a.lost_s = elapsed;
+                        if let Some(spec) = job.ckpt {
+                            // Bank the work covered by completed writes
+                            // (each write lands after a full interval of
+                            // work); only progress past the last write is
+                            // lost. Past the final planned write the job
+                            // computes straight to its end, so the
+                            // in-segment progress is unclamped there.
+                            let slot = spec.interval_s + spec.cost_s;
+                            let k = if slot > 0.0 {
+                                ((elapsed / slot).floor() as u32).min(a.ckpts)
+                            } else {
+                                a.ckpts
+                            };
+                            let banked_work = k as f64 * spec.interval_s;
+                            let into_seg = elapsed - k as f64 * slot;
+                            let done_work = banked_work
+                                + if k < a.ckpts {
+                                    into_seg.clamp(0.0, spec.interval_s)
+                                } else {
+                                    into_seg.max(0.0)
+                                };
+                            a.ckpts = k;
+                            a.lost_s = done_work - banked_work;
+                            let mix = (1.0 - job.comm_fraction) + job.comm_fraction * a.slowdown;
+                            service_done[r.idx] += banked_work / mix;
+                        }
                         let attempt = rec.attempts.len() as u32;
                         if attempt >= job.retry.max_attempts {
                             rec.outcome = JobOutcome::Failed;
@@ -658,13 +1207,24 @@ impl Scheduler {
                                 eligible_s: t + backoff,
                                 attempt,
                             });
-                            log.push(format!(
-                                "[t={:.6}] preempt job {} name={} requeue eligible={:.6}",
-                                t,
-                                rec.id,
-                                rec.name,
-                                t + backoff
-                            ));
+                            if job.ckpt.is_some() {
+                                log.push(format!(
+                                    "[t={:.6}] preempt job {} name={} requeue eligible={:.6} banked={:.6}",
+                                    t,
+                                    rec.id,
+                                    rec.name,
+                                    t + backoff,
+                                    service_done[r.idx]
+                                ));
+                            } else {
+                                log.push(format!(
+                                    "[t={:.6}] preempt job {} name={} requeue eligible={:.6}",
+                                    t,
+                                    rec.id,
+                                    rec.name,
+                                    t + backoff
+                                ));
+                            }
                         }
                     } else {
                         k += 1;
@@ -721,22 +1281,14 @@ impl Scheduler {
             });
 
             // --- dispatch ----------------------------------------------
-            self.dispatch(
-                t,
-                jobs,
-                &mut pending,
-                &mut free,
-                &mut running,
-                &mut records,
-                &mut log,
-            );
+            self.dispatch(t, jobs, pending, free, running, records, service_done, log);
 
             // --- advance virtual time ----------------------------------
             let mut next = f64::INFINITY;
-            for r in &running {
+            for r in running.iter() {
                 next = next.min(r.end_s);
             }
-            for p in &pending {
+            for p in pending.iter() {
                 if p.eligible_s > t {
                     next = next.min(p.eligible_s);
                 }
@@ -746,24 +1298,38 @@ impl Scheduler {
                     next = next.min(job.submit_s);
                 }
             }
-            if ci < crashes.len() {
-                next = next.min(crashes[ci].0);
+            if *ci < crashes.len() {
+                next = next.min(crashes[*ci].0);
             }
-            if di < drain_starts.len() {
-                next = next.min(drain_starts[di].0);
+            if *di < drain_starts.len() {
+                next = next.min(drain_starts[*di].0);
             }
             // Drain ends only matter while something is drained or queued.
-            if ei < drain_ends.len() && (!pending.is_empty() || !down.is_empty()) {
-                next = next.min(drain_ends[ei].0);
+            if *ei < drain_ends.len() && (!pending.is_empty() || !down.is_empty()) {
+                next = next.min(drain_ends[*ei].0);
             }
             if !next.is_finite() {
+                *done = true;
+                break;
+            }
+            if next > until_s {
                 break;
             }
             // Every candidate above is strictly in the future: events at t
             // were all consumed this iteration, so time always advances.
-            t = next;
+            *now = next;
         }
+        *done
+    }
 
+    /// Seal a campaign state into a [`Schedule`]: the makespan over the
+    /// attempts recorded so far, the log closed by its trailer line.
+    /// Straight-through and stop/snapshot/resume runs of the same
+    /// campaign produce byte-identical logs here.
+    pub fn finish(&self, state: CampaignState) -> Schedule {
+        let CampaignState {
+            records, mut log, ..
+        } = state;
         let makespan_s = records
             .iter()
             .flat_map(|r| r.attempts.iter().map(|a| a.end_s))
@@ -786,6 +1352,7 @@ impl Scheduler {
         free: &mut BTreeSet<u32>,
         running: &mut Vec<Running>,
         records: &mut [JobRecord],
+        service_done: &[f64],
         log: &mut Vec<String>,
     ) {
         pending.sort_by(|a, b| {
@@ -805,7 +1372,8 @@ impl Scheduler {
         let mut i = 0;
         while i < pending.len() {
             let job = &jobs[pending[i].idx];
-            let est = self.worst_case_runtime(job);
+            let remaining = (job.service_s - service_done[pending[i].idx]).max(0.0);
+            let est = self.worst_case_runtime(job, remaining);
             let from = t.max(pending[i].eligible_s);
             let start = profile.earliest_start(from, est, job.nodes);
             let starts_now = start == Some(t) && pending[i].eligible_s <= t;
@@ -819,7 +1387,7 @@ impl Scheduler {
                 for n in &alloc.nodes {
                     free.remove(n);
                 }
-                let dur = self.runtime(job, &alloc);
+                let (dur, writes) = self.attempt_runtime(job, &alloc, remaining);
                 let rec = &mut records[p.idx];
                 rec.allocation = alloc.nodes.clone();
                 rec.attempts.push(Attempt {
@@ -830,9 +1398,17 @@ impl Scheduler {
                     span: alloc.span(),
                     slowdown: alloc.slowdown(&self.machine, &self.net),
                     preempted: false,
+                    ckpts: writes,
+                    resumed_service_s: service_done[p.idx],
+                    lost_s: 0.0,
                 });
+                let ckpt_note = if job.ckpt.is_some() {
+                    format!(" ckpts={} resumed={:.6}", writes, service_done[p.idx])
+                } else {
+                    String::new()
+                };
                 log.push(format!(
-                    "[t={:.6}] start job {} name={} attempt={} nodes={}..{} cells={} span={} slowdown={:.6} end={:.6}",
+                    "[t={:.6}] start job {} name={} attempt={} nodes={}..{} cells={} span={} slowdown={:.6} end={:.6}{}",
                     t,
                     rec.id,
                     rec.name,
@@ -843,6 +1419,7 @@ impl Scheduler {
                     alloc.span(),
                     alloc.slowdown(&self.machine, &self.net),
                     t + dur,
+                    ckpt_note,
                 ));
                 profile.reserve(t, t + dur, job.nodes);
                 running.push(Running {
@@ -1110,6 +1687,134 @@ mod tests {
         assert_eq!(report.sched.started, 2);
         assert_eq!(report.sched.finished, 2);
         assert!((report.sched.busy_node_s - out.busy_node_s()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn checkpointing_banks_progress_across_preemption() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let base =
+            Job::new(0, "victim", 8, 8.0).with_retry(jubench_faults::RetryPolicy::new(3, 0.5));
+        // Node 3 drains during [6, 7): the job is preempted 6 s in.
+        let plan = FaultPlan::new(0).with_slow_node_window(3, 8.0, 6.0, 7.0);
+        let plain = s.run(std::slice::from_ref(&base), &plan);
+        let ckpt = s.run(&[base.with_checkpointing(1.0, 0.01)], &plan);
+        // Without checkpoints the restart redoes all 6 s: 6.5 + 8.
+        assert_eq!(plain.records[0].end_s, Some(14.5));
+        let r = &ckpt.records[0];
+        assert_eq!(r.attempts.len(), 2);
+        // Five writes completed by t=6 (each costs 1.01 s of wall time),
+        // banking 5 s of the 8 s of work; 0.95 s since the fifth write is
+        // the only work lost.
+        assert_eq!(r.attempts[0].ckpts, 5);
+        assert!((r.attempts[0].lost_s - 0.95).abs() < 1e-9);
+        assert!((r.attempts[1].resumed_service_s - 5.0).abs() < 1e-9);
+        // Restart owes 3 s plus two remaining writes: 6.5 + 3.02.
+        assert!((r.end_s.unwrap() - 9.52).abs() < 1e-9);
+        assert!(ckpt.makespan_s < plain.makespan_s);
+        assert!(
+            ckpt.log
+                .iter()
+                .any(|l| l.contains("ckpts=7 resumed=0.000000")),
+            "first start line plans seven writes: {:?}",
+            ckpt.log
+        );
+        assert!(
+            ckpt.log.iter().any(|l| l.contains("banked=5.000000")),
+            "preempt line reports the banked credit: {:?}",
+            ckpt.log
+        );
+    }
+
+    #[test]
+    fn emitted_ckpt_events_carry_overhead_and_lost_work() {
+        use jubench_trace::{Recorder, RunReport};
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![Job::new(0, "victim", 8, 8.0)
+            .with_retry(jubench_faults::RetryPolicy::new(3, 0.5))
+            .with_checkpointing(1.0, 0.01)];
+        let plan = FaultPlan::new(0).with_slow_node_window(3, 8.0, 6.0, 7.0);
+        let out = s.run(&jobs, &plan);
+        let rec = Recorder::new();
+        out.emit(&rec);
+        let events = rec.take_events();
+        assert!(events.iter().all(|e| e.is_synthetic()));
+        let report = RunReport::from_events(&events);
+        let c = &report.ckpt;
+        // Five writes completed before the preemption at t=6, two more in
+        // the resumed attempt (3 s of work left); one restore marker.
+        assert_eq!(c.writes, 7);
+        assert_eq!(c.restores, 1);
+        assert!((c.write_s - 0.07).abs() < 1e-9);
+        assert!((c.lost_work_s - 0.95).abs() < 1e-9);
+        assert!((report.total_makespan_s() - out.makespan_s).abs() < 1e-9);
+        assert!(c.overhead_fraction(report.total_makespan_s()) > 0.0);
+    }
+
+    #[test]
+    fn stopped_snapshotted_resumed_campaign_is_bit_identical() {
+        use jubench_ckpt::Checkpointable;
+        let s = sched(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+        );
+        let jobs: Vec<Job> = (0..12)
+            .map(|i| {
+                Job::new(i, &format!("j{i}"), 8 + (i % 5) * 16, 1.0 + i as f64 * 0.3)
+                    .with_comm_fraction(0.5)
+                    .with_priority((i % 3) as i32)
+                    .with_submit(i as f64 * 0.4)
+                    .with_checkpointing(0.4, 0.02)
+            })
+            .collect();
+        let plan = FaultPlan::new(9)
+            .with_slow_node_window(5, 4.0, 1.0, 3.0)
+            .with_rank_crash(40, 2.5);
+        let reference = s.run(&jobs, &plan);
+        // Kill points straddle the drain window and the crash.
+        for t_kill in [0.0, 1.0, 2.5, 3.7] {
+            let mut state = s.begin(&jobs);
+            s.advance(&mut state, &jobs, &plan, t_kill);
+            let snap = state.snapshot();
+            let mut resumed = s.resume(&snap, &jobs).unwrap();
+            assert_eq!(resumed.snapshot(), snap, "round trip at t={t_kill}");
+            s.advance(&mut resumed, &jobs, &plan, f64::INFINITY);
+            let out = s.finish(resumed);
+            assert_eq!(out.log, reference.log, "kill at t={t_kill}");
+        }
+    }
+
+    #[test]
+    fn corrupt_campaign_snapshot_restarts_from_zero() {
+        use jubench_ckpt::{Checkpointable, CkptError};
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        let jobs = vec![
+            Job::new(0, "a", 8, 2.0),
+            Job::new(1, "b", 8, 1.0).with_submit(0.5),
+        ];
+        let plan = FaultPlan::new(0);
+        let mut state = s.begin(&jobs);
+        s.advance(&mut state, &jobs, &plan, 1.0);
+        let good = state.snapshot();
+        // Bit flip and truncation both degrade into a typed error plus a
+        // fresh state, never a panic.
+        let mut flipped = good.clone();
+        flipped[12] ^= 0x10;
+        let (restarted, err) = s.resume_or_restart(&flipped, &jobs);
+        assert!(err.is_some());
+        assert_eq!(restarted.now(), 0.0);
+        assert_eq!(restarted.log().len(), 1, "only the header line");
+        let (_, err) = s.resume_or_restart(&good[..good.len() - 3], &jobs);
+        assert!(
+            matches!(err, Some(CkptError::ChecksumMismatch { .. }))
+                || matches!(err, Some(CkptError::Truncated { .. }))
+        );
+        // A snapshot of some other campaign is rejected too.
+        let other = vec![Job::new(7, "other", 8, 2.0), Job::new(8, "x", 8, 1.0)];
+        let (_, err) = s.resume_or_restart(&good, &other);
+        assert!(matches!(err, Some(CkptError::Malformed { .. })));
+        // The intact snapshot still resumes.
+        let resumed = s.resume(&good, &jobs).unwrap();
+        assert_eq!(resumed.now(), state.now());
     }
 
     #[test]

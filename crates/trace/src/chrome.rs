@@ -96,6 +96,7 @@ fn category(kind: &EventKind) -> &'static str {
         | EventKind::Retry { .. }
         | EventKind::Crash { .. } => "fault",
         EventKind::Sched { .. } => "sched",
+        EventKind::Ckpt { .. } => "ckpt",
     }
 }
 
@@ -140,6 +141,13 @@ fn args(e: &TraceEvent) -> String {
             "{{\"job\":{job},\"name\":\"{}\",\"phase\":\"{}\",\"nodes\":{nodes},\"cells\":{cells}}}",
             escape(name),
             phase.label()
+        ),
+        EventKind::Ckpt { job, name, phase, cost_s, lost_s } => format!(
+            "{{\"job\":{job},\"name\":\"{}\",\"phase\":\"{}\",\"cost_s\":{},\"lost_s\":{}}}",
+            escape(name),
+            phase.label(),
+            fmt_f64(*cost_s),
+            fmt_f64(*lost_s)
         ),
     }
 }
@@ -282,6 +290,31 @@ mod tests {
         assert!(json.contains(
             "\"job\":4,\"name\":\"icon\",\"phase\":\"job-run\",\"nodes\":96,\"cells\":2"
         ));
+    }
+
+    #[test]
+    fn ckpt_events_export_with_their_own_category() {
+        use crate::event::CkptPhase;
+        let events = vec![TraceEvent {
+            rank: 4,
+            node: SCHED_CELL_TRACK_BASE + 2,
+            seq: 1,
+            t_start: 2.0,
+            t_end: 2.25,
+            kind: EventKind::Ckpt {
+                job: 4,
+                name: "icon".into(),
+                phase: CkptPhase::Write,
+                cost_s: 0.25,
+                lost_s: 0.0,
+            },
+        }];
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"cat\":\"ckpt\""));
+        assert!(json.contains("\"name\":\"ckpt-write\""));
+        assert!(json.contains("\"job\":4,\"name\":\"icon\",\"phase\":\"ckpt-write\""));
+        assert!(json.contains("\"cost_s\":0.250000000"));
+        assert!(json.contains("\"ts\":2000000,\"dur\":250000"));
     }
 
     #[test]

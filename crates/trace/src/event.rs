@@ -112,6 +112,27 @@ impl SchedPhase {
     }
 }
 
+/// Checkpoint activity of a batch job (`jubench-sched` with a
+/// checkpointing spec, or any component reporting snapshot work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CkptPhase {
+    /// A checkpoint was written; the span covers the write cost.
+    Write,
+    /// Execution resumed from a previously written checkpoint — a
+    /// zero-duration marker at the restart time, carrying the work lost
+    /// since the last write in `lost_s`.
+    Restore,
+}
+
+impl CkptPhase {
+    pub fn label(self) -> &'static str {
+        match self {
+            CkptPhase::Write => "ckpt-write",
+            CkptPhase::Restore => "ckpt-restore",
+        }
+    }
+}
+
 /// What happened during `[t_start, t_end]`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
@@ -190,6 +211,18 @@ pub enum EventKind {
         nodes: u32,
         cells: u32,
     },
+    /// Checkpoint activity of batch job `job`: a Write span covering the
+    /// write's wall cost (`cost_s`), or a zero-duration Restore marker
+    /// whose `lost_s` is the work discarded since the last completed
+    /// write. Lives on the same synthetic cell track as the job's
+    /// [`EventKind::Sched`] events.
+    Ckpt {
+        job: u32,
+        name: String,
+        phase: CkptPhase,
+        cost_s: f64,
+        lost_s: f64,
+    },
 }
 
 impl EventKind {
@@ -207,6 +240,7 @@ impl EventKind {
             EventKind::Retry { .. } => "retry",
             EventKind::Crash { .. } => "crash",
             EventKind::Sched { phase, .. } => phase.label(),
+            EventKind::Ckpt { phase, .. } => phase.label(),
         }
     }
 
@@ -381,6 +415,31 @@ mod tests {
             kind: EventKind::Compute { seconds: 0.0 },
         };
         assert!(workflow.is_synthetic(), "workflow track is synthetic too");
+    }
+
+    #[test]
+    fn ckpt_labels_and_accounting() {
+        assert_eq!(CkptPhase::Write.label(), "ckpt-write");
+        assert_eq!(CkptPhase::Restore.label(), "ckpt-restore");
+        let e = TraceEvent {
+            rank: 3,
+            node: SCHED_CELL_TRACK_BASE + 1,
+            seq: 0,
+            t_start: 2.0,
+            t_end: 2.1,
+            kind: EventKind::Ckpt {
+                job: 3,
+                name: "amber".into(),
+                phase: CkptPhase::Write,
+                cost_s: 0.1,
+                lost_s: 0.0,
+            },
+        };
+        assert_eq!(e.kind.label(), "ckpt-write");
+        assert_eq!(e.kind.bytes(), 0);
+        assert!(e.is_synthetic());
+        assert_eq!(e.comm_seconds(), 0.0);
+        assert_eq!(e.compute_seconds(), 0.0);
     }
 
     #[test]

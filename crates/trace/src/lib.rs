@@ -32,7 +32,10 @@
 //!   timeline — nodes become processes, ranks become threads. Batch
 //!   scheduler campaigns (`jubench-sched`) add one synthetic process
 //!   per DragonFly+ cell ([`SCHED_CELL_TRACK_BASE`]) with one thread
-//!   per job, carrying [`SchedPhase`] wait/run/preempt/finish spans.
+//!   per job, carrying [`SchedPhase`] wait/run/preempt/finish spans and
+//!   — for checkpointing jobs — [`CkptPhase`] write spans and restore
+//!   markers, tallied into [`CkptStats`] (checkpoint overhead and
+//!   lost-work attribution).
 //!
 //! ## Accounting identity
 //!
@@ -50,10 +53,11 @@ pub mod sink;
 
 pub use chrome::chrome_trace_json;
 pub use event::{
-    CollectiveKind, EventKind, Regime, SchedPhase, StepPhase, TraceEvent, SCHED_CELL_TRACK_BASE,
-    WORKFLOW_NODE,
+    CkptPhase, CollectiveKind, EventKind, Regime, SchedPhase, StepPhase, TraceEvent,
+    SCHED_CELL_TRACK_BASE, WORKFLOW_NODE,
 };
 pub use report::{
-    FaultStats, MakespanAttribution, OpStats, RankBreakdown, RegimeBucket, RunReport, SchedStats,
+    CkptStats, FaultStats, MakespanAttribution, OpStats, RankBreakdown, RegimeBucket, RunReport,
+    SchedStats,
 };
 pub use sink::{Recorder, TraceSink};

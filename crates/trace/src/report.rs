@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::event::{EventKind, Regime, SchedPhase, TraceEvent};
+use crate::event::{CkptPhase, EventKind, Regime, SchedPhase, TraceEvent};
 
 /// Bytes and message count of one topology regime.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -126,6 +126,10 @@ pub struct SchedStats {
     pub busy_node_s: f64,
     /// Total queue-wait seconds across Submit spans.
     pub wait_s: f64,
+    /// Latest scheduler-event end time — the campaign makespan as seen
+    /// in the trace (scheduler events live on synthetic cell tracks, so
+    /// per-rank clocks never include them).
+    pub makespan_s: f64,
 }
 
 impl SchedStats {
@@ -147,6 +151,40 @@ impl SchedStats {
     }
 }
 
+/// Aggregate checkpoint/restart activity observed in one stream — the
+/// overhead-versus-lost-work tradeoff behind the Young/Daly optimal
+/// interval: frequent checkpoints cost write time, sparse ones lose
+/// more work per failure.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CkptStats {
+    /// Checkpoint writes (Write spans).
+    pub writes: u64,
+    /// Restarts from a checkpoint (Restore markers).
+    pub restores: u64,
+    /// Wall seconds spent writing checkpoints.
+    pub write_s: f64,
+    /// Wall seconds of work discarded at preemptions — progress past
+    /// each victim's last completed checkpoint.
+    pub lost_work_s: f64,
+}
+
+impl CkptStats {
+    /// Did the stream carry any checkpoint events?
+    pub fn any(&self) -> bool {
+        self.writes > 0 || self.restores > 0
+    }
+
+    /// Fraction of `makespan_s` spent on checkpoint overhead (writes
+    /// plus lost work). Returns 0.0 for a zero makespan.
+    pub fn overhead_fraction(&self, makespan_s: f64) -> f64 {
+        if makespan_s == 0.0 {
+            0.0
+        } else {
+            (self.write_s + self.lost_work_s) / makespan_s
+        }
+    }
+}
+
 /// The aggregate report over one recorded run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -163,6 +201,8 @@ pub struct RunReport {
     pub faults: FaultStats,
     /// Batch-scheduler activity observed in the stream.
     pub sched: SchedStats,
+    /// Checkpoint/restart activity observed in the stream.
+    pub ckpt: CkptStats,
     /// Total events aggregated (including workflow events).
     pub events: usize,
 }
@@ -176,6 +216,7 @@ impl RunReport {
         let mut ops: BTreeMap<&'static str, OpStats> = BTreeMap::new();
         let mut faults = FaultStats::default();
         let mut sched = SchedStats::default();
+        let mut ckpt = CkptStats::default();
         for e in events {
             if !e.is_synthetic() {
                 let r = per_rank.entry(e.rank).or_insert(RankBreakdown {
@@ -208,17 +249,30 @@ impl RunReport {
                     faults.retry_backoff_s += e.duration_s();
                 }
                 EventKind::Crash { .. } => faults.crashes += 1,
-                EventKind::Sched { phase, nodes, .. } => match phase {
-                    SchedPhase::Submit => {
-                        sched.submitted += 1;
-                        sched.wait_s += e.duration_s();
+                EventKind::Sched { phase, nodes, .. } => {
+                    sched.makespan_s = sched.makespan_s.max(e.t_end);
+                    match phase {
+                        SchedPhase::Submit => {
+                            sched.submitted += 1;
+                            sched.wait_s += e.duration_s();
+                        }
+                        SchedPhase::Start => {
+                            sched.started += 1;
+                            sched.busy_node_s += e.duration_s() * *nodes as f64;
+                        }
+                        SchedPhase::Preempt => sched.preempted += 1,
+                        SchedPhase::Finish => sched.finished += 1,
                     }
-                    SchedPhase::Start => {
-                        sched.started += 1;
-                        sched.busy_node_s += e.duration_s() * *nodes as f64;
+                }
+                EventKind::Ckpt { phase, lost_s, .. } => match phase {
+                    CkptPhase::Write => {
+                        ckpt.writes += 1;
+                        ckpt.write_s += e.duration_s();
                     }
-                    SchedPhase::Preempt => sched.preempted += 1,
-                    SchedPhase::Finish => sched.finished += 1,
+                    CkptPhase::Restore => {
+                        ckpt.restores += 1;
+                        ckpt.lost_work_s += lost_s;
+                    }
                 },
                 _ => {}
             }
@@ -247,20 +301,30 @@ impl RunReport {
             makespan,
             faults,
             sched,
+            ckpt,
             events: events.len(),
         }
     }
 
+    /// The run's makespan across every track: the critical-path rank
+    /// clock for rank-level streams, the last scheduler event for
+    /// campaign streams (whose synthetic events never enter rank
+    /// clocks), whichever is later when a stream carries both.
+    pub fn total_makespan_s(&self) -> f64 {
+        self.makespan.total_s.max(self.sched.makespan_s)
+    }
+
     /// Makespan inflation relative to a fault-free baseline run of the
-    /// same workload: `self.makespan / baseline.makespan`. This is the
-    /// fault-attribution headline — 1.0 means the injected faults cost
-    /// nothing; 4.0 means a 4× slowdown attributable to them. Returns
-    /// 1.0 when the baseline makespan is zero.
+    /// same workload: `self.makespan / baseline.makespan` (using
+    /// [`Self::total_makespan_s`], so campaign streams compare too).
+    /// This is the fault-attribution headline — 1.0 means the injected
+    /// faults cost nothing; 4.0 means a 4× slowdown attributable to
+    /// them. Returns 1.0 when the baseline makespan is zero.
     pub fn makespan_inflation(&self, baseline: &RunReport) -> f64 {
-        if baseline.makespan.total_s == 0.0 {
+        if baseline.total_makespan_s() == 0.0 {
             1.0
         } else {
-            self.makespan.total_s / baseline.makespan.total_s
+            self.total_makespan_s() / baseline.total_makespan_s()
         }
     }
 
@@ -371,6 +435,22 @@ impl RunReport {
             out.push_str(&format!(
                 "| jobs finished  | {:>8} |                       |\n",
                 s.finished
+            ));
+        }
+        if self.ckpt.any() {
+            let c = &self.ckpt;
+            out.push_str("\ncheckpoint activity:\n");
+            out.push_str(&format!(
+                "| ckpt writes    | {:>8} | {:>12.6} write s |\n",
+                c.writes, c.write_s
+            ));
+            out.push_str(&format!(
+                "| ckpt restores  | {:>8} | {:>12.6} lost s |\n",
+                c.restores, c.lost_work_s
+            ));
+            out.push_str(&format!(
+                "| ckpt overhead  | {:>7.3} % of makespan       |\n",
+                100.0 * c.overhead_fraction(self.total_makespan_s())
             ));
         }
         out
@@ -623,6 +703,82 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("scheduler activity"));
         assert!(rendered.contains("jobs submitted"));
+    }
+
+    #[test]
+    fn ckpt_events_are_tallied() {
+        use crate::event::CkptPhase;
+        let ev = |phase, t0: f64, t1: f64, lost: f64| TraceEvent {
+            rank: 2,
+            node: SCHED_CELL_TRACK_BASE,
+            seq: 0,
+            t_start: t0,
+            t_end: t1,
+            kind: EventKind::Ckpt {
+                job: 2,
+                name: "amber".into(),
+                phase,
+                cost_s: t1 - t0,
+                lost_s: lost,
+            },
+        };
+        let sched_finish = TraceEvent {
+            rank: 2,
+            node: SCHED_CELL_TRACK_BASE,
+            seq: 3,
+            t_start: 10.0,
+            t_end: 10.0,
+            kind: EventKind::Sched {
+                job: 2,
+                name: "amber".into(),
+                phase: SchedPhase::Finish,
+                nodes: 4,
+                cells: 1,
+            },
+        };
+        let events = vec![
+            ev(CkptPhase::Write, 1.0, 1.25, 0.0),
+            ev(CkptPhase::Write, 2.25, 2.5, 0.0),
+            ev(CkptPhase::Restore, 4.0, 4.0, 0.75),
+            sched_finish,
+        ];
+        let report = RunReport::from_events(&events);
+        assert!(report.ranks.is_empty(), "ckpt events are synthetic");
+        let c = &report.ckpt;
+        assert!(c.any());
+        assert_eq!(c.writes, 2);
+        assert_eq!(c.restores, 1);
+        assert!((c.write_s - 0.5).abs() < 1e-12);
+        assert!((c.lost_work_s - 0.75).abs() < 1e-12);
+        assert_eq!(report.total_makespan_s(), 10.0, "sched track sets it");
+        assert!((c.overhead_fraction(10.0) - 0.125).abs() < 1e-12);
+        assert_eq!(CkptStats::default().overhead_fraction(0.0), 0.0);
+        let rendered = report.render();
+        assert!(rendered.contains("checkpoint activity"));
+        assert!(rendered.contains("ckpt writes"));
+        assert!(rendered.contains("ckpt overhead"));
+    }
+
+    #[test]
+    fn campaign_streams_compare_via_sched_makespan() {
+        let ev = |t1: f64| TraceEvent {
+            rank: 0,
+            node: SCHED_CELL_TRACK_BASE,
+            seq: 0,
+            t_start: 0.0,
+            t_end: t1,
+            kind: EventKind::Sched {
+                job: 0,
+                name: "a".into(),
+                phase: SchedPhase::Start,
+                nodes: 1,
+                cells: 1,
+            },
+        };
+        let baseline = RunReport::from_events(&[ev(2.0)]);
+        let slower = RunReport::from_events(&[ev(5.0)]);
+        assert_eq!(baseline.makespan.total_s, 0.0, "no rank clocks");
+        assert_eq!(slower.makespan_inflation(&baseline), 2.5);
     }
 
     #[test]

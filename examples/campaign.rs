@@ -3,15 +3,19 @@
 //! from a virtual-time run, priority from its category), schedules the
 //! campaign with conservative backfill under both placement policies,
 //! prints the per-job schedule and the utilization timeline, sweeps
-//! placement × machine size in the scaling study's table, and exports
-//! the contiguous campaign as a Chrome trace.
+//! placement × machine size in the scaling study's table, kills a
+//! checkpointed campaign mid-run and resumes it from the snapshot
+//! bytes, sweeps checkpoint interval × failure rate against the
+//! Young/Daly predictions, and exports the contiguous campaign as a
+//! Chrome trace.
 //!
 //! Run with: `cargo run --release --example campaign`
 
 use std::sync::Arc;
 
+use jubench::ckpt::young_interval;
 use jubench::prelude::*;
-use jubench::scaling::campaign_table;
+use jubench::scaling::{campaign_table, ckpt_table};
 use jubench::sched::{registry_jobs, run_campaign};
 use jubench::trace::RunReport;
 
@@ -70,6 +74,81 @@ fn main() {
     println!(
         "{}",
         campaign_table(&registry, &[144, 624], 0.05, 2024).render()
+    );
+
+    // ----- checkpoint/restart: kill the scheduler, resume from bytes ---
+    println!("=== Checkpoint/restart: kill mid-campaign and resume ===\n");
+    let part = Machine::juwels_booster().partition(96);
+    let sched = Scheduler::new(
+        part,
+        NetModel::juwels_booster(),
+        config(PlacementPolicy::Contiguous),
+    );
+    // Checkpoint writes cost 0.02 s; with node drains every ~4 s the
+    // Young interval sqrt(2 C M) places the writes.
+    let interval = young_interval(0.02, 4.0);
+    let ckpt_jobs: Vec<Job> = (0..10u32)
+        .map(|i| {
+            Job::new(
+                i,
+                &format!("job{i}"),
+                8 + 8 * (i % 4),
+                2.0 + 0.3 * f64::from(i),
+            )
+            .with_comm_fraction(0.2)
+            .with_submit(0.25 * f64::from(i))
+            .with_retry(RetryPolicy::new(16, 0.05).with_multiplier(1.0))
+            .with_checkpointing(interval, 0.02)
+        })
+        .collect();
+    let plan = FaultPlan::periodic_drains(2024, 96, 4.0, 0.5, 30.0, 4.0);
+
+    // The uninterrupted reference run.
+    let mut reference = sched.begin(&ckpt_jobs);
+    sched.advance(&mut reference, &ckpt_jobs, &plan, f64::INFINITY);
+    let reference = sched.finish(reference);
+
+    // Kill the scheduler process halfway through; only the snapshot
+    // bytes survive the crash.
+    let t_kill = reference.makespan_s * 0.5;
+    let mut state = sched.begin(&ckpt_jobs);
+    sched.advance(&mut state, &ckpt_jobs, &plan, t_kill);
+    let snap = state.snapshot();
+    println!(
+        "killed the campaign at t = {:.3} s: {} log lines so far, snapshot = {} bytes",
+        state.now(),
+        state.log().len(),
+        snap.len(),
+    );
+    drop(state);
+
+    let mut resumed = sched.resume(&snap, &ckpt_jobs).expect("snapshot is intact");
+    sched.advance(&mut resumed, &ckpt_jobs, &plan, f64::INFINITY);
+    let resumed = sched.finish(resumed);
+    assert_eq!(
+        resumed.log, reference.log,
+        "resume must replay to the same schedule"
+    );
+    println!(
+        "resumed to completion: {} log lines, makespan {:.4} s — byte-identical \
+         to the uninterrupted run\n",
+        resumed.log.len(),
+        resumed.makespan_s,
+    );
+
+    // ----- the checkpoint-interval study -------------------------------
+    println!("=== Checkpoint study: interval x failure rate ===\n");
+    let young = young_interval(0.05, 6.0);
+    println!(
+        "{}",
+        ckpt_table(
+            8,
+            0.05,
+            &[None, Some(0.05), Some(young), Some(4.0)],
+            &[3.0, 6.0, 12.0],
+            17,
+        )
+        .render()
     );
 
     // ----- Chrome trace export -----------------------------------------

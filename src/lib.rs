@@ -45,6 +45,10 @@
 //! - [`pool`]: the deterministic work-stealing thread pool every sweep
 //!   runs on — ordered `par_map_indexed`, structured `scope`, counted
 //!   dedicated rank threads, and the `JUBENCH_POOL_THREADS` knob.
+//! - [`ckpt`]: checkpoint/restart — the versioned, checksummed snapshot
+//!   envelope, the `Checkpointable` trait implemented by the iterative
+//!   apps, the workflow, and the scheduler, and the Young/Daly
+//!   optimal-interval formulas.
 
 pub use jubench_apps_ai as apps_ai;
 pub use jubench_apps_bio as apps_bio;
@@ -57,6 +61,7 @@ pub use jubench_apps_md as apps_md;
 pub use jubench_apps_neuro as apps_neuro;
 pub use jubench_apps_plasma as apps_plasma;
 pub use jubench_apps_quantum as apps_quantum;
+pub use jubench_ckpt as ckpt;
 pub use jubench_cluster as cluster;
 pub use jubench_continuous as continuous;
 pub use jubench_core as core;
@@ -73,6 +78,7 @@ pub use jubench_trace as trace;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use jubench_ckpt::{Checkpointable, CkptError};
     pub use jubench_cluster::{Machine, NetModel, Placement, Roofline, Work};
     pub use jubench_core::{
         suite_meta, Benchmark, BenchmarkId, Category, Fom, MemoryVariant, Registry, RunConfig,

@@ -123,6 +123,50 @@ fn report_attributes_the_inflation_to_the_fault() {
 }
 
 #[test]
+fn checkpointing_shrinks_the_makespan_inflation_of_a_preempted_job() {
+    // The scheduler-level companion of the straggler golden test: a
+    // drain window preempts a long job mid-run. Without checkpoints the
+    // retry restarts from zero; with them it resumes from the last
+    // write. Each variant's inflation is measured against its own
+    // fault-free baseline report (the checkpointing baseline already
+    // carries the write overhead), so the shrink isolates the banked
+    // progress.
+    use jubench::cluster::NetModel;
+    let report = |ckpt: bool, plan: &FaultPlan| {
+        let mut job = Job::new(0, "victim", 8, 8.0).with_retry(RetryPolicy::new(3, 0.5));
+        if ckpt {
+            job = job.with_checkpointing(1.0, 0.01);
+        }
+        let schedule = Scheduler::new(
+            Machine::juwels_booster().partition(8),
+            NetModel::juwels_booster(),
+            SchedulerConfig::new(
+                QueuePolicy::ConservativeBackfill,
+                PlacementPolicy::Contiguous,
+                7,
+            ),
+        )
+        .run(&[job], plan);
+        let rec = Recorder::new();
+        schedule.emit(&rec);
+        RunReport::from_events(&rec.take_events())
+    };
+    let empty = FaultPlan::new(7);
+    let drain = FaultPlan::new(7).with_slow_node_window(3, 8.0, 6.0, 7.0);
+    let plain = report(false, &drain).makespan_inflation(&report(false, &empty));
+    let ckpt = report(true, &drain).makespan_inflation(&report(true, &empty));
+    assert!(plain > 1.0, "the drain must cost something: {plain}");
+    assert!(
+        ckpt < plain,
+        "checkpointing must shrink the inflation: {ckpt} !< {plain}"
+    );
+    let faulted = report(true, &drain);
+    assert!(faulted.ckpt.restores >= 1, "the resume must be visible");
+    assert!(faulted.ckpt.lost_work_s > 0.0);
+    assert!(faulted.render().contains("checkpoint activity"));
+}
+
+#[test]
 fn reliable_send_defeats_a_lossy_link() {
     // At p = 0.9 a bare send usually times out; eight attempts make the
     // exchange dependable, and both sides agree on the attempt count.

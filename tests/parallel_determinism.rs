@@ -14,7 +14,8 @@ use std::sync::{Arc, Mutex};
 use jubench::pool::with_threads;
 use jubench::prelude::*;
 use jubench::scaling::{
-    campaign_table, fig3_all_series, resilience_table, strong_scaling_series, traffic_table,
+    campaign_table, ckpt_table, fig3_all_series, resilience_table, strong_scaling_series,
+    traffic_table,
 };
 use jubench::sched::{registry_jobs, run_campaign};
 use jubench::trace::RunReport;
@@ -65,6 +66,13 @@ fn traffic_table_is_thread_invariant() {
 fn resilience_table_is_thread_invariant() {
     assert_thread_invariant("resilience table", || {
         resilience_table(4, &[0.0, 0.25, 0.5], 4.0, 17).render()
+    });
+}
+
+#[test]
+fn ckpt_study_is_thread_invariant() {
+    assert_thread_invariant("checkpoint-interval study table", || {
+        ckpt_table(8, 0.05, &[None, Some(0.8)], &[6.0, 12.0], 17).render()
     });
 }
 

@@ -562,6 +562,83 @@ fn par_map_indexed_survives_panicking_tasks() {
     }
 }
 
+/// Snapshot → restore → snapshot is the byte identity for arbitrary
+/// mid-campaign scheduler states: random machines, job sets (mixed
+/// checkpointing specs), fault plans, and stop times.
+#[test]
+fn campaign_snapshot_restore_snapshot_is_byte_identity() {
+    use jubench::sched::Scheduler;
+    for case in 0..16u64 {
+        let mut rng = rank_rng(0xCA + case, 17);
+        let nodes = rng.gen_range(2u32..6) * 48;
+        let machine = Machine::juwels_booster().partition(nodes);
+        let jobs: Vec<Job> = (0..rng.gen_range(3u32..12))
+            .map(|i| {
+                let mut j = Job::new(i, &format!("j{i}"), rng.gen_range(1u32..96), {
+                    rng.gen_range(0.5..4.0)
+                })
+                .with_comm_fraction(rng.gen_range(0.0..0.8))
+                .with_priority(rng.gen_range(0u32..3) as i32)
+                .with_submit(rng.gen_range(0.0..2.0))
+                .with_retry(RetryPolicy::new(rng.gen_range(1u32..8), 0.05));
+                if rng.gen_bool(0.5) {
+                    j = j.with_checkpointing(rng.gen_range(0.1..1.5), rng.gen_range(0.001..0.1));
+                }
+                j
+            })
+            .collect();
+        let plan = FaultPlan::periodic_drains(
+            case,
+            nodes,
+            rng.gen_range(1.0..6.0),
+            rng.gen_range(0.1..1.0),
+            20.0,
+            4.0,
+        );
+        let sched = Scheduler::new(
+            machine,
+            NetModel::juwels_booster(),
+            SchedulerConfig::new(
+                QueuePolicy::ConservativeBackfill,
+                PlacementPolicy::ALL[case as usize % 2],
+                case,
+            ),
+        );
+        let mut state = sched.begin(&jobs);
+        sched.advance(&mut state, &jobs, &plan, rng.gen_range(0.0..8.0));
+        let snap = state.snapshot();
+        let mut restored = sched.begin(&jobs);
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap, "case {case}");
+        assert_eq!(restored.now(), state.now(), "case {case}");
+        assert_eq!(restored.log(), state.log(), "case {case}");
+    }
+}
+
+/// Snapshot → restore → snapshot is the byte identity for arbitrary HMC
+/// chain states, and the restored chain continues bit-identically.
+#[test]
+fn hmc_snapshot_restore_snapshot_is_byte_identity() {
+    use jubench::apps_lattice::HmcChain;
+    for case in 0..8u64 {
+        let mut rng = rank_rng(0x4C + case, 18);
+        let beta = rng.gen_range(4.0..6.5);
+        let steps = rng.gen_range(2u32..6);
+        let dt = rng.gen_range(0.05..0.2);
+        let mut chain = HmcChain::cold([2, 2, 2, 2], beta, steps, dt, case);
+        chain.run(rng.gen_range(0u64..4));
+        let snap = chain.snapshot();
+        // Restore into a chain built with different parameters: the
+        // snapshot must fully determine the state.
+        let mut restored = HmcChain::cold([2, 2, 2, 2], 1.0, 1, 0.5, 999);
+        restored.restore(&snap).unwrap();
+        assert_eq!(restored.snapshot(), snap, "case {case}");
+        chain.run(2);
+        restored.run(2);
+        assert_eq!(restored.snapshot(), chain.snapshot(), "case {case}");
+    }
+}
+
 /// Gate application preserves the norm for arbitrary phase angles.
 #[test]
 fn quantum_gates_are_unitary() {
