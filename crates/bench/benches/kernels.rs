@@ -1,7 +1,7 @@
 //! Micro-benchmarks of the shared numeric kernels — the measured
 //! (non-virtual) performance substrate of the suite.
 
-use jubench_bench::harness::{BatchSize, Criterion};
+use jubench_bench::harness::{BatchSize, Criterion, Throughput};
 use jubench_bench::{criterion_group, criterion_main};
 use jubench_kernels::{
     cg::{cg_solve, DenseOp},
@@ -11,6 +11,8 @@ use jubench_kernels::{
 fn bench_kernels(c: &mut Criterion) {
     let mut group = c.benchmark_group("kernels");
 
+    // One 32³ complex grid in and out: 32³ × 16 bytes per transform.
+    group.throughput(Throughput::Bytes(32 * 32 * 32 * 16));
     group.bench_function("fft_3d_32x32x32", |b| {
         let mut rng = rank_rng(1, 0);
         let data: Vec<C64> = (0..32 * 32 * 32)
@@ -26,6 +28,8 @@ fn bench_kernels(c: &mut Criterion) {
         );
     });
 
+    // Two 128² f64 operands read, one 128² product written.
+    group.throughput(Throughput::Bytes(3 * 128 * 128 * 8));
     group.bench_function("gemm_128", |b| {
         let mut rng = rank_rng(2, 0);
         let a = Matrix::from_fn(128, 128, |_, _| rng.gen_range(-1.0..1.0));
@@ -33,6 +37,9 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| gemm(&a, &m).data[0]);
     });
 
+    // Solver targets below have no natural byte denomination; reset the
+    // sticky throughput to an element count (not exported into records).
+    group.throughput(Throughput::Elements(1));
     group.bench_function("lu_factor_96", |b| {
         let mut rng = rank_rng(3, 0);
         let a = Matrix::from_fn(96, 96, |i, j| {

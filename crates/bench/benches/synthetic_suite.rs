@@ -3,7 +3,7 @@
 //! hardware-feature tests.
 
 use jubench_bench::banner;
-use jubench_bench::harness::Criterion;
+use jubench_bench::harness::{Criterion, Throughput};
 use jubench_bench::{criterion_group, criterion_main};
 use jubench_core::{Benchmark, Fom, RunConfig};
 use jubench_synthetic::{
@@ -53,10 +53,16 @@ fn bench_synthetic(c: &mut Criterion) {
         b.iter(|| bfs(&csr, 0).1);
     });
 
+    // Triad streams three 1M-element f64 arrays per iteration.
+    group.throughput(Throughput::Bytes(3 * 1_000_000 * 8));
     group.bench_function("stream_triad_1m", |b| {
         b.iter(|| stream_kernels(1_000_000, 1).unwrap().triad);
     });
 
+    // The remaining targets have no natural byte denomination; the
+    // throughput declaration is sticky (Criterion semantics), so switch
+    // to an element count, which the records do not export.
+    group.throughput(Throughput::Elements(1));
     group.bench_function("hpl_lu_96", |b| {
         b.iter(|| Hpl { n: 96 }.run(&RunConfig::test(1)).unwrap().fom.value());
     });

@@ -1,0 +1,115 @@
+//! The `bench` tool: turn harness record streams into `BENCH_<n>.json`
+//! baselines and gate new measurements against them.
+//!
+//! ```text
+//! bench merge   <OUT.json> <IN.jsonl>...           # fold record streams
+//! bench compare <BASELINE.json> <NEW.json>         # regression gate
+//!               [--tolerance 0.25] [--report-only]
+//! bench show    <BENCH.json>                       # print a report
+//! ```
+//!
+//! `merge` reads the JSON-lines streams the harness appends under
+//! `JUBENCH_BENCH_JSON`, dedups by benchmark id (last record wins), and
+//! writes the sorted `BENCH_<n>.json` document. `compare` prints the
+//! per-benchmark delta table and exits non-zero when any benchmark
+//! regressed beyond the tolerance — unless `--report-only`, the mode CI
+//! uses where shared-runner jitter makes hard-failing unhelpful.
+
+use std::process::ExitCode;
+
+use jubench_metrics::{compare, GateConfig, PerfReport};
+
+const USAGE: &str = "usage:
+  bench merge   <OUT.json> <IN.jsonl>...
+  bench compare <BASELINE.json> <NEW.json> [--tolerance F] [--report-only]
+  bench show    <BENCH.json>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("merge") => merge(&args[1..]),
+        Some("compare") => return run_compare(&args[1..]),
+        Some("show") => show(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn merge(args: &[String]) -> Result<(), String> {
+    let [out, inputs @ ..] = args else {
+        return Err(USAGE.to_string());
+    };
+    if inputs.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let mut records = Vec::new();
+    for path in inputs {
+        let report = PerfReport::from_jsonl(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+        records.extend(report.records);
+    }
+    let report = PerfReport::new(records);
+    std::fs::write(out, report.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} ({} benchmarks)", out, report.records.len());
+    Ok(())
+}
+
+fn run_compare(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut config = GateConfig::default();
+    let mut report_only = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--report-only" => report_only = true,
+            "--tolerance" => {
+                let Some(value) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--tolerance needs a fractional value (e.g. 0.25)");
+                    return ExitCode::FAILURE;
+                };
+                config.tolerance = value.abs();
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, new_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let load = |path: &str| -> Result<PerfReport, String> {
+        PerfReport::from_json(&read(path)?).map_err(|e| format!("{path}: {e}"))
+    };
+    let (baseline, new) = match (load(baseline_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let gate = compare(&baseline, &new, config);
+    print!("{}", gate.render());
+    if gate.passed() || report_only {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn show(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(USAGE.to_string());
+    };
+    let report = PerfReport::from_json(&read(path)?).map_err(|e| format!("{path}: {e}"))?;
+    let gate = compare(&report, &report, GateConfig::default());
+    print!("{}", gate.render());
+    Ok(())
+}

@@ -11,6 +11,13 @@
 //! The timing harness ([`harness`]) is a small in-repo replacement for the
 //! subset of the Criterion API the bench targets use — the suite carries
 //! no external dependencies so it builds in offline containers.
+//!
+//! Besides its printed summary, every benchmark emits a structured
+//! `PerfRecord` (median/p10/p90, sample count, bytes-per-iteration when
+//! declared). Set `JUBENCH_BENCH_JSON=<file>` to append records as JSON
+//! lines, then fold them into the `BENCH_<n>.json` baseline with the
+//! `bench` binary (`bench merge`), and gate a new run against a
+//! committed baseline with `bench compare` — see `jubench_metrics`.
 
 pub mod harness;
 

@@ -11,6 +11,7 @@ pub const FORMAT_VERSION: u16 = 1;
 
 /// Wrap a component payload in the versioned, checksummed envelope.
 pub fn seal(kind: &str, payload: &[u8]) -> Vec<u8> {
+    let started = jubench_metrics::enabled().then(std::time::Instant::now);
     let mut out = Vec::with_capacity(30 + kind.len() + payload.len());
     out.extend_from_slice(&MAGIC);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
@@ -20,12 +21,30 @@ pub fn seal(kind: &str, payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(payload);
     let sum = fnv1a64(&out);
     out.extend_from_slice(&sum.to_le_bytes());
+    if let Some(t0) = started {
+        jubench_metrics::observe("ckpt/seal_ns", t0.elapsed().as_nanos() as u64);
+        jubench_metrics::counter_add("ckpt/seals", 1);
+        jubench_metrics::counter_add("ckpt/snapshot_bytes", out.len() as u64);
+    }
     out
 }
 
 /// Validate an envelope (magic, version, kind, lengths, checksum) and
 /// return the payload bytes. Every corruption mode is a [`CkptError`].
 pub fn open(kind: &str, bytes: &[u8]) -> Result<Vec<u8>, CkptError> {
+    let started = jubench_metrics::enabled().then(std::time::Instant::now);
+    let result = open_inner(kind, bytes);
+    if let Some(t0) = started {
+        jubench_metrics::observe("ckpt/open_ns", t0.elapsed().as_nanos() as u64);
+        jubench_metrics::counter_add("ckpt/opens", 1);
+        if result.is_err() {
+            jubench_metrics::counter_add("ckpt/open_errors", 1);
+        }
+    }
+    result
+}
+
+fn open_inner(kind: &str, bytes: &[u8]) -> Result<Vec<u8>, CkptError> {
     let need = |what: &'static str, needed: usize, have: usize| CkptError::Truncated {
         what,
         needed,

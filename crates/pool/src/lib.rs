@@ -21,6 +21,11 @@
 //! The global pool sizes itself from the `JUBENCH_POOL_THREADS`
 //! environment variable (default: available parallelism); tests pin the
 //! count per-call-tree with [`with_threads`].
+//!
+//! The pool self-reports its wall-clock behavior into `jubench-metrics`
+//! under `pool/*`: task, spawn, steal, and pop counters, park/wake
+//! counts, and the peak queue depth — observational only, never part of
+//! any deterministic output.
 
 mod dedicated;
 mod map;

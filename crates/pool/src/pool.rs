@@ -26,6 +26,7 @@ struct Task {
 impl Task {
     fn execute(self) {
         let Task { run, scope } = self;
+        jubench_metrics::counter_add("pool/tasks_executed", 1);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(run)) {
             scope.store_panic(payload);
         }
@@ -99,6 +100,7 @@ struct Shared {
 
 impl Shared {
     fn wake_all(&self) {
+        jubench_metrics::counter_add("pool/wakes", 1);
         *self.sleep_gen.lock().unwrap() += 1;
         self.wake_cv.notify_all();
     }
@@ -109,10 +111,12 @@ impl Shared {
     fn find_task(&self, own: Option<usize>) -> Option<Task> {
         if let Some(i) = own {
             if let Some(task) = self.deques[i].lock().unwrap().pop_back() {
+                jubench_metrics::counter_add("pool/pops_own", 1);
                 return Some(task);
             }
         }
         if let Some(task) = self.injector.lock().unwrap().pop_front() {
+            jubench_metrics::counter_add("pool/pops_injector", 1);
             return Some(task);
         }
         let start = own.map_or(0, |i| i + 1);
@@ -122,6 +126,7 @@ impl Shared {
                 continue;
             }
             if let Some(task) = self.deques[victim].lock().unwrap().pop_front() {
+                jubench_metrics::counter_add("pool/steals", 1);
                 return Some(task);
             }
         }
@@ -181,6 +186,7 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
         let guard = shared.sleep_gen.lock().unwrap();
         if *guard == gen && !shared.shutdown.load(Ordering::Acquire) {
             // No submission raced the scan; sleep until one arrives.
+            jubench_metrics::counter_add("pool/parks", 1);
             drop(shared.wake_cv.wait(guard).unwrap());
         }
     }
@@ -331,10 +337,20 @@ impl<'scope, 'env> Scope<'scope, 'env> {
                 Arc::ptr_eq(&shared, self.shared).then_some(*index)
             })
         });
-        match own {
-            Some(index) => self.shared.deques[index].lock().unwrap().push_back(task),
-            None => self.shared.injector.lock().unwrap().push_back(task),
-        }
+        let depth = match own {
+            Some(index) => {
+                let mut deque = self.shared.deques[index].lock().unwrap();
+                deque.push_back(task);
+                deque.len()
+            }
+            None => {
+                let mut injector = self.shared.injector.lock().unwrap();
+                injector.push_back(task);
+                injector.len()
+            }
+        };
+        jubench_metrics::counter_add("pool/spawns", 1);
+        jubench_metrics::gauge_max("pool/queue_depth_peak", depth as i64);
         self.shared.wake_all();
     }
 }

@@ -1073,6 +1073,7 @@ impl Scheduler {
         if state.done {
             return true;
         }
+        jubench_metrics::profile_scope!("sched/advance");
         // Fault plan → node-granularity capacity events.
         // Drains: [from, until) windows; crashes: permanent.
         let (drain_starts, drain_ends, crashes) = self.fault_events(plan);
@@ -1095,6 +1096,11 @@ impl Scheduler {
 
         loop {
             let t = *now;
+            jubench_metrics::counter_add("sched/advance_steps", 1);
+            // Every scheduler event (finish/crash/drain/submit/preempt/
+            // start) appends exactly one log line, so the per-step log
+            // growth is the processed-event count.
+            let log_lines_before = log.len();
             // --- completions at t --------------------------------------
             running.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.idx.cmp(&b.idx)));
             let mut k = 0;
@@ -1282,6 +1288,10 @@ impl Scheduler {
 
             // --- dispatch ----------------------------------------------
             self.dispatch(t, jobs, pending, free, running, records, service_done, log);
+            jubench_metrics::counter_add(
+                "sched/events_processed",
+                (log.len() - log_lines_before) as u64,
+            );
 
             // --- advance virtual time ----------------------------------
             let mut next = f64::INFINITY;
@@ -1355,6 +1365,11 @@ impl Scheduler {
         service_done: &[f64],
         log: &mut Vec<String>,
     ) {
+        // Wall-clock self-profile of the backfill scan — the scheduler's
+        // hot path. Observational only: nothing below reads the clock.
+        jubench_metrics::profile_scope!("sched/backfill");
+        jubench_metrics::counter_add("sched/backfill_scans", 1);
+        jubench_metrics::counter_add("sched/backfill_queue_jobs", pending.len() as u64);
         pending.sort_by(|a, b| {
             jobs[b.idx]
                 .priority

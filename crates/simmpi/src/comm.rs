@@ -339,6 +339,8 @@ impl Comm {
         self.fail_if_crashed()?;
         self.check_rank(to)?;
         let bytes = payload.nbytes();
+        jubench_metrics::counter_add("simmpi/msgs/send", 1);
+        jubench_metrics::counter_add("simmpi/bytes/send", bytes);
         let (transfer, regime, degraded) = self.link(to, bytes);
         let t0 = self.clock.now();
         // The sender serializes the message through its adapter (dropped
@@ -413,6 +415,8 @@ impl Comm {
             }
         }
         let bytes = msg.payload.nbytes();
+        jubench_metrics::counter_add("simmpi/msgs/recv", 1);
+        jubench_metrics::counter_add("simmpi/bytes/recv", bytes);
         let (transfer, regime, _) = self.link(from, bytes);
         let t0 = self.clock.now();
         let wait_s = (msg.sent_at - t0).max(0.0);
@@ -576,6 +580,7 @@ impl Comm {
 
     /// Barrier: synchronizes all virtual clocks to the maximum.
     pub fn barrier(&mut self) {
+        jubench_metrics::counter_add("simmpi/ops/barrier", 1);
         let t0 = self.clock.now();
         let target = self.barrier.wait(t0);
         self.clock.sync_to(target);
@@ -602,6 +607,11 @@ impl Comm {
         algorithm: &'static str,
         bytes: u64,
     ) {
+        // Guarded so the name formatting is free when metrics are off.
+        if jubench_metrics::enabled() {
+            jubench_metrics::counter_add(&format!("simmpi/ops/{}", kind.label()), 1);
+            jubench_metrics::counter_add(&format!("simmpi/bytes/{}", kind.label()), bytes);
+        }
         self.emit(
             t0,
             EventKind::Collective {

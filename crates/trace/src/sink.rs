@@ -57,7 +57,17 @@ impl Recorder {
 
 impl TraceSink for Recorder {
     fn record(&self, event: TraceEvent) {
-        self.events.lock().unwrap().push(event);
+        let mut events = self.events.lock().unwrap();
+        let capacity_before = events.capacity();
+        events.push(event);
+        // Self-observability of the buffer itself: growth reallocations
+        // here are a real wall-clock cost of tracing (ROADMAP item 4
+        // proposes arena allocation; these counters are its baseline).
+        jubench_metrics::counter_add("trace/events_recorded", 1);
+        if events.capacity() != capacity_before {
+            jubench_metrics::counter_add("trace/event_buf_reallocs", 1);
+            jubench_metrics::gauge_max("trace/event_buf_capacity", events.capacity() as i64);
+        }
     }
 }
 

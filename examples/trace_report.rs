@@ -17,71 +17,105 @@ use jubench::prelude::*;
 use jubench::scaling::traffic_table;
 
 fn main() {
+    // The whole walkthrough runs inside a wall-clock profiling scope, so
+    // the collapsed-stack self-profile written at the end shows how the
+    // example's own time divides between its sections.
+    jubench::profile_scope!("example/trace_report");
+
     // ----- trace a simulated MPI run -----------------------------------
-    let recorder = Arc::new(Recorder::new());
-    let world = World::new(Machine::juwels_booster().partition(4)).with_recorder(recorder.clone());
+    {
+        jubench::profile_scope!("example/world_run");
+        let recorder = Arc::new(Recorder::new());
+        let world =
+            World::new(Machine::juwels_booster().partition(4)).with_recorder(recorder.clone());
 
-    world.run(|comm| {
-        // A CG-like iteration: local compute, halo exchange with the
-        // ring neighbours, then a scalar allreduce.
-        for _ in 0..3 {
-            comm.advance_compute(2e-3);
-            let p = comm.size();
-            let halo = vec![comm.rank() as f64; 2048];
-            let right = (comm.rank() + 1) % p;
-            let left = (comm.rank() + p - 1) % p;
-            comm.send_f64(right, &halo).unwrap();
-            comm.send_f64(left, &halo).unwrap();
-            comm.recv_f64(left).unwrap();
-            comm.recv_f64(right).unwrap();
-            comm.allreduce_scalar(1.0, ReduceOp::Sum).unwrap();
-        }
-        comm.barrier();
-    });
+        world.run(|comm| {
+            // A CG-like iteration: local compute, halo exchange with the
+            // ring neighbours, then a scalar allreduce.
+            for _ in 0..3 {
+                comm.advance_compute(2e-3);
+                let p = comm.size();
+                let halo = vec![comm.rank() as f64; 2048];
+                let right = (comm.rank() + 1) % p;
+                let left = (comm.rank() + p - 1) % p;
+                comm.send_f64(right, &halo).unwrap();
+                comm.send_f64(left, &halo).unwrap();
+                comm.recv_f64(left).unwrap();
+                comm.recv_f64(right).unwrap();
+                comm.allreduce_scalar(1.0, ReduceOp::Sum).unwrap();
+            }
+            comm.barrier();
+        });
 
-    let events = recorder.take_events();
-    let report = RunReport::from_events(&events);
-    println!("=== Run report ({} events) ===\n", report.events);
-    println!("{}", report.render());
+        let events = recorder.take_events();
+        let report = RunReport::from_events(&events);
+        println!("=== Run report ({} events) ===\n", report.events);
+        println!("{}", report.render());
 
-    let json = chrome_trace_json(&events);
-    let path = std::env::temp_dir().join("trace_report.json");
-    std::fs::write(&path, &json).expect("write trace");
-    println!(
-        "Chrome trace written to {} ({} bytes) — load it in chrome://tracing\n",
-        path.display(),
-        json.len()
-    );
+        let json = chrome_trace_json(&events);
+        let path = std::env::temp_dir().join("trace_report.json");
+        std::fs::write(&path, &json).expect("write trace");
+        println!(
+            "Chrome trace written to {} ({} bytes) — load it in chrome://tracing\n",
+            path.display(),
+            json.len()
+        );
+    }
 
     // ----- trace a JUBE workflow ---------------------------------------
-    let wf_rec = Arc::new(Recorder::new());
-    let mut workflow = Workflow::new();
-    workflow.params.set_list("nodes", ["4", "8"]);
-    workflow.add_step(Step::new("compile", |_| Ok(output1("binary", "bench.x"))));
-    workflow.add_step(
-        Step::new("execute", |ctx| {
-            let nodes = ctx.param("nodes").unwrap_or("?").to_string();
-            Ok(output1("ran_on", nodes))
-        })
-        .after("compile"),
-    );
-    let workflow = workflow.with_recorder(wf_rec.clone());
-    workflow.execute(&[]).expect("workflow runs");
-    println!("=== Workflow events ===\n");
-    for e in wf_rec.take_events() {
-        if let jubench::trace::EventKind::Step {
-            step,
-            phase,
-            workpackage,
-        } = &e.kind
-        {
-            println!("  workpackage {workpackage}: {step:<10} {}", phase.label());
+    {
+        jubench::profile_scope!("example/workflow");
+        let wf_rec = Arc::new(Recorder::new());
+        let mut workflow = Workflow::new();
+        workflow.params.set_list("nodes", ["4", "8"]);
+        workflow.add_step(Step::new("compile", |_| Ok(output1("binary", "bench.x"))));
+        workflow.add_step(
+            Step::new("execute", |ctx| {
+                let nodes = ctx.param("nodes").unwrap_or("?").to_string();
+                Ok(output1("ran_on", nodes))
+            })
+            .after("compile"),
+        );
+        let workflow = workflow.with_recorder(wf_rec.clone());
+        workflow.execute(&[]).expect("workflow runs");
+        println!("=== Workflow events ===\n");
+        for e in wf_rec.take_events() {
+            if let jubench::trace::EventKind::Step {
+                step,
+                phase,
+                workpackage,
+            } = &e.kind
+            {
+                println!("  workpackage {workpackage}: {step:<10} {}", phase.label());
+            }
         }
     }
 
     // ----- the traffic study -------------------------------------------
-    println!("\n=== Regime breakdown vs job size (halo-exchange probe) ===\n");
-    // 64 nodes span two DragonFly+ cells, so the ring crosses the
-    // global optical links and the inter-cell column becomes non-zero.
-    println!("{}", traffic_table(&[1, 2, 8, 64]).render());
+    {
+        jubench::profile_scope!("example/traffic_study");
+        println!("\n=== Regime breakdown vs job size (halo-exchange probe) ===\n");
+        // 64 nodes span two DragonFly+ cells, so the ring crosses the
+        // global optical links and the inter-cell column becomes non-zero.
+        println!("{}", traffic_table(&[1, 2, 8, 64]).render());
+    }
+
+    // ----- the wall-clock side: metrics + self-profile -----------------
+    // Everything above also ran under jubench-metrics (unless
+    // JUBENCH_METRICS=0): the runtime counted its channel traffic, the
+    // trace layer its buffer growth, and the profiling scopes their
+    // wall time. Print the merged snapshot and write the collapsed-
+    // stack self-profile next to the Chrome trace.
+    let snap = jubench::metrics::snapshot();
+    println!("=== Wall-clock metrics (Prometheus exposition) ===\n");
+    print!("{}", snap.render_prometheus());
+
+    let collapsed = jubench::metrics::self_profile_collapsed();
+    let profile_path = std::env::temp_dir().join("self_profile.collapsed");
+    std::fs::write(&profile_path, &collapsed).expect("write self-profile");
+    println!(
+        "\nCollapsed-stack self-profile written to {} ({} stacks) — feed it to flamegraph.pl",
+        profile_path.display(),
+        collapsed.lines().count()
+    );
 }

@@ -49,6 +49,11 @@
 //!   envelope, the `Checkpointable` trait implemented by the iterative
 //!   apps, the workflow, and the scheduler, and the Young/Daly
 //!   optimal-interval formulas.
+//! - [`metrics`]: wall-clock self-observability — the sharded metrics
+//!   registry (counters/gauges/histograms), `profile_scope!` collapsed-
+//!   stack self-profiles, `BENCH_<n>.json` perf records, and the
+//!   regression gate. Observational only; the `JUBENCH_METRICS=0` kill
+//!   switch disables recording at runtime.
 
 pub use jubench_apps_ai as apps_ai;
 pub use jubench_apps_bio as apps_bio;
@@ -68,6 +73,8 @@ pub use jubench_core as core;
 pub use jubench_faults as faults;
 pub use jubench_jube as jube;
 pub use jubench_kernels as kernels;
+pub use jubench_metrics as metrics;
+pub use jubench_metrics::profile_scope;
 pub use jubench_pool as pool;
 pub use jubench_procurement as procurement;
 pub use jubench_scaling as scaling;
@@ -86,6 +93,7 @@ pub mod prelude {
     };
     pub use jubench_faults::{FaultPlan, RetryPolicy};
     pub use jubench_jube::{ParameterSet, ResultTable, Step, Workflow};
+    pub use jubench_metrics::MetricsSnapshot;
     pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
     pub use jubench_scaling::full_registry;
     pub use jubench_sched::{Job, PlacementPolicy, QueuePolicy, Scheduler, SchedulerConfig};

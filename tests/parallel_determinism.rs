@@ -84,36 +84,68 @@ fn campaign_study_is_thread_invariant() {
     });
 }
 
-/// The full campaign end to end: probe the whole registry into a job
-/// set, schedule it, and export the schedule's rendered table, its
-/// `RunReport` aggregate, and its Chrome trace JSON.
+/// The full-campaign artifact bundle: probe the whole registry into a
+/// job set, schedule it, and export the schedule's rendered table, its
+/// `RunReport` aggregate, and its Chrome trace JSON. Shared between the
+/// thread-invariance and metrics-invariance sweeps.
+fn campaign_artifact(registry: &Registry) -> String {
+    let jobs = registry_jobs(registry, 0.05);
+    let schedule = run_campaign(
+        Machine::juwels_booster().partition(144),
+        NetModel::juwels_booster(),
+        SchedulerConfig::new(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+            2024,
+        ),
+        &jobs,
+        &FaultPlan::new(0),
+    );
+    let recorder = Arc::new(Recorder::new());
+    schedule.emit(recorder.as_ref());
+    let events = recorder.take_events();
+    let report = RunReport::from_events(&events);
+    format!(
+        "{}\n{}\n{}",
+        schedule.render(),
+        report.render(),
+        chrome_trace_json(&events)
+    )
+}
+
+/// The full campaign end to end at every pool width.
 #[test]
 fn full_campaign_artifacts_are_thread_invariant() {
     let registry = full_registry();
     assert_thread_invariant("full campaign (table + report + trace)", || {
-        let jobs = registry_jobs(&registry, 0.05);
-        let schedule = run_campaign(
-            Machine::juwels_booster().partition(144),
-            NetModel::juwels_booster(),
-            SchedulerConfig::new(
-                QueuePolicy::ConservativeBackfill,
-                PlacementPolicy::Contiguous,
-                2024,
-            ),
-            &jobs,
-            &FaultPlan::new(0),
-        );
-        let recorder = Arc::new(Recorder::new());
-        schedule.emit(recorder.as_ref());
-        let events = recorder.take_events();
-        let report = RunReport::from_events(&events);
-        format!(
-            "{}\n{}\n{}",
-            schedule.render(),
-            report.render(),
-            chrome_trace_json(&events)
-        )
+        campaign_artifact(&registry)
     });
+}
+
+/// The hard invariant of `jubench-metrics`: recording is observational
+/// only. The full-campaign artifact bundle — which exercises the
+/// instrumented pool, scheduler, simulated MPI, checkpoint, and trace
+/// paths — must be **byte-identical** with metrics enabled and disabled,
+/// at 1, 2, and 8 pool threads.
+#[test]
+fn artifacts_are_byte_identical_with_metrics_on_and_off() {
+    let _guard = jubench::metrics::registry::test_mutex().lock().unwrap();
+    let registry = full_registry();
+    jubench::metrics::set_enabled(true);
+    let reference = with_threads(THREADS[0], || campaign_artifact(&registry));
+    for &t in &THREADS {
+        for on in [true, false] {
+            jubench::metrics::set_enabled(on);
+            let got = with_threads(t, || campaign_artifact(&registry));
+            assert_eq!(
+                got,
+                reference,
+                "campaign artifact at {t} pool threads with metrics {} diverged",
+                if on { "on" } else { "off" }
+            );
+        }
+    }
+    jubench::metrics::set_enabled(true);
 }
 
 /// A traced parameter-space workflow with dependent levels and a

@@ -639,6 +639,108 @@ fn hmc_snapshot_restore_snapshot_is_byte_identity() {
     }
 }
 
+/// Registry merge is order-independent: folding any permutation of a
+/// set of per-thread shard snapshots — in any association — yields the
+/// identical aggregate. This is the property that makes the metrics
+/// snapshot deterministic even though shard registration order depends
+/// on thread scheduling.
+#[test]
+fn metrics_merge_is_order_independent() {
+    use jubench::metrics::registry::HIST_BUCKETS;
+    use jubench::metrics::{HistogramSnapshot, MetricsSnapshot, ScopeStat};
+    let names = [
+        "pool/steals",
+        "sched/backfill_scans",
+        "simmpi/bytes/send",
+        "ckpt/seal_ns",
+        "trace/events_recorded",
+    ];
+    for case in 0..32u64 {
+        let mut rng = rank_rng(0x3E + case, 19);
+        let shards: Vec<MetricsSnapshot> = (0..rng.gen_range(2usize..7))
+            .map(|_| {
+                let mut s = MetricsSnapshot::default();
+                for name in names {
+                    if rng.gen_bool(0.7) {
+                        s.counters
+                            .insert(name.to_string(), rng.gen_range(0u64..1000));
+                    }
+                    if rng.gen_bool(0.5) {
+                        let g = rng.gen_range(0u64..100) as i64 - 50;
+                        s.gauges.insert(name.to_string(), g);
+                    }
+                    if rng.gen_bool(0.5) {
+                        let mut counts = vec![0u64; HIST_BUCKETS];
+                        let (mut count, mut sum) = (0u64, 0u64);
+                        let (mut min, mut max) = (u64::MAX, 0u64);
+                        for _ in 0..rng.gen_range(1usize..16) {
+                            let v = rng.gen_range(0u64..1 << 30);
+                            counts[rng.gen_range(0usize..HIST_BUCKETS)] += 1;
+                            count += 1;
+                            sum += v;
+                            min = min.min(v);
+                            max = max.max(v);
+                        }
+                        s.histograms.insert(
+                            name.to_string(),
+                            HistogramSnapshot {
+                                counts,
+                                count,
+                                sum,
+                                min,
+                                max,
+                            },
+                        );
+                    }
+                    if rng.gen_bool(0.5) {
+                        s.scopes.insert(
+                            name.to_string(),
+                            ScopeStat {
+                                count: rng.gen_range(1u64..50),
+                                inclusive_ns: rng.gen_range(0u64..1 << 40),
+                                exclusive_ns: rng.gen_range(0u64..1 << 40),
+                            },
+                        );
+                    }
+                }
+                s
+            })
+            .collect();
+        let fold = |order: &[usize]| {
+            let mut acc = MetricsSnapshot::default();
+            for &i in order {
+                acc.merge(&shards[i]);
+            }
+            acc
+        };
+        let identity: Vec<usize> = (0..shards.len()).collect();
+        let reference = fold(&identity);
+        // Shuffled orders.
+        for _ in 0..4 {
+            let mut order = identity.clone();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0usize..i + 1));
+            }
+            assert_eq!(fold(&order), reference, "case {case}: order {order:?}");
+        }
+        // A different association: pairwise tree merge.
+        let mut level = shards.clone();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    let mut acc = pair[0].clone();
+                    if let Some(b) = pair.get(1) {
+                        acc.merge(b);
+                    }
+                    acc
+                })
+                .collect();
+        }
+        assert_eq!(level[0], reference, "case {case}: tree merge");
+    }
+}
+
 /// Gate application preserves the norm for arbitrary phase angles.
 #[test]
 fn quantum_gates_are_unitary() {
