@@ -37,9 +37,8 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| gemm(&a, &m).data[0]);
     });
 
-    // Solver targets below have no natural byte denomination; reset the
-    // sticky throughput to an element count (not exported into records).
-    group.throughput(Throughput::Elements(1));
+    // One 96² f64 matrix read, one in-place factorization written back.
+    group.throughput(Throughput::Bytes(2 * 96 * 96 * 8));
     group.bench_function("lu_factor_96", |b| {
         let mut rng = rank_rng(3, 0);
         let a = Matrix::from_fn(96, 96, |i, j| {
@@ -48,6 +47,9 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| lu_factor(&a).unwrap().swaps);
     });
 
+    // Working set of one solve: the dense 64² operator plus the rhs and
+    // solution vectors, streamed every CG iteration.
+    group.throughput(Throughput::Bytes((64 * 64 + 2 * 64) * 8));
     group.bench_function("cg_spd_64", |b| {
         let mut rng = rank_rng(4, 0);
         let n = 64;
@@ -70,6 +72,9 @@ fn bench_kernels(c: &mut Criterion) {
         });
     });
 
+    // The V-cycle touches every level of the hierarchy; no single byte
+    // denomination is honest, so keep it out of the records.
+    group.throughput(Throughput::Elements(1));
     group.bench_function("multigrid_vcycle_16", |b| {
         let n = 16;
         let rhs = vec![1.0; n * n * n];
@@ -80,6 +85,9 @@ fn bench_kernels(c: &mut Criterion) {
         });
     });
 
+    // One 24³ interior read through the 7-point stencil, one written
+    // (ghost-layer padding excluded from the denomination).
+    group.throughput(Throughput::Bytes(2 * 24 * 24 * 24 * 8));
     group.bench_function("laplacian_grid3_24", |b| {
         let mut g = Grid3::from_fn(24, 24, 24, |i, j, k| (i + 2 * j + 3 * k) as f64);
         g.wrap_periodic();
@@ -90,6 +98,8 @@ fn bench_kernels(c: &mut Criterion) {
         });
     });
 
+    // Four 1024-element bands/rhs read, one solution vector written.
+    group.throughput(Throughput::Bytes(5 * 1024 * 8));
     group.bench_function("thomas_solve_1024", |b| {
         let n = 1024;
         let lower = vec![-1.0; n];

@@ -158,6 +158,11 @@ impl SnapshotWriter {
         self.put_u64(v as u64);
     }
 
+    /// Append a little-endian u128 (content-addressed cache keys).
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
     /// Append an f64 as its IEEE-754 bit pattern (bit-exact round trip).
     pub fn put_f64(&mut self, v: f64) {
         self.put_u64(v.to_bits());
@@ -249,6 +254,13 @@ impl<'a> SnapshotReader<'a> {
         usize::try_from(v).map_err(|_| CkptError::Malformed {
             what: format!("{what}: length {v} overflows usize"),
         })
+    }
+
+    /// Read a little-endian u128.
+    pub fn get_u128(&mut self, what: &'static str) -> Result<u128, CkptError> {
+        Ok(u128::from_le_bytes(
+            self.take(what, 16)?.try_into().unwrap(),
+        ))
     }
 
     /// Read an f64 from its bit pattern.

@@ -65,18 +65,11 @@ pub trait Checkpointable {
     fn restore(&mut self, bytes: &[u8]) -> Result<(), CkptError>;
 }
 
-/// FNV-1a 64-bit hash — the envelope checksum.
-///
-/// Not cryptographic; it guards against truncation and bit rot, which
-/// is all a deterministic simulator needs.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a 64-bit hash — the envelope checksum. Re-exported from the
+/// workspace's canonical implementation in `jubench-core` so the
+/// checksum, the archive manifests, and the content-addressed result
+/// cache all agree on one hash.
+pub use jubench_core::fnv1a64;
 
 #[cfg(test)]
 mod tests {

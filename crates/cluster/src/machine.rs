@@ -207,6 +207,29 @@ impl Machine {
         assert!(cell < self.cells(), "cell {} of {}", cell, self.cells());
         (self.nodes - cell * self.cell_nodes).min(self.cell_nodes)
     }
+
+    /// Canonical content bytes of this machine model: every field that
+    /// shapes a run's result, in declaration order, floats as IEEE-754
+    /// bit patterns. Two machines with equal fingerprint bytes model the
+    /// same hardware — the property content-addressed result caching and
+    /// shard routing key on.
+    pub fn fingerprint_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.nodes.to_le_bytes());
+        out.extend_from_slice(&self.cell_nodes.to_le_bytes());
+        out.extend_from_slice(self.node.gpu.name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&self.node.gpu.fp64_flops.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.node.gpu.memory_bytes.to_le_bytes());
+        out.extend_from_slice(&self.node.gpu.mem_bw.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.node.gpus_per_node.to_le_bytes());
+        out.extend_from_slice(&self.node.nics_per_node.to_le_bytes());
+        out.extend_from_slice(&self.node.nic_bw.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.node.power_w.to_bits().to_le_bytes());
+        out
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ pub mod benchmark;
 pub mod checklist;
 pub mod error;
 pub mod fom;
+pub mod hash;
 pub mod meta;
 pub mod registry;
 pub mod variant;
@@ -25,6 +26,7 @@ pub use benchmark::{Benchmark, RunConfig, RunOutcome, WorkloadScale};
 pub use checklist::{Checklist, ChecklistItem};
 pub use error::SuiteError;
 pub use fom::{Fom, TimeMetric};
+pub use hash::{content_key128, fnv1a64, fnv1a64_with};
 pub use meta::{suite_meta, BenchmarkId, BenchmarkMeta, Category, Domain, Dwarf, ExecutionTarget};
 pub use registry::Registry;
 pub use variant::MemoryVariant;

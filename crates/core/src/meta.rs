@@ -88,6 +88,12 @@ impl BenchmarkId {
             BenchmarkId::Stream => "STREAM",
         }
     }
+
+    /// Parse a display name (as produced by [`Self::name`]) back into the
+    /// id — the wire-format decoding used by campaign requests.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|id| id.name() == name)
+    }
 }
 
 /// Benchmark category (§II-B).

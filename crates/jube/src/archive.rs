@@ -15,15 +15,9 @@ use std::collections::BTreeMap;
 
 /// FNV-1a 64-bit — small, dependency-free, deterministic. (The real suite
 /// uses cryptographic hashes; integrity-against-accident is what the
-/// procurement workflow needs and what this provides.)
-pub fn fnv1a64(data: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    hash
-}
+/// procurement workflow needs and what this provides.) Re-exported from
+/// the canonical implementation in `jubench-core`.
+pub use jubench_core::fnv1a64;
 
 /// An archived benchmark package: named members with their contents.
 #[derive(Debug, Clone, Default)]

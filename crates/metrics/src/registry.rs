@@ -286,6 +286,25 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The sub-snapshot of metrics whose name starts with `prefix` —
+    /// what a service endpoint exposes when a tenant asks for one
+    /// subsystem's metrics (e.g. `"serve/"`) instead of the whole
+    /// process.
+    pub fn filter_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        fn keep<V: Clone>(m: &BTreeMap<String, V>, prefix: &str) -> BTreeMap<String, V> {
+            m.iter()
+                .filter(|(k, _)| k.starts_with(prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        }
+        MetricsSnapshot {
+            counters: keep(&self.counters, prefix),
+            gauges: keep(&self.gauges, prefix),
+            histograms: keep(&self.histograms, prefix),
+            scopes: keep(&self.scopes, prefix),
+        }
+    }
+
     /// Prometheus-style text exposition: `# TYPE` headers, counters and
     /// gauges as plain samples, histograms as cumulative `_bucket{le=…}`
     /// series plus `_sum`/`_count`, scopes as two counters each.

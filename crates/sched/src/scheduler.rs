@@ -556,6 +556,27 @@ impl CampaignState {
     pub fn log(&self) -> &[String] {
         &self.log
     }
+
+    /// The per-job records accumulated so far, in job-id order. Mid-run
+    /// views let a long-running service stream completions incrementally
+    /// instead of waiting for [`Scheduler::finish`].
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Jobs that have run to completion so far, as `(job id, end time)`
+    /// pairs ordered by `(end time, id)` — the deterministic streaming
+    /// order for incremental result delivery.
+    pub fn finished_jobs(&self) -> Vec<(u32, f64)> {
+        let mut done: Vec<(u32, f64)> = self
+            .records
+            .iter()
+            .filter(|r| r.outcome == JobOutcome::Finished)
+            .filter_map(|r| r.end_s.map(|e| (r.id, e)))
+            .collect();
+        done.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        done
+    }
 }
 
 fn put_node_set(w: &mut SnapshotWriter, set: &BTreeSet<u32>) {

@@ -1,0 +1,56 @@
+//! # jubench-serve — the multi-tenant campaign service
+//!
+//! The suite as a *service*: a deterministic, long-running daemon that
+//! accepts benchmark campaigns from multiple tenants, executes their
+//! run points, schedules the resulting jobs on the modeled machine, and
+//! streams results back incrementally — with a content-addressed result
+//! store in front of execution so resubmitted campaigns re-execute only
+//! what actually changed. This is the paper's continuous-benchmarking
+//! posture (the JUPITER suite outliving its procurement and re-running
+//! as the machine evolves) turned into a subsystem.
+//!
+//! ## Layers
+//!
+//! - [`wire`]: the length-prefixed frame protocol — `Submit` / `Drain`
+//!   / `Stats` / `Bye` in, `Accepted` / `Row` / `JobDone` / `Done` /
+//!   `StatsReply` out. Bodies use the checkpoint serializer, so wire
+//!   bytes and snapshot bytes share one canonical encoding.
+//! - [`transport`]: the socket-shaped byte-stream trait the protocol
+//!   runs over. In-process today ([`DuplexPipe`]); a TCP stream can
+//!   implement [`Transport`] without touching anything above it.
+//! - [`cache`]: the bounded, deterministic, content-addressed
+//!   [`ResultCache`]. Keys are 128-bit FNV-1a content addresses of
+//!   (benchmark, parameter point, machine fingerprint, seed, fault
+//!   plan); eviction is LRU by a logical clock.
+//! - [`shard`]: one worker shard — a campaign state machine advancing
+//!   in snapshottable units, [`Checkpointable`](jubench_ckpt::Checkpointable)
+//!   at every unit boundary, with live extraction/adoption of in-flight
+//!   campaigns for migration.
+//! - [`server`]: shard routing (campaigns keyed to shards by machine
+//!   fingerprint), serial and dedicated-thread-parallel driving, the
+//!   session loop, and the [`Client`] helper.
+//!
+//! ## The determinism contract
+//!
+//! For a fixed request set, the per-campaign frame stream — and
+//! therefore the result table and Chrome trace — is byte-identical
+//! across: any shard count, serial vs parallel driving, any
+//! kill-and-restore point, live migration mid-campaign, and warm vs
+//! cold caches. The cache changes *when* work happens, never *what* is
+//! produced; its tallies surface only in the out-of-band
+//! [`CacheStats`](jubench_trace::CacheStats) of the run report and the
+//! `serve/*` metrics (Prometheus exposition via the `Stats` frame).
+
+pub mod cache;
+pub mod server;
+pub mod shard;
+pub mod spec;
+pub mod transport;
+pub mod wire;
+
+pub use cache::{PointResult, ResultCache};
+pub use server::{serve_session, Client, Server};
+pub use shard::{Emit, ShardState, CAMPAIGN_KIND, SHARD_KIND};
+pub use spec::{CampaignSpec, RunPoint};
+pub use transport::{DuplexPipe, Transport, TransportError};
+pub use wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES};

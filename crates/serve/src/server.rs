@@ -1,0 +1,426 @@
+//! The campaign service: shard routing, the session loop, and the
+//! client helper.
+//!
+//! A [`Server`] owns N worker shards ([`ShardState`]) and routes each
+//! accepted campaign to the shard owning its machine partition —
+//! `fnv1a64(machine fingerprint) mod N` — so repeated campaigns against
+//! the same partition land on the same shard and find its cache warm.
+//!
+//! Driving is deterministic two ways: [`Server::drain`] advances shards
+//! round-robin on the calling thread (frames interleave in shard
+//! order), and [`Server::drain_parallel`] runs every shard on its own
+//! dedicated `jubench-pool` rank thread and concatenates the per-shard
+//! frame streams in shard order afterwards. Either way, the frame
+//! subsequence of any single campaign is identical — that is the
+//! byte-identity contract the tests pin.
+//!
+//! [`serve_session`] speaks the wire protocol over a [`Transport`], and
+//! [`Client`] is the matching caller side.
+
+use crate::shard::{Emit, ShardState};
+use crate::spec::CampaignSpec;
+use crate::transport::Transport;
+use crate::wire::{read_frame, write_frame, Frame, WireError};
+use jubench_core::{fnv1a64, Registry};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
+
+/// The multi-tenant campaign service.
+#[derive(Debug)]
+pub struct Server {
+    shards: Vec<ShardState>,
+    next_campaign: u64,
+    /// Campaign → shard placement, for status queries and migration.
+    routes: BTreeMap<u64, u32>,
+    /// Frames produced while a different client was draining, held for
+    /// delivery on their owner's next drain.
+    mailbox: BTreeMap<u64, Vec<Frame>>,
+}
+
+impl Server {
+    /// A service with `n_shards` worker shards, each with its own
+    /// result cache bounded at `cache_capacity` entries.
+    pub fn new(n_shards: usize, cache_capacity: usize) -> Self {
+        assert!(n_shards > 0, "a server needs at least one shard");
+        Server {
+            shards: (0..n_shards)
+                .map(|i| ShardState::new(i as u32, cache_capacity))
+                .collect(),
+            next_campaign: 1,
+            routes: BTreeMap::new(),
+            mailbox: BTreeMap::new(),
+        }
+    }
+
+    /// Number of worker shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow a shard (monitoring, tests).
+    pub fn shard(&self, id: u32) -> &ShardState {
+        &self.shards[id as usize]
+    }
+
+    /// Mutably borrow a shard (kill/restore and migration drills).
+    pub fn shard_mut(&mut self, id: u32) -> &mut ShardState {
+        &mut self.shards[id as usize]
+    }
+
+    /// The shard a spec routes to: campaigns are keyed by their machine
+    /// partition, so identical partitions share a shard — and its warm
+    /// cache.
+    pub fn route(&self, spec: &CampaignSpec) -> u32 {
+        let h = fnv1a64(&spec.machine().fingerprint_bytes());
+        // FNV-1a's low bits mix only the low bits of each input byte
+        // (the prime is odd), so `h % N` would alias every partition
+        // size that differs by a multiple of 4. Fold the well-mixed
+        // high word in before reducing.
+        let folded = h ^ (h >> 32);
+        (folded % self.shards.len() as u64) as u32
+    }
+
+    /// Validate and enqueue a campaign for `client`. Returns the
+    /// assigned `(campaign id, shard)` or the rejection reason.
+    pub fn submit(
+        &mut self,
+        client: u64,
+        spec: CampaignSpec,
+        registry: &Registry,
+    ) -> Result<(u64, u32), String> {
+        spec.validate(registry)?;
+        let shard = self.route(&spec);
+        let campaign = self.next_campaign;
+        self.next_campaign += 1;
+        self.shards[shard as usize].submit(campaign, client, spec);
+        self.routes.insert(campaign, shard);
+        Ok((campaign, shard))
+    }
+
+    /// Whether every shard is idle.
+    pub fn idle(&self) -> bool {
+        self.shards.iter().all(|s| s.idle())
+    }
+
+    /// Advance every non-idle shard by one unit, in shard order.
+    pub fn step(&mut self, registry: &Registry) -> Vec<Emit> {
+        let mut out = Vec::new();
+        for shard in &mut self.shards {
+            out.extend(shard.step(registry));
+        }
+        self.forget_finished();
+        out
+    }
+
+    /// Drive all shards to completion on the calling thread,
+    /// deterministically interleaving frames in shard order.
+    pub fn drain(&mut self, registry: &Registry) -> Vec<Emit> {
+        let mut out = Vec::new();
+        while !self.idle() {
+            out.extend(self.step(registry));
+        }
+        out
+    }
+
+    /// Drive all shards to completion in parallel, one dedicated
+    /// `jubench-pool` rank thread per shard. Frames are concatenated in
+    /// shard order after the join, so the result is deterministic; each
+    /// campaign's frame subsequence is identical to [`Self::drain`]'s.
+    pub fn drain_parallel(&mut self, registry: &Registry) -> Vec<Emit> {
+        let n = self.shards.len() as u32;
+        let slots: Vec<Mutex<ShardState>> = self.shards.drain(..).map(Mutex::new).collect();
+        let results =
+            jubench_pool::run_dedicated(n, |i| slots[i as usize].lock().unwrap().drain(registry));
+        self.shards = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+        let mut out = Vec::new();
+        for result in results {
+            out.extend(result.expect("shard worker panicked"));
+        }
+        self.forget_finished();
+        out
+    }
+
+    /// Migrate in-flight campaign `campaign` to shard `to`. Returns
+    /// false if the campaign is not live (unknown or already done).
+    pub fn migrate(&mut self, campaign: u64, to: u32) -> bool {
+        let Some(&from) = self.routes.get(&campaign) else {
+            return false;
+        };
+        if from == to {
+            return true;
+        }
+        let Some(envelope) = self.shards[from as usize].extract(campaign) else {
+            return false;
+        };
+        self.shards[to as usize]
+            .adopt(&envelope)
+            .expect("an extracted campaign envelope must adopt");
+        self.routes.insert(campaign, to);
+        true
+    }
+
+    /// Drop routes of campaigns that are no longer live on any shard.
+    fn forget_finished(&mut self) {
+        let live: BTreeSet<u64> = self.shards.iter().flat_map(|s| s.active()).collect();
+        self.routes.retain(|campaign, _| live.contains(campaign));
+    }
+}
+
+/// Serve one client session over a transport: the server side of the
+/// wire protocol. Returns when the client says [`Frame::Bye`] or hangs
+/// up. Frames produced for *other* clients while this one drains are
+/// parked in the server's mailbox and delivered on their owner's next
+/// drain.
+pub fn serve_session(
+    server: &mut Server,
+    registry: &Registry,
+    t: &mut dyn Transport,
+    client: u64,
+) -> Result<(), WireError> {
+    loop {
+        let frame = match read_frame(t) {
+            Ok(frame) => frame,
+            Err(WireError::Transport(_)) => return Ok(()), // peer hung up
+            Err(e) => return Err(e),
+        };
+        match frame {
+            Frame::Submit { spec } => {
+                let reply = match server.submit(client, spec, registry) {
+                    Ok((campaign, shard)) => Frame::Accepted { campaign, shard },
+                    Err(reason) => Frame::Rejected { reason },
+                };
+                write_frame(t, &reply)?;
+            }
+            Frame::Drain => {
+                for frame in server.mailbox.remove(&client).unwrap_or_default() {
+                    write_frame(t, &frame)?;
+                }
+                for emit in server.drain(registry) {
+                    if emit.client == client {
+                        write_frame(t, &emit.frame)?;
+                    } else {
+                        server
+                            .mailbox
+                            .entry(emit.client)
+                            .or_default()
+                            .push(emit.frame);
+                    }
+                }
+            }
+            Frame::Stats { prefix } => {
+                let snapshot = jubench_metrics::snapshot().filter_prefix(&prefix);
+                write_frame(
+                    t,
+                    &Frame::StatsReply {
+                        prometheus: snapshot.render_prometheus(),
+                    },
+                )?;
+            }
+            Frame::Bye => {
+                t.shutdown();
+                return Ok(());
+            }
+            _ => return Err(WireError::Unexpected("server→client frame from a client")),
+        }
+    }
+}
+
+/// The caller side of the wire protocol: frames requests over any
+/// [`Transport`] and tracks outstanding campaigns so
+/// [`Client::drain`] knows when the stream is complete.
+pub struct Client<T: Transport> {
+    transport: T,
+    outstanding: BTreeSet<u64>,
+}
+
+impl<T: Transport> Client<T> {
+    /// Wrap a connected transport.
+    pub fn new(transport: T) -> Self {
+        Client {
+            transport,
+            outstanding: BTreeSet::new(),
+        }
+    }
+
+    /// Submit a campaign; returns the assigned campaign id or the
+    /// rejection reason.
+    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<Result<u64, String>, WireError> {
+        write_frame(&mut self.transport, &Frame::Submit { spec: spec.clone() })?;
+        match read_frame(&mut self.transport)? {
+            Frame::Accepted { campaign, .. } => {
+                self.outstanding.insert(campaign);
+                Ok(Ok(campaign))
+            }
+            Frame::Rejected { reason } => Ok(Err(reason)),
+            _ => Err(WireError::Unexpected("expected Accepted or Rejected")),
+        }
+    }
+
+    /// Run every outstanding campaign to completion, returning the
+    /// streamed result frames (rows, job completions, final reports) in
+    /// arrival order.
+    pub fn drain(&mut self) -> Result<Vec<Frame>, WireError> {
+        if self.outstanding.is_empty() {
+            return Ok(Vec::new());
+        }
+        write_frame(&mut self.transport, &Frame::Drain)?;
+        let mut frames = Vec::new();
+        while !self.outstanding.is_empty() {
+            let frame = read_frame(&mut self.transport)?;
+            if let Frame::Done { campaign, .. } = &frame {
+                self.outstanding.remove(campaign);
+            }
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+
+    /// Fetch the service metrics (Prometheus text exposition) filtered
+    /// to names starting with `prefix`.
+    pub fn stats(&mut self, prefix: &str) -> Result<String, WireError> {
+        write_frame(
+            &mut self.transport,
+            &Frame::Stats {
+                prefix: prefix.to_string(),
+            },
+        )?;
+        match read_frame(&mut self.transport)? {
+            Frame::StatsReply { prometheus } => Ok(prometheus),
+            _ => Err(WireError::Unexpected("expected StatsReply")),
+        }
+    }
+
+    /// End the session.
+    pub fn bye(mut self) -> Result<(), WireError> {
+        write_frame(&mut self.transport, &Frame::Bye)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunPoint;
+    use crate::transport::DuplexPipe;
+
+    fn spec(name: &str, nodes: u32, seed: u64) -> CampaignSpec {
+        let mut spec = CampaignSpec::new("tenant", name, nodes, seed)
+            .with_point(RunPoint::test("STREAM", 2, 1))
+            .with_point(RunPoint::test("LinkTest", 2, 2));
+        spec.slice_s = 2.0;
+        spec
+    }
+
+    #[test]
+    fn routing_is_by_machine_partition() {
+        let server = Server::new(4, 16);
+        let a = server.route(&spec("a", 8, 1));
+        let b = server.route(&spec("b", 8, 99));
+        assert_eq!(a, b, "same partition routes to the same shard");
+        // Different partitions spread across shards (at least one of a
+        // handful of sizes must land elsewhere, or routing is constant).
+        let routes: BTreeSet<u32> = [8u32, 16, 24, 48, 96, 192]
+            .iter()
+            .map(|&n| server.route(&spec("x", n, 1)))
+            .collect();
+        assert!(routes.len() > 1, "routing never spreads: {routes:?}");
+    }
+
+    #[test]
+    fn serial_and_parallel_drains_agree_per_campaign() {
+        let registry = jubench_scaling::full_registry();
+        let mut serial = Server::new(2, 16);
+        let mut parallel = Server::new(2, 16);
+        for (srv, _) in [(&mut serial, 0), (&mut parallel, 1)] {
+            srv.submit(7, spec("a", 8, 1), &registry).unwrap();
+            srv.submit(7, spec("b", 16, 2), &registry).unwrap();
+            srv.submit(7, spec("c", 8, 3), &registry).unwrap();
+        }
+        let serial_emits = serial.drain(&registry);
+        let parallel_emits = parallel.drain_parallel(&registry);
+        let per_campaign = |emits: &[Emit], id: u64| -> Vec<Frame> {
+            emits
+                .iter()
+                .filter(|e| frame_campaign(&e.frame) == Some(id))
+                .map(|e| e.frame.clone())
+                .collect()
+        };
+        for id in 1..=3u64 {
+            assert_eq!(
+                per_campaign(&serial_emits, id),
+                per_campaign(&parallel_emits, id),
+                "campaign {id} diverged between serial and parallel drains"
+            );
+        }
+    }
+
+    fn frame_campaign(frame: &Frame) -> Option<u64> {
+        match frame {
+            Frame::Row { campaign, .. }
+            | Frame::JobDone { campaign, .. }
+            | Frame::Done { campaign, .. } => Some(*campaign),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn session_over_a_pipe_streams_results() {
+        let registry = jubench_scaling::full_registry();
+        let mut server = Server::new(2, 16);
+        let (client_end, mut server_end) = DuplexPipe::pair();
+        let server_thread = std::thread::spawn(move || {
+            serve_session(&mut server, &registry, &mut server_end, 1).unwrap();
+            server
+        });
+
+        let mut client = Client::new(client_end);
+        let campaign = client.submit(&spec("s", 8, 1)).unwrap().unwrap();
+        let frames = client.drain().unwrap();
+        assert!(frames
+            .iter()
+            .any(|f| matches!(f, Frame::Done { campaign: c, .. } if *c == campaign)));
+        let rows = frames
+            .iter()
+            .filter(|f| matches!(f, Frame::Row { .. }))
+            .count();
+        assert_eq!(rows, 2);
+
+        let bad = client
+            .submit(&CampaignSpec::new("t", "empty", 8, 0))
+            .unwrap();
+        assert!(bad.is_err(), "empty campaign must be rejected");
+
+        // The exposition flattens `/` to `_` in metric names.
+        let prometheus = client.stats("serve/").unwrap();
+        if jubench_metrics::enabled() {
+            assert!(prometheus.contains("serve_"), "missing: {prometheus}");
+        }
+        assert!(
+            !prometheus.contains("sched_"),
+            "filter leaked: {prometheus}"
+        );
+
+        client.bye().unwrap();
+        let server = server_thread.join().unwrap();
+        assert!(server.idle());
+    }
+
+    #[test]
+    fn migration_through_the_server_is_transparent() {
+        let registry = jubench_scaling::full_registry();
+        let reference = {
+            let mut server = Server::new(4, 16);
+            server.submit(1, spec("m", 8, 1), &registry).unwrap();
+            server.drain(&registry)
+        };
+        let mut server = Server::new(4, 16);
+        let (campaign, shard) = server.submit(1, spec("m", 8, 1), &registry).unwrap();
+        let mut emits = server.step(&registry);
+        let target = (shard + 1) % 4;
+        assert!(server.migrate(campaign, target));
+        assert!(server.shard(shard).idle());
+        emits.extend(server.drain(&registry));
+        let frames = |e: &[Emit]| -> Vec<Frame> { e.iter().map(|x| x.frame.clone()).collect() };
+        assert_eq!(frames(&emits), frames(&reference));
+    }
+}

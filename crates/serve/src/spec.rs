@@ -1,0 +1,497 @@
+//! Campaign specifications: what a tenant submits to the service.
+//!
+//! A [`CampaignSpec`] is pure data — a machine partition, a scheduler
+//! configuration, an optional fault plan, and a list of [`RunPoint`]s to
+//! execute. Its canonical byte encoding (via the checkpoint serializer)
+//! doubles as the wire form of the `Submit` frame and as the persisted
+//! form inside shard snapshots, so a spec roundtrips bit-exactly through
+//! both paths.
+//!
+//! [`CampaignSpec::point_key`] derives the content address of one run
+//! point: a 128-bit FNV-1a key over the canonical bytes of everything a
+//! point's result is a function of — benchmark id, parameter point,
+//! machine-model fingerprint, seed, and fault plan. Identical keys mean
+//! identical results under the suite's determinism contract, which is
+//! exactly what licenses the result cache to answer without re-executing.
+
+use jubench_ckpt::{CkptError, SnapshotReader, SnapshotWriter};
+use jubench_cluster::Machine;
+use jubench_core::{content_key128, BenchmarkId, MemoryVariant, Registry, WorkloadScale};
+use jubench_faults::{Fault, FaultPlan};
+use jubench_sched::{PlacementPolicy, QueuePolicy};
+
+/// One benchmark execution requested by a campaign: the full parameter
+/// point of a [`jubench_core::RunConfig`] plus the benchmark to run it
+/// on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunPoint {
+    /// Suite benchmark name (see [`BenchmarkId::name`]).
+    pub bench: String,
+    /// Node count of the point.
+    pub nodes: u32,
+    /// Problem-size scaling.
+    pub scale: WorkloadScale,
+    /// Memory variant (`None` = Base workload).
+    pub variant: Option<MemoryVariant>,
+    /// Workload-generation seed.
+    pub seed: u64,
+}
+
+impl RunPoint {
+    /// A test-scale Base point — the common case in campaigns.
+    pub fn test(bench: &str, nodes: u32, seed: u64) -> Self {
+        RunPoint {
+            bench: bench.to_string(),
+            nodes,
+            scale: WorkloadScale::Test,
+            variant: None,
+            seed,
+        }
+    }
+
+    fn put(&self, w: &mut SnapshotWriter) {
+        w.put_str(&self.bench);
+        w.put_u32(self.nodes);
+        w.put_u8(scale_code(self.scale));
+        w.put_u8(variant_code(self.variant));
+        w.put_u64(self.seed);
+    }
+
+    fn get(r: &mut SnapshotReader) -> Result<Self, CkptError> {
+        Ok(RunPoint {
+            bench: r.get_str("point bench")?,
+            nodes: r.get_u32("point nodes")?,
+            scale: scale_from(r.get_u8("point scale")?)?,
+            variant: variant_from(r.get_u8("point variant")?)?,
+            seed: r.get_u64("point seed")?,
+        })
+    }
+}
+
+fn scale_code(s: WorkloadScale) -> u8 {
+    match s {
+        WorkloadScale::Test => 0,
+        WorkloadScale::Bench => 1,
+        WorkloadScale::Paper => 2,
+    }
+}
+
+fn scale_from(code: u8) -> Result<WorkloadScale, CkptError> {
+    match code {
+        0 => Ok(WorkloadScale::Test),
+        1 => Ok(WorkloadScale::Bench),
+        2 => Ok(WorkloadScale::Paper),
+        _ => Err(CkptError::Malformed {
+            what: "workload scale code".to_string(),
+        }),
+    }
+}
+
+fn variant_code(v: Option<MemoryVariant>) -> u8 {
+    match v {
+        None => 0,
+        Some(MemoryVariant::Tiny) => 1,
+        Some(MemoryVariant::Small) => 2,
+        Some(MemoryVariant::Medium) => 3,
+        Some(MemoryVariant::Large) => 4,
+    }
+}
+
+fn variant_from(code: u8) -> Result<Option<MemoryVariant>, CkptError> {
+    match code {
+        0 => Ok(None),
+        1 => Ok(Some(MemoryVariant::Tiny)),
+        2 => Ok(Some(MemoryVariant::Small)),
+        3 => Ok(Some(MemoryVariant::Medium)),
+        4 => Ok(Some(MemoryVariant::Large)),
+        _ => Err(CkptError::Malformed {
+            what: "memory variant code".to_string(),
+        }),
+    }
+}
+
+fn put_plan(w: &mut SnapshotWriter, plan: &FaultPlan) {
+    w.put_u64(plan.seed());
+    w.put_f64(plan.recv_timeout_s());
+    w.put_usize(plan.faults().len());
+    for fault in plan.faults() {
+        match *fault {
+            Fault::DegradedLink { a, b, factor } => {
+                w.put_u8(0);
+                w.put_u32(a);
+                w.put_u32(b);
+                w.put_f64(factor);
+            }
+            Fault::FlappingLink {
+                a,
+                b,
+                factor,
+                period_s,
+                up_fraction,
+            } => {
+                w.put_u8(1);
+                w.put_u32(a);
+                w.put_u32(b);
+                w.put_f64(factor);
+                w.put_f64(period_s);
+                w.put_f64(up_fraction);
+            }
+            Fault::SlowNode {
+                node,
+                factor,
+                from_s,
+                until_s,
+            } => {
+                w.put_u8(2);
+                w.put_u32(node);
+                w.put_f64(factor);
+                w.put_f64(from_s);
+                w.put_f64(until_s);
+            }
+            Fault::MessageDrop {
+                from,
+                to,
+                probability,
+            } => {
+                w.put_u8(3);
+                w.put_u32(from);
+                w.put_u32(to);
+                w.put_f64(probability);
+            }
+            Fault::RankCrash { rank, at_s } => {
+                w.put_u8(4);
+                w.put_u32(rank);
+                w.put_f64(at_s);
+            }
+        }
+    }
+}
+
+fn get_plan(r: &mut SnapshotReader) -> Result<FaultPlan, CkptError> {
+    let seed = r.get_u64("plan seed")?;
+    let recv_timeout_s = r.get_f64("plan recv timeout")?;
+    let mut plan = FaultPlan::new(seed).with_recv_timeout(recv_timeout_s);
+    let n = r.get_usize("plan fault count")?;
+    for _ in 0..n {
+        plan = match r.get_u8("fault kind")? {
+            0 => {
+                let a = r.get_u32("fault a")?;
+                let b = r.get_u32("fault b")?;
+                let factor = r.get_f64("fault factor")?;
+                plan.with_degraded_link(a, b, factor)
+            }
+            1 => {
+                let a = r.get_u32("fault a")?;
+                let b = r.get_u32("fault b")?;
+                let factor = r.get_f64("fault factor")?;
+                let period_s = r.get_f64("fault period")?;
+                let up_fraction = r.get_f64("fault up fraction")?;
+                plan.with_flapping_link(a, b, factor, period_s, up_fraction)
+            }
+            2 => {
+                let node = r.get_u32("fault node")?;
+                let factor = r.get_f64("fault factor")?;
+                let from_s = r.get_f64("fault from")?;
+                let until_s = r.get_f64("fault until")?;
+                plan.with_slow_node_window(node, factor, from_s, until_s)
+            }
+            3 => {
+                let from = r.get_u32("fault from")?;
+                let to = r.get_u32("fault to")?;
+                let probability = r.get_f64("fault probability")?;
+                plan.with_message_drop(from, to, probability)
+            }
+            4 => {
+                let rank = r.get_u32("fault rank")?;
+                let at_s = r.get_f64("fault at")?;
+                plan.with_rank_crash(rank, at_s)
+            }
+            _ => {
+                return Err(CkptError::Malformed {
+                    what: "fault kind code".to_string(),
+                })
+            }
+        };
+    }
+    Ok(plan)
+}
+
+/// A campaign: one tenant's batch of run points plus the machine
+/// partition and scheduler configuration to place them on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Tenant identity — a namespace for accounting, not access control.
+    pub tenant: String,
+    /// Human-readable campaign name.
+    pub name: String,
+    /// Node count of the JUWELS Booster partition the campaign runs on.
+    pub nodes: u32,
+    /// Scheduler seed.
+    pub seed: u64,
+    /// Queueing policy.
+    pub policy: QueuePolicy,
+    /// Placement policy.
+    pub placement: PlacementPolicy,
+    /// Virtual seconds between consecutive job submissions.
+    pub spacing_s: f64,
+    /// Virtual seconds each scheduling step advances before the shard
+    /// yields (and becomes snapshottable / migratable).
+    pub slice_s: f64,
+    /// Fault plan applied while scheduling the campaign's jobs.
+    pub plan: FaultPlan,
+    /// The run points to execute.
+    pub points: Vec<RunPoint>,
+}
+
+impl CampaignSpec {
+    /// A minimal test-scale campaign on `nodes` nodes of the modeled
+    /// JUWELS Booster: FIFO + contiguous placement, no faults.
+    pub fn new(tenant: &str, name: &str, nodes: u32, seed: u64) -> Self {
+        CampaignSpec {
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            nodes,
+            seed,
+            policy: QueuePolicy::Fifo,
+            placement: PlacementPolicy::Contiguous,
+            spacing_s: 1.0,
+            slice_s: 50.0,
+            plan: FaultPlan::new(seed),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a run point (builder style).
+    pub fn with_point(mut self, point: RunPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// The machine partition the campaign schedules onto.
+    pub fn machine(&self) -> Machine {
+        Machine::juwels_booster().partition(self.nodes)
+    }
+
+    /// Canonical encoding — the wire form of `Submit` and the persisted
+    /// form inside shard snapshots.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.put_str(&self.tenant);
+        w.put_str(&self.name);
+        w.put_u32(self.nodes);
+        w.put_u64(self.seed);
+        w.put_u8(match self.policy {
+            QueuePolicy::Fifo => 0,
+            QueuePolicy::ConservativeBackfill => 1,
+        });
+        w.put_u8(match self.placement {
+            PlacementPolicy::Contiguous => 0,
+            PlacementPolicy::Scatter => 1,
+        });
+        w.put_f64(self.spacing_s);
+        w.put_f64(self.slice_s);
+        put_plan(&mut w, &self.plan);
+        w.put_usize(self.points.len());
+        for p in &self.points {
+            p.put(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decode a canonical encoding produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut r = SnapshotReader::new(bytes);
+        let spec = Self::get(&mut r)?;
+        r.expect_end()?;
+        Ok(spec)
+    }
+
+    pub(crate) fn put(&self, w: &mut SnapshotWriter) {
+        w.put_bytes(&self.encode());
+    }
+
+    pub(crate) fn get(r: &mut SnapshotReader) -> Result<Self, CkptError> {
+        let tenant = r.get_str("spec tenant")?;
+        let name = r.get_str("spec name")?;
+        let nodes = r.get_u32("spec nodes")?;
+        let seed = r.get_u64("spec seed")?;
+        let policy = match r.get_u8("spec policy")? {
+            0 => QueuePolicy::Fifo,
+            1 => QueuePolicy::ConservativeBackfill,
+            _ => {
+                return Err(CkptError::Malformed {
+                    what: "queue policy code".to_string(),
+                })
+            }
+        };
+        let placement = match r.get_u8("spec placement")? {
+            0 => PlacementPolicy::Contiguous,
+            1 => PlacementPolicy::Scatter,
+            _ => {
+                return Err(CkptError::Malformed {
+                    what: "placement policy code".to_string(),
+                })
+            }
+        };
+        let spacing_s = r.get_f64("spec spacing")?;
+        let slice_s = r.get_f64("spec slice")?;
+        let plan = get_plan(r)?;
+        let n = r.get_usize("spec point count")?;
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push(RunPoint::get(r)?);
+        }
+        Ok(CampaignSpec {
+            tenant,
+            name,
+            nodes,
+            seed,
+            policy,
+            placement,
+            spacing_s,
+            slice_s,
+            plan,
+            points,
+        })
+    }
+
+    /// The content address of run point `index`: a 128-bit key over the
+    /// canonical bytes of everything the point's result depends on. Two
+    /// campaigns that share a point (same benchmark, parameters, machine
+    /// partition, seed, and fault plan) share the key — and therefore
+    /// the cached result.
+    pub fn point_key(&self, index: usize) -> u128 {
+        let p = &self.points[index];
+        let mut w = SnapshotWriter::new();
+        p.put(&mut w);
+        w.put_bytes(&self.machine().fingerprint_bytes());
+        {
+            let mut pw = SnapshotWriter::new();
+            put_plan(&mut pw, &self.plan);
+            w.put_bytes(&pw.finish());
+        }
+        content_key128(&w.finish())
+    }
+
+    /// Reject malformed campaigns up front, before anything is queued:
+    /// unknown benchmarks, oversized points, empty point lists, or
+    /// non-positive slice widths.
+    pub fn validate(&self, registry: &Registry) -> Result<(), String> {
+        if self.points.is_empty() {
+            return Err("campaign has no run points".to_string());
+        }
+        if self.nodes == 0 || self.nodes > Machine::juwels_booster().nodes {
+            return Err(format!("invalid partition size {}", self.nodes));
+        }
+        if self.slice_s.is_nan() || self.slice_s <= 0.0 {
+            return Err(format!("slice_s must be positive, got {}", self.slice_s));
+        }
+        if self.spacing_s.is_nan() || self.spacing_s < 0.0 {
+            return Err(format!("spacing_s must be ≥ 0, got {}", self.spacing_s));
+        }
+        for (i, p) in self.points.iter().enumerate() {
+            let id = BenchmarkId::from_name(&p.bench)
+                .ok_or_else(|| format!("point {i}: unknown benchmark `{}`", p.bench))?;
+            if registry.get(id).is_none() {
+                return Err(format!("point {i}: benchmark `{}` not registered", p.bench));
+            }
+            if p.nodes == 0 || p.nodes > self.nodes {
+                return Err(format!(
+                    "point {i}: {} nodes exceed the {}-node partition",
+                    p.nodes, self.nodes
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::new("alice", "nightly", 96, 7)
+            .with_point(RunPoint::test("HPL", 8, 1))
+            .with_point(RunPoint {
+                bench: "JUQCS".to_string(),
+                nodes: 16,
+                scale: WorkloadScale::Test,
+                variant: None,
+                seed: 2,
+            });
+        spec.policy = QueuePolicy::ConservativeBackfill;
+        spec.placement = PlacementPolicy::Scatter;
+        spec.plan = FaultPlan::new(7).with_slow_node_window(3, 2.0, 10.0, 20.0);
+        spec
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let spec = sample_spec();
+        let bytes = spec.encode();
+        let back = CampaignSpec::decode(&bytes).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn fault_plan_roundtrips_every_variant() {
+        let mut spec = sample_spec();
+        spec.plan = FaultPlan::new(11)
+            .with_degraded_link(0, 1, 3.0)
+            .with_flapping_link(2, 3, 2.0, 5.0, 0.5)
+            .with_slow_node_window(4, 1.5, 0.0, 9.0)
+            .with_message_drop(5, 6, 0.25)
+            .with_rank_crash(7, 42.0)
+            .with_recv_timeout(0.2);
+        let back = CampaignSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(back.plan, spec.plan);
+    }
+
+    #[test]
+    fn point_key_separates_every_input() {
+        let base = sample_spec();
+        let k0 = base.point_key(0);
+        assert_eq!(k0, base.point_key(0), "key is a pure function");
+        assert_ne!(k0, base.point_key(1), "different points differ");
+
+        let mut seed = base.clone();
+        seed.points[0].seed ^= 1;
+        assert_ne!(k0, seed.point_key(0), "seed is part of the key");
+
+        let mut machine = base.clone();
+        machine.nodes = 48;
+        assert_ne!(k0, machine.point_key(0), "machine partition is keyed");
+
+        let mut plan = base.clone();
+        plan.plan = FaultPlan::new(99);
+        assert_ne!(k0, plan.point_key(0), "fault plan is keyed");
+
+        // Scheduler knobs do NOT affect a point's execution, and two
+        // campaigns differing only there must share cache entries.
+        let mut sched_only = base.clone();
+        sched_only.seed ^= 1;
+        sched_only.policy = QueuePolicy::Fifo;
+        sched_only.spacing_s += 1.0;
+        sched_only.slice_s += 1.0;
+        sched_only.tenant = "bob".to_string();
+        assert_eq!(k0, sched_only.point_key(0), "sched knobs are not keyed");
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let registry = Registry::new();
+        let empty = CampaignSpec::new("t", "c", 8, 0);
+        assert!(empty.validate(&registry).is_err());
+
+        let unknown =
+            CampaignSpec::new("t", "c", 8, 0).with_point(RunPoint::test("not-a-bench", 4, 0));
+        assert!(unknown.validate(&registry).unwrap_err().contains("unknown"));
+
+        let oversized = CampaignSpec::new("t", "c", 8, 0).with_point(RunPoint::test("HPL", 16, 0));
+        // `HPL` parses as a BenchmarkId but an empty registry has no
+        // benchmarks, so registration fails first.
+        assert!(oversized.validate(&registry).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Socket-shaped byte transports for the campaign service.
+//!
+//! The wire protocol ([`crate::wire`]) is defined over a blocking byte
+//! stream, not over an in-memory frame queue: [`Transport`] mirrors the
+//! `std::net::TcpStream` surface (`write_all` / `read_exact` /
+//! `shutdown`), so a TCP listener can slot in later without touching the
+//! framing or the service. The in-process implementation, [`DuplexPipe`],
+//! is a pair of cross-connected byte queues with condvar blocking —
+//! framing is genuinely exercised byte-by-byte across threads.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Transport-level failure: the peer hung up (or the stream broke).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer shut the stream down before the requested bytes arrived.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed by peer"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A blocking, ordered, reliable byte stream — the shape of a connected
+/// TCP socket. Everything above this trait (framing, the client, the
+/// server session loop) is transport-agnostic.
+pub trait Transport: Send {
+    /// Write the whole buffer, blocking until accepted.
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), TransportError>;
+
+    /// Fill the whole buffer, blocking until the bytes arrive.
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TransportError>;
+
+    /// Close both directions; subsequent peer reads fail with
+    /// [`TransportError::Closed`] once the in-flight bytes drain.
+    fn shutdown(&mut self);
+}
+
+/// One direction of a duplex pipe: a byte queue plus a closed flag.
+struct Channel {
+    state: Mutex<ChannelState>,
+    readable: Condvar,
+}
+
+struct ChannelState {
+    bytes: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Channel {
+    fn new() -> Arc<Self> {
+        Arc::new(Channel {
+            state: Mutex::new(ChannelState {
+                bytes: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn write_all(&self, buf: &[u8]) -> Result<(), TransportError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(TransportError::Closed);
+        }
+        st.bytes.extend(buf.iter().copied());
+        drop(st);
+        self.readable.notify_all();
+        Ok(())
+    }
+
+    fn read_exact(&self, buf: &mut [u8]) -> Result<(), TransportError> {
+        let mut st = self.state.lock().unwrap();
+        let mut filled = 0;
+        while filled < buf.len() {
+            if st.bytes.is_empty() {
+                if st.closed {
+                    return Err(TransportError::Closed);
+                }
+                st = self.readable.wait(st).unwrap();
+                continue;
+            }
+            while filled < buf.len() {
+                match st.bytes.pop_front() {
+                    Some(b) => {
+                        buf[filled] = b;
+                        filled += 1;
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.readable.notify_all();
+    }
+}
+
+/// In-process duplex byte stream: one endpoint of a connected pair from
+/// [`DuplexPipe::pair`]. Send it to another thread and the two ends talk
+/// like a loopback TCP connection.
+pub struct DuplexPipe {
+    tx: Arc<Channel>,
+    rx: Arc<Channel>,
+}
+
+impl DuplexPipe {
+    /// A connected pair: bytes written on one end are read on the other.
+    pub fn pair() -> (DuplexPipe, DuplexPipe) {
+        let a_to_b = Channel::new();
+        let b_to_a = Channel::new();
+        (
+            DuplexPipe {
+                tx: Arc::clone(&a_to_b),
+                rx: Arc::clone(&b_to_a),
+            },
+            DuplexPipe {
+                tx: b_to_a,
+                rx: a_to_b,
+            },
+        )
+    }
+}
+
+impl Transport for DuplexPipe {
+    fn write_all(&mut self, buf: &[u8]) -> Result<(), TransportError> {
+        self.tx.write_all(buf)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), TransportError> {
+        self.rx.read_exact(buf)
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.close();
+        self.rx.close();
+    }
+}
+
+impl Drop for DuplexPipe {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_within_thread() {
+        let (mut a, mut b) = DuplexPipe::pair();
+        a.write_all(b"hello").unwrap();
+        let mut buf = [0u8; 5];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hello");
+
+        b.write_all(b"yo").unwrap();
+        let mut buf = [0u8; 2];
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"yo");
+    }
+
+    #[test]
+    fn blocking_read_across_threads() {
+        let (mut a, mut b) = DuplexPipe::pair();
+        let writer = std::thread::spawn(move || {
+            // Dribble the bytes so the reader must block and resume.
+            for chunk in b"stream of bytes".chunks(4) {
+                a.write_all(chunk).unwrap();
+                std::thread::yield_now();
+            }
+        });
+        let mut buf = [0u8; 15];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"stream of bytes");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn drop_closes_the_stream() {
+        let (a, mut b) = DuplexPipe::pair();
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read_exact(&mut buf), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn close_drains_in_flight_bytes_first() {
+        let (mut a, mut b) = DuplexPipe::pair();
+        a.write_all(b"xy").unwrap();
+        drop(a);
+        let mut buf = [0u8; 2];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"xy");
+        assert_eq!(b.read_exact(&mut buf), Err(TransportError::Closed));
+    }
+}

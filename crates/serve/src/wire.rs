@@ -1,0 +1,396 @@
+//! The length-prefixed wire protocol of the campaign service.
+//!
+//! Every message is one frame: a little-endian `u32` byte length
+//! followed by a body whose first byte is the frame tag. Bodies are
+//! encoded with the checkpoint serializer
+//! ([`jubench_ckpt::SnapshotWriter`]), so the wire format shares the
+//! suite's canonical, deterministic encoding — the same spec bytes that
+//! travel in a `Submit` frame are persisted verbatim inside shard
+//! snapshots.
+//!
+//! Client → server: [`Frame::Submit`], [`Frame::Drain`],
+//! [`Frame::Stats`], [`Frame::Bye`]. Server → client:
+//! [`Frame::Accepted`], [`Frame::Rejected`], [`Frame::Row`],
+//! [`Frame::JobDone`], [`Frame::Done`], [`Frame::StatsReply`]. Result
+//! frames stream incrementally: one `Row` per executed (or
+//! cache-answered) run point, one `JobDone` per job the scheduler
+//! retires, then a final `Done` with the campaign's result table, Chrome
+//! trace, and run report.
+
+use crate::spec::CampaignSpec;
+use crate::transport::{Transport, TransportError};
+use jubench_ckpt::{CkptError, SnapshotReader, SnapshotWriter};
+use std::fmt;
+
+/// Frames larger than this are rejected as malformed rather than
+/// allocated — a length-prefix protocol's guard against a corrupt or
+/// hostile peer declaring a multi-gigabyte frame.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// A protocol failure: transport breakage, a malformed frame, or a
+/// frame that violates the protocol state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The underlying byte stream failed.
+    Transport(TransportError),
+    /// The frame body did not decode.
+    Malformed(String),
+    /// The peer declared a frame longer than [`MAX_FRAME_BYTES`].
+    Oversized(u32),
+    /// A frame arrived that the current protocol state does not allow.
+    Unexpected(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Transport(e) => write!(f, "transport: {e}"),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::Oversized(len) => write!(f, "oversized frame: {len} bytes"),
+            WireError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<TransportError> for WireError {
+    fn from(e: TransportError) -> Self {
+        WireError::Transport(e)
+    }
+}
+
+impl From<CkptError> for WireError {
+    fn from(e: CkptError) -> Self {
+        WireError::Malformed(e.to_string())
+    }
+}
+
+/// One protocol message. See the module docs for the exchange pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: submit a campaign.
+    Submit {
+        /// The campaign to run.
+        spec: CampaignSpec,
+    },
+    /// Client → server: run all queued campaigns to completion,
+    /// streaming result frames as they are produced. The drain is
+    /// complete when every accepted campaign has emitted its `Done`
+    /// frame.
+    Drain,
+    /// Client → server: request the service metrics (Prometheus text
+    /// exposition), filtered to names starting with `prefix`.
+    Stats {
+        /// Metric-name prefix filter (empty = everything).
+        prefix: String,
+    },
+    /// Client → server: end the session.
+    Bye,
+    /// Server → client: the campaign was accepted and routed.
+    Accepted {
+        /// Service-assigned campaign id.
+        campaign: u64,
+        /// Shard the campaign was routed to.
+        shard: u32,
+    },
+    /// Server → client: the campaign was rejected at validation.
+    Rejected {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Server → client: one result-table row, streamed as the run point
+    /// finishes (or is answered from the cache — the row is identical
+    /// either way).
+    Row {
+        /// Campaign the row belongs to.
+        campaign: u64,
+        /// Point index within the campaign.
+        index: u32,
+        /// Rendered table cells.
+        cells: Vec<String>,
+    },
+    /// Server → client: the scheduler retired one campaign job.
+    JobDone {
+        /// Campaign the job belongs to.
+        campaign: u64,
+        /// Job id (= point index).
+        job: u32,
+        /// Virtual completion time.
+        end_s: f64,
+    },
+    /// Server → client: the campaign finished.
+    Done {
+        /// Campaign id.
+        campaign: u64,
+        /// Rendered result table.
+        table: String,
+        /// Chrome trace-event JSON of the campaign schedule.
+        chrome_trace: String,
+        /// Rendered run report (includes result-cache activity).
+        report: String,
+    },
+    /// Server → client: reply to [`Frame::Stats`].
+    StatsReply {
+        /// Prometheus text exposition of the filtered registry.
+        prometheus: String,
+    },
+}
+
+const TAG_SUBMIT: u8 = 1;
+const TAG_DRAIN: u8 = 2;
+const TAG_STATS: u8 = 3;
+const TAG_BYE: u8 = 4;
+const TAG_ACCEPTED: u8 = 16;
+const TAG_REJECTED: u8 = 17;
+const TAG_ROW: u8 = 18;
+const TAG_JOB_DONE: u8 = 19;
+const TAG_DONE: u8 = 20;
+const TAG_STATS_REPLY: u8 = 21;
+
+impl Frame {
+    /// Encode the frame body (tag byte + payload, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        match self {
+            Frame::Submit { spec } => {
+                w.put_u8(TAG_SUBMIT);
+                spec.put(&mut w);
+            }
+            Frame::Drain => w.put_u8(TAG_DRAIN),
+            Frame::Stats { prefix } => {
+                w.put_u8(TAG_STATS);
+                w.put_str(prefix);
+            }
+            Frame::Bye => w.put_u8(TAG_BYE),
+            Frame::Accepted { campaign, shard } => {
+                w.put_u8(TAG_ACCEPTED);
+                w.put_u64(*campaign);
+                w.put_u32(*shard);
+            }
+            Frame::Rejected { reason } => {
+                w.put_u8(TAG_REJECTED);
+                w.put_str(reason);
+            }
+            Frame::Row {
+                campaign,
+                index,
+                cells,
+            } => {
+                w.put_u8(TAG_ROW);
+                w.put_u64(*campaign);
+                w.put_u32(*index);
+                w.put_usize(cells.len());
+                for cell in cells {
+                    w.put_str(cell);
+                }
+            }
+            Frame::JobDone {
+                campaign,
+                job,
+                end_s,
+            } => {
+                w.put_u8(TAG_JOB_DONE);
+                w.put_u64(*campaign);
+                w.put_u32(*job);
+                w.put_f64(*end_s);
+            }
+            Frame::Done {
+                campaign,
+                table,
+                chrome_trace,
+                report,
+            } => {
+                w.put_u8(TAG_DONE);
+                w.put_u64(*campaign);
+                w.put_str(table);
+                w.put_str(chrome_trace);
+                w.put_str(report);
+            }
+            Frame::StatsReply { prometheus } => {
+                w.put_u8(TAG_STATS_REPLY);
+                w.put_str(prometheus);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decode a frame body produced by [`Self::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut r = SnapshotReader::new(bytes);
+        let tag = r.get_u8("frame tag")?;
+        let frame = match tag {
+            TAG_SUBMIT => {
+                let spec_bytes = r.get_bytes("submit spec")?;
+                Frame::Submit {
+                    spec: CampaignSpec::decode(&spec_bytes)?,
+                }
+            }
+            TAG_DRAIN => Frame::Drain,
+            TAG_STATS => Frame::Stats {
+                prefix: r.get_str("stats prefix")?,
+            },
+            TAG_BYE => Frame::Bye,
+            TAG_ACCEPTED => Frame::Accepted {
+                campaign: r.get_u64("accepted campaign")?,
+                shard: r.get_u32("accepted shard")?,
+            },
+            TAG_REJECTED => Frame::Rejected {
+                reason: r.get_str("rejected reason")?,
+            },
+            TAG_ROW => {
+                let campaign = r.get_u64("row campaign")?;
+                let index = r.get_u32("row index")?;
+                let n = r.get_usize("row cell count")?;
+                let mut cells = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    cells.push(r.get_str("row cell")?);
+                }
+                Frame::Row {
+                    campaign,
+                    index,
+                    cells,
+                }
+            }
+            TAG_JOB_DONE => Frame::JobDone {
+                campaign: r.get_u64("job-done campaign")?,
+                job: r.get_u32("job-done job")?,
+                end_s: r.get_f64("job-done end")?,
+            },
+            TAG_DONE => Frame::Done {
+                campaign: r.get_u64("done campaign")?,
+                table: r.get_str("done table")?,
+                chrome_trace: r.get_str("done chrome trace")?,
+                report: r.get_str("done report")?,
+            },
+            TAG_STATS_REPLY => Frame::StatsReply {
+                prometheus: r.get_str("stats exposition")?,
+            },
+            other => return Err(WireError::Malformed(format!("unknown frame tag {other}"))),
+        };
+        r.expect_end()?;
+        Ok(frame)
+    }
+}
+
+/// Write one length-prefixed frame to a transport.
+pub fn write_frame(t: &mut dyn Transport, frame: &Frame) -> Result<(), WireError> {
+    let body = frame.encode();
+    let len = u32::try_from(body.len()).map_err(|_| WireError::Oversized(u32::MAX))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    t.write_all(&len.to_le_bytes())?;
+    t.write_all(&body)?;
+    jubench_metrics::counter_add("serve/wire/frames_sent", 1);
+    jubench_metrics::counter_add("serve/wire/bytes_sent", 4 + len as u64);
+    Ok(())
+}
+
+/// Read one length-prefixed frame from a transport, blocking until it
+/// arrives in full.
+pub fn read_frame(t: &mut dyn Transport) -> Result<Frame, WireError> {
+    let mut len_bytes = [0u8; 4];
+    t.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    t.read_exact(&mut body)?;
+    jubench_metrics::counter_add("serve/wire/frames_received", 1);
+    Frame::decode(&body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::RunPoint;
+    use crate::transport::DuplexPipe;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Submit {
+                spec: CampaignSpec::new("alice", "smoke", 16, 3)
+                    .with_point(RunPoint::test("HPL", 4, 1)),
+            },
+            Frame::Drain,
+            Frame::Stats {
+                prefix: "serve/".to_string(),
+            },
+            Frame::Bye,
+            Frame::Accepted {
+                campaign: 7,
+                shard: 2,
+            },
+            Frame::Rejected {
+                reason: "unknown benchmark `x`".to_string(),
+            },
+            Frame::Row {
+                campaign: 7,
+                index: 1,
+                cells: vec!["HPL".to_string(), "4".to_string(), "1.234567".to_string()],
+            },
+            Frame::JobDone {
+                campaign: 7,
+                job: 0,
+                end_s: 12.5,
+            },
+            Frame::Done {
+                campaign: 7,
+                table: "| a |\n".to_string(),
+                chrome_trace: "[]".to_string(),
+                report: "makespan: …".to_string(),
+            },
+            Frame::StatsReply {
+                prometheus: "# TYPE x counter\n".to_string(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        for frame in all_frames() {
+            let body = frame.encode();
+            let back = Frame::decode(&body).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn framing_over_a_byte_stream_across_threads() {
+        let (mut client, mut server) = DuplexPipe::pair();
+        let frames = all_frames();
+        let expect = frames.clone();
+        let writer = std::thread::spawn(move || {
+            for frame in &frames {
+                write_frame(&mut client, frame).unwrap();
+            }
+        });
+        for want in &expect {
+            let got = read_frame(&mut server).unwrap();
+            assert_eq!(&got, want);
+        }
+        writer.join().unwrap();
+        let mut probe = [0u8; 1];
+        assert!(server.read_exact(&mut probe).is_err(), "stream drained");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let (mut a, mut b) = DuplexPipe::pair();
+        a.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        match read_frame(&mut b) {
+            Err(WireError::Oversized(len)) => assert_eq!(len, u32::MAX),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_malformed() {
+        assert!(matches!(
+            Frame::decode(&[0xEE]),
+            Err(WireError::Malformed(_))
+        ));
+    }
+}

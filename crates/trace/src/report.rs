@@ -185,6 +185,43 @@ impl CkptStats {
     }
 }
 
+/// Content-addressed result-cache activity attributed to one run — the
+/// incremental-evaluation ledger of the campaign service: how much of
+/// the request was served from prior identical work.
+///
+/// Cache stats are attached out-of-band by the service
+/// (`jubench-serve`), never derived from trace events: whether a run
+/// point hit the cache must not change any deterministic artifact, so
+/// hits and misses deliberately leave no trace-event footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Run points answered from the store without re-execution.
+    pub hits: u64,
+    /// Run points that had to execute.
+    pub misses: u64,
+    /// Results written into the store.
+    pub insertions: u64,
+    /// Results displaced by capacity pressure.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Did the run observe any cache activity?
+    pub fn any(&self) -> bool {
+        self.hits > 0 || self.misses > 0 || self.insertions > 0 || self.evictions > 0
+    }
+
+    /// Fraction of lookups answered from the store (0.0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
 /// The aggregate report over one recorded run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -203,6 +240,9 @@ pub struct RunReport {
     pub sched: SchedStats,
     /// Checkpoint/restart activity observed in the stream.
     pub ckpt: CkptStats,
+    /// Result-cache activity, attached out-of-band by the campaign
+    /// service ([`RunReport::from_events`] always leaves it zeroed).
+    pub cache: CacheStats,
     /// Total events aggregated (including workflow events).
     pub events: usize,
 }
@@ -302,6 +342,7 @@ impl RunReport {
             faults,
             sched,
             ckpt,
+            cache: CacheStats::default(),
             events: events.len(),
         }
     }
@@ -451,6 +492,23 @@ impl RunReport {
             out.push_str(&format!(
                 "| ckpt overhead  | {:>7.3} % of makespan       |\n",
                 100.0 * c.overhead_fraction(self.total_makespan_s())
+            ));
+        }
+        if self.cache.any() {
+            let c = &self.cache;
+            out.push_str("\nresult-cache activity:\n");
+            out.push_str(&format!(
+                "| cache hits     | {:>8} | {:>7.1} % hit rate |\n",
+                c.hits,
+                100.0 * c.hit_rate()
+            ));
+            out.push_str(&format!(
+                "| cache misses   | {:>8} |                   |\n",
+                c.misses
+            ));
+            out.push_str(&format!(
+                "| cache inserts  | {:>8} | {:>8} evicted  |\n",
+                c.insertions, c.evictions
             ));
         }
         out

@@ -1,0 +1,123 @@
+//! Campaign-service walkthrough: the suite as a multi-tenant daemon.
+//!
+//! Spins up a [`Server`] with four worker shards, connects a client
+//! over an in-process duplex pipe speaking the length-prefixed wire
+//! protocol, submits campaigns from two tenants, and drains the
+//! streamed results (rows as points execute, job completions as the
+//! scheduler places them, the final table/trace/report per campaign).
+//! Then resubmits one campaign to show the content-addressed result
+//! cache at work — every point answers from cache, the artifacts stay
+//! byte-identical, and the hit tallies surface in the run report and
+//! the `serve/*` Prometheus exposition.
+//!
+//! Run with: `cargo run --release --example serve`
+
+use jubench::prelude::*;
+use jubench::serve::{serve_session, Client, DuplexPipe, Frame};
+
+fn nightly(tenant: &str, seed: u64) -> CampaignSpec {
+    CampaignSpec::new(tenant, "nightly", 48, seed)
+        .with_point(RunPoint::test("STREAM", 1, seed))
+        .with_point(RunPoint::test("OSU", 2, seed + 1))
+        .with_point(RunPoint::test("LinkTest", 8, seed + 2))
+        .with_point(RunPoint::test("HPL", 16, seed + 3))
+}
+
+fn main() {
+    // ----- the service: four shards, a 256-entry cache each ------------
+    let mut server = Server::new(4, 256);
+    let registry = full_registry();
+    let (client_end, mut server_end) = DuplexPipe::pair();
+    let service = std::thread::spawn(move || {
+        serve_session(&mut server, &registry, &mut server_end, 1).expect("session ends cleanly");
+        server
+    });
+
+    // ----- two tenants submit campaigns --------------------------------
+    let mut client = Client::new(client_end);
+    let alice = client.submit(&nightly("alice", 7)).unwrap().unwrap();
+    let bob = client.submit(&nightly("bob", 99)).unwrap().unwrap();
+    println!("accepted campaigns: alice #{alice}, bob #{bob}\n");
+
+    // A malformed spec is rejected up front, before anything queues.
+    let rejected = client
+        .submit(&CampaignSpec::new("eve", "empty", 8, 0))
+        .unwrap();
+    println!("empty campaign rejected: {}\n", rejected.unwrap_err());
+
+    // ----- drain: results stream incrementally -------------------------
+    let frames = client.drain().unwrap();
+    let mut rows = 0;
+    let mut job_dones = 0;
+    for frame in &frames {
+        match frame {
+            Frame::Row {
+                campaign,
+                index,
+                cells,
+            } => {
+                rows += 1;
+                if *campaign == alice {
+                    println!("row {index} of #{campaign}: {}", cells.join(" | "));
+                }
+            }
+            Frame::JobDone { .. } => job_dones += 1,
+            Frame::Done {
+                campaign,
+                table,
+                report,
+                ..
+            } => {
+                println!("\ncampaign #{campaign} done:\n{table}");
+                if *campaign == alice {
+                    println!("{report}");
+                }
+            }
+            _ => {}
+        }
+    }
+    println!("streamed {rows} rows and {job_dones} job completions\n");
+
+    // ----- resubmit: the content-addressed cache answers ---------------
+    let warm = client.submit(&nightly("alice", 7)).unwrap().unwrap();
+    let warm_frames = client.drain().unwrap();
+    let table_of = |frames: &[Frame], id: u64| {
+        frames
+            .iter()
+            .find_map(|f| match f {
+                Frame::Done {
+                    campaign, table, ..
+                } if *campaign == id => Some(table.clone()),
+                _ => None,
+            })
+            .expect("campaign completed")
+    };
+    assert_eq!(
+        table_of(&warm_frames, warm),
+        table_of(&frames, alice),
+        "warm and cold tables are byte-identical"
+    );
+    println!("warm resubmission #{warm}: table byte-identical to the cold run");
+    if let Some(report) = warm_frames.iter().find_map(|f| match f {
+        Frame::Done {
+            campaign, report, ..
+        } if *campaign == warm => Some(report),
+        _ => None,
+    }) {
+        for line in report.lines().filter(|l| l.contains("cache")) {
+            println!("  {line}");
+        }
+    }
+
+    // ----- the service's own metrics -----------------------------------
+    let prometheus = client.stats("serve/").unwrap();
+    println!("\nserve/* metrics (Prometheus exposition):");
+    for line in prometheus.lines().filter(|l| !l.starts_with('#')).take(12) {
+        println!("  {line}");
+    }
+
+    client.bye().unwrap();
+    let server = service.join().unwrap();
+    assert!(server.idle());
+    println!("\nsession closed; server idle");
+}

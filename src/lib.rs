@@ -49,6 +49,12 @@
 //!   envelope, the `Checkpointable` trait implemented by the iterative
 //!   apps, the workflow, and the scheduler, and the Young/Daly
 //!   optimal-interval formulas.
+//! - [`serve`]: the multi-tenant campaign service — a deterministic
+//!   long-running daemon sharding campaigns across worker shards, with
+//!   a content-addressed result cache in front of execution, a
+//!   length-prefixed wire protocol, incremental result streaming, and
+//!   crash-safe durability via `ckpt` snapshots (kill/restore and live
+//!   migration are byte-transparent).
 //! - [`metrics`]: wall-clock self-observability — the sharded metrics
 //!   registry (counters/gauges/histograms), `profile_scope!` collapsed-
 //!   stack self-profiles, `BENCH_<n>.json` perf records, and the
@@ -79,6 +85,7 @@ pub use jubench_pool as pool;
 pub use jubench_procurement as procurement;
 pub use jubench_scaling as scaling;
 pub use jubench_sched as sched;
+pub use jubench_serve as serve;
 pub use jubench_simmpi as simmpi;
 pub use jubench_synthetic as synthetic;
 pub use jubench_trace as trace;
@@ -97,6 +104,7 @@ pub mod prelude {
     pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
     pub use jubench_scaling::full_registry;
     pub use jubench_sched::{Job, PlacementPolicy, QueuePolicy, Scheduler, SchedulerConfig};
+    pub use jubench_serve::{CampaignSpec, RunPoint, Server};
     pub use jubench_simmpi::{Comm, ReduceOp, World};
     pub use jubench_trace::{chrome_trace_json, Recorder, RunReport, TraceSink};
 }

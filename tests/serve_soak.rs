@@ -1,0 +1,148 @@
+//! The campaign-service soak drill: many concurrent campaigns across
+//! four shards, one shard killed and restored mid-run, byte-identity
+//! against an uninterrupted reference, and a full warm resubmission
+//! with a non-zero cache hit rate.
+//!
+//! Campaign count defaults low so the local test run stays fast; CI
+//! scales it to a few hundred via `JUBENCH_SOAK_CAMPAIGNS`.
+
+use jubench::ckpt::Checkpointable;
+use jubench::prelude::*;
+use jubench::serve::{Emit, Frame, ShardState};
+
+/// `JUBENCH_SOAK_CAMPAIGNS`, defaulting to a quick local drill.
+fn n_campaigns() -> usize {
+    std::env::var("JUBENCH_SOAK_CAMPAIGNS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(16)
+}
+
+/// Campaign `i` of the soak population: partition sizes and seeds vary
+/// so campaigns spread across shards and share some cache keys.
+fn soak_spec(i: usize) -> CampaignSpec {
+    let benches = ["STREAM", "OSU", "LinkTest", "HPL"];
+    let nodes = [8u32, 16, 24, 48][i % 4];
+    let mut spec = CampaignSpec::new(
+        &format!("tenant{}", i % 5),
+        &format!("soak{i}"),
+        nodes,
+        i as u64,
+    )
+    .with_point(RunPoint::test(benches[i % 4], 2, (i / 4) as u64))
+    .with_point(RunPoint::test(benches[(i + 1) % 4], 4, (i / 4) as u64));
+    spec.slice_s = 10.0;
+    spec
+}
+
+fn frames_of(emits: &[Emit], campaign: u64) -> Vec<Frame> {
+    emits
+        .iter()
+        .filter_map(|e| match &e.frame {
+            Frame::Row { campaign: c, .. }
+            | Frame::JobDone { campaign: c, .. }
+            | Frame::Done { campaign: c, .. }
+                if *c == campaign =>
+            {
+                Some(e.frame.clone())
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Project a campaign's frames down to the deterministic artifacts
+/// (rows, job completions, table, trace) — dropping the run report,
+/// whose out-of-band cache tallies legitimately differ warm vs cold.
+fn deterministic_frames(frames: &[Frame]) -> Vec<Frame> {
+    frames
+        .iter()
+        .map(|f| match f {
+            Frame::Done {
+                campaign,
+                table,
+                chrome_trace,
+                ..
+            } => Frame::Done {
+                campaign: *campaign,
+                table: table.clone(),
+                chrome_trace: chrome_trace.clone(),
+                report: String::new(),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+#[test]
+fn soak_kill_restore_and_warm_resubmission() {
+    let registry = full_registry();
+    let n = n_campaigns();
+    let submit_all = |server: &mut Server| -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                server
+                    .submit(1 + (i % 3) as u64, soak_spec(i), &registry)
+                    .unwrap()
+                    .0
+            })
+            .collect()
+    };
+
+    // The uninterrupted reference run.
+    let mut reference = Server::new(4, 256);
+    let ref_ids = submit_all(&mut reference);
+    let ref_emits = reference.drain(&registry);
+
+    // The trial run: advance partway, kill shard 1 (snapshot → drop →
+    // restore into a shard built with wrong parameters), then finish on
+    // dedicated rank threads.
+    let mut trial = Server::new(4, 256);
+    let trial_ids = submit_all(&mut trial);
+    let mut trial_emits = Vec::new();
+    for _ in 0..n {
+        trial_emits.extend(trial.step(&registry));
+    }
+    let snapshot = trial.shard(1).snapshot();
+    *trial.shard_mut(1) = ShardState::new(77, 1);
+    trial.shard_mut(1).restore(&snapshot).unwrap();
+    trial_emits.extend(trial.drain_parallel(&registry));
+
+    assert_eq!(ref_ids, trial_ids);
+    for &id in &ref_ids {
+        assert_eq!(
+            frames_of(&ref_emits, id),
+            frames_of(&trial_emits, id),
+            "campaign {id} diverged after the shard kill/restore"
+        );
+    }
+
+    // Resubmit the full population against the warm trial server: the
+    // deterministic frames repeat byte-for-byte and the caches hit.
+    let hits_before: u64 = (0..4).map(|s| trial.shard(s).cache().stats().hits).sum();
+    let warm_ids = submit_all(&mut trial);
+    let warm_emits = trial.drain_parallel(&registry);
+    for (&cold_id, &warm_id) in ref_ids.iter().zip(&warm_ids) {
+        let mut expected = deterministic_frames(&frames_of(&ref_emits, cold_id));
+        // The resubmitted campaign carries a fresh id; rewrite the
+        // reference ids before comparing.
+        for frame in &mut expected {
+            match frame {
+                Frame::Row { campaign, .. }
+                | Frame::JobDone { campaign, .. }
+                | Frame::Done { campaign, .. } => *campaign = warm_id,
+                _ => {}
+            }
+        }
+        assert_eq!(
+            deterministic_frames(&frames_of(&warm_emits, warm_id)),
+            expected,
+            "warm campaign {warm_id} diverged from its cold run {cold_id}"
+        );
+    }
+    let hits_after: u64 = (0..4).map(|s| trial.shard(s).cache().stats().hits).sum();
+    assert!(
+        hits_after > hits_before,
+        "warm resubmission produced no cache hits ({hits_before} → {hits_after})"
+    );
+}
