@@ -165,7 +165,7 @@ impl Benchmark for MmoClip {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let timing = Self::model(machine).timing();
 
         let world = real_exec_world(machine);

@@ -107,7 +107,7 @@ impl Benchmark for MegatronLm {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let timing = Self::model(machine).timing();
         // Tokens/s from the modeled step time.
         let steps = (FOM_TOKENS / TOKENS_PER_STEP).ceil();

@@ -55,7 +55,7 @@ impl Benchmark for Nastja {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let timing = Self::model(machine).timing();
 
         // Real execution: distributed cell sorting; verification by cell

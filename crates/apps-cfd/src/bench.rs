@@ -94,7 +94,7 @@ impl Benchmark for NekRs {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let elements = Self::elements(cfg.variant, machine.devices());
         let e_per_gpu = elements as f64 / machine.devices() as f64;
         let timing = Self::model(machine, elements).timing();

@@ -77,7 +77,7 @@ impl AppModel {
     pub fn new(machine: Machine, iterations: u32) -> Self {
         AppModel {
             placement: Placement::per_gpu(machine),
-            net: NetModel::juwels_booster(),
+            net: machine.net,
             device: Roofline::new(machine.node.gpu),
             iterations,
             phases: Vec::new(),

@@ -119,7 +119,7 @@ impl Benchmark for Icon {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let (model, io_time) = self.model(machine);
         let t = model.timing();
         let timing = ModelTiming {

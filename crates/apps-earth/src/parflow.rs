@@ -99,7 +99,7 @@ impl Benchmark for ParFlow {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let timing = Self::model(machine).timing();
 
         // Real execution: one PCG solve on a reduced ClayL-like box,

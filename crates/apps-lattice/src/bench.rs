@@ -186,7 +186,7 @@ impl Benchmark for ChromaQcd {
                     .into(),
             });
         }
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let is_high_scaling = cfg.variant.is_some();
         // Base: a fixed lattice strong-scales over the partition;
         // High-Scaling variants fill each GPU (weak scaling).
@@ -256,7 +256,7 @@ impl Benchmark for DynQcd {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         // CPU workload: a fixed lattice sized to ~5 % of the 8-node
         // reference partition's 512 GB-per-node memory (the rest holds
         // propagator sets and eigenvector workspaces that do not enter

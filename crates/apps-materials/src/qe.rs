@@ -71,7 +71,7 @@ impl Benchmark for QuantumEspresso {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let timing = Self::model(machine).timing();
 
         // Real execution 1: the distributed FFT (QE's hot kernel) on real

@@ -99,7 +99,12 @@ fn real_md_execution(
     let world = real_exec_world(machine);
     let steps = jubench_apps_common::scale_steps(scale, 60, 300, 1000);
     let results = world.run(move |comm| {
-        let mut sys = MdSystem::lattice(comm, 8.0, 16, 2.0, seed);
+        // The slab decomposition ghosts only the two neighbouring slabs,
+        // so each slab must stay at least one cutoff wide: weak-scale the
+        // box with the rank count (8.0 keeps ≤4-rank worlds as dense as
+        // the original fixed box).
+        let box_l = (2.0 * comm.size() as f64).max(8.0);
+        let mut sys = MdSystem::lattice(comm, box_l, 16, 2.0, seed);
         let pe = sys.prepare(comm).unwrap();
         let (ke0, pe0) = sys.global_energies(comm, pe).unwrap();
         let mut pe_last = pe;
@@ -158,7 +163,7 @@ impl Benchmark for Gromacs {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let timing = md_model(machine, self.case.atoms(), true).timing();
         let (verification, mut metrics) = real_md_execution(machine, cfg.seed, cfg.scale);
         metrics.push(("atoms".into(), self.case.atoms() as f64));
@@ -197,7 +202,7 @@ impl Benchmark for Amber {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(1);
+        let machine = cfg.machine();
         let timing = md_model(machine, Self::ATOMS, true).timing();
         let (verification, mut metrics) = real_md_execution(machine, cfg.seed, cfg.scale);
         metrics.push(("atoms".into(), Self::ATOMS as f64));

@@ -40,10 +40,11 @@ impl Arbor {
     }
 
     /// The Base workload's fixed total cell count: sized to fill half the
-    /// GPU memory on the 8-node reference partition, so that the Fig. 2
+    /// device memory on the 8-node reference partition (whatever the
+    /// backend's device count per node), so that the Fig. 2
     /// strong-scaling points (4…16 nodes) all fit in device memory.
-    pub fn base_total_cells(gpu_memory_bytes: u64) -> u64 {
-        Self::cells_per_gpu(MemoryVariant::Small, gpu_memory_bytes) * 8 * 4
+    pub fn base_total_cells(gpu_memory_bytes: u64, devices_per_node: u32) -> u64 {
+        Self::cells_per_gpu(MemoryVariant::Small, gpu_memory_bytes) * 8 * devices_per_node as u64
     }
 
     fn model(machine: Machine, cells_per_gpu: f64) -> AppModel {
@@ -102,13 +103,16 @@ impl Benchmark for Arbor {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let gpu_mem = machine.node.gpu.memory_bytes;
         // Base: a fixed total network strong-scales over the partition.
         // High-Scaling variants: the workload "is parameterized to fill
         // the GPU memory" — weak scaling with the partition.
         let cells_per_gpu = match cfg.variant {
-            None => Self::base_total_cells(gpu_mem) as f64 / machine.devices() as f64,
+            None => {
+                Self::base_total_cells(gpu_mem, machine.node.gpus_per_node) as f64
+                    / machine.devices() as f64
+            }
             Some(v) => Self::cells_per_gpu(v, gpu_mem) as f64,
         };
         let per_gpu_bytes = cells_per_gpu * COMPARTMENTS_PER_CELL * BYTES_PER_COMPARTMENT;
@@ -191,7 +195,8 @@ mod tests {
     /// Base (fixed-total) model timing.
     fn base_timing(nodes: u32) -> ModelTiming {
         let m = booster(nodes);
-        let per_gpu = Arbor::base_total_cells(m.node.gpu.memory_bytes) as f64 / m.devices() as f64;
+        let per_gpu = Arbor::base_total_cells(m.node.gpu.memory_bytes, m.node.gpus_per_node) as f64
+            / m.devices() as f64;
         Arbor::model(m, per_gpu).timing()
     }
 

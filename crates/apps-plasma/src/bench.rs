@@ -116,7 +116,7 @@ impl Benchmark for PiconGpu {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let cells = Self::cells(cfg.variant, machine.devices());
         let timing = Self::model(machine, cells).timing();
 

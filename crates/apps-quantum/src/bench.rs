@@ -79,7 +79,7 @@ impl Benchmark for Juqcs {
                 });
             }
         }
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let n = Self::qubits_for(&machine, cfg.variant);
         let required = state_bytes(n);
         let available = machine.gpu_memory_bytes() as u128;
@@ -288,15 +288,9 @@ impl JuqcsMsa {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jubench_core::WorkloadScale;
 
     fn cfg(nodes: u32) -> RunConfig {
-        RunConfig {
-            nodes,
-            variant: None,
-            scale: WorkloadScale::Test,
-            seed: 1,
-        }
+        RunConfig::test(nodes).with_seed(1)
     }
 
     #[test]

@@ -72,9 +72,10 @@ fn bench_kernels(c: &mut Criterion) {
         });
     });
 
-    // The V-cycle touches every level of the hierarchy; no single byte
-    // denomination is honest, so keep it out of the records.
-    group.throughput(Throughput::Elements(1));
+    // The V-cycle smooths and computes residuals on every level of the
+    // 16→8→4→2 hierarchy: Σn³ = 4680 points, each read and written once
+    // per traversal.
+    group.throughput(Throughput::Bytes(2 * 4680 * 8));
     group.bench_function("multigrid_vcycle_16", |b| {
         let n = 16;
         let rhs = vec![1.0; n * n * n];

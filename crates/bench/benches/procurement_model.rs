@@ -31,7 +31,7 @@ fn proposal(name: &str, speedup: f64, gpu: GpuSpec, nodes: u32, price: f64) -> P
                 gpu,
                 ..NodeSpec::juwels_booster()
             },
-            cell_nodes: 48,
+            ..Machine::juwels_booster()
         },
         price_eur: price,
         commitments: r

@@ -47,6 +47,9 @@ fn bench_synthetic(c: &mut Criterion) {
     let mut group = c.benchmark_group("synthetic");
     group.sample_size(10);
 
+    // One BFS sweep scans the CSR adjacency once: 2¹²·16 edges, both
+    // directions, 4-byte indices.
+    group.throughput(Throughput::Bytes(2 * (1 << 12) * 16 * 4));
     group.bench_function("graph500_bfs_scale12", |b| {
         let edges = kronecker_edges(12, 1);
         let csr = Csr::from_edges(1 << 12, &edges);
@@ -59,14 +62,16 @@ fn bench_synthetic(c: &mut Criterion) {
         b.iter(|| stream_kernels(1_000_000, 1).unwrap().triad);
     });
 
-    // The remaining targets have no natural byte denomination; the
-    // throughput declaration is sticky (Criterion semantics), so switch
-    // to an element count, which the records do not export.
-    group.throughput(Throughput::Elements(1));
+    // The LU panel sweep reads and writes the 96×96 matrix — the same
+    // denomination as kernels/lu_factor_96.
+    group.throughput(Throughput::Bytes(2 * 96 * 96 * 8));
     group.bench_function("hpl_lu_96", |b| {
         b.iter(|| Hpl { n: 96 }.run(&RunConfig::test(1)).unwrap().fom.value());
     });
 
+    // The PCG iteration is dominated by the 27-point SpMV over the 12³
+    // grid: 27 reads plus one write per point.
+    group.throughput(Throughput::Bytes(28 * 12 * 12 * 12 * 8));
     group.bench_function("hpcg_pcg_n12", |b| {
         b.iter(|| Hpcg { n: 12 }.run(&RunConfig::test(1)).unwrap().fom.value());
     });

@@ -1,0 +1,106 @@
+//! Per-node cost model of a machine backend.
+//!
+//! Procurement arithmetic (§II) needs a euro figure per machine: the
+//! EuroHPC systems are capex-amortized on-prem installations, while the
+//! cloud-continuous-evaluation literature prices instance types per
+//! node-hour with zero capex. Both shapes fit one model: a machine's
+//! total cost of ownership over its evaluation horizon is
+//!
+//! ```text
+//! TCO = capex + electricity + rental
+//!     = nodes · capex_per_node
+//!     + energy(power_w, utilization, lifetime) · PUE · price_per_kWh
+//!     + nodes · rental_per_node_hour · utilization · lifetime_hours
+//! ```
+//!
+//! On-prem backends have nonzero capex and electricity and zero rental;
+//! cloud backends have zero capex, zero direct electricity (folded into
+//! the hourly price), and nonzero rental. The model is carried on
+//! [`crate::Machine`] so every partition of a backend prices itself.
+
+/// Cost parameters of one machine backend, per node so partitions of any
+/// size price consistently. All monetary figures in EUR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Acquisition cost per node (0 for cloud backends).
+    pub capex_per_node_eur: f64,
+    /// Hourly rental per node (0 for on-prem backends).
+    pub rental_eur_per_node_hour: f64,
+    /// Electricity price (0 for cloud backends — energy is priced into
+    /// the rental rate).
+    pub electricity_eur_per_kwh: f64,
+    /// Power usage effectiveness of the hosting site (cooling and
+    /// distribution overhead multiplying IT power).
+    pub pue: f64,
+    /// Evaluation horizon in years (system lifetime on-prem, commitment
+    /// horizon for rented capacity).
+    pub lifetime_years: f64,
+    /// Fraction of the horizon the machine spends doing paid work.
+    pub utilization: f64,
+}
+
+impl CostModel {
+    /// EuroHPC-style on-prem defaults: German industrial electricity at
+    /// 0.25 EUR/kWh, a warm-water-cooled site at PUE 1.1, a six-year
+    /// lifetime, 85% utilization.
+    pub fn on_prem(capex_per_node_eur: f64) -> Self {
+        CostModel {
+            capex_per_node_eur,
+            rental_eur_per_node_hour: 0.0,
+            electricity_eur_per_kwh: 0.25,
+            pue: 1.1,
+            lifetime_years: 6.0,
+            utilization: 0.85,
+        }
+    }
+
+    /// Cloud-style pricing: zero capex, energy folded into the hourly
+    /// rate, a three-year committed horizon at 85% utilization.
+    pub fn cloud(rental_eur_per_node_hour: f64) -> Self {
+        CostModel {
+            capex_per_node_eur: 0.0,
+            rental_eur_per_node_hour,
+            electricity_eur_per_kwh: 0.0,
+            pue: 1.0,
+            lifetime_years: 3.0,
+            utilization: 0.85,
+        }
+    }
+
+    /// Utilized hours over the evaluation horizon.
+    pub fn utilized_hours(&self) -> f64 {
+        self.lifetime_years * 365.25 * 24.0 * self.utilization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn on_prem_has_capex_and_electricity_but_no_rent() {
+        let c = CostModel::on_prem(78_000.0);
+        assert_eq!(c.capex_per_node_eur, 78_000.0);
+        assert_eq!(c.rental_eur_per_node_hour, 0.0);
+        assert!(c.electricity_eur_per_kwh > 0.0);
+        assert!(c.pue > 1.0);
+    }
+
+    #[test]
+    fn cloud_has_rent_but_no_capex_or_electricity() {
+        let c = CostModel::cloud(28.0);
+        assert_eq!(c.capex_per_node_eur, 0.0);
+        assert_eq!(c.rental_eur_per_node_hour, 28.0);
+        assert_eq!(c.electricity_eur_per_kwh, 0.0);
+        assert_eq!(c.pue, 1.0);
+    }
+
+    #[test]
+    fn utilized_hours_scale_with_horizon() {
+        let on_prem = CostModel::on_prem(1.0);
+        let cloud = CostModel::cloud(1.0);
+        assert!(on_prem.utilized_hours() > cloud.utilized_hours());
+        // 6 years at 85%: ≈ 44.7 kh.
+        assert!((on_prem.utilized_hours() - 44_700.0).abs() < 100.0);
+    }
+}

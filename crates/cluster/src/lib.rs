@@ -16,6 +16,7 @@
 //! using these models, so that scaling *shapes* — not absolute runtimes —
 //! reproduce the mechanisms of the paper's Figs. 2 and 3.
 
+pub mod cost;
 pub mod decomposition;
 pub mod machine;
 pub mod netmodel;
@@ -23,10 +24,11 @@ pub mod patterns;
 pub mod roofline;
 pub mod topology;
 
+pub use cost::CostModel;
 pub use decomposition::{
     best_3d_decomposition, best_4d_decomposition, cost_4d, DecompositionChoice,
 };
-pub use machine::{GpuSpec, Machine, NodeSpec};
+pub use machine::{intern_name, GpuSpec, Machine, NodeSpec};
 pub use netmodel::{LinkParams, NetModel};
 pub use patterns::{balanced_dims3, balanced_dims4, cost_on, pattern_time, CommPattern};
 pub use roofline::{Roofline, Work};

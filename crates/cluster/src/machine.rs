@@ -1,5 +1,29 @@
 //! Node and machine specifications.
 
+use crate::cost::CostModel;
+use crate::netmodel::NetModel;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Intern a machine or device name, returning a `&'static str` for it.
+///
+/// Machine models keep their names as `&'static str` so [`Machine`]
+/// stays `Copy` and fingerprinting stays allocation-free on the preset
+/// path. Backends decoded from snapshots or built from catalog data
+/// arrive with owned strings; interning leaks each *distinct* name once
+/// (deduplicated through a global set) — bounded by the number of
+/// distinct machine models a process ever sees, which is tiny.
+pub fn intern_name(name: &str) -> &'static str {
+    static INTERNED: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut set = INTERNED.lock().expect("name intern table poisoned");
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
 /// An accelerator device. The preparation system uses NVIDIA A100-40GB.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSpec {
@@ -48,6 +72,17 @@ impl GpuSpec {
             mem_bw: 4.0e12,
         }
     }
+
+    /// An A100-80GB as rented in 8-GPU cloud instances: same FP64 peak as
+    /// the 40 GB part, doubled capacity, slightly higher HBM bandwidth.
+    pub fn a100_80gb_cloud() -> Self {
+        GpuSpec {
+            name: "A100-80GB (cloud)",
+            fp64_flops: 9.7e12,
+            memory_bytes: 80 * (1 << 30),
+            mem_bw: 2.0e12,
+        }
+    }
 }
 
 /// A compute node.
@@ -90,24 +125,32 @@ impl NodeSpec {
 
 /// A (partition of a) machine: `nodes` identical nodes arranged in
 /// DragonFly+ cells of `cell_nodes` nodes (2 racks = 48 nodes per cell on
-/// JUWELS Booster).
+/// JUWELS Booster), with the interconnect model and cost model of the
+/// backend it belongs to.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Machine {
     pub name: &'static str,
     pub nodes: u32,
     pub node: NodeSpec,
     pub cell_nodes: u32,
+    /// Interconnect performance model of this backend's fabric.
+    pub net: NetModel,
+    /// Cost model of this backend (capex-amortized or per-node-hour).
+    pub cost: CostModel,
 }
 
 impl Machine {
     /// The full preparation system: JUWELS Booster, 936 GPU nodes in 39
     /// racks, 2 racks (48 nodes) per DragonFly+ cell, 73 PFLOP/s(th).
+    /// Capex ≈ 73 M EUR for 936 nodes ≈ 78 k EUR per node.
     pub fn juwels_booster() -> Self {
         Machine {
             name: "JUWELS Booster",
             nodes: 936,
             node: NodeSpec::juwels_booster(),
             cell_nodes: 48,
+            net: NetModel::juwels_booster(),
+            cost: CostModel::on_prem(78_000.0),
         }
     }
 
@@ -141,6 +184,8 @@ impl Machine {
             nodes,
             node,
             cell_nodes: 48,
+            net: NetModel::next_gen_fabric(),
+            cost: CostModel::on_prem(136_000.0),
         }
     }
 
@@ -209,10 +254,12 @@ impl Machine {
     }
 
     /// Canonical content bytes of this machine model: every field that
-    /// shapes a run's result, in declaration order, floats as IEEE-754
-    /// bit patterns. Two machines with equal fingerprint bytes model the
-    /// same hardware — the property content-addressed result caching and
-    /// shard routing key on.
+    /// shapes a run's result or its price, in declaration order, floats
+    /// as IEEE-754 bit patterns. Two machines with equal fingerprint
+    /// bytes model the same hardware under the same economics — the
+    /// property content-addressed result caching and shard routing key
+    /// on, and what keeps two catalog backends from ever sharing a
+    /// cache entry.
     pub fn fingerprint_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(self.name.as_bytes());
@@ -228,6 +275,24 @@ impl Machine {
         out.extend_from_slice(&self.node.nics_per_node.to_le_bytes());
         out.extend_from_slice(&self.node.nic_bw.to_bits().to_le_bytes());
         out.extend_from_slice(&self.node.power_w.to_bits().to_le_bytes());
+        for link in [
+            self.net.intra_node,
+            self.net.intra_cell,
+            self.net.inter_cell,
+            self.net.inter_module,
+        ] {
+            out.extend_from_slice(&link.latency_s.to_bits().to_le_bytes());
+            out.extend_from_slice(&link.bandwidth.to_bits().to_le_bytes());
+        }
+        out.extend_from_slice(&self.net.device_copy_bw.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.net.congestion_onset_nodes.to_le_bytes());
+        out.extend_from_slice(&self.net.congestion_floor.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cost.capex_per_node_eur.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cost.rental_eur_per_node_hour.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cost.electricity_eur_per_kwh.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cost.pue.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cost.lifetime_years.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.cost.utilization.to_bits().to_le_bytes());
         out
     }
 }
@@ -340,5 +405,42 @@ mod tests {
         let n = NodeSpec::juwels_booster();
         assert_eq!(n.gpu_memory_bytes(), 160 * (1 << 30));
         assert!((n.peak_flops() - 4.0 * 9.7e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn fingerprint_covers_topology_fields() {
+        let base = Machine::juwels_booster().partition(8);
+        let mut faster_fabric = base;
+        faster_fabric.net.inter_cell.bandwidth *= 2.0;
+        assert_ne!(
+            base.fingerprint_bytes(),
+            faster_fabric.fingerprint_bytes(),
+            "inter-cell bandwidth must reach the fingerprint"
+        );
+        let mut late_congestion = base;
+        late_congestion.net.congestion_onset_nodes = 512;
+        assert_ne!(
+            base.fingerprint_bytes(),
+            late_congestion.fingerprint_bytes()
+        );
+    }
+
+    #[test]
+    fn fingerprint_covers_cost_fields() {
+        let base = Machine::juwels_booster().partition(8);
+        let mut cheaper = base;
+        cheaper.cost.capex_per_node_eur /= 2.0;
+        assert_ne!(base.fingerprint_bytes(), cheaper.fingerprint_bytes());
+        let mut rented = base;
+        rented.cost = CostModel::cloud(28.0);
+        assert_ne!(base.fingerprint_bytes(), rented.fingerprint_bytes());
+    }
+
+    #[test]
+    fn intern_deduplicates_and_matches_static_presets() {
+        let a = intern_name("Fleet Backend X");
+        let b = intern_name(&String::from("Fleet Backend X"));
+        assert!(std::ptr::eq(a, b), "same name interns to the same slice");
+        assert_eq!(intern_name("JUWELS Booster"), "JUWELS Booster");
     }
 }

@@ -77,6 +77,88 @@ impl NetModel {
         }
     }
 
+    /// A CPU-cluster fabric (JUWELS-Cluster-like): EDR100-class links at
+    /// 12.5 GB/s, shared-memory "intra-node" transfers, the same
+    /// large-scale congestion regime as the Booster.
+    pub fn cpu_cluster() -> Self {
+        NetModel {
+            intra_node: LinkParams {
+                latency_s: 0.8e-6,
+                bandwidth: 100.0e9,
+            },
+            intra_cell: LinkParams {
+                latency_s: 2.5e-6,
+                bandwidth: 12.5e9,
+            },
+            inter_cell: LinkParams {
+                latency_s: 3.5e-6,
+                bandwidth: 12.5e9,
+            },
+            inter_module: LinkParams {
+                latency_s: 6.0e-6,
+                bandwidth: 12.5e9,
+            },
+            device_copy_bw: 0.38e12,
+            congestion_onset_nodes: 256,
+            congestion_floor: 0.55,
+        }
+    }
+
+    /// A next-generation fabric (NDR200-class): doubled link bandwidth,
+    /// slightly lower latency, and a congestion onset pushed out one
+    /// doubling by the richer global-link population.
+    pub fn next_gen_fabric() -> Self {
+        NetModel {
+            intra_node: LinkParams {
+                latency_s: 1.5e-6,
+                bandwidth: 600.0e9,
+            },
+            intra_cell: LinkParams {
+                latency_s: 2.0e-6,
+                bandwidth: 50.0e9,
+            },
+            inter_cell: LinkParams {
+                latency_s: 3.0e-6,
+                bandwidth: 50.0e9,
+            },
+            inter_module: LinkParams {
+                latency_s: 5.0e-6,
+                bandwidth: 25.0e9,
+            },
+            device_copy_bw: 3.0e12,
+            congestion_onset_nodes: 512,
+            congestion_floor: 0.60,
+        }
+    }
+
+    /// A cloud instance fabric: 400 Gb/s Ethernet with OS-bypass but
+    /// markedly higher latency than InfiniBand, an oversubscribed spine
+    /// (earlier congestion onset, deeper floor), and NVLink inside the
+    /// 8-GPU instance.
+    pub fn cloud_ethernet() -> Self {
+        NetModel {
+            intra_node: LinkParams {
+                latency_s: 2.0e-6,
+                bandwidth: 300.0e9,
+            },
+            intra_cell: LinkParams {
+                latency_s: 15.0e-6,
+                bandwidth: 50.0e9,
+            },
+            inter_cell: LinkParams {
+                latency_s: 25.0e-6,
+                bandwidth: 25.0e9,
+            },
+            inter_module: LinkParams {
+                latency_s: 40.0e-6,
+                bandwidth: 12.5e9,
+            },
+            device_copy_bw: 1.3e12,
+            congestion_onset_nodes: 64,
+            congestion_floor: 0.40,
+        }
+    }
+
     /// Congestion multiplier on inter-cell bandwidth for a job spanning
     /// `job_nodes` nodes: 1.0 below the onset, ramping down to
     /// `congestion_floor` over one further doubling.
@@ -177,5 +259,28 @@ mod tests {
         let m = NetModel::juwels_booster();
         let b = 1 << 26;
         assert!(m.ptp_time(b, Distance::SameDevice, 1) < m.ptp_time(b, Distance::IntraNode, 1));
+    }
+
+    #[test]
+    fn fabric_generations_order_by_bandwidth() {
+        let cpu = NetModel::cpu_cluster();
+        let booster = NetModel::juwels_booster();
+        let next = NetModel::next_gen_fabric();
+        assert!(cpu.intra_cell.bandwidth < booster.intra_cell.bandwidth);
+        assert!(booster.intra_cell.bandwidth < next.intra_cell.bandwidth);
+        assert!(next.congestion_onset_nodes > booster.congestion_onset_nodes);
+    }
+
+    #[test]
+    fn cloud_fabric_is_high_latency_and_congests_early() {
+        let cloud = NetModel::cloud_ethernet();
+        let booster = NetModel::juwels_booster();
+        assert!(cloud.intra_cell.latency_s > 4.0 * booster.intra_cell.latency_s);
+        assert!(cloud.congestion_onset_nodes < booster.congestion_onset_nodes);
+        assert!(cloud.congestion_floor < booster.congestion_floor);
+        // Same 8-byte message is far slower across the cloud spine.
+        let t_cloud = cloud.ptp_time(8, Distance::IntraCell, 2);
+        let t_ib = booster.ptp_time(8, Distance::IntraCell, 2);
+        assert!(t_cloud > 4.0 * t_ib);
     }
 }

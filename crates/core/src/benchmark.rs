@@ -5,6 +5,7 @@ use crate::fom::Fom;
 use crate::meta::BenchmarkMeta;
 use crate::variant::MemoryVariant;
 use crate::verify::VerificationOutcome;
+use jubench_cluster::Machine;
 
 /// How the proxy workload is scaled relative to the paper's workload.
 ///
@@ -34,6 +35,11 @@ pub struct RunConfig {
     pub scale: WorkloadScale,
     /// Deterministic seed for workload generation.
     pub seed: u64,
+    /// The machine backend the run is modeled on. `nodes` selects a
+    /// partition of it; the backend's device roofline and network model
+    /// drive the virtual clocks. Defaults to the JUWELS Booster
+    /// preparation system.
+    pub backend: Machine,
 }
 
 impl RunConfig {
@@ -44,6 +50,7 @@ impl RunConfig {
             variant: None,
             scale: WorkloadScale::Test,
             seed: 0x5EED,
+            backend: Machine::juwels_booster(),
         }
     }
 
@@ -64,6 +71,19 @@ impl RunConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Run on (a partition of) `backend` instead of the default JUWELS
+    /// Booster model.
+    pub fn with_backend(mut self, backend: Machine) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The `nodes`-node partition of the configured backend — the machine
+    /// every benchmark should model its run on.
+    pub fn machine(&self) -> Machine {
+        self.backend.partition(self.nodes)
     }
 }
 
@@ -167,6 +187,26 @@ mod tests {
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.scale, WorkloadScale::Test);
         assert_eq!(RunConfig::bench(4).scale, WorkloadScale::Bench);
+    }
+
+    #[test]
+    fn run_config_defaults_to_juwels_booster() {
+        let cfg = RunConfig::test(8);
+        assert_eq!(cfg.backend.name, "JUWELS Booster");
+        let m = cfg.machine();
+        assert_eq!(m.nodes, 8);
+        assert_eq!(m.node, Machine::juwels_booster().node);
+    }
+
+    #[test]
+    fn with_backend_switches_the_modeled_machine() {
+        let backend = Machine::jupiter_proposal();
+        let cfg = RunConfig::test(16).with_backend(backend);
+        let m = cfg.machine();
+        assert_eq!(m.name, "JUPITER proposal");
+        assert_eq!(m.nodes, 16);
+        assert_eq!(m.node, backend.node);
+        assert_eq!(m.net, backend.net);
     }
 
     #[test]

@@ -2,11 +2,18 @@
 
 use jubench_cluster::Machine;
 
-/// TCO parameters over the system lifetime.
+/// TCO parameters over the system lifetime (or rental horizon). Each
+/// backend carries its own energy price, lifetime, and rental rate —
+/// on-prem machines amortize capex and pay electricity, cloud machines
+/// pay per node-hour with zero capex.
 #[derive(Debug, Clone, Copy)]
 pub struct TcoModel {
-    /// Capital expenditure (system price), in EUR.
+    /// Capital expenditure (system price), in EUR. Zero for rented
+    /// (cloud) capacity.
     pub capex_eur: f64,
+    /// Hourly rental for the whole machine, in EUR per hour of utilized
+    /// operation. Zero for owned systems.
+    pub rental_eur_per_hour: f64,
     /// Electricity price, EUR per kWh.
     pub electricity_eur_per_kwh: f64,
     /// Cooling/infrastructure overhead on top of IT power (PUE − 1 adds
@@ -24,10 +31,27 @@ impl TcoModel {
     pub fn eurohpc_defaults(capex_eur: f64) -> Self {
         TcoModel {
             capex_eur,
+            rental_eur_per_hour: 0.0,
             electricity_eur_per_kwh: 0.25,
             pue: 1.1,
             lifetime_years: 6.0,
             utilization: 0.85,
+        }
+    }
+
+    /// The TCO model of a machine backend, derived from its own
+    /// [`jubench_cluster::CostModel`]: capex and rental scale with the
+    /// partition's node count; energy price, PUE, lifetime, and
+    /// utilization come from the backend's economics.
+    pub fn for_machine(machine: &Machine) -> Self {
+        let c = machine.cost;
+        TcoModel {
+            capex_eur: c.capex_per_node_eur * machine.nodes as f64,
+            rental_eur_per_hour: c.rental_eur_per_node_hour * machine.nodes as f64,
+            electricity_eur_per_kwh: c.electricity_eur_per_kwh,
+            pue: c.pue,
+            lifetime_years: c.lifetime_years,
+            utilization: c.utilization,
         }
     }
 
@@ -37,9 +61,12 @@ impl TcoModel {
         it_power_kw * self.pue * self.utilization * self.lifetime_years * 365.25 * 24.0
     }
 
-    /// Operational expenditure in EUR.
+    /// Operational expenditure in EUR: electricity plus rental over the
+    /// utilized hours of the horizon.
     pub fn opex_eur(&self, machine: &Machine) -> f64 {
+        let utilized_hours = self.utilization * self.lifetime_years * 365.25 * 24.0;
         self.lifetime_energy_kwh(machine) * self.electricity_eur_per_kwh
+            + self.rental_eur_per_hour * utilized_hours
     }
 
     /// Full TCO.
@@ -133,6 +160,29 @@ mod tests {
         // 8 nodes × 2.5 kW × 498 s ≈ 9.96 MJ ≈ 2.77 kWh.
         assert!((e - 8.0 * 2500.0 * 498.0).abs() < 1.0);
         assert!(energy_to_solution_j(&m, 996.0) > e);
+    }
+
+    #[test]
+    fn for_machine_prices_the_partition() {
+        let full = TcoModel::for_machine(&Machine::juwels_booster());
+        let half = TcoModel::for_machine(&Machine::juwels_booster().partition(468));
+        assert!((full.capex_eur / half.capex_eur - 2.0).abs() < 1e-12);
+        assert_eq!(full.rental_eur_per_hour, 0.0);
+        assert_eq!(full.electricity_eur_per_kwh, 0.25);
+    }
+
+    #[test]
+    fn cloud_backends_pay_rent_instead_of_capex() {
+        let mut cloud = Machine::juwels_booster().partition(8);
+        cloud.cost = jubench_cluster::CostModel::cloud(28.0);
+        let tco = TcoModel::for_machine(&cloud);
+        assert_eq!(tco.capex_eur, 0.0);
+        assert!((tco.rental_eur_per_hour - 8.0 * 28.0).abs() < 1e-9);
+        // Zero electricity price: the whole opex is rent.
+        let result = tco.evaluate(&cloud);
+        assert_eq!(result.capex_eur, 0.0);
+        let utilized_hours = tco.utilization * tco.lifetime_years * 365.25 * 24.0;
+        assert!((result.opex_eur - tco.rental_eur_per_hour * utilized_hours).abs() < 1e-6);
     }
 
     #[test]

@@ -19,7 +19,6 @@ use crate::cache::{PointResult, ResultCache};
 use crate::spec::CampaignSpec;
 use crate::wire::Frame;
 use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
-use jubench_cluster::NetModel;
 use jubench_core::{BenchmarkId, Registry, RunConfig};
 use jubench_sched::{category_priority, Job, Schedule, Scheduler, SchedulerConfig};
 use jubench_trace::{chrome_trace_json, Recorder, RunReport};
@@ -273,7 +272,7 @@ impl ShardState {
         let camp = &mut self.queue[idx];
         let scheduler = Scheduler::new(
             camp.spec.machine(),
-            NetModel::juwels_booster(),
+            camp.spec.backend.net,
             SchedulerConfig::new(camp.spec.policy, camp.spec.placement, camp.spec.seed),
         );
         let jobs = build_jobs(&camp.spec, &camp.rows);
@@ -397,6 +396,7 @@ fn run_point(registry: &Registry, spec: &CampaignSpec, index: usize) -> PointRes
         variant: p.variant,
         scale: p.scale,
         seed: p.seed,
+        backend: spec.backend,
     };
     let variant_label = match p.variant {
         None => "base".to_string(),

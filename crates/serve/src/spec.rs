@@ -15,7 +15,7 @@
 //! exactly what licenses the result cache to answer without re-executing.
 
 use jubench_ckpt::{CkptError, SnapshotReader, SnapshotWriter};
-use jubench_cluster::Machine;
+use jubench_cluster::{intern_name, CostModel, GpuSpec, LinkParams, Machine, NetModel, NodeSpec};
 use jubench_core::{content_key128, BenchmarkId, MemoryVariant, Registry, WorkloadScale};
 use jubench_faults::{Fault, FaultPlan};
 use jubench_sched::{PlacementPolicy, QueuePolicy};
@@ -216,6 +216,96 @@ fn get_plan(r: &mut SnapshotReader) -> Result<FaultPlan, CkptError> {
     Ok(plan)
 }
 
+/// Serialize a full machine model (architecture, interconnect, cost) —
+/// the wire form of a campaign's backend.
+fn put_machine(w: &mut SnapshotWriter, m: &Machine) {
+    w.put_str(m.name);
+    w.put_u32(m.nodes);
+    w.put_u32(m.cell_nodes);
+    w.put_str(m.node.gpu.name);
+    w.put_f64(m.node.gpu.fp64_flops);
+    w.put_u64(m.node.gpu.memory_bytes);
+    w.put_f64(m.node.gpu.mem_bw);
+    w.put_u32(m.node.gpus_per_node);
+    w.put_u32(m.node.nics_per_node);
+    w.put_f64(m.node.nic_bw);
+    w.put_f64(m.node.power_w);
+    for link in [
+        m.net.intra_node,
+        m.net.intra_cell,
+        m.net.inter_cell,
+        m.net.inter_module,
+    ] {
+        w.put_f64(link.latency_s);
+        w.put_f64(link.bandwidth);
+    }
+    w.put_f64(m.net.device_copy_bw);
+    w.put_u32(m.net.congestion_onset_nodes);
+    w.put_f64(m.net.congestion_floor);
+    w.put_f64(m.cost.capex_per_node_eur);
+    w.put_f64(m.cost.rental_eur_per_node_hour);
+    w.put_f64(m.cost.electricity_eur_per_kwh);
+    w.put_f64(m.cost.pue);
+    w.put_f64(m.cost.lifetime_years);
+    w.put_f64(m.cost.utilization);
+}
+
+/// Restore a machine model serialized by [`put_machine`]. Names arrive
+/// as owned strings and are interned (machine models carry
+/// `&'static str` names); the intern table is bounded by the number of
+/// distinct backends a process ever decodes.
+fn get_machine(r: &mut SnapshotReader) -> Result<Machine, CkptError> {
+    let name = intern_name(&r.get_str("machine name")?);
+    let nodes = r.get_u32("machine nodes")?;
+    let cell_nodes = r.get_u32("machine cell nodes")?;
+    let gpu = GpuSpec {
+        name: intern_name(&r.get_str("gpu name")?),
+        fp64_flops: r.get_f64("gpu flops")?,
+        memory_bytes: r.get_u64("gpu memory")?,
+        mem_bw: r.get_f64("gpu mem bw")?,
+    };
+    let node = NodeSpec {
+        gpu,
+        gpus_per_node: r.get_u32("gpus per node")?,
+        nics_per_node: r.get_u32("nics per node")?,
+        nic_bw: r.get_f64("nic bw")?,
+        power_w: r.get_f64("node power")?,
+    };
+    let mut links = [LinkParams {
+        latency_s: 0.0,
+        bandwidth: 0.0,
+    }; 4];
+    for link in &mut links {
+        link.latency_s = r.get_f64("link latency")?;
+        link.bandwidth = r.get_f64("link bandwidth")?;
+    }
+    let net = NetModel {
+        intra_node: links[0],
+        intra_cell: links[1],
+        inter_cell: links[2],
+        inter_module: links[3],
+        device_copy_bw: r.get_f64("device copy bw")?,
+        congestion_onset_nodes: r.get_u32("congestion onset")?,
+        congestion_floor: r.get_f64("congestion floor")?,
+    };
+    let cost = CostModel {
+        capex_per_node_eur: r.get_f64("cost capex")?,
+        rental_eur_per_node_hour: r.get_f64("cost rental")?,
+        electricity_eur_per_kwh: r.get_f64("cost electricity")?,
+        pue: r.get_f64("cost pue")?,
+        lifetime_years: r.get_f64("cost lifetime")?,
+        utilization: r.get_f64("cost utilization")?,
+    };
+    Ok(Machine {
+        name,
+        nodes,
+        node,
+        cell_nodes,
+        net,
+        cost,
+    })
+}
+
 /// A campaign: one tenant's batch of run points plus the machine
 /// partition and scheduler configuration to place them on.
 #[derive(Debug, Clone, PartialEq)]
@@ -224,7 +314,12 @@ pub struct CampaignSpec {
     pub tenant: String,
     /// Human-readable campaign name.
     pub name: String,
-    /// Node count of the JUWELS Booster partition the campaign runs on.
+    /// The machine backend the campaign runs on; `nodes` selects a
+    /// partition of it. Campaigns on different backends never share
+    /// cache entries (the backend's fingerprint is part of every point
+    /// key) and route to shards independently.
+    pub backend: Machine,
+    /// Node count of the backend partition the campaign runs on.
     pub nodes: u32,
     /// Scheduler seed.
     pub seed: u64,
@@ -250,6 +345,7 @@ impl CampaignSpec {
         CampaignSpec {
             tenant: tenant.to_string(),
             name: name.to_string(),
+            backend: Machine::juwels_booster(),
             nodes,
             seed,
             policy: QueuePolicy::Fifo,
@@ -267,9 +363,16 @@ impl CampaignSpec {
         self
     }
 
+    /// Run the campaign on (a partition of) `backend` instead of the
+    /// default JUWELS Booster model (builder style).
+    pub fn with_backend(mut self, backend: Machine) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The machine partition the campaign schedules onto.
     pub fn machine(&self) -> Machine {
-        Machine::juwels_booster().partition(self.nodes)
+        self.backend.partition(self.nodes)
     }
 
     /// Canonical encoding — the wire form of `Submit` and the persisted
@@ -278,6 +381,7 @@ impl CampaignSpec {
         let mut w = SnapshotWriter::new();
         w.put_str(&self.tenant);
         w.put_str(&self.name);
+        put_machine(&mut w, &self.backend);
         w.put_u32(self.nodes);
         w.put_u64(self.seed);
         w.put_u8(match self.policy {
@@ -313,6 +417,7 @@ impl CampaignSpec {
     pub(crate) fn get(r: &mut SnapshotReader) -> Result<Self, CkptError> {
         let tenant = r.get_str("spec tenant")?;
         let name = r.get_str("spec name")?;
+        let backend = get_machine(r)?;
         let nodes = r.get_u32("spec nodes")?;
         let seed = r.get_u64("spec seed")?;
         let policy = match r.get_u8("spec policy")? {
@@ -344,6 +449,7 @@ impl CampaignSpec {
         Ok(CampaignSpec {
             tenant,
             name,
+            backend,
             nodes,
             seed,
             policy,
@@ -380,8 +486,11 @@ impl CampaignSpec {
         if self.points.is_empty() {
             return Err("campaign has no run points".to_string());
         }
-        if self.nodes == 0 || self.nodes > Machine::juwels_booster().nodes {
-            return Err(format!("invalid partition size {}", self.nodes));
+        if self.nodes == 0 || self.nodes > self.backend.nodes {
+            return Err(format!(
+                "invalid partition size {} of the {}-node backend `{}`",
+                self.nodes, self.backend.nodes, self.backend.name
+            ));
         }
         if self.slice_s.is_nan() || self.slice_s <= 0.0 {
             return Err(format!("slice_s must be positive, got {}", self.slice_s));
@@ -468,6 +577,10 @@ mod tests {
         plan.plan = FaultPlan::new(99);
         assert_ne!(k0, plan.point_key(0), "fault plan is keyed");
 
+        let mut backend = base.clone();
+        backend.backend = Machine::jupiter_proposal();
+        assert_ne!(k0, backend.point_key(0), "machine backend is keyed");
+
         // Scheduler knobs do NOT affect a point's execution, and two
         // campaigns differing only there must share cache entries.
         let mut sched_only = base.clone();
@@ -477,6 +590,31 @@ mod tests {
         sched_only.slice_s += 1.0;
         sched_only.tenant = "bob".to_string();
         assert_eq!(k0, sched_only.point_key(0), "sched knobs are not keyed");
+    }
+
+    #[test]
+    fn backend_roundtrips_through_the_wire_form() {
+        let mut spec = sample_spec();
+        spec.backend = Machine::jupiter_proposal();
+        spec.nodes = 128;
+        let back = CampaignSpec::decode(&spec.encode()).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.backend.net, spec.backend.net);
+        assert_eq!(back.backend.cost, spec.backend.cost);
+        assert_eq!(back.machine().nodes, 128);
+    }
+
+    #[test]
+    fn validate_checks_against_the_backend_size() {
+        let registry = Registry::new();
+        let mut spec = CampaignSpec::new("t", "c", 937, 0).with_point(RunPoint::test("HPL", 4, 0));
+        let err = spec.validate(&registry).unwrap_err();
+        assert!(err.contains("937"), "oversized partition rejected: {err}");
+        // The same size is fine on a larger backend (though the empty
+        // registry still rejects the benchmark).
+        spec.backend = Machine::jupiter_proposal();
+        let err = spec.validate(&registry).unwrap_err();
+        assert!(!err.contains("invalid partition"), "size accepted: {err}");
     }
 
     #[test]

@@ -2,9 +2,16 @@
 //! Modular Supercomputing Architecture (§II-B: "benchmarks spanning
 //! Cluster and Booster, dubbed *MSA* benchmarks").
 
-use jubench_cluster::{Distance, GpuSpec, Machine, NodeSpec, Placement, Roofline};
+use jubench_cluster::{
+    CostModel, Distance, GpuSpec, Machine, NetModel, NodeSpec, Placement, Roofline,
+};
 
 /// Where the ranks of a world live.
+// The Msa variant carries two full `Placement`s (each embedding a
+// `Machine` with its topology and cost knobs), so it dwarfs `Uniform`;
+// `RankMap` must stay `Copy` for the world constructors, which rules
+// out boxing the large variant.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Copy)]
 pub enum RankMap {
     /// All ranks on one machine with a uniform device.
@@ -38,6 +45,8 @@ impl RankMap {
                 power_w: 700.0,
             },
             cell_nodes: 48,
+            net: NetModel::cpu_cluster(),
+            cost: CostModel::on_prem(25_000.0),
         };
         RankMap::Msa {
             cluster: Placement::per_node(cluster),

@@ -49,14 +49,16 @@ impl std::fmt::Debug for World {
 }
 
 impl World {
-    /// One rank per GPU (the normal Booster launch configuration).
+    /// One rank per GPU (the normal Booster launch configuration). The
+    /// machine's own network model drives the communication clocks, so
+    /// worlds on different catalog backends time differently.
     pub fn new(machine: Machine) -> Self {
         World {
             map: RankMap::Uniform {
                 placement: Placement::per_gpu(machine),
                 device: Roofline::new(machine.node.gpu),
             },
-            net: NetModel::juwels_booster(),
+            net: machine.net,
             plan: None,
             sink: None,
         }
@@ -69,7 +71,7 @@ impl World {
                 placement: Placement::per_node(machine),
                 device: Roofline::new(jubench_cluster::GpuSpec::epyc_rome_node()),
             },
-            net: NetModel::juwels_booster(),
+            net: machine.net,
             plan: None,
             sink: None,
         }

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use jubench_apps_common::{AppModel, Phase};
-use jubench_cluster::{CommPattern, Machine, Work};
+use jubench_cluster::{CommPattern, Work};
 use jubench_core::{
     suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, Fom, RunConfig, RunOutcome, SuiteError,
     VerificationOutcome,
@@ -246,7 +246,7 @@ impl Benchmark for Graph500 {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         // Analytic model: at full scale, every BFS level is an all-to-all
         // of frontier vertices with heavy irregular memory access.
         let scale_full = 38u32; // full-machine Graph500 class

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use jubench_apps_common::{AppModel, Phase};
-use jubench_cluster::{balanced_dims3, CommPattern, Machine, Work};
+use jubench_cluster::{balanced_dims3, CommPattern, Work};
 use jubench_core::{
     suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, Fom, RunConfig, RunOutcome, SuiteError,
     VerificationOutcome,
@@ -144,7 +144,7 @@ impl Benchmark for Hpcg {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         // Full-scale model: HPCG is bandwidth-bound; halo + dots.
         let points_per_gpu = 104.0f64.powi(3); // standard local 104³ block
         let rank_dims = balanced_dims3(machine.devices());
@@ -188,6 +188,7 @@ impl Benchmark for Hpcg {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jubench_cluster::Machine;
 
     #[test]
     fn stencil_row_sums() {

@@ -4,7 +4,7 @@
 use std::time::Instant;
 
 use jubench_apps_common::{AppModel, Phase};
-use jubench_cluster::{CommPattern, Machine, Work};
+use jubench_cluster::{CommPattern, Work};
 use jubench_core::{
     suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, Fom, RunConfig, RunOutcome, SuiteError,
     VerificationOutcome,
@@ -38,7 +38,7 @@ impl Benchmark for Hpl {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         // Full-machine model: matrix sized to ~80 % of aggregate memory,
         // panel broadcasts + row swaps dominate communication.
         let mem = machine.gpu_memory_bytes() as f64 * 0.8;
@@ -96,6 +96,7 @@ impl Benchmark for Hpl {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jubench_cluster::Machine;
 
     #[test]
     fn run_passes_residual_check() {

@@ -7,12 +7,19 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use jubench_core::{
     suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, Fom, RunConfig, RunOutcome, SuiteError,
     VerificationOutcome,
 };
+
+/// Scratch-file disambiguator: concurrent IOR runs (parallel serve
+/// shards, several backends at the same seed) must never share files,
+/// or one run's read-back races another's write. The tag never reaches
+/// any result byte — only the scratch file names.
+static RUN_TAG: AtomicU64 = AtomicU64::new(0);
 
 /// The two IOR sub-benchmarks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,13 +97,18 @@ impl Ior {
         };
         let dir = self.scratch_dir();
         std::fs::create_dir_all(&dir)?;
+        let tag = format!(
+            "{}-{seed}-{}",
+            std::process::id(),
+            RUN_TAG.fetch_add(1, Ordering::Relaxed)
+        );
         let total_bytes = (self.processes * self.transfers * transfer) as u64;
 
         let t_write = Instant::now();
         match self.mode {
             IorMode::Easy => {
                 for p in 0..self.processes {
-                    let mut f = File::create(dir.join(format!("easy-{seed}-{p}.dat")))?;
+                    let mut f = File::create(dir.join(format!("easy-{tag}-{p}.dat")))?;
                     for t in 0..self.transfers {
                         f.write_all(&Self::pattern(p, t, transfer))?;
                     }
@@ -104,7 +116,7 @@ impl Ior {
                 }
             }
             IorMode::Hard => {
-                let path = dir.join(format!("hard-{seed}.dat"));
+                let path = dir.join(format!("hard-{tag}.dat"));
                 let mut f = File::create(&path)?;
                 // Interleaved segments: all processes share the file, with
                 // adjacent 4 KiB blocks belonging to different processes
@@ -126,7 +138,7 @@ impl Ior {
         match self.mode {
             IorMode::Easy => {
                 for p in 0..self.processes {
-                    let mut f = File::open(dir.join(format!("easy-{seed}-{p}.dat")))?;
+                    let mut f = File::open(dir.join(format!("easy-{tag}-{p}.dat")))?;
                     for t in 0..self.transfers {
                         f.read_exact(&mut buf)?;
                         if buf != Self::pattern(p, t, transfer) {
@@ -141,7 +153,7 @@ impl Ior {
             IorMode::Hard => {
                 let mut f = OpenOptions::new()
                     .read(true)
-                    .open(dir.join(format!("hard-{seed}.dat")))?;
+                    .open(dir.join(format!("hard-{tag}.dat")))?;
                 for t in 0..self.transfers {
                     for p in 0..self.processes {
                         let offset = ((t * self.processes + p) * transfer) as u64;
@@ -163,11 +175,11 @@ impl Ior {
         match self.mode {
             IorMode::Easy => {
                 for p in 0..self.processes {
-                    std::fs::remove_file(dir.join(format!("easy-{seed}-{p}.dat"))).ok();
+                    std::fs::remove_file(dir.join(format!("easy-{tag}-{p}.dat"))).ok();
                 }
             }
             IorMode::Hard => {
-                std::fs::remove_file(dir.join(format!("hard-{seed}.dat"))).ok();
+                std::fs::remove_file(dir.join(format!("hard-{tag}.dat"))).ok();
             }
         }
         Ok((

@@ -59,7 +59,7 @@ impl Benchmark for LinkTest {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes);
+        let machine = cfg.machine();
         let (min_pair_bw, aggregate) = Self::model(machine);
 
         // Real execution: the actual bisection exchange through simmpi on

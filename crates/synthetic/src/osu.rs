@@ -90,32 +90,58 @@ impl Benchmark for Osu {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(cfg.nodes.min(2));
-        // Intra-node pair (ranks 0-1) and, with 2 nodes, inter-node pair
-        // (ranks 0-4).
+        // A single-device node has no intra-node pair; span two nodes of
+        // the backend so the sweep still has a rank pair to measure.
+        let span = if cfg.backend.node.gpus_per_node >= 2 {
+            cfg.nodes.min(2)
+        } else {
+            cfg.backend.nodes.min(2)
+        };
+        let machine = cfg.backend.partition(span);
+        // Intra-node pair (ranks 0-1) where the node hosts several
+        // devices, and, with 2 nodes, inter-node pair (rank 0 to the
+        // first rank of node 1 — rank layout is node-major).
+        let devices_per_node = machine.node.gpus_per_node;
         let sizes = [8u64, 1 << 10, 1 << 16, 1 << 20, 4 << 20];
-        let intra = pingpong_sweep(machine, 1, &sizes);
-        let inter = if machine.nodes >= 2 {
-            Some(pingpong_sweep(machine, 4, &sizes))
+        let intra = if devices_per_node >= 2 {
+            Some(pingpong_sweep(machine, 1, &sizes))
         } else {
             None
         };
-        let small_latency = intra[0].latency_s;
-        let large_bw = intra.last().unwrap().bandwidth;
-        let mut metrics = vec![
-            ("intra_latency_8b".into(), small_latency),
-            ("intra_bw_4mib".into(), large_bw),
-        ];
-        let mut verification_ok = intra
+        let inter = if machine.nodes >= 2 {
+            Some(pingpong_sweep(machine, devices_per_node, &sizes))
+        } else {
+            None
+        };
+        let first = match intra.as_ref().or(inter.as_ref()) {
+            Some(points) => points,
+            None => {
+                return Err(SuiteError::InvalidNodeCount {
+                    benchmark: "OSU",
+                    nodes: cfg.nodes,
+                    reason: "OSU needs a rank pair: several devices per node, or two nodes".into(),
+                })
+            }
+        };
+        let small_latency = first[0].latency_s;
+        let mut metrics = Vec::new();
+        let mut verification_ok = first
             .windows(2)
             .all(|w| w[1].bandwidth >= w[0].bandwidth * 0.5);
+        if let Some(ref intra) = intra {
+            metrics.push(("intra_latency_8b".into(), intra[0].latency_s));
+            metrics.push(("intra_bw_4mib".into(), intra.last().unwrap().bandwidth));
+        }
         if let Some(ref inter) = inter {
             metrics.push(("inter_latency_8b".into(), inter[0].latency_s));
             metrics.push(("inter_bw_4mib".into(), inter.last().unwrap().bandwidth));
-            // The physics the benchmark exists to check: inter-node is
-            // slower than intra-node.
-            verification_ok &= inter[0].latency_s > small_latency;
-            verification_ok &= inter.last().unwrap().bandwidth < large_bw;
+            if let Some(ref intra) = intra {
+                // The physics the benchmark exists to check: inter-node
+                // is slower than intra-node.
+                verification_ok &= inter[0].latency_s > intra[0].latency_s;
+                verification_ok &=
+                    inter.last().unwrap().bandwidth < intra.last().unwrap().bandwidth;
+            }
         }
         let verification = if verification_ok {
             VerificationOutcome::KeyMetrics {

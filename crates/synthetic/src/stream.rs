@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use jubench_cluster::{GpuSpec, Machine, Roofline, Work};
+use jubench_cluster::{GpuSpec, Roofline, Work};
 use jubench_core::{
     suite_meta, Benchmark, BenchmarkId, BenchmarkMeta, Fom, RunConfig, RunOutcome, SuiteError,
     VerificationOutcome,
@@ -130,7 +130,7 @@ impl Benchmark for Stream {
 
     fn run(&self, cfg: &RunConfig) -> Result<RunOutcome, SuiteError> {
         self.validate_nodes(cfg.nodes)?;
-        let machine = Machine::juwels_booster().partition(1);
+        let machine = cfg.machine();
         let rates = stream_kernels(self.n, 4).map_err(|detail| SuiteError::VerificationFailed {
             benchmark: "STREAM",
             detail,

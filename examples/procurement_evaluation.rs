@@ -50,7 +50,7 @@ fn main() {
             gpu: GpuSpec::next_gen_96gb(),
             ..NodeSpec::juwels_booster()
         },
-        cell_nodes: 48,
+        ..Machine::juwels_booster()
     };
     let machine_b = Machine {
         name: "Proposal B",
@@ -65,7 +65,7 @@ fn main() {
             power_w: 3200.0,
             ..NodeSpec::juwels_booster()
         },
-        cell_nodes: 48,
+        ..Machine::juwels_booster()
     };
 
     let commitments = |speedup: f64| -> Vec<Commitment> {

@@ -60,6 +60,10 @@
 //!   stack self-profiles, `BENCH_<n>.json` perf records, and the
 //!   regression gate. Observational only; the `JUBENCH_METRICS=0` kill
 //!   switch disables recording at runtime.
+//! - [`fleet`]: the heterogeneous machine catalog and the cross-backend
+//!   fleet study — the full suite executed on every catalog backend via
+//!   [`serve`], condensed into FOM/composite-score/value-for-money
+//!   tables with 1 EFLOP/s sub-partition extrapolation.
 
 pub use jubench_apps_ai as apps_ai;
 pub use jubench_apps_bio as apps_bio;
@@ -77,6 +81,7 @@ pub use jubench_cluster as cluster;
 pub use jubench_continuous as continuous;
 pub use jubench_core as core;
 pub use jubench_faults as faults;
+pub use jubench_fleet as fleet;
 pub use jubench_jube as jube;
 pub use jubench_kernels as kernels;
 pub use jubench_metrics as metrics;

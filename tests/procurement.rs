@@ -30,7 +30,7 @@ fn proposal_machine() -> Machine {
             gpu: GpuSpec::next_gen_96gb(),
             ..NodeSpec::juwels_booster()
         },
-        cell_nodes: 48,
+        ..Machine::juwels_booster()
     }
 }
 
