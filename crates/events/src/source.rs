@@ -1,0 +1,158 @@
+//! Event sources: producers that feed timestamped events into a queue.
+//!
+//! A source owns a (possibly lazy, possibly infinite) stream of events
+//! in non-decreasing key order. Engines either drain a bounded source
+//! into an [`EventQueue`](crate::EventQueue) up front, or keep the
+//! source beside the queue and [`feed_until`](EventSource::feed_until)
+//! as the horizon moves — the pattern for unbounded trains like
+//! checkpoint write times or serve slice windows.
+
+use crate::{EventKey, EventQueue};
+
+/// A stream of events in non-decreasing [`EventKey`] order.
+pub trait EventSource {
+    type Payload;
+
+    /// Key of the next event without consuming it; `None` when the
+    /// source is exhausted.
+    fn peek_key(&self) -> Option<EventKey>;
+
+    /// Consume and return the next event.
+    fn next_event(&mut self) -> Option<(EventKey, Self::Payload)>;
+
+    /// Drain every event with `time <= until_s` into `queue`,
+    /// returning how many moved. Keys are re-stamped with the queue's
+    /// own sequence numbers (sources are independent; the queue owns
+    /// the global tie-break).
+    fn feed_until(&mut self, queue: &mut EventQueue<Self::Payload>, until_s: f64) -> usize {
+        let mut fed = 0;
+        while let Some(key) = self.peek_key() {
+            if key.time > until_s {
+                break;
+            }
+            let (key, payload) = self.next_event().expect("peeked event exists");
+            queue.push(key.time, key.class, key.rank, payload);
+            fed += 1;
+        }
+        fed
+    }
+}
+
+/// Every [`EventQueue`] is itself a source (its pop order is key
+/// order), so queues compose with other sources uniformly.
+impl<P> EventSource for EventQueue<P> {
+    type Payload = P;
+
+    fn peek_key(&self) -> Option<EventKey> {
+        self.peek().map(|(k, _)| *k)
+    }
+
+    fn next_event(&mut self) -> Option<(EventKey, P)> {
+        self.pop().map(|e| (e.key, e.payload))
+    }
+}
+
+/// Consecutive fixed-width slice windows: the unit clock of the serve
+/// shards' round-robin loop. Each call to [`Self::next_end`] advances
+/// the cursor one window and returns its end — the `until_s` horizon a
+/// scheduler slice runs to.
+///
+/// The arithmetic is exactly `cursor + width` per window (no
+/// accumulated multiply), matching the float behaviour of the previous
+/// inline computation byte-for-byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Windows {
+    cursor: f64,
+    width: f64,
+}
+
+impl Windows {
+    /// Windows starting at `start_s`, each `width_s` wide.
+    pub fn new(start_s: f64, width_s: f64) -> Self {
+        Windows {
+            cursor: start_s,
+            width: width_s,
+        }
+    }
+
+    /// End of the current window; advances the cursor to it.
+    pub fn next_end(&mut self) -> f64 {
+        self.cursor += self.width;
+        self.cursor
+    }
+
+    /// The cursor: end of the last window handed out.
+    pub fn cursor(&self) -> f64 {
+        self.cursor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded arithmetic train used to exercise the trait's default
+    /// `feed_until`.
+    struct Train {
+        next: f64,
+        step: f64,
+        left: u32,
+        class: u8,
+    }
+
+    impl EventSource for Train {
+        type Payload = u32;
+
+        fn peek_key(&self) -> Option<EventKey> {
+            (self.left > 0).then_some(EventKey {
+                time: self.next,
+                class: self.class,
+                rank: 0,
+                seq: 0,
+            })
+        }
+
+        fn next_event(&mut self) -> Option<(EventKey, u32)> {
+            let key = self.peek_key()?;
+            self.left -= 1;
+            self.next += self.step;
+            Some((key, self.left))
+        }
+    }
+
+    #[test]
+    fn feed_until_moves_only_due_events() {
+        let mut train = Train {
+            next: 1.0,
+            step: 1.0,
+            left: 10,
+            class: 3,
+        };
+        let mut q = EventQueue::new();
+        assert_eq!(train.feed_until(&mut q, 3.5), 3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(train.peek_key().unwrap().time, 4.0);
+        let first = q.pop().unwrap();
+        assert_eq!(first.key.time, 1.0);
+        assert_eq!(first.key.class, 3);
+    }
+
+    #[test]
+    fn queue_is_a_source() {
+        let mut q = EventQueue::new();
+        q.push(2.0, 0, 0, "b");
+        q.push(1.0, 0, 0, "a");
+        let mut out = EventQueue::new();
+        assert_eq!(q.feed_until(&mut out, 1.0), 1);
+        assert_eq!(out.pop().unwrap().payload, "a");
+        assert_eq!(q.peek_key().unwrap().time, 2.0);
+    }
+
+    #[test]
+    fn windows_advance_by_exact_addition() {
+        let mut w = Windows::new(10.0, 2.5);
+        assert_eq!(w.next_end(), 10.0 + 2.5);
+        assert_eq!(w.next_end(), 10.0 + 2.5 + 2.5);
+        assert_eq!(w.cursor(), 15.0);
+    }
+}

@@ -51,11 +51,11 @@ pub mod placement;
 pub mod scheduler;
 pub mod submit;
 
-pub use campaign::{category_priority, registry_jobs, run_campaign};
+pub use campaign::{category_priority, registry_jobs, run_campaign, SubmissionTrain};
 pub use job::{CkptSpec, Job};
 pub use placement::{Allocation, PlacementPolicy};
 pub use scheduler::{
-    Attempt, CampaignState, JobOutcome, JobRecord, QueuePolicy, Schedule, Scheduler,
+    event_class, Attempt, CampaignState, JobOutcome, JobRecord, QueuePolicy, Schedule, Scheduler,
     SchedulerConfig, UtilSegment,
 };
 pub use submit::{submit_step, SubmitQueue};

@@ -1,12 +1,26 @@
 //! The deterministic virtual-time batch scheduler: FIFO or conservative
 //! backfill over a [`Machine`], with fault-driven capacity loss.
 //!
-//! The simulation is a discrete-event loop over virtual time. All state
-//! lives in ordered containers and every tie is broken by `(priority,
-//! eligible time, job id)`, so an identical seed and job set produces a
+//! The simulation is a discrete-event loop over virtual time, driven by
+//! a [`jubench_events::EventQueue`]: finishes, crashes, drain edges,
+//! submissions, and retry-eligibility instants are timestamped events
+//! popped in `(time, class, rank, seq)` order (classes in
+//! [`event_class`]), so a campaign costs O(events · log events) no
+//! matter how sparse its virtual timeline is. All state lives in
+//! ordered containers and every tie is broken by `(priority, eligible
+//! time, job id)`, so an identical seed and job set produces a
 //! bit-identical [`Schedule::log`] — the same determinism contract as
-//! `jubench-faults`. An empty fault plan leaves the schedule identical to
-//! a fault-free run.
+//! `jubench-faults`. An empty fault plan leaves the schedule identical
+//! to a fault-free run.
+//!
+//! The pre-event-queue engine — which recomputed the next instant by
+//! scanning every running, pending, and unsubmitted job each step — is
+//! preserved verbatim as [`Scheduler::advance_ticked`] behind the
+//! default-on `legacy-ticked` feature for exactly one PR: the
+//! differential harness in `tests/events.rs` pins the two engines
+//! byte-identical (logs, tables, Chrome traces, `RunReport`s) across
+//! the full registry × fault plans × pool widths before the ticked path
+//! is retired.
 //!
 //! **Conservative backfill.** At every dispatch point the queue is walked
 //! in priority order and each job is given the earliest start compatible
@@ -43,13 +57,39 @@
 
 use std::collections::BTreeSet;
 
-use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
+use jubench_ckpt::{
+    open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter, WriteTimes,
+};
 use jubench_cluster::{Machine, NetModel};
+use jubench_events::EventQueue;
 use jubench_faults::{Fault, FaultPlan};
 use jubench_trace::{EventKind, SchedPhase, TraceEvent, TraceSink, SCHED_CELL_TRACK_BASE};
 
 use crate::job::{CkptSpec, Job};
 use crate::placement::{Allocation, PlacementPolicy};
+
+/// Event classes of the scheduler's virtual-time queue. Same-instant
+/// events pop in class order, which is exactly the per-instant handler
+/// order the engine has always enforced (pinned by the
+/// `same_instant_capacity_events_keep_handler_order` test): completions
+/// first, then crashes, drain starts, drain ends, submissions, and
+/// retry eligibility. [`jubench_events::EventKey`] ties break on
+/// `(time, class, rank, seq)`, so this order is a comparison, not a
+/// convention.
+pub mod event_class {
+    /// A running attempt reaches its end time.
+    pub const FINISH: u8 = 0;
+    /// A node crashes permanently.
+    pub const CRASH: u8 = 1;
+    /// A drain window opens: the node leaves service.
+    pub const DRAIN_START: u8 = 2;
+    /// A drain window closes: the node may return to service.
+    pub const DRAIN_END: u8 = 3;
+    /// A job's submit time arrives.
+    pub const SUBMIT: u8 = 4;
+    /// A requeued job's retry backoff expires.
+    pub const ELIGIBLE: u8 = 5;
+}
 
 /// Queueing discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -386,16 +426,17 @@ impl Schedule {
                         seq += 1;
                     }
                     // Write `j` lands after `j` intervals of work and
-                    // `j − 1` earlier writes.
-                    for j in 1..=a.ckpts as u64 {
-                        let w_start =
-                            a.start_s + j as f64 * spec.interval_s + (j - 1) as f64 * spec.cost_s;
+                    // `j − 1` earlier writes — [`WriteTimes`] is that
+                    // closed form as an event train.
+                    let writes =
+                        WriteTimes::new(a.start_s, spec.interval_s, spec.cost_s, a.ckpts, r.id);
+                    for (w_start, w_end) in writes {
                         sink.record(TraceEvent {
                             rank: r.id,
                             node: SCHED_CELL_TRACK_BASE + a.cell,
                             seq,
                             t_start: w_start,
-                            t_end: w_start + spec.cost_s,
+                            t_end: w_end,
                             kind: EventKind::Ckpt {
                                 job: r.id,
                                 name: r.name.clone(),
@@ -1084,7 +1125,392 @@ impl Scheduler {
     /// the log: re-entering at the same instant is a no-op by
     /// construction. `jobs` and `plan` must be the ones the state was
     /// begun with.
+    ///
+    /// Virtual time advances by popping the next live entry of an
+    /// [`EventQueue`] holding every future finish, crash, drain edge,
+    /// submission, and retry-eligibility instant — O(log events) per
+    /// event, instead of the ticked engine's full rescan of every job.
+    /// The queue is rebuilt from the campaign state on every entry and
+    /// never snapshotted, so [`CampaignState`]'s wire format (and every
+    /// existing kill/resume artifact) is engine-agnostic. Entries whose
+    /// state moved on since they were scheduled — a finish for a
+    /// preempted attempt, a drain end with nothing drained or queued —
+    /// are dropped at pop time (lazy deletion), counted under
+    /// `events/stale_dropped`; realized events count under
+    /// `events/processed` and skipped idle virtual seconds under
+    /// `events/ticks_skipped`.
     pub fn advance(
+        &self,
+        state: &mut CampaignState,
+        jobs: &[Job],
+        plan: &FaultPlan,
+        until_s: f64,
+    ) -> bool {
+        if state.done {
+            return true;
+        }
+        jubench_metrics::profile_scope!("sched/advance");
+        // Fault plan → node-granularity capacity events.
+        // Drains: [from, until) windows; crashes: permanent.
+        let (drain_starts, drain_ends, crashes) = self.fault_events(plan);
+        // Submission order is fixed for the whole campaign and the
+        // submitted set is always a prefix of it (every instant submits
+        // everything due), so one sort plus a cursor replaces the
+        // per-instant re-sort the ticked engine paid for.
+        let mut submit_order: Vec<usize> = (0..jobs.len()).collect();
+        submit_order.sort_by(|&a, &b| {
+            jobs[a]
+                .submit_s
+                .total_cmp(&jobs[b].submit_s)
+                .then(jobs[a].id.cmp(&jobs[b].id))
+        });
+        let CampaignState {
+            t: now,
+            free,
+            down,
+            crashed,
+            running,
+            pending,
+            submitted,
+            di,
+            ei,
+            ci,
+            service_done,
+            records,
+            log,
+            done,
+        } = state;
+        let mut si = submit_order
+            .iter()
+            .take_while(|&&idx| submitted[idx])
+            .count();
+        debug_assert!(
+            submit_order[si..].iter().all(|&idx| !submitted[idx]),
+            "submitted set must be a prefix of the submission order"
+        );
+
+        // Rebuild the queue from the state. Every entry is strictly in
+        // the future: each handler consumes its events up to and
+        // including the current instant before the state can be
+        // observed between advances. Payloads carry the job index (or
+        // node, for capacity events) so stale entries can be judged
+        // against live state at pop time.
+        let mut queue: EventQueue<usize> = EventQueue::with_capacity(
+            (crashes.len() - *ci)
+                + (drain_starts.len() - *di)
+                + (drain_ends.len() - *ei)
+                + (submit_order.len() - si)
+                + running.len()
+                + pending.len(),
+        );
+        for &(at, node) in &crashes[*ci..] {
+            queue.push(at, event_class::CRASH, node, node as usize);
+        }
+        for &(from, node, _) in &drain_starts[*di..] {
+            queue.push(from, event_class::DRAIN_START, node, node as usize);
+        }
+        for &(until, node) in &drain_ends[*ei..] {
+            queue.push(until, event_class::DRAIN_END, node, node as usize);
+        }
+        for &idx in &submit_order[si..] {
+            queue.push(jobs[idx].submit_s, event_class::SUBMIT, jobs[idx].id, idx);
+        }
+        for r in running.iter() {
+            queue.push(r.end_s, event_class::FINISH, records[r.idx].id, r.idx);
+        }
+        for p in pending.iter() {
+            if p.eligible_s > *now {
+                queue.push(p.eligible_s, event_class::ELIGIBLE, jobs[p.idx].id, p.idx);
+            }
+        }
+
+        let mut processed: u64 = 0;
+        let mut stale: u64 = 0;
+        let mut ticks_skipped: u64 = 0;
+        loop {
+            let t = *now;
+            jubench_metrics::counter_add("sched/advance_steps", 1);
+            // Every scheduler event (finish/crash/drain/submit/preempt/
+            // start) appends exactly one log line, so the per-step log
+            // growth is the processed-event count.
+            let log_lines_before = log.len();
+            // --- completions at t --------------------------------------
+            running.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.idx.cmp(&b.idx)));
+            let mut k = 0;
+            while k < running.len() {
+                if running[k].end_s <= t {
+                    let r = running.remove(k);
+                    for &n in &r.alloc.nodes {
+                        if !down.contains(&n) {
+                            free.insert(n);
+                        }
+                    }
+                    let rec = &mut records[r.idx];
+                    rec.outcome = JobOutcome::Finished;
+                    rec.end_s = Some(r.end_s);
+                    log.push(format!(
+                        "[t={:.6}] finish job {} name={}",
+                        t, rec.id, rec.name
+                    ));
+                } else {
+                    k += 1;
+                }
+            }
+
+            // --- capacity transitions at t -----------------------------
+            let mut hit: BTreeSet<u32> = BTreeSet::new();
+            while *ci < crashes.len() && crashes[*ci].0 <= t {
+                let (_, node) = crashes[*ci];
+                *ci += 1;
+                if crashed.insert(node) {
+                    down.insert(node);
+                    free.remove(&node);
+                    hit.insert(node);
+                    log.push(format!("[t={t:.6}] crash node {node}"));
+                }
+            }
+            while *di < drain_starts.len() && drain_starts[*di].0 <= t {
+                let (_, node, until) = drain_starts[*di];
+                *di += 1;
+                if !crashed.contains(&node) && down.insert(node) {
+                    free.remove(&node);
+                    hit.insert(node);
+                    log.push(format!("[t={t:.6}] drain node {node} until={until:.6}"));
+                }
+            }
+            while *ei < drain_ends.len() && drain_ends[*ei].0 <= t {
+                let (_, node) = drain_ends[*ei];
+                *ei += 1;
+                if !crashed.contains(&node) && down.remove(&node) {
+                    // The node returns to service unless occupied (it
+                    // cannot be: its jobs were preempted at drain start).
+                    free.insert(node);
+                    log.push(format!("[t={t:.6}] undrain node {node}"));
+                }
+            }
+            // Preempt running jobs that lost nodes.
+            if !hit.is_empty() {
+                let mut k = 0;
+                while k < running.len() {
+                    if running[k].alloc.nodes.iter().any(|n| hit.contains(n)) {
+                        let r = running.remove(k);
+                        for &n in &r.alloc.nodes {
+                            if !down.contains(&n) {
+                                free.insert(n);
+                            }
+                        }
+                        let job = &jobs[r.idx];
+                        let rec = &mut records[r.idx];
+                        let a = &mut rec.attempts[r.attempt_index];
+                        a.end_s = t;
+                        a.preempted = true;
+                        let elapsed = t - a.start_s;
+                        a.lost_s = elapsed;
+                        if let Some(spec) = job.ckpt {
+                            // Bank the work covered by completed writes
+                            // (each write lands after a full interval of
+                            // work); only progress past the last write is
+                            // lost. Past the final planned write the job
+                            // computes straight to its end, so the
+                            // in-segment progress is unclamped there.
+                            let slot = spec.interval_s + spec.cost_s;
+                            let k = if slot > 0.0 {
+                                ((elapsed / slot).floor() as u32).min(a.ckpts)
+                            } else {
+                                a.ckpts
+                            };
+                            let banked_work = k as f64 * spec.interval_s;
+                            let into_seg = elapsed - k as f64 * slot;
+                            let done_work = banked_work
+                                + if k < a.ckpts {
+                                    into_seg.clamp(0.0, spec.interval_s)
+                                } else {
+                                    into_seg.max(0.0)
+                                };
+                            a.ckpts = k;
+                            a.lost_s = done_work - banked_work;
+                            let mix = (1.0 - job.comm_fraction) + job.comm_fraction * a.slowdown;
+                            service_done[r.idx] += banked_work / mix;
+                        }
+                        let attempt = rec.attempts.len() as u32;
+                        if attempt >= job.retry.max_attempts {
+                            rec.outcome = JobOutcome::Failed;
+                            log.push(format!(
+                                "[t={:.6}] fail job {} name={} attempts={attempt} (retries exhausted)",
+                                t, rec.id, rec.name
+                            ));
+                        } else {
+                            let backoff = job.retry.backoff_s(attempt);
+                            pending.push(Pending {
+                                idx: r.idx,
+                                eligible_s: t + backoff,
+                                attempt,
+                            });
+                            // The requeue is a future wake-up the queue
+                            // must learn about (a zero backoff is
+                            // eligible this instant — the dispatch below
+                            // already sees it).
+                            if t + backoff > t {
+                                queue.push(t + backoff, event_class::ELIGIBLE, rec.id, r.idx);
+                            }
+                            if job.ckpt.is_some() {
+                                log.push(format!(
+                                    "[t={:.6}] preempt job {} name={} requeue eligible={:.6} banked={:.6}",
+                                    t,
+                                    rec.id,
+                                    rec.name,
+                                    t + backoff,
+                                    service_done[r.idx]
+                                ));
+                            } else {
+                                log.push(format!(
+                                    "[t={:.6}] preempt job {} name={} requeue eligible={:.6}",
+                                    t,
+                                    rec.id,
+                                    rec.name,
+                                    t + backoff
+                                ));
+                            }
+                        }
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+
+            // --- submissions at t --------------------------------------
+            while si < submit_order.len() && jobs[submit_order[si]].submit_s <= t {
+                let idx = submit_order[si];
+                si += 1;
+                submitted[idx] = true;
+                let job = &jobs[idx];
+                log.push(format!(
+                    "[t={:.6}] submit job {} name={} nodes={} prio={}",
+                    t, job.id, job.name, job.nodes, job.priority
+                ));
+                let alive = self.machine.nodes - crashed.len() as u32;
+                if job.nodes > alive {
+                    records[idx].outcome = JobOutcome::Failed;
+                    log.push(format!(
+                        "[t={:.6}] fail job {} name={} (requests {} of {alive} surviving nodes)",
+                        t, job.id, job.name, job.nodes
+                    ));
+                } else {
+                    pending.push(Pending {
+                        idx,
+                        eligible_s: job.submit_s,
+                        attempt: 0,
+                    });
+                }
+            }
+
+            // Requests can outlive capacity lost to later crashes. The
+            // surviving-node count only shrinks when `hit` is non-empty
+            // (a crash always lands in `hit`) and every other path into
+            // `pending` checks capacity on entry, so the scan — which
+            // the ticked engine ran unconditionally every instant —
+            // fires only on capacity-loss instants: same lines, same
+            // order.
+            if !hit.is_empty() {
+                pending.retain(|p| {
+                    let alive = self.machine.nodes - crashed.len() as u32;
+                    if jobs[p.idx].nodes > alive {
+                        records[p.idx].outcome = JobOutcome::Failed;
+                        log.push(format!(
+                            "[t={:.6}] fail job {} name={} (requests {} of {alive} surviving nodes)",
+                            t, jobs[p.idx].id, jobs[p.idx].name, jobs[p.idx].nodes
+                        ));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+
+            // --- dispatch ----------------------------------------------
+            let started_from = running.len();
+            self.dispatch(t, jobs, pending, free, running, records, service_done, log);
+            // `dispatch` only ever appends to `running` (removals all
+            // happen in the handlers above), so the tail holds exactly
+            // this instant's starts — their finishes join the queue.
+            for r in &running[started_from..] {
+                queue.push(r.end_s, event_class::FINISH, records[r.idx].id, r.idx);
+            }
+            jubench_metrics::counter_add(
+                "sched/events_processed",
+                (log.len() - log_lines_before) as u64,
+            );
+
+            // --- pop the next instant ----------------------------------
+            let mut next = f64::INFINITY;
+            while let Some((&key, &payload)) = queue.peek() {
+                if key.time <= t {
+                    // Realized by this instant's handlers.
+                    processed += 1;
+                    queue.pop();
+                    continue;
+                }
+                let live = match key.class {
+                    event_class::FINISH => running
+                        .iter()
+                        .any(|r| r.idx == payload && r.end_s == key.time),
+                    event_class::ELIGIBLE => pending
+                        .iter()
+                        .any(|p| p.idx == payload && p.eligible_s == key.time),
+                    event_class::SUBMIT => !submitted[payload],
+                    // Drain ends only matter while something is drained
+                    // or queued (the ticked engine's exact gate).
+                    // Dropping a gated one is final — no handler can run
+                    // before its timestamp, and the drain-end cursor
+                    // consumes it silently at the next live instant.
+                    event_class::DRAIN_END => !pending.is_empty() || !down.is_empty(),
+                    // CRASH / DRAIN_START fire unconditionally.
+                    _ => true,
+                };
+                if live {
+                    next = key.time;
+                    break;
+                }
+                stale += 1;
+                queue.pop();
+            }
+            if !next.is_finite() {
+                *done = true;
+                break;
+            }
+            if next > until_s {
+                break;
+            }
+            // Every live entry is strictly in the future: events at t
+            // were all consumed this iteration, so time always advances.
+            ticks_skipped += (next - t) as u64;
+            *now = next;
+        }
+        jubench_metrics::counter_add("events/processed", processed);
+        jubench_metrics::counter_add("events/stale_dropped", stale);
+        jubench_metrics::counter_add("events/ticks_skipped", ticks_skipped);
+        *done
+    }
+
+    /// [`Self::run`] on the preserved ticked engine — the oracle the
+    /// differential harness in `tests/events.rs` compares [`Self::run`]
+    /// against. Gone, with the `legacy-ticked` feature, one PR after the
+    /// event engine landed.
+    #[cfg(feature = "legacy-ticked")]
+    pub fn run_ticked(&self, jobs: &[Job], plan: &FaultPlan) -> Schedule {
+        let mut state = self.begin(jobs);
+        self.advance_ticked(&mut state, jobs, plan, f64::INFINITY);
+        self.finish(state)
+    }
+
+    /// The pre-event-queue engine, preserved verbatim: recomputes the
+    /// next instant each step by scanning every running, pending, and
+    /// unsubmitted job (O(jobs) per step, plus a full submission re-sort
+    /// per instant). Semantically identical to [`Self::advance`] —
+    /// `tests/events.rs` holds the two byte-identical — just
+    /// asymptotically slower on sparse campaigns.
+    #[cfg(feature = "legacy-ticked")]
+    pub fn advance_ticked(
         &self,
         state: &mut CampaignState,
         jobs: &[Job],
@@ -1851,6 +2277,137 @@ mod tests {
         // The intact snapshot still resumes.
         let resumed = s.resume(&good, &jobs).unwrap();
         assert_eq!(resumed.now(), state.now());
+    }
+
+    /// Regression-pins the per-instant handler order the event classes
+    /// mirror: at one shared timestamp, a finishing job logs first,
+    /// then the crash, then the drain start, then the drain end (of an
+    /// earlier window), then submissions — the order
+    /// [`event_class`] encodes numerically. If this ordering ever
+    /// changes, the class numbering (and the differential harness) must
+    /// change with it.
+    #[test]
+    fn same_instant_capacity_events_keep_handler_order() {
+        let s = sched(QueuePolicy::Fifo, PlacementPolicy::Contiguous);
+        // Job 0 finishes at exactly t=3; job 1 submits at t=3.
+        let jobs = vec![
+            Job::new(0, "done-at-3", 8, 3.0),
+            Job::new(1, "late", 8, 1.0).with_submit(3.0),
+        ];
+        // Node 90 drains over [1, 3) (ends at t=3), node 91 starts
+        // draining at t=3, node 92 crashes at t=3. None of them touch
+        // the contiguous 8-node allocation at nodes 0..7.
+        let plan = FaultPlan::new(0)
+            .with_slow_node_window(90, 4.0, 1.0, 3.0)
+            .with_slow_node_window(91, 4.0, 3.0, 5.0)
+            .with_rank_crash(92, 3.0);
+        let out = s.run(&jobs, &plan);
+        let at_3: Vec<&String> = out
+            .log
+            .iter()
+            .filter(|l| l.starts_with("[t=3.000000]"))
+            .collect();
+        let kinds: Vec<&str> = at_3
+            .iter()
+            .map(|l| {
+                // "undrain" before "drain node": the latter is a
+                // substring of the former's lines.
+                [
+                    "finish",
+                    "crash",
+                    "undrain",
+                    "drain node",
+                    "submit",
+                    "start",
+                ]
+                .into_iter()
+                .find(|k| l.contains(k))
+                .expect("recognized log line")
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                "finish",
+                "crash",
+                "drain node",
+                "undrain",
+                "submit",
+                "start"
+            ],
+            "same-instant handler order: {at_3:?}"
+        );
+    }
+
+    /// Every scheduler unit scenario above runs on the event engine;
+    /// this cross-checks the preserved ticked engine produces the same
+    /// decisions on a campaign exercising drains, crashes, preemption,
+    /// checkpoint banking, and requeues (the full-registry differential
+    /// matrix lives in tests/events.rs).
+    #[cfg(feature = "legacy-ticked")]
+    #[test]
+    fn event_engine_matches_ticked_engine_on_faulted_campaign() {
+        for policy in [QueuePolicy::Fifo, QueuePolicy::ConservativeBackfill] {
+            let s = sched(policy, PlacementPolicy::Contiguous);
+            let jobs: Vec<Job> = (0..12)
+                .map(|i| {
+                    Job::new(i, &format!("j{i}"), 8 + (i % 5) * 16, 1.0 + i as f64 * 0.3)
+                        .with_comm_fraction(0.5)
+                        .with_priority((i % 3) as i32)
+                        .with_submit(i as f64 * 0.4)
+                        .with_checkpointing(0.4, 0.02)
+                })
+                .collect();
+            let plan = FaultPlan::new(9)
+                .with_slow_node_window(5, 4.0, 1.0, 3.0)
+                .with_rank_crash(40, 2.5);
+            let event = s.run(&jobs, &plan);
+            let ticked = s.run_ticked(&jobs, &plan);
+            assert_eq!(event.log, ticked.log, "policy {policy:?}");
+            assert_eq!(event.makespan_s, ticked.makespan_s);
+        }
+    }
+
+    /// The engines must also agree on every partial-advance stop point,
+    /// including the queue rebuild after a snapshot round trip.
+    #[cfg(feature = "legacy-ticked")]
+    #[test]
+    fn event_engine_matches_ticked_engine_at_every_stop_point() {
+        use jubench_ckpt::Checkpointable;
+        let s = sched(
+            QueuePolicy::ConservativeBackfill,
+            PlacementPolicy::Contiguous,
+        );
+        let jobs: Vec<Job> = (0..10)
+            .map(|i| {
+                Job::new(
+                    i,
+                    &format!("j{i}"),
+                    16 + (i % 3) * 24,
+                    0.9 + i as f64 * 0.25,
+                )
+                .with_priority((i % 2) as i32)
+                .with_submit(i as f64 * 0.3)
+            })
+            .collect();
+        let plan = FaultPlan::new(4)
+            .with_slow_node_window(7, 3.0, 0.8, 2.2)
+            .with_rank_crash(33, 1.7);
+        for t_kill in [0.0, 0.8, 1.7, 2.2, 3.1] {
+            let mut ev = s.begin(&jobs);
+            s.advance(&mut ev, &jobs, &plan, t_kill);
+            let mut tk = s.begin(&jobs);
+            s.advance_ticked(&mut tk, &jobs, &plan, t_kill);
+            assert_eq!(ev.log(), tk.log(), "stop at t={t_kill}");
+            assert_eq!(ev.now(), tk.now(), "stop at t={t_kill}");
+            assert_eq!(ev.snapshot(), tk.snapshot(), "snapshot at t={t_kill}");
+            // Resume the event engine from the ticked engine's snapshot
+            // and vice versa: the queue rebuild sees only state.
+            let mut cross = s.resume(&tk.snapshot(), &jobs).unwrap();
+            s.advance(&mut cross, &jobs, &plan, f64::INFINITY);
+            s.advance_ticked(&mut tk, &jobs, &plan, f64::INFINITY);
+            assert_eq!(cross.log(), tk.log(), "cross-resume from t={t_kill}");
+        }
     }
 
     #[test]

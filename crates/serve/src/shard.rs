@@ -20,6 +20,7 @@ use crate::spec::CampaignSpec;
 use crate::wire::Frame;
 use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
 use jubench_core::{BenchmarkId, Registry, RunConfig};
+use jubench_events::Windows;
 use jubench_sched::{category_priority, Job, Schedule, Scheduler, SchedulerConfig};
 use jubench_trace::{chrome_trace_json, Recorder, RunReport};
 
@@ -287,7 +288,7 @@ impl ShardState {
         // *processed* event, so a quiet stretch (the next completion
         // several slices away) would otherwise pin the window in place
         // and the campaign would never finish.
-        let until_s = camp.horizon_s.max(state.now()) + camp.spec.slice_s;
+        let until_s = Windows::new(camp.horizon_s.max(state.now()), camp.spec.slice_s).next_end();
         let done = scheduler.advance(&mut state, &jobs, &camp.spec.plan, until_s);
         camp.horizon_s = until_s;
         let finished = state.finished_jobs();

@@ -7,12 +7,14 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Mutex;
 
 use jubench_cluster::{Distance, NetModel, Roofline, Work};
+use jubench_events::EventQueue;
 use jubench_faults::{DetRng, FaultPlan, RetryPolicy};
 use jubench_trace::{CollectiveKind, EventKind, Regime, TraceEvent, TraceSink};
 
 use crate::clock::{ClockStats, VirtualClock};
 use crate::error::SimError;
 use crate::rankmap::RankMap;
+use crate::world::{fault_arrivals, FAULT_CRASH_CLASS};
 
 /// The topology regime a transfer over `dist` is accounted to.
 pub(crate) fn regime_of(dist: Distance) -> Regime {
@@ -137,9 +139,12 @@ pub struct Comm {
     /// Lazily created deterministic message-drop stream (only consumed on
     /// sends towards a destination with a positive drop probability).
     drop_rng: Option<DetRng>,
-    /// This rank's scheduled crash time, cached from the plan.
-    crash_at: Option<f64>,
-    /// Set once the crash time has been reached; every further
+    /// This rank's scheduled fault arrivals (today: at most one crash),
+    /// built once from the plan by
+    /// [`fault_arrivals`](crate::world::fault_arrivals) and popped at
+    /// operation boundaries as the clock passes each instant.
+    arrivals: EventQueue<()>,
+    /// Set once the crash arrival has been popped; every further
     /// communication attempt fails with [`SimError::RankCrashed`].
     crashed: bool,
     /// Node hosting this rank (cached for event stamping).
@@ -175,7 +180,7 @@ impl Comm {
             barrier,
             plan: None,
             drop_rng: None,
-            crash_at: None,
+            arrivals: EventQueue::new(),
             crashed: false,
             sink: None,
             seq: 0,
@@ -184,7 +189,7 @@ impl Comm {
 
     pub(crate) fn with_fault_plan(mut self, plan: Option<Arc<FaultPlan>>) -> Self {
         if let Some(p) = &plan {
-            self.crash_at = p.crash_time(self.rank);
+            self.arrivals = fault_arrivals(p, self.rank);
         }
         self.plan = plan;
         self
@@ -290,15 +295,25 @@ impl Comm {
     /// Fail every communication attempt once this rank's scheduled crash
     /// time has passed. The first detection emits a zero-duration `Crash`
     /// marker event.
+    ///
+    /// Crash instants arrive on the rank's fault-arrival event queue; the
+    /// queue is popped here, at operation boundaries, under the exact
+    /// condition the cached-scalar path used (`now >= at_s` is the
+    /// negation of `now < key.time`), so detection instants and the
+    /// emitted marker are byte-identical to the pre-event-core engine.
     fn fail_if_crashed(&mut self) -> Result<(), SimError> {
         if self.crashed {
             return Err(SimError::RankCrashed { rank: self.rank });
         }
-        if let Some(at_s) = self.crash_at {
-            if self.clock.now() >= at_s {
+        while let Some((&key, _)) = self.arrivals.peek() {
+            if self.clock.now() < key.time {
+                break;
+            }
+            self.arrivals.pop();
+            if key.class == FAULT_CRASH_CLASS {
                 self.crashed = true;
                 let t0 = self.clock.now();
-                self.emit(t0, EventKind::Crash { at_s });
+                self.emit(t0, EventKind::Crash { at_s: key.time });
                 return Err(SimError::RankCrashed { rank: self.rank });
             }
         }

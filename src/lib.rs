@@ -64,6 +64,11 @@
 //!   fleet study — the full suite executed on every catalog backend via
 //!   [`serve`], condensed into FOM/composite-score/value-for-money
 //!   tables with 1 EFLOP/s sub-partition extrapolation.
+//! - [`events`]: the discrete-event core — the deterministic
+//!   timestamped event queue (total-order tie-breaking on
+//!   `(time, class, rank, seq)`), multi-queue merge, and event sources
+//!   that let [`sched`] and [`simmpi`] pop next-event instead of
+//!   stepping virtual time.
 
 pub use jubench_apps_ai as apps_ai;
 pub use jubench_apps_bio as apps_bio;
@@ -80,6 +85,7 @@ pub use jubench_ckpt as ckpt;
 pub use jubench_cluster as cluster;
 pub use jubench_continuous as continuous;
 pub use jubench_core as core;
+pub use jubench_events as events;
 pub use jubench_faults as faults;
 pub use jubench_fleet as fleet;
 pub use jubench_jube as jube;

@@ -188,12 +188,12 @@ fn self_profile_exports_collapsed_stacks() {
 fn baseline_path() -> std::path::PathBuf {
     // The newest committed baseline anchors the gate; older BENCH_<n>
     // files stay checked in as the performance trajectory.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_1.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_2.json")
 }
 
 #[test]
 fn committed_baseline_parses_and_self_compares_to_zero_deltas() {
-    let text = std::fs::read_to_string(baseline_path()).expect("BENCH_1.json is checked in");
+    let text = std::fs::read_to_string(baseline_path()).expect("BENCH_2.json is checked in");
     let baseline = PerfReport::from_json(&text).expect("baseline parses");
     assert!(
         !baseline.records.is_empty(),
@@ -208,7 +208,7 @@ fn committed_baseline_parses_and_self_compares_to_zero_deltas() {
 
 #[test]
 fn gate_flags_synthetic_slowdown_against_the_committed_baseline() {
-    let text = std::fs::read_to_string(baseline_path()).expect("BENCH_1.json is checked in");
+    let text = std::fs::read_to_string(baseline_path()).expect("BENCH_2.json is checked in");
     let baseline = PerfReport::from_json(&text).unwrap();
     // Inject a 2x slowdown into every benchmark.
     let slowed = PerfReport::new(

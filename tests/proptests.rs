@@ -741,6 +741,178 @@ fn metrics_merge_is_order_independent() {
     }
 }
 
+/// The event queue pops in the `(time, class, rank, seq)` total order
+/// for arbitrary pushes — duplicated timestamps, shared classes and
+/// ranks, negative-zero times — never in push or heap-internal order.
+#[test]
+fn event_queue_pop_is_the_total_order() {
+    use jubench::events::EventQueue;
+    for case in 0..48u64 {
+        let mut rng = rank_rng(0xE0 + case, 20);
+        let n = rng.gen_range(1usize..128);
+        // A small time domain forces plenty of exact collisions.
+        let times = [0.0, -0.0, 0.5, 1.0, 1.0 + 1e-15, 3.25];
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(
+                times[rng.gen_range(0usize..times.len())],
+                rng.gen_range(0u8..4),
+                rng.gen_range(0u32..4),
+                i,
+            );
+        }
+        let popped: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(popped.len(), n, "case {case}: nothing lost");
+        for w in popped.windows(2) {
+            assert!(
+                w[0].key < w[1].key,
+                "case {case}: {:?} !< {:?}",
+                w[0].key,
+                w[1].key
+            );
+        }
+    }
+}
+
+/// Merging k queues is observationally identical to inserting every
+/// event into one queue: the global pop sequence — keys *and* payloads
+/// — does not depend on how sources were partitioned.
+#[test]
+fn merged_queues_match_single_queue_insertion() {
+    use jubench::events::{EventQueue, MergedQueues};
+    for case in 0..32u64 {
+        let mut rng = rank_rng(0xE8 + case, 21);
+        let n = rng.gen_range(1usize..96);
+        let k = rng.gen_range(1usize..6);
+        // Global sequence numbers, so the same event carries the same key
+        // whichever queue it lands in.
+        let events: Vec<(f64, u8, u32, u64)> = (0..n)
+            .map(|i| {
+                (
+                    f64::from(rng.gen_range(0u8..8)) * 0.25,
+                    rng.gen_range(0u8..3),
+                    rng.gen_range(0u32..3),
+                    i as u64,
+                )
+            })
+            .collect();
+        let mut single = EventQueue::new();
+        let mut parts: Vec<EventQueue<usize>> = (0..k).map(|_| EventQueue::new()).collect();
+        for (i, &(t, class, rank, seq)) in events.iter().enumerate() {
+            single.push_with_seq(t, class, rank, seq, i);
+            parts[rng.gen_range(0usize..k)].push_with_seq(t, class, rank, seq, i);
+        }
+        let mut merged = MergedQueues::from_queues(parts);
+        assert_eq!(merged.len(), single.len(), "case {case}");
+        while let Some(want) = single.pop() {
+            let (_, got) = merged.pop().expect("merged drains in step");
+            assert_eq!(got.key, want.key, "case {case}");
+            assert_eq!(got.payload, want.payload, "case {case}");
+        }
+        assert!(merged.pop().is_none(), "case {case}: both empty together");
+    }
+}
+
+/// Tie-breaking is a property of the keys, not of heap insertion order:
+/// pushing the same explicitly-numbered events in any permutation pops
+/// the identical sequence.
+#[test]
+fn event_tie_break_is_stable_under_push_permutation() {
+    use jubench::events::EventQueue;
+    for case in 0..32u64 {
+        let mut rng = rank_rng(0xF2 + case, 22);
+        let n = rng.gen_range(2usize..64);
+        let events: Vec<(f64, u8, u32, u64)> = (0..n)
+            .map(|i| {
+                (
+                    f64::from(rng.gen_range(0u8..3)), // heavy collisions
+                    rng.gen_range(0u8..2),
+                    rng.gen_range(0u32..2),
+                    i as u64,
+                )
+            })
+            .collect();
+        let drain = |order: &[usize]| -> Vec<(u64, usize)> {
+            let mut q = EventQueue::new();
+            for &i in order {
+                let (t, class, rank, seq) = events[i];
+                q.push_with_seq(t, class, rank, seq, i);
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|e| (e.key.seq, e.payload))
+                .collect()
+        };
+        let identity: Vec<usize> = (0..n).collect();
+        let reference = drain(&identity);
+        for _ in 0..4 {
+            let mut order = identity.clone();
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0usize..i + 1));
+            }
+            assert_eq!(drain(&order), reference, "case {case}: order {order:?}");
+        }
+    }
+}
+
+/// The event engine agrees with the ticked oracle on randomly generated
+/// campaigns whose fault instants deliberately collide — crashes,
+/// drain windows, and submissions sharing exact timestamps — so the
+/// per-instant handler order (finish, crash, undrain, drain, submit,
+/// start) is pinned under every generated collision pattern.
+#[test]
+fn engines_agree_on_campaigns_with_colliding_fault_instants() {
+    use jubench::sched::Scheduler;
+    for case in 0..16u64 {
+        let mut rng = rank_rng(0xEC + case, 23);
+        let nodes = rng.gen_range(2u32..5) * 48;
+        let machine = Machine::juwels_booster().partition(nodes);
+        // Integer-grid times maximize exact collisions between job
+        // events and fault instants.
+        let jobs: Vec<Job> = (0..rng.gen_range(4u32..14))
+            .map(|i| {
+                let mut j = Job::new(i, &format!("j{i}"), rng.gen_range(1u32..96), {
+                    f64::from(rng.gen_range(1u8..5))
+                })
+                .with_comm_fraction(0.0)
+                .with_priority(rng.gen_range(0u32..3) as i32)
+                .with_submit(f64::from(rng.gen_range(0u8..4)))
+                .with_retry(RetryPolicy::new(rng.gen_range(2u32..8), 0.05));
+                if rng.gen_bool(0.3) {
+                    j = j.with_checkpointing(rng.gen_range(0.5..1.5), rng.gen_range(0.01..0.1));
+                }
+                j
+            })
+            .collect();
+        let mut plan = FaultPlan::new(case);
+        for _ in 0..rng.gen_range(1usize..4) {
+            let from = f64::from(rng.gen_range(1u8..6));
+            plan = plan.with_slow_node_window(
+                rng.gen_range(0u32..nodes),
+                2.0,
+                from,
+                from + f64::from(rng.gen_range(1u8..3)),
+            );
+        }
+        if rng.gen_bool(0.5) {
+            plan =
+                plan.with_rank_crash(rng.gen_range(0u32..nodes), f64::from(rng.gen_range(1u8..6)));
+        }
+        let sched = Scheduler::new(
+            machine,
+            NetModel::juwels_booster(),
+            SchedulerConfig::new(
+                QueuePolicy::ConservativeBackfill,
+                PlacementPolicy::ALL[case as usize % 2],
+                case,
+            ),
+        );
+        let event = sched.run(&jobs, &plan);
+        let ticked = sched.run_ticked(&jobs, &plan);
+        assert_eq!(event.log, ticked.log, "case {case}: logs diverged");
+        assert_eq!(event.makespan_s, ticked.makespan_s, "case {case}");
+    }
+}
+
 /// Gate application preserves the norm for arbitrary phase angles.
 #[test]
 fn quantum_gates_are_unitary() {
