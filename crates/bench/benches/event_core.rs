@@ -2,12 +2,12 @@
 //! payoff of event-driven virtual time.
 //!
 //! The `event_core` group times the queue primitives themselves (push +
-//! drain, multi-queue merge). The `campaign_probe` group runs the same
-//! sparse campaign — short jobs spread across a long virtual horizon —
-//! through the event engine and the legacy ticked engine, which is the
-//! before/after number of the event-core migration: the schedules are
-//! byte-identical (see `tests/events.rs`), only the cost of finding the
-//! next instant differs.
+//! drain, multi-queue merge). The `campaign_probe` group runs a sparse
+//! campaign — short jobs spread across a long virtual horizon — through
+//! the event engine; `BENCH_2.json` records the before/after of the
+//! event-core migration against the since-deleted ticked engine
+//! (13.1× on this probe), so the remaining bench guards the event
+//! engine's own trajectory.
 //!
 //! Run with: `cargo bench -p jubench-bench --bench event_core`
 
@@ -101,9 +101,6 @@ fn bench_campaign_probe(c: &mut Criterion) {
 
     group.bench_function("sparse_4000_event", |b| {
         b.iter(|| scheduler.run(&jobs, &plan).makespan_s);
-    });
-    group.bench_function("sparse_4000_ticked", |b| {
-        b.iter(|| scheduler.run_ticked(&jobs, &plan).makespan_s);
     });
 
     group.finish();

@@ -150,7 +150,9 @@ impl FleetStudy {
                     self.seed,
                 ));
             }
-            let (campaign, shard) = server.submit(i as u64, spec, registry)?;
+            let (campaign, shard) = server
+                .submit(i as u64, spec, registry)
+                .map_err(|r| r.to_string())?;
             campaign_backend.insert(campaign, i);
             shards.push(shard);
             counter_add("fleet/campaigns_submitted", 1);
@@ -159,7 +161,7 @@ impl FleetStudy {
 
         // Drive every shard on its own dedicated pool rank — the same
         // parallel drain any serve deployment uses.
-        let emits = server.drain_parallel(registry);
+        let emits = server.drain_parallel(registry).map_err(|e| e.to_string())?;
 
         // index → run, per backend; the scheduler may finish points out
         // of order, the BTreeMap restores suite order.

@@ -13,14 +13,11 @@
 //! `jubench-faults`. An empty fault plan leaves the schedule identical
 //! to a fault-free run.
 //!
-//! The pre-event-queue engine — which recomputed the next instant by
-//! scanning every running, pending, and unsubmitted job each step — is
-//! preserved verbatim as [`Scheduler::advance_ticked`] behind the
-//! default-on `legacy-ticked` feature for exactly one PR: the
-//! differential harness in `tests/events.rs` pins the two engines
-//! byte-identical (logs, tables, Chrome traces, `RunReport`s) across
-//! the full registry × fault plans × pool widths before the ticked path
-//! is retired.
+//! The pre-event-queue stepped engine is gone: it soaked for one PR as
+//! the differential oracle (`tests/events.rs` pinned both engines
+//! byte-identical across the full registry × fault plans × pool widths)
+//! and was then deleted together with its `legacy-ticked` feature flag.
+//! The event engine is the only engine.
 //!
 //! **Conservative backfill.** At every dispatch point the queue is walked
 //! in priority order and each job is given the earliest start compatible
@@ -1492,293 +1489,6 @@ impl Scheduler {
         *done
     }
 
-    /// [`Self::run`] on the preserved ticked engine — the oracle the
-    /// differential harness in `tests/events.rs` compares [`Self::run`]
-    /// against. Gone, with the `legacy-ticked` feature, one PR after the
-    /// event engine landed.
-    #[cfg(feature = "legacy-ticked")]
-    pub fn run_ticked(&self, jobs: &[Job], plan: &FaultPlan) -> Schedule {
-        let mut state = self.begin(jobs);
-        self.advance_ticked(&mut state, jobs, plan, f64::INFINITY);
-        self.finish(state)
-    }
-
-    /// The pre-event-queue engine, preserved verbatim: recomputes the
-    /// next instant each step by scanning every running, pending, and
-    /// unsubmitted job (O(jobs) per step, plus a full submission re-sort
-    /// per instant). Semantically identical to [`Self::advance`] —
-    /// `tests/events.rs` holds the two byte-identical — just
-    /// asymptotically slower on sparse campaigns.
-    #[cfg(feature = "legacy-ticked")]
-    pub fn advance_ticked(
-        &self,
-        state: &mut CampaignState,
-        jobs: &[Job],
-        plan: &FaultPlan,
-        until_s: f64,
-    ) -> bool {
-        if state.done {
-            return true;
-        }
-        jubench_metrics::profile_scope!("sched/advance");
-        // Fault plan → node-granularity capacity events.
-        // Drains: [from, until) windows; crashes: permanent.
-        let (drain_starts, drain_ends, crashes) = self.fault_events(plan);
-        let CampaignState {
-            t: now,
-            free,
-            down,
-            crashed,
-            running,
-            pending,
-            submitted,
-            di,
-            ei,
-            ci,
-            service_done,
-            records,
-            log,
-            done,
-        } = state;
-
-        loop {
-            let t = *now;
-            jubench_metrics::counter_add("sched/advance_steps", 1);
-            // Every scheduler event (finish/crash/drain/submit/preempt/
-            // start) appends exactly one log line, so the per-step log
-            // growth is the processed-event count.
-            let log_lines_before = log.len();
-            // --- completions at t --------------------------------------
-            running.sort_by(|a, b| a.end_s.total_cmp(&b.end_s).then(a.idx.cmp(&b.idx)));
-            let mut k = 0;
-            while k < running.len() {
-                if running[k].end_s <= t {
-                    let r = running.remove(k);
-                    for &n in &r.alloc.nodes {
-                        if !down.contains(&n) {
-                            free.insert(n);
-                        }
-                    }
-                    let rec = &mut records[r.idx];
-                    rec.outcome = JobOutcome::Finished;
-                    rec.end_s = Some(r.end_s);
-                    log.push(format!(
-                        "[t={:.6}] finish job {} name={}",
-                        t, rec.id, rec.name
-                    ));
-                } else {
-                    k += 1;
-                }
-            }
-
-            // --- capacity transitions at t -----------------------------
-            let mut hit: BTreeSet<u32> = BTreeSet::new();
-            while *ci < crashes.len() && crashes[*ci].0 <= t {
-                let (_, node) = crashes[*ci];
-                *ci += 1;
-                if crashed.insert(node) {
-                    down.insert(node);
-                    free.remove(&node);
-                    hit.insert(node);
-                    log.push(format!("[t={t:.6}] crash node {node}"));
-                }
-            }
-            while *di < drain_starts.len() && drain_starts[*di].0 <= t {
-                let (_, node, until) = drain_starts[*di];
-                *di += 1;
-                if !crashed.contains(&node) && down.insert(node) {
-                    free.remove(&node);
-                    hit.insert(node);
-                    log.push(format!("[t={t:.6}] drain node {node} until={until:.6}"));
-                }
-            }
-            while *ei < drain_ends.len() && drain_ends[*ei].0 <= t {
-                let (_, node) = drain_ends[*ei];
-                *ei += 1;
-                if !crashed.contains(&node) && down.remove(&node) {
-                    // The node returns to service unless occupied (it
-                    // cannot be: its jobs were preempted at drain start).
-                    free.insert(node);
-                    log.push(format!("[t={t:.6}] undrain node {node}"));
-                }
-            }
-            // Preempt running jobs that lost nodes.
-            if !hit.is_empty() {
-                let mut k = 0;
-                while k < running.len() {
-                    if running[k].alloc.nodes.iter().any(|n| hit.contains(n)) {
-                        let r = running.remove(k);
-                        for &n in &r.alloc.nodes {
-                            if !down.contains(&n) {
-                                free.insert(n);
-                            }
-                        }
-                        let job = &jobs[r.idx];
-                        let rec = &mut records[r.idx];
-                        let a = &mut rec.attempts[r.attempt_index];
-                        a.end_s = t;
-                        a.preempted = true;
-                        let elapsed = t - a.start_s;
-                        a.lost_s = elapsed;
-                        if let Some(spec) = job.ckpt {
-                            // Bank the work covered by completed writes
-                            // (each write lands after a full interval of
-                            // work); only progress past the last write is
-                            // lost. Past the final planned write the job
-                            // computes straight to its end, so the
-                            // in-segment progress is unclamped there.
-                            let slot = spec.interval_s + spec.cost_s;
-                            let k = if slot > 0.0 {
-                                ((elapsed / slot).floor() as u32).min(a.ckpts)
-                            } else {
-                                a.ckpts
-                            };
-                            let banked_work = k as f64 * spec.interval_s;
-                            let into_seg = elapsed - k as f64 * slot;
-                            let done_work = banked_work
-                                + if k < a.ckpts {
-                                    into_seg.clamp(0.0, spec.interval_s)
-                                } else {
-                                    into_seg.max(0.0)
-                                };
-                            a.ckpts = k;
-                            a.lost_s = done_work - banked_work;
-                            let mix = (1.0 - job.comm_fraction) + job.comm_fraction * a.slowdown;
-                            service_done[r.idx] += banked_work / mix;
-                        }
-                        let attempt = rec.attempts.len() as u32;
-                        if attempt >= job.retry.max_attempts {
-                            rec.outcome = JobOutcome::Failed;
-                            log.push(format!(
-                                "[t={:.6}] fail job {} name={} attempts={attempt} (retries exhausted)",
-                                t, rec.id, rec.name
-                            ));
-                        } else {
-                            let backoff = job.retry.backoff_s(attempt);
-                            pending.push(Pending {
-                                idx: r.idx,
-                                eligible_s: t + backoff,
-                                attempt,
-                            });
-                            if job.ckpt.is_some() {
-                                log.push(format!(
-                                    "[t={:.6}] preempt job {} name={} requeue eligible={:.6} banked={:.6}",
-                                    t,
-                                    rec.id,
-                                    rec.name,
-                                    t + backoff,
-                                    service_done[r.idx]
-                                ));
-                            } else {
-                                log.push(format!(
-                                    "[t={:.6}] preempt job {} name={} requeue eligible={:.6}",
-                                    t,
-                                    rec.id,
-                                    rec.name,
-                                    t + backoff
-                                ));
-                            }
-                        }
-                    } else {
-                        k += 1;
-                    }
-                }
-            }
-
-            // --- submissions at t --------------------------------------
-            let mut order: Vec<usize> = (0..jobs.len()).collect();
-            order.sort_by(|&a, &b| {
-                jobs[a]
-                    .submit_s
-                    .total_cmp(&jobs[b].submit_s)
-                    .then(jobs[a].id.cmp(&jobs[b].id))
-            });
-            for idx in order {
-                if !submitted[idx] && jobs[idx].submit_s <= t {
-                    submitted[idx] = true;
-                    let job = &jobs[idx];
-                    log.push(format!(
-                        "[t={:.6}] submit job {} name={} nodes={} prio={}",
-                        t, job.id, job.name, job.nodes, job.priority
-                    ));
-                    let alive = self.machine.nodes - crashed.len() as u32;
-                    if job.nodes > alive {
-                        records[idx].outcome = JobOutcome::Failed;
-                        log.push(format!(
-                            "[t={:.6}] fail job {} name={} (requests {} of {alive} surviving nodes)",
-                            t, job.id, job.name, job.nodes
-                        ));
-                    } else {
-                        pending.push(Pending {
-                            idx,
-                            eligible_s: job.submit_s,
-                            attempt: 0,
-                        });
-                    }
-                }
-            }
-
-            // Requests can outlive capacity lost to later crashes.
-            pending.retain(|p| {
-                let alive = self.machine.nodes - crashed.len() as u32;
-                if jobs[p.idx].nodes > alive {
-                    records[p.idx].outcome = JobOutcome::Failed;
-                    log.push(format!(
-                        "[t={:.6}] fail job {} name={} (requests {} of {alive} surviving nodes)",
-                        t, jobs[p.idx].id, jobs[p.idx].name, jobs[p.idx].nodes
-                    ));
-                    false
-                } else {
-                    true
-                }
-            });
-
-            // --- dispatch ----------------------------------------------
-            self.dispatch(t, jobs, pending, free, running, records, service_done, log);
-            jubench_metrics::counter_add(
-                "sched/events_processed",
-                (log.len() - log_lines_before) as u64,
-            );
-
-            // --- advance virtual time ----------------------------------
-            let mut next = f64::INFINITY;
-            for r in running.iter() {
-                next = next.min(r.end_s);
-            }
-            for p in pending.iter() {
-                if p.eligible_s > t {
-                    next = next.min(p.eligible_s);
-                }
-            }
-            for (idx, job) in jobs.iter().enumerate() {
-                if !submitted[idx] {
-                    next = next.min(job.submit_s);
-                }
-            }
-            if *ci < crashes.len() {
-                next = next.min(crashes[*ci].0);
-            }
-            if *di < drain_starts.len() {
-                next = next.min(drain_starts[*di].0);
-            }
-            // Drain ends only matter while something is drained or queued.
-            if *ei < drain_ends.len() && (!pending.is_empty() || !down.is_empty()) {
-                next = next.min(drain_ends[*ei].0);
-            }
-            if !next.is_finite() {
-                *done = true;
-                break;
-            }
-            if next > until_s {
-                break;
-            }
-            // Every candidate above is strictly in the future: events at t
-            // were all consumed this iteration, so time always advances.
-            *now = next;
-        }
-        *done
-    }
-
     /// Seal a campaign state into a [`Schedule`]: the makespan over the
     /// attempts recorded so far, the log closed by its trailer line.
     /// Straight-through and stop/snapshot/resume runs of the same
@@ -2337,77 +2047,6 @@ mod tests {
             ],
             "same-instant handler order: {at_3:?}"
         );
-    }
-
-    /// Every scheduler unit scenario above runs on the event engine;
-    /// this cross-checks the preserved ticked engine produces the same
-    /// decisions on a campaign exercising drains, crashes, preemption,
-    /// checkpoint banking, and requeues (the full-registry differential
-    /// matrix lives in tests/events.rs).
-    #[cfg(feature = "legacy-ticked")]
-    #[test]
-    fn event_engine_matches_ticked_engine_on_faulted_campaign() {
-        for policy in [QueuePolicy::Fifo, QueuePolicy::ConservativeBackfill] {
-            let s = sched(policy, PlacementPolicy::Contiguous);
-            let jobs: Vec<Job> = (0..12)
-                .map(|i| {
-                    Job::new(i, &format!("j{i}"), 8 + (i % 5) * 16, 1.0 + i as f64 * 0.3)
-                        .with_comm_fraction(0.5)
-                        .with_priority((i % 3) as i32)
-                        .with_submit(i as f64 * 0.4)
-                        .with_checkpointing(0.4, 0.02)
-                })
-                .collect();
-            let plan = FaultPlan::new(9)
-                .with_slow_node_window(5, 4.0, 1.0, 3.0)
-                .with_rank_crash(40, 2.5);
-            let event = s.run(&jobs, &plan);
-            let ticked = s.run_ticked(&jobs, &plan);
-            assert_eq!(event.log, ticked.log, "policy {policy:?}");
-            assert_eq!(event.makespan_s, ticked.makespan_s);
-        }
-    }
-
-    /// The engines must also agree on every partial-advance stop point,
-    /// including the queue rebuild after a snapshot round trip.
-    #[cfg(feature = "legacy-ticked")]
-    #[test]
-    fn event_engine_matches_ticked_engine_at_every_stop_point() {
-        use jubench_ckpt::Checkpointable;
-        let s = sched(
-            QueuePolicy::ConservativeBackfill,
-            PlacementPolicy::Contiguous,
-        );
-        let jobs: Vec<Job> = (0..10)
-            .map(|i| {
-                Job::new(
-                    i,
-                    &format!("j{i}"),
-                    16 + (i % 3) * 24,
-                    0.9 + i as f64 * 0.25,
-                )
-                .with_priority((i % 2) as i32)
-                .with_submit(i as f64 * 0.3)
-            })
-            .collect();
-        let plan = FaultPlan::new(4)
-            .with_slow_node_window(7, 3.0, 0.8, 2.2)
-            .with_rank_crash(33, 1.7);
-        for t_kill in [0.0, 0.8, 1.7, 2.2, 3.1] {
-            let mut ev = s.begin(&jobs);
-            s.advance(&mut ev, &jobs, &plan, t_kill);
-            let mut tk = s.begin(&jobs);
-            s.advance_ticked(&mut tk, &jobs, &plan, t_kill);
-            assert_eq!(ev.log(), tk.log(), "stop at t={t_kill}");
-            assert_eq!(ev.now(), tk.now(), "stop at t={t_kill}");
-            assert_eq!(ev.snapshot(), tk.snapshot(), "snapshot at t={t_kill}");
-            // Resume the event engine from the ticked engine's snapshot
-            // and vice versa: the queue rebuild sees only state.
-            let mut cross = s.resume(&tk.snapshot(), &jobs).unwrap();
-            s.advance(&mut cross, &jobs, &plan, f64::INFINITY);
-            s.advance_ticked(&mut tk, &jobs, &plan, f64::INFINITY);
-            assert_eq!(cross.log(), tk.log(), "cross-resume from t={t_kill}");
-        }
     }
 
     #[test]

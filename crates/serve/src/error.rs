@@ -1,0 +1,84 @@
+//! Typed failures of the campaign service.
+//!
+//! Everything that can go wrong while *driving* the service — as
+//! opposed to speaking its protocol ([`WireError`]) — is a
+//! [`ServeError`]: a shard worker panicking mid-drain, a scheduler
+//! snapshot refusing to restore, a shard exhausting its restart budget.
+//! The guard layer ([`crate::supervisor`]) exists to keep these from
+//! ever escaping as panics: a supervised drain converts them into
+//! restarts, typed cancellations, or a returned error — never an
+//! `unwrap` in a worker thread.
+
+use crate::wire::WireError;
+use jubench_ckpt::CkptError;
+use std::fmt;
+
+/// A failure while driving the campaign service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A protocol failure on a session transport.
+    Wire(WireError),
+    /// A snapshot envelope failed to open or decode.
+    Ckpt(CkptError),
+    /// A shard worker thread panicked (or a chaos plan crashed it).
+    ShardPanicked {
+        /// The shard whose worker died.
+        shard: u32,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// A campaign's own scheduler snapshot failed to restore — the
+    /// shard cannot make progress on it.
+    SchedRestore {
+        /// The campaign whose scheduler state is unusable.
+        campaign: u64,
+        /// The underlying decode failure.
+        source: CkptError,
+    },
+    /// A shard kept failing past its restart budget and the supervisor
+    /// gave up on it.
+    RestartsExhausted {
+        /// The shard that was given up on.
+        shard: u32,
+        /// Restarts attempted before giving up.
+        restarts: u32,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Wire(e) => write!(f, "wire: {e}"),
+            ServeError::Ckpt(e) => write!(f, "checkpoint: {e}"),
+            ServeError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+            ServeError::SchedRestore { campaign, source } => {
+                write!(
+                    f,
+                    "campaign {campaign}: scheduler snapshot unusable: {source}"
+                )
+            }
+            ServeError::RestartsExhausted { shard, restarts } => {
+                write!(
+                    f,
+                    "shard {shard} failed past its budget ({restarts} restarts)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<CkptError> for ServeError {
+    fn from(e: CkptError) -> Self {
+        ServeError::Ckpt(e)
+    }
+}

@@ -29,28 +29,53 @@
 //! - [`server`]: shard routing (campaigns keyed to shards by machine
 //!   fingerprint), serial and dedicated-thread-parallel driving, the
 //!   session loop, and the [`Client`] helper.
+//! - [`admission`]: the deterministic front gate — per-tenant active
+//!   campaign quotas and a refund-on-retire point-token bucket. Denials
+//!   are typed [`Rejection`]s carried on the wire, never panics.
+//! - [`supervisor`]: restore-and-retry drains that survive shard worker
+//!   failures — restore from the last [`Checkpointable`](jubench_ckpt::Checkpointable)
+//!   snapshot, seeded bounded backoff, and a typed-cancellation degrade
+//!   path after the restart budget is exhausted.
+//! - [`chaos`]: seeded fault plans (shard crashes at unit boundaries,
+//!   stragglers) and wire faults (truncation, bit flips) for
+//!   deterministic robustness testing.
+//! - [`error`]: the crate-wide [`ServeError`] taxonomy.
 //!
 //! ## The determinism contract
 //!
 //! For a fixed request set, the per-campaign frame stream — and
 //! therefore the result table and Chrome trace — is byte-identical
 //! across: any shard count, serial vs parallel driving, any
-//! kill-and-restore point, live migration mid-campaign, and warm vs
-//! cold caches. The cache changes *when* work happens, never *what* is
-//! produced; its tallies surface only in the out-of-band
-//! [`CacheStats`](jubench_trace::CacheStats) of the run report and the
+//! kill-and-restore point, live migration mid-campaign, warm vs cold
+//! caches — and any seeded chaos plan the supervisor recovers from. The
+//! cache changes *when* work happens, never *what* is produced; the
+//! guard changes *how many attempts* work takes, never its outcome.
+//! Their tallies surface only in the out-of-band
+//! [`CacheStats`](jubench_trace::CacheStats) /
+//! [`GuardStats`](jubench_trace::GuardStats) of the run report and the
 //! `serve/*` metrics (Prometheus exposition via the `Stats` frame).
+//! Work a fault sinks for good still ends deterministically: a typed,
+//! quota-accounted [`Rejection`] or `Cancelled` frame — never a panic,
+//! never a hang.
 
+pub mod admission;
 pub mod cache;
+pub mod chaos;
+pub mod error;
 pub mod server;
 pub mod shard;
 pub mod spec;
+pub mod supervisor;
 pub mod transport;
 pub mod wire;
 
+pub use admission::{AdmissionConfig, AdmissionGate, RejectReason, Rejection, TenantUsage};
 pub use cache::{PointResult, ResultCache};
+pub use chaos::{ChaosPlan, ChaosRuntime, FaultyTransport, WireFault};
+pub use error::ServeError;
 pub use server::{serve_session, Client, Server};
 pub use shard::{Emit, ShardState, CAMPAIGN_KIND, SHARD_KIND};
 pub use spec::{CampaignSpec, RunPoint};
+pub use supervisor::{DrainOutcome, SupervisorConfig};
 pub use transport::{DuplexPipe, Transport, TransportError};
-pub use wire::{read_frame, write_frame, Frame, WireError, MAX_FRAME_BYTES};
+pub use wire::{read_frame, write_frame, CancelReason, Frame, WireError, MAX_FRAME_BYTES};

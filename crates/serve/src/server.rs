@@ -17,6 +17,8 @@
 //! [`serve_session`] speaks the wire protocol over a [`Transport`], and
 //! [`Client`] is the matching caller side.
 
+use crate::admission::{AdmissionConfig, AdmissionGate, RejectReason, Rejection};
+use crate::error::ServeError;
 use crate::shard::{Emit, ShardState};
 use crate::spec::CampaignSpec;
 use crate::transport::Transport;
@@ -25,21 +27,37 @@ use jubench_core::{fnv1a64, Registry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Mutex;
 
+/// Where a live campaign sits and what it holds against its tenant's
+/// quotas (refunded when the campaign retires).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Route {
+    /// The shard driving the campaign.
+    pub(crate) shard: u32,
+    /// The tenant charged for it.
+    pub(crate) tenant: String,
+    /// Point tokens it holds.
+    pub(crate) points: u32,
+}
+
 /// The multi-tenant campaign service.
 #[derive(Debug)]
 pub struct Server {
-    shards: Vec<ShardState>,
+    pub(crate) shards: Vec<ShardState>,
     next_campaign: u64,
-    /// Campaign → shard placement, for status queries and migration.
-    routes: BTreeMap<u64, u32>,
+    /// Campaign → placement and quota charge, for status queries,
+    /// migration, and admission refunds.
+    routes: BTreeMap<u64, Route>,
     /// Frames produced while a different client was draining, held for
     /// delivery on their owner's next drain.
     mailbox: BTreeMap<u64, Vec<Frame>>,
+    /// The admission gate (permissive unless configured).
+    admission: AdmissionGate,
 }
 
 impl Server {
     /// A service with `n_shards` worker shards, each with its own
-    /// result cache bounded at `cache_capacity` entries.
+    /// result cache bounded at `cache_capacity` entries. Admission is
+    /// fully permissive; see [`Server::with_admission`].
     pub fn new(n_shards: usize, cache_capacity: usize) -> Self {
         assert!(n_shards > 0, "a server needs at least one shard");
         Server {
@@ -49,7 +67,19 @@ impl Server {
             next_campaign: 1,
             routes: BTreeMap::new(),
             mailbox: BTreeMap::new(),
+            admission: AdmissionGate::new(AdmissionConfig::default()),
         }
+    }
+
+    /// Enforce per-tenant quotas at submit (builder style).
+    pub fn with_admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = AdmissionGate::new(config);
+        self
+    }
+
+    /// The admission gate (usage inspection).
+    pub fn admission(&self) -> &AdmissionGate {
+        &self.admission
     }
 
     /// Number of worker shards.
@@ -80,20 +110,38 @@ impl Server {
         (folded % self.shards.len() as u64) as u32
     }
 
-    /// Validate and enqueue a campaign for `client`. Returns the
-    /// assigned `(campaign id, shard)` or the rejection reason.
+    /// Validate a campaign, pass it through the admission gate, and
+    /// enqueue it for `client`. Returns the assigned
+    /// `(campaign id, shard)` or a typed [`Rejection`]. The quota
+    /// charge (one point token per run point, one campaign slot) is
+    /// refunded when the campaign retires — finishes, is cancelled, or
+    /// is given up on.
     pub fn submit(
         &mut self,
         client: u64,
         spec: CampaignSpec,
         registry: &Registry,
-    ) -> Result<(u64, u32), String> {
-        spec.validate(registry)?;
+    ) -> Result<(u64, u32), Rejection> {
+        let tenant = spec.tenant.clone();
+        if let Err(what) = spec.validate(registry) {
+            return Err(reject(tenant, RejectReason::Invalid { what }));
+        }
+        let points = spec.points.len() as u32;
+        if let Err(reason) = self.admission.admit(&tenant, points) {
+            return Err(reject(tenant, reason));
+        }
         let shard = self.route(&spec);
         let campaign = self.next_campaign;
         self.next_campaign += 1;
         self.shards[shard as usize].submit(campaign, client, spec);
-        self.routes.insert(campaign, shard);
+        self.routes.insert(
+            campaign,
+            Route {
+                shard,
+                tenant,
+                points,
+            },
+        );
         Ok((campaign, shard))
     }
 
@@ -103,66 +151,139 @@ impl Server {
     }
 
     /// Advance every non-idle shard by one unit, in shard order.
-    pub fn step(&mut self, registry: &Registry) -> Vec<Emit> {
+    pub fn step(&mut self, registry: &Registry) -> Result<Vec<Emit>, ServeError> {
         let mut out = Vec::new();
         for shard in &mut self.shards {
-            out.extend(shard.step(registry));
+            out.extend(shard.step(registry)?);
         }
         self.forget_finished();
-        out
+        Ok(out)
     }
 
     /// Drive all shards to completion on the calling thread,
     /// deterministically interleaving frames in shard order.
-    pub fn drain(&mut self, registry: &Registry) -> Vec<Emit> {
+    pub fn drain(&mut self, registry: &Registry) -> Result<Vec<Emit>, ServeError> {
         let mut out = Vec::new();
         while !self.idle() {
-            out.extend(self.step(registry));
+            out.extend(self.step(registry)?);
         }
-        out
+        Ok(out)
     }
 
     /// Drive all shards to completion in parallel, one dedicated
     /// `jubench-pool` rank thread per shard. Frames are concatenated in
     /// shard order after the join, so the result is deterministic; each
     /// campaign's frame subsequence is identical to [`Self::drain`]'s.
-    pub fn drain_parallel(&mut self, registry: &Registry) -> Vec<Emit> {
+    ///
+    /// A shard worker that fails — a typed error or an outright panic —
+    /// surfaces as `Err` after every worker has joined and the shards
+    /// have been moved back (no state is lost; a supervised drain can
+    /// restore and retry). This is the *unsupervised* primitive: it
+    /// propagates, [`Server::drain_supervised`] recovers.
+    pub fn drain_parallel(&mut self, registry: &Registry) -> Result<Vec<Emit>, ServeError> {
         let n = self.shards.len() as u32;
         let slots: Vec<Mutex<ShardState>> = self.shards.drain(..).map(Mutex::new).collect();
-        let results =
-            jubench_pool::run_dedicated(n, |i| slots[i as usize].lock().unwrap().drain(registry));
-        self.shards = slots.into_iter().map(|m| m.into_inner().unwrap()).collect();
+        let results = jubench_pool::run_dedicated(n, |i| {
+            slots[i as usize]
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .drain(registry)
+        });
+        // A panicking worker poisons its mutex; the shard state behind
+        // it is still the thing to recover, so strip the poison.
+        self.shards = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+            .collect();
         let mut out = Vec::new();
-        for result in results {
-            out.extend(result.expect("shard worker panicked"));
+        let mut first_err = None;
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(Ok(emits)) => out.extend(emits),
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(panic) => {
+                    first_err.get_or_insert(ServeError::ShardPanicked {
+                        shard: i as u32,
+                        message: panic_message(&panic),
+                    });
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
         self.forget_finished();
-        out
+        Ok(out)
     }
 
     /// Migrate in-flight campaign `campaign` to shard `to`. Returns
-    /// false if the campaign is not live (unknown or already done).
-    pub fn migrate(&mut self, campaign: u64, to: u32) -> bool {
-        let Some(&from) = self.routes.get(&campaign) else {
-            return false;
+    /// `Ok(false)` if the campaign is not live (unknown or already
+    /// done), `Err` if the extracted envelope failed to adopt (the
+    /// campaign is re-adopted by its origin shard first, so nothing is
+    /// lost).
+    pub fn migrate(&mut self, campaign: u64, to: u32) -> Result<bool, ServeError> {
+        let Some(route) = self.routes.get(&campaign) else {
+            return Ok(false);
         };
+        let from = route.shard;
         if from == to {
-            return true;
+            return Ok(true);
         }
         let Some(envelope) = self.shards[from as usize].extract(campaign) else {
-            return false;
+            return Ok(false);
         };
-        self.shards[to as usize]
-            .adopt(&envelope)
-            .expect("an extracted campaign envelope must adopt");
-        self.routes.insert(campaign, to);
-        true
+        if let Err(e) = self.shards[to as usize].adopt(&envelope) {
+            // Put the campaign back where it came from; the envelope
+            // was sealed from live state, so this re-adopt is the same
+            // bytes the target just refused — if even the origin
+            // refuses them, the envelope itself is unusable.
+            self.shards[from as usize].adopt(&envelope)?;
+            return Err(ServeError::Ckpt(e));
+        }
+        if let Some(route) = self.routes.get_mut(&campaign) {
+            route.shard = to;
+        }
+        Ok(true)
     }
 
-    /// Drop routes of campaigns that are no longer live on any shard.
-    fn forget_finished(&mut self) {
+    /// Drop routes of campaigns that are no longer live on any shard,
+    /// refunding their admission charge.
+    pub(crate) fn forget_finished(&mut self) {
         let live: BTreeSet<u64> = self.shards.iter().flat_map(|s| s.active()).collect();
-        self.routes.retain(|campaign, _| live.contains(campaign));
+        let mut retired: Vec<Route> = Vec::new();
+        self.routes.retain(|campaign, route| {
+            if live.contains(campaign) {
+                true
+            } else {
+                retired.push(route.clone());
+                false
+            }
+        });
+        for route in retired {
+            self.admission.release(&route.tenant, route.points);
+        }
+    }
+}
+
+/// Count and build a typed rejection (one place, so the counters can't
+/// drift from the returned value).
+fn reject(tenant: String, reason: RejectReason) -> Rejection {
+    jubench_metrics::counter_add("serve/rejected", 1);
+    jubench_metrics::counter_add(&format!("serve/tenant/{tenant}/rejected"), 1);
+    Rejection { tenant, reason }
+}
+
+/// Render a worker panic payload (string payloads pass through; others
+/// get a placeholder).
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -176,18 +297,21 @@ pub fn serve_session(
     registry: &Registry,
     t: &mut dyn Transport,
     client: u64,
-) -> Result<(), WireError> {
+) -> Result<(), ServeError> {
     loop {
         let frame = match read_frame(t) {
             Ok(frame) => frame,
             Err(WireError::Transport(_)) => return Ok(()), // peer hung up
-            Err(e) => return Err(e),
+            Err(e) => return Err(e.into()),
         };
         match frame {
             Frame::Submit { spec } => {
                 let reply = match server.submit(client, spec, registry) {
                     Ok((campaign, shard)) => Frame::Accepted { campaign, shard },
-                    Err(reason) => Frame::Rejected { reason },
+                    Err(rejection) => Frame::Rejected {
+                        tenant: rejection.tenant,
+                        reason: rejection.reason,
+                    },
                 };
                 write_frame(t, &reply)?;
             }
@@ -195,7 +319,7 @@ pub fn serve_session(
                 for frame in server.mailbox.remove(&client).unwrap_or_default() {
                     write_frame(t, &frame)?;
                 }
-                for emit in server.drain(registry) {
+                for emit in server.drain(registry)? {
                     if emit.client == client {
                         write_frame(t, &emit.frame)?;
                     } else {
@@ -220,7 +344,9 @@ pub fn serve_session(
                 t.shutdown();
                 return Ok(());
             }
-            _ => return Err(WireError::Unexpected("server→client frame from a client")),
+            _ => {
+                return Err(WireError::Unexpected("server→client frame from a client").into());
+            }
         }
     }
 }
@@ -243,22 +369,24 @@ impl<T: Transport> Client<T> {
     }
 
     /// Submit a campaign; returns the assigned campaign id or the
-    /// rejection reason.
-    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<Result<u64, String>, WireError> {
+    /// typed [`Rejection`].
+    pub fn submit(&mut self, spec: &CampaignSpec) -> Result<Result<u64, Rejection>, WireError> {
         write_frame(&mut self.transport, &Frame::Submit { spec: spec.clone() })?;
         match read_frame(&mut self.transport)? {
             Frame::Accepted { campaign, .. } => {
                 self.outstanding.insert(campaign);
                 Ok(Ok(campaign))
             }
-            Frame::Rejected { reason } => Ok(Err(reason)),
+            Frame::Rejected { tenant, reason } => Ok(Err(Rejection { tenant, reason })),
             _ => Err(WireError::Unexpected("expected Accepted or Rejected")),
         }
     }
 
     /// Run every outstanding campaign to completion, returning the
-    /// streamed result frames (rows, job completions, final reports) in
-    /// arrival order.
+    /// streamed result frames (rows, job completions, final reports,
+    /// typed cancellations) in arrival order. `Cancelled` is terminal
+    /// for its campaign, exactly like `Done` — a cancelled campaign
+    /// stops being outstanding.
     pub fn drain(&mut self) -> Result<Vec<Frame>, WireError> {
         if self.outstanding.is_empty() {
             return Ok(Vec::new());
@@ -267,8 +395,11 @@ impl<T: Transport> Client<T> {
         let mut frames = Vec::new();
         while !self.outstanding.is_empty() {
             let frame = read_frame(&mut self.transport)?;
-            if let Frame::Done { campaign, .. } = &frame {
-                self.outstanding.remove(campaign);
+            match &frame {
+                Frame::Done { campaign, .. } | Frame::Cancelled { campaign, .. } => {
+                    self.outstanding.remove(campaign);
+                }
+                _ => {}
             }
             frames.push(frame);
         }
@@ -336,8 +467,8 @@ mod tests {
             srv.submit(7, spec("b", 16, 2), &registry).unwrap();
             srv.submit(7, spec("c", 8, 3), &registry).unwrap();
         }
-        let serial_emits = serial.drain(&registry);
-        let parallel_emits = parallel.drain_parallel(&registry);
+        let serial_emits = serial.drain(&registry).unwrap();
+        let parallel_emits = parallel.drain_parallel(&registry).unwrap();
         let per_campaign = |emits: &[Emit], id: u64| -> Vec<Frame> {
             emits
                 .iter()
@@ -411,15 +542,15 @@ mod tests {
         let reference = {
             let mut server = Server::new(4, 16);
             server.submit(1, spec("m", 8, 1), &registry).unwrap();
-            server.drain(&registry)
+            server.drain(&registry).unwrap()
         };
         let mut server = Server::new(4, 16);
         let (campaign, shard) = server.submit(1, spec("m", 8, 1), &registry).unwrap();
-        let mut emits = server.step(&registry);
+        let mut emits = server.step(&registry).unwrap();
         let target = (shard + 1) % 4;
-        assert!(server.migrate(campaign, target));
+        assert!(server.migrate(campaign, target).unwrap());
         assert!(server.shard(shard).idle());
-        emits.extend(server.drain(&registry));
+        emits.extend(server.drain(&registry).unwrap());
         let frames = |e: &[Emit]| -> Vec<Frame> { e.iter().map(|x| x.frame.clone()).collect() };
         assert_eq!(frames(&emits), frames(&reference));
     }

@@ -16,13 +16,14 @@
 //! stream; migration moves the stream mid-flight to another shard.
 
 use crate::cache::{PointResult, ResultCache};
+use crate::error::ServeError;
 use crate::spec::CampaignSpec;
-use crate::wire::Frame;
+use crate::wire::{CancelReason, Frame};
 use jubench_ckpt::{open, seal, Checkpointable, CkptError, SnapshotReader, SnapshotWriter};
 use jubench_core::{BenchmarkId, Registry, RunConfig};
 use jubench_events::Windows;
 use jubench_sched::{category_priority, Job, Schedule, Scheduler, SchedulerConfig};
-use jubench_trace::{chrome_trace_json, Recorder, RunReport};
+use jubench_trace::{chrome_trace_json, GuardStats, Recorder, RunReport};
 
 /// Envelope kind of a shard snapshot.
 pub const SHARD_KIND: &str = "jubench-serve/shard";
@@ -128,6 +129,16 @@ impl ActiveCampaign {
     }
 }
 
+/// What one shard unit did, beyond the frames it emitted.
+enum UnitOutcome {
+    /// The campaign stays in the queue.
+    Running,
+    /// The campaign completed and emitted its `Done` frame.
+    Finished,
+    /// The campaign was cancelled (deadline) and emitted `Cancelled`.
+    Cancelled,
+}
+
 /// One worker shard of the campaign service.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardState {
@@ -136,6 +147,10 @@ pub struct ShardState {
     queue: Vec<ActiveCampaign>,
     /// Round-robin cursor over `queue`.
     rr: usize,
+    /// Guard-layer tallies (restarts, deadline cancels, giveups) —
+    /// observability, attached out-of-band to finished campaigns'
+    /// reports; never part of any deterministic artifact.
+    guard: GuardStats,
 }
 
 impl ShardState {
@@ -146,6 +161,7 @@ impl ShardState {
             cache: ResultCache::new(cache_capacity),
             queue: Vec::new(),
             rr: 0,
+            guard: GuardStats::default(),
         }
     }
 
@@ -157,6 +173,45 @@ impl ShardState {
     /// The shard's result cache.
     pub fn cache(&self) -> &ResultCache {
         &self.cache
+    }
+
+    /// The shard's guard tallies so far (restarts, deadline cancels,
+    /// giveups).
+    pub fn guard(&self) -> GuardStats {
+        self.guard
+    }
+
+    /// Record one supervised restart: the shard was restored from its
+    /// snapshot after a worker failure, charging `backoff_s` virtual
+    /// seconds of seeded backoff.
+    pub fn note_restart(&mut self, backoff_s: f64) {
+        self.guard.restarts += 1;
+        self.guard.backoff_s += backoff_s;
+        jubench_metrics::counter_add("serve/restarts", 1);
+    }
+
+    /// The supervisor gave up on this shard: cancel every queued
+    /// campaign with a typed `ShardFailed` frame (frames already
+    /// streamed stand — this is the degrade-to-partial-results path).
+    pub fn give_up(&mut self, restarts: u32) -> Vec<Emit> {
+        self.guard.giveups += 1;
+        jubench_metrics::counter_add("serve/giveups", 1);
+        let out: Vec<Emit> = self
+            .queue
+            .drain(..)
+            .map(|camp| {
+                jubench_metrics::counter_add("serve/campaigns_cancelled", 1);
+                Emit {
+                    client: camp.client,
+                    frame: Frame::Cancelled {
+                        campaign: camp.id,
+                        reason: CancelReason::ShardFailed { restarts },
+                    },
+                }
+            })
+            .collect();
+        self.rr = 0;
+        out
     }
 
     /// Ids of the campaigns still in flight, in queue order.
@@ -193,47 +248,60 @@ impl ShardState {
     /// Advance one campaign by one unit (round-robin) and return the
     /// frames produced. An empty vec with [`Self::idle`] still false
     /// can't happen — every unit emits at least one frame except
-    /// scheduler slices in which no job finished.
-    pub fn step(&mut self, registry: &Registry) -> Vec<Emit> {
+    /// scheduler slices in which no job finished. Errors are typed,
+    /// never panics: a scheduler snapshot that refuses to restore
+    /// surfaces as [`ServeError::SchedRestore`] for the supervisor to
+    /// handle.
+    pub fn step(&mut self, registry: &Registry) -> Result<Vec<Emit>, ServeError> {
         if self.queue.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let idx = self.rr % self.queue.len();
         let client = self.queue[idx].client;
-        let (frames, finished) = if self.queue[idx].next_point < self.queue[idx].spec.points.len() {
-            (vec![self.execute_point(idx, registry)], false)
+        let (frames, outcome) = if self.queue[idx].next_point < self.queue[idx].spec.points.len() {
+            (
+                vec![self.execute_point(idx, registry)],
+                UnitOutcome::Running,
+            )
         } else {
-            self.sched_slice(idx)
+            self.sched_slice(idx)?
         };
-        if finished {
-            let done = self.queue.remove(idx);
-            jubench_metrics::counter_add("serve/campaigns_done", 1);
-            jubench_metrics::counter_add(
-                &format!("serve/tenant/{}/campaigns", done.spec.tenant),
-                1,
-            );
-            self.rr = if self.queue.is_empty() {
-                0
-            } else {
-                idx % self.queue.len()
-            };
-        } else {
-            self.rr = (idx + 1) % self.queue.len();
+        match outcome {
+            UnitOutcome::Running => {
+                self.rr = (idx + 1) % self.queue.len();
+            }
+            UnitOutcome::Finished | UnitOutcome::Cancelled => {
+                let done = self.queue.remove(idx);
+                if matches!(outcome, UnitOutcome::Finished) {
+                    jubench_metrics::counter_add("serve/campaigns_done", 1);
+                    jubench_metrics::counter_add(
+                        &format!("serve/tenant/{}/campaigns", done.spec.tenant),
+                        1,
+                    );
+                } else {
+                    jubench_metrics::counter_add("serve/campaigns_cancelled", 1);
+                }
+                self.rr = if self.queue.is_empty() {
+                    0
+                } else {
+                    idx % self.queue.len()
+                };
+            }
         }
-        frames
+        Ok(frames
             .into_iter()
             .map(|frame| Emit { client, frame })
-            .collect()
+            .collect())
     }
 
     /// Drive the shard until every campaign is done, collecting all
     /// emitted frames.
-    pub fn drain(&mut self, registry: &Registry) -> Vec<Emit> {
+    pub fn drain(&mut self, registry: &Registry) -> Result<Vec<Emit>, ServeError> {
         let mut out = Vec::new();
         while !self.idle() {
-            out.extend(self.step(registry));
+            out.extend(self.step(registry)?);
         }
-        out
+        Ok(out)
     }
 
     /// Execute (or answer from cache) the next run point of campaign
@@ -268,9 +336,28 @@ impl ShardState {
     }
 
     /// Advance campaign `idx`'s scheduler by one `slice_s`-wide slice.
-    /// Returns the frames to stream and whether the campaign finished.
-    fn sched_slice(&mut self, idx: usize) -> (Vec<Frame>, bool) {
+    /// Returns the frames to stream and the campaign's unit outcome.
+    fn sched_slice(&mut self, idx: usize) -> Result<(Vec<Frame>, UnitOutcome), ServeError> {
+        let guard = self.guard;
         let camp = &mut self.queue[idx];
+        // The virtual-time deadline is checked at the unit boundary:
+        // once the horizon has reached it with the schedule incomplete,
+        // the campaign is cut with a typed cancellation instead of
+        // consuming service units forever.
+        if camp.horizon_s >= camp.spec.deadline_s {
+            self.guard.deadline_cancels += 1;
+            jubench_metrics::counter_add("serve/deadline_cancels", 1);
+            return Ok((
+                vec![Frame::Cancelled {
+                    campaign: camp.id,
+                    reason: CancelReason::DeadlineExceeded {
+                        deadline_s: camp.spec.deadline_s,
+                        horizon_s: camp.horizon_s,
+                    },
+                }],
+                UnitOutcome::Cancelled,
+            ));
+        }
         let scheduler = Scheduler::new(
             camp.spec.machine(),
             camp.spec.backend.net,
@@ -279,9 +366,14 @@ impl ShardState {
         let jobs = build_jobs(&camp.spec, &camp.rows);
         let mut state = match &camp.sched {
             None => scheduler.begin(&jobs),
-            Some(bytes) => scheduler
-                .resume(bytes, &jobs)
-                .expect("a shard's own scheduler snapshot must restore"),
+            Some(bytes) => {
+                scheduler
+                    .resume(bytes, &jobs)
+                    .map_err(|source| ServeError::SchedRestore {
+                        campaign: camp.id,
+                        source,
+                    })?
+            }
         };
         // The slice window grows from the campaign's own horizon, not
         // from `state.now()`: `advance` leaves `now` at the last
@@ -303,11 +395,11 @@ impl ShardState {
         camp.streamed_done = finished.len();
         if done {
             let schedule = scheduler.finish(state);
-            frames.push(finish_campaign(camp, &schedule));
-            (frames, true)
+            frames.push(finish_campaign(camp, &schedule, guard));
+            Ok((frames, UnitOutcome::Finished))
         } else {
             camp.sched = Some(state.snapshot());
-            (frames, false)
+            Ok((frames, UnitOutcome::Running))
         }
     }
 
@@ -356,6 +448,10 @@ impl Checkpointable for ShardState {
         let mut w = SnapshotWriter::new();
         w.put_u32(self.id);
         self.cache.put(&mut w);
+        w.put_u64(self.guard.restarts);
+        w.put_f64(self.guard.backoff_s);
+        w.put_u64(self.guard.deadline_cancels);
+        w.put_u64(self.guard.giveups);
         w.put_usize(self.rr);
         w.put_usize(self.queue.len());
         for camp in &self.queue {
@@ -369,6 +465,12 @@ impl Checkpointable for ShardState {
         let mut r = SnapshotReader::new(&payload);
         let id = r.get_u32("shard id")?;
         let cache = ResultCache::get(&mut r)?;
+        let guard = GuardStats {
+            restarts: r.get_u64("shard guard restarts")?,
+            backoff_s: r.get_f64("shard guard backoff")?,
+            deadline_cancels: r.get_u64("shard guard deadline cancels")?,
+            giveups: r.get_u64("shard guard giveups")?,
+        };
         let rr = r.get_usize("shard rr cursor")?;
         let n = r.get_usize("shard campaign count")?;
         let mut queue = Vec::with_capacity(n.min(4096));
@@ -381,6 +483,7 @@ impl Checkpointable for ShardState {
             cache,
             queue,
             rr,
+            guard,
         };
         Ok(())
     }
@@ -388,20 +491,44 @@ impl Checkpointable for ShardState {
 
 /// Execute one run point for real. Pure in its inputs: the registry's
 /// benchmark, the point parameters, and nothing else.
+///
+/// Specs are validated at submit, but the registry handed to a *drain*
+/// is a different argument than the one validated against — a
+/// mismatched caller must get an error row, not a worker panic that
+/// takes the whole drain down.
 fn run_point(registry: &Registry, spec: &CampaignSpec, index: usize) -> PointResult {
     let p = &spec.points[index];
-    let id = BenchmarkId::from_name(&p.bench).expect("spec validated before submit");
-    let bench = registry.get(id).expect("spec validated before submit");
+    let variant_label = match p.variant {
+        None => "base".to_string(),
+        Some(v) => format!("{v:?}"),
+    };
+    let missing_row = |why: &str| PointResult {
+        cells: vec![
+            p.bench.clone(),
+            p.nodes.to_string(),
+            format!("{:?}", p.scale),
+            variant_label.clone(),
+            p.seed.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("error: {why}"),
+        ],
+        service_s: 0.0,
+        comm_fraction: 0.0,
+        priority: 0,
+    };
+    let Some(id) = BenchmarkId::from_name(&p.bench) else {
+        return missing_row(&format!("unknown benchmark `{}`", p.bench));
+    };
+    let Some(bench) = registry.get(id) else {
+        return missing_row(&format!("benchmark `{}` not registered", p.bench));
+    };
     let config = RunConfig {
         nodes: p.nodes,
         variant: p.variant,
         scale: p.scale,
         seed: p.seed,
         backend: spec.backend,
-    };
-    let variant_label = match p.variant {
-        None => "base".to_string(),
-        Some(v) => format!("{v:?}"),
     };
     match bench.run(&config) {
         Ok(outcome) => {
@@ -472,9 +599,12 @@ fn build_jobs(spec: &CampaignSpec, rows: &[PointResult]) -> Vec<Job> {
 
 /// Assemble the final artifacts of a finished campaign: the result
 /// table, the Chrome trace of its schedule, and the run report (cache
-/// tallies attached out-of-band — they are observability, not part of
-/// the deterministic trace).
-fn finish_campaign(camp: &ActiveCampaign, schedule: &Schedule) -> Frame {
+/// and guard tallies attached out-of-band — they are observability,
+/// not part of the deterministic trace). Cache tallies are
+/// per-campaign; guard tallies are the owning shard's cumulative
+/// activity at finish time (a restart re-drives every campaign on the
+/// shard, so finer attribution would be fiction).
+fn finish_campaign(camp: &ActiveCampaign, schedule: &Schedule, guard: GuardStats) -> Frame {
     let table = render_table(&camp.spec, &camp.rows, schedule);
     let recorder = Recorder::new();
     schedule.emit(&recorder);
@@ -485,6 +615,7 @@ fn finish_campaign(camp: &ActiveCampaign, schedule: &Schedule) -> Frame {
     report.cache.misses = camp.misses;
     report.cache.insertions = camp.insertions;
     report.cache.evictions = camp.evictions;
+    report.guard = guard;
     Frame::Done {
         campaign: camp.id,
         table,
@@ -552,7 +683,7 @@ mod tests {
         let registry = registry();
         let mut shard = ShardState::new(0, 64);
         shard.submit(1, 10, tiny_spec("a", "c1", 1));
-        let emits = shard.drain(&registry);
+        let emits = shard.drain(&registry).unwrap();
         assert!(shard.idle());
         let rows = emits
             .iter()
@@ -579,7 +710,7 @@ mod tests {
             let mut shard = ShardState::new(0, 64);
             shard.submit(1, 10, tiny_spec("a", "c1", 1));
             shard.submit(2, 10, tiny_spec("b", "c2", 2));
-            shard.drain(&registry)
+            shard.drain(&registry).unwrap()
         };
 
         // Count the units first.
@@ -589,7 +720,7 @@ mod tests {
             shard.submit(2, 10, tiny_spec("b", "c2", 2));
             let mut units = 0;
             while !shard.idle() {
-                shard.step(&registry);
+                shard.step(&registry).unwrap();
                 units += 1;
             }
             units
@@ -601,13 +732,13 @@ mod tests {
             shard.submit(2, 10, tiny_spec("b", "c2", 2));
             let mut emits = Vec::new();
             for _ in 0..kill_at {
-                emits.extend(shard.step(&registry));
+                emits.extend(shard.step(&registry).unwrap());
             }
             let snapshot = shard.snapshot();
             drop(shard); // the kill
             let mut restored = ShardState::new(99, 1); // wrong everything
             restored.restore(&snapshot).unwrap();
-            emits.extend(restored.drain(&registry));
+            emits.extend(restored.drain(&registry).unwrap());
             assert_eq!(emits, reference, "kill at unit {kill_at} diverged");
         }
     }
@@ -618,19 +749,19 @@ mod tests {
         let reference = {
             let mut shard = ShardState::new(0, 64);
             shard.submit(1, 10, tiny_spec("a", "c1", 1));
-            shard.drain(&registry)
+            shard.drain(&registry).unwrap()
         };
 
         let mut origin = ShardState::new(0, 64);
         origin.submit(1, 10, tiny_spec("a", "c1", 1));
         let mut emits = Vec::new();
-        emits.extend(origin.step(&registry)); // one point executed
+        emits.extend(origin.step(&registry).unwrap()); // one point executed
         let envelope = origin.extract(1).expect("campaign is in flight");
         assert!(origin.idle());
 
         let mut target = ShardState::new(1, 64);
         assert_eq!(target.adopt(&envelope).unwrap(), 1);
-        emits.extend(target.drain(&registry));
+        emits.extend(target.drain(&registry).unwrap());
         assert_eq!(emits, reference);
     }
 
@@ -639,13 +770,13 @@ mod tests {
         let registry = registry();
         let mut shard = ShardState::new(0, 64);
         shard.submit(1, 10, tiny_spec("a", "c1", 1));
-        let cold = shard.drain(&registry);
+        let cold = shard.drain(&registry).unwrap();
         assert_eq!(shard.cache().stats().hits, 0);
 
         // Same spec again: every point hits, artifacts byte-identical
         // modulo the campaign id (use the same id to compare directly).
         shard.submit(1, 10, tiny_spec("a", "c1", 1));
-        let warm = shard.drain(&registry);
+        let warm = shard.drain(&registry).unwrap();
         assert_eq!(shard.cache().stats().hits, 2);
         let strip_report = |emits: &[Emit]| -> Vec<Frame> {
             emits

@@ -332,6 +332,14 @@ pub struct CampaignSpec {
     /// Virtual seconds each scheduling step advances before the shard
     /// yields (and becomes snapshottable / migratable).
     pub slice_s: f64,
+    /// Virtual-time deadline: if the campaign's scheduler horizon
+    /// reaches this before the schedule completes, the service cancels
+    /// the campaign with a typed
+    /// [`CancelReason::DeadlineExceeded`](crate::wire::CancelReason)
+    /// instead of running it forever. `f64::INFINITY` (the default)
+    /// disables the deadline. Checked at unit boundaries, so the
+    /// effective cutoff is the first slice end at or past the deadline.
+    pub deadline_s: f64,
     /// Fault plan applied while scheduling the campaign's jobs.
     pub plan: FaultPlan,
     /// The run points to execute.
@@ -352,9 +360,17 @@ impl CampaignSpec {
             placement: PlacementPolicy::Contiguous,
             spacing_s: 1.0,
             slice_s: 50.0,
+            deadline_s: f64::INFINITY,
             plan: FaultPlan::new(seed),
             points: Vec::new(),
         }
+    }
+
+    /// Cancel the campaign if its schedule is still running at virtual
+    /// time `deadline_s` (builder style).
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = deadline_s;
+        self
     }
 
     /// Append a run point (builder style).
@@ -394,6 +410,7 @@ impl CampaignSpec {
         });
         w.put_f64(self.spacing_s);
         w.put_f64(self.slice_s);
+        w.put_f64(self.deadline_s);
         put_plan(&mut w, &self.plan);
         w.put_usize(self.points.len());
         for p in &self.points {
@@ -440,9 +457,13 @@ impl CampaignSpec {
         };
         let spacing_s = r.get_f64("spec spacing")?;
         let slice_s = r.get_f64("spec slice")?;
+        let deadline_s = r.get_f64("spec deadline")?;
         let plan = get_plan(r)?;
         let n = r.get_usize("spec point count")?;
-        let mut points = Vec::with_capacity(n);
+        // The count is attacker-controlled wire input: cap the
+        // pre-allocation and let the per-point reads hit the
+        // reader's bounds check if the count lies.
+        let mut points = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             points.push(RunPoint::get(r)?);
         }
@@ -456,6 +477,7 @@ impl CampaignSpec {
             placement,
             spacing_s,
             slice_s,
+            deadline_s,
             plan,
             points,
         })
@@ -497,6 +519,12 @@ impl CampaignSpec {
         }
         if self.spacing_s.is_nan() || self.spacing_s < 0.0 {
             return Err(format!("spacing_s must be ≥ 0, got {}", self.spacing_s));
+        }
+        if self.deadline_s.is_nan() || self.deadline_s <= 0.0 {
+            return Err(format!(
+                "deadline_s must be positive (∞ disables it), got {}",
+                self.deadline_s
+            ));
         }
         for (i, p) in self.points.iter().enumerate() {
             let id = BenchmarkId::from_name(&p.bench)

@@ -1,0 +1,308 @@
+//! Shard supervision: restore-and-retry drains that survive worker
+//! failures.
+//!
+//! The unsupervised drains ([`Server::drain`],
+//! [`Server::drain_parallel`]) propagate the first shard failure as a
+//! typed error. The supervised drains in this module *recover*: every
+//! drive attempt starts from a fresh [`Checkpointable`] snapshot, so a
+//! failed attempt — a chaos-injected panic, a real worker panic, a
+//! scheduler snapshot that refuses to restore — is rolled back to the
+//! last good boundary and retried with seeded, bounded backoff. The
+//! backoff is *virtual*: it is charged to the shard's
+//! [`GuardStats`](jubench_trace::GuardStats) ledger, never slept, so a
+//! chaos run is exactly as fast as a clean one.
+//!
+//! Recovery preserves the byte-identity contract because a failed
+//! attempt's frames are discarded **wholesale** along with its state:
+//! the retry regenerates the identical stream from the restored
+//! snapshot. Serial supervision snapshots before every *unit* and
+//! retries just the failed unit in place (so the cross-shard interleave
+//! matches [`Server::drain`] exactly); parallel supervision snapshots
+//! before every *attempt* and re-drives the whole shard (so the
+//! per-shard concatenation matches [`Server::drain_parallel`] exactly).
+//!
+//! After `max_restarts` failures of one shard the supervisor degrades
+//! rather than loops: the shard's remaining campaigns are cancelled
+//! with typed `ShardFailed` frames ([`ShardState::give_up`]) and the
+//! drain completes with partial results, flagged in
+//! [`DrainOutcome::failed_shards`].
+
+use crate::chaos::{ChaosPlan, ChaosRuntime};
+use crate::error::ServeError;
+use crate::server::{panic_message, Server};
+use crate::shard::{Emit, ShardState};
+use crate::wire::Frame;
+use jubench_ckpt::Checkpointable;
+use jubench_core::Registry;
+use jubench_kernels::rank_rng;
+use std::sync::Mutex;
+
+/// Restart policy of a supervised drain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Restarts allowed per shard per drain before giving up on it.
+    pub max_restarts: u32,
+    /// First-restart backoff, virtual seconds (doubles per restart).
+    pub backoff_base_s: f64,
+    /// Ceiling on a single backoff, virtual seconds.
+    pub backoff_cap_s: f64,
+    /// Seed of the backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 3,
+            backoff_base_s: 1.0,
+            backoff_cap_s: 32.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Seeded bounded exponential backoff for restart `attempt` (1-based)
+/// of `shard`: `base · 2^(attempt-1)`, jittered to 50–100 % and capped.
+/// A pure function of `(config, shard, attempt)` — determinism of a
+/// supervised drain includes its backoff ledger.
+fn backoff_s(cfg: &SupervisorConfig, shard: u32, attempt: u32) -> f64 {
+    let exp = cfg.backoff_base_s * f64::from(1u32 << (attempt - 1).min(16));
+    let jitter = rank_rng(cfg.seed ^ u64::from(attempt), shard).gen_f64();
+    (exp * (0.5 + 0.5 * jitter)).min(cfg.backoff_cap_s)
+}
+
+/// What a supervised drain did, beyond the frames it produced.
+#[derive(Debug, Default)]
+pub struct DrainOutcome {
+    /// The frames, in the same order the matching unsupervised drain
+    /// would have produced them.
+    pub emits: Vec<Emit>,
+    /// Shard restarts performed across the drain.
+    pub restarts: u64,
+    /// Virtual seconds of backoff charged across those restarts.
+    pub backoff_s: f64,
+    /// Shards given up on (restart budget exhausted), with the error
+    /// that exhausted it. Non-empty means the results are partial.
+    pub failed_shards: Vec<(u32, ServeError)>,
+    /// Campaigns that ended in a typed `Cancelled` frame (deadline or
+    /// shard failure), in emission order.
+    pub cancelled: Vec<u64>,
+}
+
+impl DrainOutcome {
+    /// Did the drain degrade to partial results?
+    pub fn degraded(&self) -> bool {
+        !self.failed_shards.is_empty()
+    }
+
+    fn finish(mut self) -> Self {
+        self.cancelled = self
+            .emits
+            .iter()
+            .filter_map(|e| match e.frame {
+                Frame::Cancelled { campaign, .. } => Some(campaign),
+                _ => None,
+            })
+            .collect();
+        self
+    }
+}
+
+/// Drive one shard to completion with chaos injection at unit
+/// boundaries: scheduled crashes become real worker panics (exercising
+/// the same recovery path a genuine bug would), stragglers yield their
+/// timeslice between units. The unit index is per drive *attempt* — a
+/// re-driven shard counts from zero again.
+fn drive_with_chaos(
+    shard: &mut ShardState,
+    registry: &Registry,
+    chaos: Option<&ChaosRuntime<'_>>,
+) -> Result<Vec<Emit>, ServeError> {
+    let mut out = Vec::new();
+    let mut unit = 0u64;
+    while !shard.idle() {
+        if let Some(rt) = chaos {
+            if rt.crash_due(shard.id(), unit) {
+                panic!(
+                    "chaos: injected crash of shard {} at unit {unit}",
+                    shard.id()
+                );
+            }
+            if rt.straggles(shard.id()) {
+                std::thread::yield_now();
+            }
+        }
+        out.extend(shard.step(registry)?);
+        unit += 1;
+    }
+    Ok(out)
+}
+
+impl Server {
+    /// [`Server::drain`] under supervision: serial, unit-at-a-time, a
+    /// snapshot before every unit. A failed unit (chaos crash point or
+    /// typed shard error) is restored and retried in place, so the
+    /// frame interleave matches the unsupervised serial drain byte for
+    /// byte. After `max_restarts` failures of one shard its remaining
+    /// campaigns are cancelled and the drain degrades to partial
+    /// results.
+    pub fn drain_supervised(
+        &mut self,
+        registry: &Registry,
+        cfg: &SupervisorConfig,
+        chaos: Option<&ChaosPlan>,
+    ) -> Result<DrainOutcome, ServeError> {
+        let runtime = chaos.map(ChaosRuntime::new);
+        let n = self.shards.len();
+        let mut outcome = DrainOutcome::default();
+        let mut units = vec![0u64; n];
+        let mut restarts = vec![0u32; n];
+        while !self.idle() {
+            for i in 0..n {
+                loop {
+                    let shard = &mut self.shards[i];
+                    if shard.idle() {
+                        break;
+                    }
+                    let snap = shard.snapshot();
+                    let crashed = runtime
+                        .as_ref()
+                        .is_some_and(|rt| rt.crash_due(shard.id(), units[i]));
+                    let result = if crashed {
+                        Err(ServeError::ShardPanicked {
+                            shard: shard.id(),
+                            message: format!("chaos: injected crash at unit {}", units[i]),
+                        })
+                    } else {
+                        shard.step(registry)
+                    };
+                    match result {
+                        Ok(emits) => {
+                            units[i] += 1;
+                            outcome.emits.extend(emits);
+                            break;
+                        }
+                        Err(err) => {
+                            restarts[i] += 1;
+                            if restarts[i] > cfg.max_restarts {
+                                outcome.failed_shards.push((shard.id(), err));
+                                outcome.emits.extend(shard.give_up(restarts[i] - 1));
+                                break;
+                            }
+                            shard.restore(&snap)?;
+                            let b = backoff_s(cfg, shard.id(), restarts[i]);
+                            shard.note_restart(b);
+                            outcome.restarts += 1;
+                            outcome.backoff_s += b;
+                            // retry the same unit immediately
+                        }
+                    }
+                }
+            }
+        }
+        self.forget_finished();
+        Ok(outcome.finish())
+    }
+
+    /// [`Server::drain_parallel`] under supervision: each round
+    /// snapshots every non-idle shard, drives them all on dedicated
+    /// pool threads (chaos crash points become real worker panics), and
+    /// joins. Failed shards are restored from their pre-attempt
+    /// snapshot and re-driven next round; a failed attempt's frames are
+    /// discarded wholesale, so the surviving per-shard streams —
+    /// concatenated in shard order — are byte-identical to the
+    /// fault-free parallel drain. Shards that exhaust `max_restarts`
+    /// cancel their remaining campaigns and the drain degrades to
+    /// partial results.
+    pub fn drain_supervised_parallel(
+        &mut self,
+        registry: &Registry,
+        cfg: &SupervisorConfig,
+        chaos: Option<&ChaosPlan>,
+    ) -> Result<DrainOutcome, ServeError> {
+        let runtime = chaos.map(ChaosRuntime::new);
+        let n = self.shards.len();
+        let mut outcome = DrainOutcome::default();
+        let mut buffers: Vec<Vec<Emit>> = vec![Vec::new(); n];
+        let mut restarts = vec![0u32; n];
+        loop {
+            let pending: Vec<bool> = self.shards.iter().map(|s| !s.idle()).collect();
+            if !pending.iter().any(|&p| p) {
+                break;
+            }
+            let snaps: Vec<Option<Vec<u8>>> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| pending[i].then(|| s.snapshot()))
+                .collect();
+            let slots: Vec<Mutex<ShardState>> = self.shards.drain(..).map(Mutex::new).collect();
+            let rt = runtime.as_ref();
+            let results = jubench_pool::run_dedicated(n as u32, |i| {
+                let mut shard = slots[i as usize].lock().unwrap_or_else(|p| p.into_inner());
+                drive_with_chaos(&mut shard, registry, rt)
+            });
+            self.shards = slots
+                .into_iter()
+                .map(|m| m.into_inner().unwrap_or_else(|p| p.into_inner()))
+                .collect();
+            for (i, result) in results.into_iter().enumerate() {
+                let err = match result {
+                    Ok(Ok(emits)) => {
+                        if pending[i] {
+                            buffers[i] = emits;
+                        }
+                        continue;
+                    }
+                    Ok(Err(e)) => e,
+                    Err(panic) => ServeError::ShardPanicked {
+                        shard: i as u32,
+                        message: panic_message(&panic),
+                    },
+                };
+                let snap = snaps[i]
+                    .as_ref()
+                    .expect("only a pending shard's worker can fail");
+                // Roll back to the pre-attempt boundary either way —
+                // the failed attempt's partial progress (and frames)
+                // must not leak into the retry or the give-up.
+                self.shards[i].restore(snap)?;
+                restarts[i] += 1;
+                if restarts[i] > cfg.max_restarts {
+                    outcome.failed_shards.push((i as u32, err));
+                    buffers[i].extend(self.shards[i].give_up(restarts[i] - 1));
+                } else {
+                    let b = backoff_s(cfg, i as u32, restarts[i]);
+                    self.shards[i].note_restart(b);
+                    outcome.restarts += 1;
+                    outcome.backoff_s += b;
+                }
+            }
+        }
+        for buffer in buffers {
+            outcome.emits.extend(buffer);
+        }
+        self.forget_finished();
+        Ok(outcome.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_seeded_bounded_and_grows() {
+        let cfg = SupervisorConfig::default();
+        let b1 = backoff_s(&cfg, 0, 1);
+        let b2 = backoff_s(&cfg, 0, 2);
+        let b3 = backoff_s(&cfg, 0, 3);
+        assert_eq!(b1, backoff_s(&cfg, 0, 1), "pure function");
+        assert_ne!(b1, backoff_s(&cfg, 1, 1), "per-shard jitter");
+        assert!((0.5..=1.0).contains(&b1), "first restart near base: {b1}");
+        assert!(b2 > b1 && b3 > b2, "exponential growth: {b1} {b2} {b3}");
+        for attempt in 1..40 {
+            assert!(backoff_s(&cfg, 3, attempt) <= cfg.backoff_cap_s);
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! retires, then a final `Done` with the campaign's result table, Chrome
 //! trace, and run report.
 
+use crate::admission::RejectReason;
 use crate::spec::CampaignSpec;
 use crate::transport::{Transport, TransportError};
 use jubench_ckpt::{CkptError, SnapshotReader, SnapshotWriter};
@@ -37,6 +38,15 @@ pub enum WireError {
     Malformed(String),
     /// The peer declared a frame longer than [`MAX_FRAME_BYTES`].
     Oversized(u32),
+    /// The stream ended mid-frame: a length prefix promised `expected`
+    /// body bytes and the transport closed before delivering them.
+    /// Distinct from [`WireError::Transport`] (which covers a hangup
+    /// *between* frames, a clean end of session): truncation means a
+    /// frame was torn, so the session state is unrecoverable.
+    Truncated {
+        /// Body bytes the length prefix promised.
+        expected: u32,
+    },
     /// A frame arrived that the current protocol state does not allow.
     Unexpected(&'static str),
 }
@@ -47,6 +57,12 @@ impl fmt::Display for WireError {
             WireError::Transport(e) => write!(f, "transport: {e}"),
             WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
             WireError::Oversized(len) => write!(f, "oversized frame: {len} bytes"),
+            WireError::Truncated { expected } => {
+                write!(
+                    f,
+                    "truncated frame: stream ended inside a {expected}-byte body"
+                )
+            }
             WireError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
         }
     }
@@ -99,10 +115,13 @@ pub enum Frame {
         /// Shard the campaign was routed to.
         shard: u32,
     },
-    /// Server → client: the campaign was rejected at validation.
+    /// Server → client: the campaign was refused — at validation or at
+    /// the admission gate.
     Rejected {
-        /// Human-readable reason.
-        reason: String,
+        /// Tenant the rejection is charged to.
+        tenant: String,
+        /// Typed refusal (quota, token, size, or validation failure).
+        reason: RejectReason,
     },
     /// Server → client: one result-table row, streamed as the run point
     /// finishes (or is answered from the cache — the row is identical
@@ -135,11 +154,98 @@ pub enum Frame {
         /// Rendered run report (includes result-cache activity).
         report: String,
     },
+    /// Server → client: the campaign was admitted but will not finish —
+    /// it overran its virtual-time deadline, or its shard failed past
+    /// the restart budget. Terminal for the campaign, like
+    /// [`Frame::Done`].
+    Cancelled {
+        /// Campaign id.
+        campaign: u64,
+        /// Why the service gave up on it.
+        reason: CancelReason,
+    },
     /// Server → client: reply to [`Frame::Stats`].
     StatsReply {
         /// Prometheus text exposition of the filtered registry.
         prometheus: String,
     },
+}
+
+/// Why the service cancelled an admitted campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CancelReason {
+    /// The campaign's scheduler horizon reached its virtual-time
+    /// deadline before the schedule completed. Checked at unit
+    /// boundaries, so the reported horizon is the end of the slice
+    /// that crossed the line.
+    DeadlineExceeded {
+        /// The deadline the spec declared.
+        deadline_s: f64,
+        /// Where the scheduler horizon stood when the campaign was cut.
+        horizon_s: f64,
+    },
+    /// The owning shard failed past its restart budget; the campaign's
+    /// remaining work was abandoned (frames already streamed stand).
+    ShardFailed {
+        /// Restarts attempted before the supervisor gave up.
+        restarts: u32,
+    },
+}
+
+const CANCEL_DEADLINE: u8 = 0;
+const CANCEL_SHARD_FAILED: u8 = 1;
+
+impl CancelReason {
+    fn put(&self, w: &mut SnapshotWriter) {
+        match self {
+            CancelReason::DeadlineExceeded {
+                deadline_s,
+                horizon_s,
+            } => {
+                w.put_u8(CANCEL_DEADLINE);
+                w.put_f64(*deadline_s);
+                w.put_f64(*horizon_s);
+            }
+            CancelReason::ShardFailed { restarts } => {
+                w.put_u8(CANCEL_SHARD_FAILED);
+                w.put_u32(*restarts);
+            }
+        }
+    }
+
+    fn get(r: &mut SnapshotReader) -> Result<Self, CkptError> {
+        Ok(match r.get_u8("cancel reason tag")? {
+            CANCEL_DEADLINE => CancelReason::DeadlineExceeded {
+                deadline_s: r.get_f64("cancel deadline")?,
+                horizon_s: r.get_f64("cancel horizon")?,
+            },
+            CANCEL_SHARD_FAILED => CancelReason::ShardFailed {
+                restarts: r.get_u32("cancel restarts")?,
+            },
+            _ => {
+                return Err(CkptError::Malformed {
+                    what: "cancel reason tag".to_string(),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelReason::DeadlineExceeded {
+                deadline_s,
+                horizon_s,
+            } => write!(
+                f,
+                "deadline exceeded: horizon {horizon_s:.3}s past the {deadline_s:.3}s deadline"
+            ),
+            CancelReason::ShardFailed { restarts } => {
+                write!(f, "shard failed after {restarts} restarts")
+            }
+        }
+    }
 }
 
 const TAG_SUBMIT: u8 = 1;
@@ -152,6 +258,7 @@ const TAG_ROW: u8 = 18;
 const TAG_JOB_DONE: u8 = 19;
 const TAG_DONE: u8 = 20;
 const TAG_STATS_REPLY: u8 = 21;
+const TAG_CANCELLED: u8 = 22;
 
 impl Frame {
     /// Encode the frame body (tag byte + payload, no length prefix).
@@ -173,9 +280,10 @@ impl Frame {
                 w.put_u64(*campaign);
                 w.put_u32(*shard);
             }
-            Frame::Rejected { reason } => {
+            Frame::Rejected { tenant, reason } => {
                 w.put_u8(TAG_REJECTED);
-                w.put_str(reason);
+                w.put_str(tenant);
+                reason.put(&mut w);
             }
             Frame::Row {
                 campaign,
@@ -212,6 +320,11 @@ impl Frame {
                 w.put_str(chrome_trace);
                 w.put_str(report);
             }
+            Frame::Cancelled { campaign, reason } => {
+                w.put_u8(TAG_CANCELLED);
+                w.put_u64(*campaign);
+                reason.put(&mut w);
+            }
             Frame::StatsReply { prometheus } => {
                 w.put_u8(TAG_STATS_REPLY);
                 w.put_str(prometheus);
@@ -241,7 +354,8 @@ impl Frame {
                 shard: r.get_u32("accepted shard")?,
             },
             TAG_REJECTED => Frame::Rejected {
-                reason: r.get_str("rejected reason")?,
+                tenant: r.get_str("rejected tenant")?,
+                reason: RejectReason::get(&mut r)?,
             },
             TAG_ROW => {
                 let campaign = r.get_u64("row campaign")?;
@@ -267,6 +381,10 @@ impl Frame {
                 table: r.get_str("done table")?,
                 chrome_trace: r.get_str("done chrome trace")?,
                 report: r.get_str("done report")?,
+            },
+            TAG_CANCELLED => Frame::Cancelled {
+                campaign: r.get_u64("cancelled campaign")?,
+                reason: CancelReason::get(&mut r)?,
             },
             TAG_STATS_REPLY => Frame::StatsReply {
                 prometheus: r.get_str("stats exposition")?,
@@ -302,7 +420,12 @@ pub fn read_frame(t: &mut dyn Transport) -> Result<Frame, WireError> {
         return Err(WireError::Oversized(len));
     }
     let mut body = vec![0u8; len as usize];
-    t.read_exact(&mut body)?;
+    // A hangup *inside* a frame body is not a clean end of session: the
+    // length prefix promised bytes that never came. Surface it as
+    // `Truncated` so callers can tell a torn frame from a peer that
+    // finished talking.
+    t.read_exact(&mut body)
+        .map_err(|_| WireError::Truncated { expected: len })?;
     jubench_metrics::counter_add("serve/wire/frames_received", 1);
     Frame::decode(&body)
 }
@@ -329,7 +452,28 @@ mod tests {
                 shard: 2,
             },
             Frame::Rejected {
-                reason: "unknown benchmark `x`".to_string(),
+                tenant: "alice".to_string(),
+                reason: RejectReason::Invalid {
+                    what: "unknown benchmark `x`".to_string(),
+                },
+            },
+            Frame::Rejected {
+                tenant: "bob".to_string(),
+                reason: RejectReason::TokensExhausted {
+                    requested: 64,
+                    available: 3,
+                },
+            },
+            Frame::Cancelled {
+                campaign: 7,
+                reason: CancelReason::DeadlineExceeded {
+                    deadline_s: 100.0,
+                    horizon_s: 150.0,
+                },
+            },
+            Frame::Cancelled {
+                campaign: 9,
+                reason: CancelReason::ShardFailed { restarts: 3 },
             },
             Frame::Row {
                 campaign: 7,
@@ -396,6 +540,26 @@ mod tests {
         assert!(matches!(
             Frame::decode(&[0xEE]),
             Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn mid_frame_eof_is_truncated_not_transport() {
+        let (mut a, mut b) = DuplexPipe::pair();
+        // Promise a 100-byte body, deliver 3, hang up.
+        a.write_all(&100u32.to_le_bytes()).unwrap();
+        a.write_all(&[1, 2, 3]).unwrap();
+        drop(a);
+        match read_frame(&mut b) {
+            Err(WireError::Truncated { expected: 100 }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // A hangup *between* frames stays a transport error.
+        let (a2, mut b2) = DuplexPipe::pair();
+        drop(a2);
+        assert!(matches!(
+            read_frame(&mut b2),
+            Err(WireError::Transport(TransportError::Closed))
         ));
     }
 }

@@ -57,7 +57,7 @@ pub use event::{
     SCHED_CELL_TRACK_BASE, WORKFLOW_NODE,
 };
 pub use report::{
-    CacheStats, CkptStats, FaultStats, MakespanAttribution, OpStats, RankBreakdown, RegimeBucket,
-    RunReport, SchedStats,
+    CacheStats, CkptStats, FaultStats, GuardStats, MakespanAttribution, OpStats, RankBreakdown,
+    RegimeBucket, RunReport, SchedStats,
 };
 pub use sink::{Recorder, TraceSink};

@@ -222,6 +222,44 @@ impl CacheStats {
     }
 }
 
+/// Robustness-layer activity attributed to one run — what the campaign
+/// service's guard (supervision, admission, deadlines) did on the way
+/// to producing it.
+///
+/// Like [`CacheStats`], guard stats are attached out-of-band by the
+/// service (`jubench-serve`), never derived from trace events: whether
+/// a shard crashed and was restored from its snapshot must not change
+/// any deterministic artifact, so supervision leaves no trace-event
+/// footprint.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GuardStats {
+    /// Shard restarts: a worker failed and was restored from its last
+    /// snapshot, then re-driven.
+    pub restarts: u64,
+    /// Virtual seconds of seeded backoff charged across those restarts.
+    pub backoff_s: f64,
+    /// Campaigns cancelled for overrunning their virtual-time deadline.
+    pub deadline_cancels: u64,
+    /// Shards that exhausted their restart budget, degrading the drain
+    /// to partial results.
+    pub giveups: u64,
+}
+
+impl GuardStats {
+    /// Did the run observe any guard activity?
+    pub fn any(&self) -> bool {
+        self.restarts > 0 || self.deadline_cancels > 0 || self.giveups > 0 || self.backoff_s > 0.0
+    }
+
+    /// Fold another tally into this one (shard tallies → run total).
+    pub fn absorb(&mut self, other: &GuardStats) {
+        self.restarts += other.restarts;
+        self.backoff_s += other.backoff_s;
+        self.deadline_cancels += other.deadline_cancels;
+        self.giveups += other.giveups;
+    }
+}
+
 /// The aggregate report over one recorded run.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -243,6 +281,9 @@ pub struct RunReport {
     /// Result-cache activity, attached out-of-band by the campaign
     /// service ([`RunReport::from_events`] always leaves it zeroed).
     pub cache: CacheStats,
+    /// Guard-layer activity (restarts, deadline cancels), attached
+    /// out-of-band by the campaign service like [`RunReport::cache`].
+    pub guard: GuardStats,
     /// Total events aggregated (including workflow events).
     pub events: usize,
 }
@@ -343,6 +384,7 @@ impl RunReport {
             sched,
             ckpt,
             cache: CacheStats::default(),
+            guard: GuardStats::default(),
             events: events.len(),
         }
     }
@@ -509,6 +551,22 @@ impl RunReport {
             out.push_str(&format!(
                 "| cache inserts  | {:>8} | {:>8} evicted  |\n",
                 c.insertions, c.evictions
+            ));
+        }
+        if self.guard.any() {
+            let g = &self.guard;
+            out.push_str("\nguard activity:\n");
+            out.push_str(&format!(
+                "| shard restarts | {:>8} | {:>12.6} backoff s |\n",
+                g.restarts, g.backoff_s
+            ));
+            out.push_str(&format!(
+                "| deadline kills | {:>8} |                       |\n",
+                g.deadline_cancels
+            ));
+            out.push_str(&format!(
+                "| shard giveups  | {:>8} |                       |\n",
+                g.giveups
             ));
         }
         out

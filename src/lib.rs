@@ -54,7 +54,11 @@
 //!   a content-addressed result cache in front of execution, a
 //!   length-prefixed wire protocol, incremental result streaming, and
 //!   crash-safe durability via `ckpt` snapshots (kill/restore and live
-//!   migration are byte-transparent).
+//!   migration are byte-transparent). Guarded by an admission gate
+//!   (per-tenant quotas, typed rejections), a shard supervisor
+//!   (restore-and-retry with seeded bounded backoff, typed-cancellation
+//!   degrade), and a deterministic chaos harness (seeded crash points,
+//!   stragglers, wire faults).
 //! - [`metrics`]: wall-clock self-observability — the sharded metrics
 //!   registry (counters/gauges/histograms), `profile_scope!` collapsed-
 //!   stack self-profiles, `BENCH_<n>.json` perf records, and the
@@ -115,7 +119,10 @@ pub mod prelude {
     pub use jubench_procurement::{Commitment, Proposal, ReferenceSet, TcoModel};
     pub use jubench_scaling::full_registry;
     pub use jubench_sched::{Job, PlacementPolicy, QueuePolicy, Scheduler, SchedulerConfig};
-    pub use jubench_serve::{CampaignSpec, RunPoint, Server};
+    pub use jubench_serve::{
+        AdmissionConfig, CampaignSpec, ChaosPlan, Rejection, RunPoint, ServeError, Server,
+        SupervisorConfig,
+    };
     pub use jubench_simmpi::{Comm, ReduceOp, World};
     pub use jubench_trace::{chrome_trace_json, Recorder, RunReport, TraceSink};
 }

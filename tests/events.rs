@@ -1,17 +1,15 @@
-//! Differential harness for the event-driven virtual-time core.
+//! Determinism harness for the event-driven virtual-time core.
 //!
 //! The scheduler's event engine (`Scheduler::run`, pops the next event
-//! off a global `(time, class, rank, seq)`-ordered queue) is checked
-//! against the legacy ticked engine (`Scheduler::run_ticked`, kept
-//! behind the `legacy-ticked` feature for exactly this transition) as a
-//! byte-for-byte oracle. Every artifact the suite exports — the
-//! decision log, the rendered schedule table, the `RunReport`
-//! aggregate, and the Chrome trace JSON — is produced by both engines
-//! over the full benchmark-registry campaign, with and without a fault
-//! plan, at 1, 2, and 8 pool threads, and asserted **byte-identical**.
-//! Any divergence in event ordering, float arithmetic, or tie-breaking
-//! shows up as a byte diff here, not as a subtly different table in a
-//! paper figure.
+//! off a global `(time, class, rank, seq)`-ordered queue) soaked for
+//! one PR against the legacy ticked engine as a byte-for-byte oracle;
+//! that oracle is now deleted and this harness pins the surviving
+//! contracts directly: every artifact the suite exports — the decision
+//! log, the rendered schedule table, the `RunReport` aggregate, and the
+//! Chrome trace JSON — is byte-identical across pool widths and across
+//! any snapshot/resume slicing of the same campaign. Any divergence in
+//! event ordering, float arithmetic, or tie-breaking shows up as a byte
+//! diff here, not as a subtly different table in a paper figure.
 
 use std::sync::Arc;
 
@@ -44,13 +42,9 @@ fn faulted_plan() -> FaultPlan {
 }
 
 /// Every exported artifact of one campaign run, concatenated: the
-/// byte-identity surface of the differential harness.
-fn campaign_bundle(scheduler: &Scheduler, jobs: &[Job], plan: &FaultPlan, ticked: bool) -> String {
-    let schedule = if ticked {
-        scheduler.run_ticked(jobs, plan)
-    } else {
-        scheduler.run(jobs, plan)
-    };
+/// byte-identity surface of the harness.
+fn campaign_bundle(scheduler: &Scheduler, jobs: &[Job], plan: &FaultPlan) -> String {
+    let schedule = scheduler.run(jobs, plan);
     let rec = Arc::new(Recorder::new());
     schedule.emit(rec.as_ref());
     let events = rec.take_events();
@@ -63,35 +57,29 @@ fn campaign_bundle(scheduler: &Scheduler, jobs: &[Job], plan: &FaultPlan, ticked
     )
 }
 
-/// The tentpole contract: over the full registry campaign, with and
-/// without faults, at every pool width, the event engine's bytes equal
-/// the ticked oracle's.
+/// The headline contract: over the full registry campaign, with and
+/// without faults, the event engine's bytes are identical at every pool
+/// width.
 #[test]
-fn event_engine_is_byte_identical_to_ticked_oracle_across_the_matrix() {
+fn event_engine_is_byte_identical_across_the_pool_matrix() {
     let registry = full_registry();
     let jobs = registry_jobs(&registry, 0.05);
     assert_eq!(jobs.len(), registry.len(), "one job per benchmark");
     let scheduler = booster_scheduler(2024);
     for (name, plan) in [("empty", FaultPlan::new(0)), ("faulted", faulted_plan())] {
-        let oracle = with_threads(1, || campaign_bundle(&scheduler, &jobs, &plan, true));
+        let oracle = with_threads(1, || campaign_bundle(&scheduler, &jobs, &plan));
         for &t in &THREADS {
-            let event = with_threads(t, || campaign_bundle(&scheduler, &jobs, &plan, false));
+            let bundle = with_threads(t, || campaign_bundle(&scheduler, &jobs, &plan));
             assert_eq!(
-                event, oracle,
-                "event engine diverged from the ticked oracle ({name} plan, {t} pool threads)"
-            );
-            let ticked = with_threads(t, || campaign_bundle(&scheduler, &jobs, &plan, true));
-            assert_eq!(
-                ticked, oracle,
-                "ticked engine is itself thread-variant ({name} plan, {t} pool threads)"
+                bundle, oracle,
+                "event engine is thread-variant ({name} plan, {t} pool threads)"
             );
         }
     }
 }
 
 /// The faulted arm of the matrix must actually exercise fault handling,
-/// or the differential above degenerates into the empty-plan case run
-/// twice.
+/// or the matrix above degenerates into the empty-plan case run twice.
 #[test]
 fn faulted_matrix_arm_preempts_jobs() {
     let jobs = registry_jobs(&full_registry(), 0.05);
@@ -104,60 +92,52 @@ fn faulted_matrix_arm_preempts_jobs() {
     assert_ne!(faulted.log, clean.log, "the plan must perturb the log");
 }
 
-/// The engines share one campaign-state format: a snapshot taken
-/// mid-campaign by the ticked engine restores into the event engine
-/// (and vice versa, alternating every slice) without a byte of drift in
-/// the final artifacts. The event queue is rebuilt from state on each
-/// `advance`, never persisted — this is the test that pins that design.
+/// The event queue is rebuilt from `CampaignState` on each `advance`,
+/// never persisted — so a campaign sliced at arbitrary points, with a
+/// snapshot/restore round trip across every slice boundary, produces
+/// the same bytes as the straight-through run. This is the test that
+/// pins that design now that the cross-engine handover oracle is gone.
 #[test]
-fn engines_interoperate_through_snapshots_mid_campaign() {
+fn snapshot_slicing_matches_the_straight_run() {
     let jobs = registry_jobs(&full_registry(), 0.05);
     let plan = faulted_plan();
     let scheduler = booster_scheduler(2024);
-    let oracle = scheduler.run_ticked(&jobs, &plan);
+    let oracle = scheduler.run(&jobs, &plan);
 
-    // Ticked first half → snapshot → event engine to the end.
+    // First half → snapshot → resume to the end.
     let mut state = scheduler.begin(&jobs);
-    scheduler.advance_ticked(&mut state, &jobs, &plan, oracle.makespan_s / 2.0);
+    scheduler.advance(&mut state, &jobs, &plan, oracle.makespan_s / 2.0);
     let bytes = state.snapshot();
     let mut resumed = scheduler
         .resume(&bytes, &jobs)
         .expect("own snapshot restores");
     scheduler.advance(&mut resumed, &jobs, &plan, f64::INFINITY);
     let handover = scheduler.finish(resumed);
-    assert_eq!(handover.log, oracle.log, "ticked→event handover drifted");
+    assert_eq!(handover.log, oracle.log, "half-way handover drifted");
     assert_eq!(handover.makespan_s, oracle.makespan_s);
 
-    // Alternate engines every slice, snapshotting across each switch.
+    // Slice with an awkward width, snapshotting across every boundary.
     let mut state = scheduler.begin(&jobs);
     let slice = oracle.makespan_s / 7.3;
     let mut until = 0.0;
-    let mut ticked_turn = false;
     loop {
         until += slice;
         let mut s = scheduler
             .resume(&state.snapshot(), &jobs)
-            .expect("alternating snapshot restores");
-        let done = if ticked_turn {
-            scheduler.advance_ticked(&mut s, &jobs, &plan, until)
-        } else {
-            scheduler.advance(&mut s, &jobs, &plan, until)
-        };
+            .expect("slice snapshot restores");
+        let done = scheduler.advance(&mut s, &jobs, &plan, until);
         state = s;
-        ticked_turn = !ticked_turn;
         if done {
             break;
         }
     }
-    let alternated = scheduler.finish(state);
-    assert_eq!(alternated.log, oracle.log, "engine alternation drifted");
-    assert_eq!(alternated.makespan_s, oracle.makespan_s);
+    let sliced = scheduler.finish(state);
+    assert_eq!(sliced.log, oracle.log, "slice alternation drifted");
+    assert_eq!(sliced.makespan_s, oracle.makespan_s);
 }
 
-/// Both engines agree on the counters that downstream reports read
-/// (`sched/events_processed`, `sched/advance_steps` stays legacy-only);
-/// the event engine additionally reports its own economy: far fewer
-/// processed events than the virtual seconds it covered.
+/// The engine reports its own economy: far fewer processed events than
+/// the virtual seconds it covered, with idle stretches skipped.
 #[test]
 fn event_engine_counters_reflect_event_economy() {
     let _guard = jubench::metrics::registry::test_mutex().lock().unwrap();

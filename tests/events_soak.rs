@@ -5,7 +5,7 @@
 //! The assertion is on the engine's own self-observability counters —
 //! `events/processed` (queue pops acted on) and `events/ticks_skipped`
 //! (idle virtual seconds jumped over) — not on wall clock, so the test
-//! is immune to machine speed and build profile. A ticked-oracle
+//! is immune to machine speed and build profile. A snapshot/resume
 //! differential on a prefix of the same workload guards the counters
 //! against measuring a wrong schedule fast.
 
@@ -101,15 +101,29 @@ fn million_second_sparse_campaign_processes_o_events() {
 }
 
 /// The economy proven above must not come from computing a different
-/// (cheaper) schedule: on a prefix of the same sparse workload the
-/// event engine and the ticked oracle agree byte for byte.
+/// (cheaper) schedule: on a prefix of the same sparse workload, slicing
+/// the campaign through snapshot/resume boundaries reproduces the
+/// straight run byte for byte.
 #[test]
-fn sparse_campaign_prefix_matches_ticked_oracle() {
+fn sparse_campaign_prefix_is_slice_invariant() {
     let jobs = sparse_jobs(300, 500.0);
     let scheduler = small_scheduler(7);
     let plan = FaultPlan::periodic_drains(11, 48, 2.0e5, 50.0, 1.5e5, 4.0);
-    let event = scheduler.run(&jobs, &plan);
-    let ticked = scheduler.run_ticked(&jobs, &plan);
-    assert_eq!(event.log, ticked.log);
-    assert_eq!(event.makespan_s, ticked.makespan_s);
+    let straight = scheduler.run(&jobs, &plan);
+    let mut state = scheduler.begin(&jobs);
+    let mut until = 0.0;
+    loop {
+        until += straight.makespan_s / 11.7;
+        let mut s = scheduler
+            .resume(&state.snapshot(), &jobs)
+            .expect("slice snapshot restores");
+        let done = scheduler.advance(&mut s, &jobs, &plan, until);
+        state = s;
+        if done {
+            break;
+        }
+    }
+    let sliced = scheduler.finish(state);
+    assert_eq!(sliced.log, straight.log);
+    assert_eq!(sliced.makespan_s, straight.makespan_s);
 }

@@ -66,10 +66,10 @@ fn warm_and_cold_campaigns_are_byte_identical_at_every_pool_width() {
                 let registry = full_registry();
                 let mut server = Server::new(2, 64);
                 server.submit(1, campaign("nightly", 7), &registry).unwrap();
-                let cold = artifacts(&server.drain(&registry));
+                let cold = artifacts(&server.drain(&registry).unwrap());
                 // Same spec again: every point answers from the cache.
                 let (_, shard) = server.submit(1, campaign("nightly", 7), &registry).unwrap();
-                let warm = artifacts(&server.drain(&registry));
+                let warm = artifacts(&server.drain(&registry).unwrap());
                 let hits = server.shard(shard).cache().stats().hits;
                 assert!(hits >= 3, "warm resubmission must hit, got {hits} hits");
                 assert_eq!(warm, cold, "warm != cold at {t} pool threads");
@@ -98,14 +98,14 @@ fn kill_and_restore_of_a_shard_mid_run_is_byte_identical() {
     let reference = {
         let mut server = Server::new(4, 64);
         submit_all(&mut server);
-        server.drain(&registry)
+        server.drain(&registry).unwrap()
     };
     for kill_at in [1usize, 3, 6] {
         let mut server = Server::new(4, 64);
         submit_all(&mut server);
         let mut emits = Vec::new();
         for _ in 0..kill_at {
-            emits.extend(server.step(&registry));
+            emits.extend(server.step(&registry).unwrap());
         }
         // Snapshot every shard, lose them all (the crash), then restore
         // each into a shard constructed with wrong parameters.
@@ -114,7 +114,7 @@ fn kill_and_restore_of_a_shard_mid_run_is_byte_identical() {
             *server.shard_mut(s) = ShardState::new(99, 1);
             server.shard_mut(s).restore(&snapshot).unwrap();
         }
-        emits.extend(server.drain(&registry));
+        emits.extend(server.drain(&registry).unwrap());
         assert_eq!(emits, reference, "kill at step {kill_at} diverged");
     }
 }
@@ -125,7 +125,7 @@ fn resubmission_reexecutes_only_the_changed_points() {
     let mut server = Server::new(1, 64);
     let spec = campaign("sweep", 5);
     server.submit(1, spec.clone(), &registry).unwrap();
-    server.drain(&registry);
+    server.drain(&registry).unwrap();
     let cold = server.shard(0).cache().stats();
     assert_eq!((cold.hits, cold.misses), (0, 3));
 
@@ -133,7 +133,7 @@ fn resubmission_reexecutes_only_the_changed_points() {
     let mut changed = spec;
     changed.points[1].seed ^= 0x5eed;
     server.submit(1, changed, &registry).unwrap();
-    server.drain(&registry);
+    server.drain(&registry).unwrap();
     let warm = server.shard(0).cache().stats();
     assert_eq!(warm.hits - cold.hits, 2, "unchanged points must hit");
     assert_eq!(warm.misses - cold.misses, 1, "the changed point must miss");
@@ -145,9 +145,9 @@ fn bounded_cache_evicts_deterministically_without_changing_bytes() {
     let run = |capacity: usize| {
         let mut server = Server::new(1, capacity);
         server.submit(1, campaign("evict", 2), &registry).unwrap();
-        let first = artifacts(&server.drain(&registry));
+        let first = artifacts(&server.drain(&registry).unwrap());
         server.submit(1, campaign("evict", 2), &registry).unwrap();
-        let second = artifacts(&server.drain(&registry));
+        let second = artifacts(&server.drain(&registry).unwrap());
         assert_eq!(first, second, "capacity {capacity} changed bytes");
         (first, server)
     };
@@ -172,13 +172,13 @@ fn migration_mid_campaign_preserves_artifacts() {
     let reference = {
         let mut server = Server::new(4, 64);
         server.submit(1, campaign("mig", 13), &registry).unwrap();
-        artifacts(&server.drain(&registry))
+        artifacts(&server.drain(&registry).unwrap())
     };
     let mut server = Server::new(4, 64);
     let (id, shard) = server.submit(1, campaign("mig", 13), &registry).unwrap();
-    server.step(&registry);
-    assert!(server.migrate(id, (shard + 2) % 4));
-    assert_eq!(artifacts(&server.drain(&registry)), reference);
+    server.step(&registry).unwrap();
+    assert!(server.migrate(id, (shard + 2) % 4).unwrap());
+    assert_eq!(artifacts(&server.drain(&registry).unwrap()), reference);
 }
 
 #[test]
@@ -194,10 +194,10 @@ fn serial_and_parallel_drains_agree_per_campaign() {
     };
     let mut serial = Server::new(3, 64);
     let ids = submit_all(&mut serial);
-    let serial_emits = serial.drain(&registry);
+    let serial_emits = serial.drain(&registry).unwrap();
     let mut parallel = Server::new(3, 64);
     submit_all(&mut parallel);
-    let parallel_emits = parallel.drain_parallel(&registry);
+    let parallel_emits = parallel.drain_parallel(&registry).unwrap();
     for id in ids {
         assert_eq!(
             frames_of(&serial_emits, id),

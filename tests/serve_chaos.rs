@@ -1,0 +1,509 @@
+//! The campaign-service chaos drill: deterministic fault injection
+//! against the guarded service.
+//!
+//! Headline invariant: under any seeded chaos plan — shard crashes at
+//! unit boundaries, stragglers, torn or corrupted wire frames — the
+//! service yields results byte-identical to the fault-free run, or a
+//! typed, quota-accounted rejection/cancellation. Never a panic, never
+//! a hang.
+
+use jubench::prelude::*;
+use jubench::serve::wire::CancelReason;
+use jubench::serve::{
+    serve_session, ChaosPlan, Client, DuplexPipe, Emit, Frame, RejectReason, SupervisorConfig,
+    Transport, WireError,
+};
+
+fn campaign(name: &str, nodes: u32, seed: u64) -> CampaignSpec {
+    let mut spec = CampaignSpec::new("chaos-tenant", name, nodes, seed)
+        .with_point(RunPoint::test("STREAM", 2, seed))
+        .with_point(RunPoint::test("OSU", 2, seed + 1))
+        .with_point(RunPoint::test("LinkTest", 4, seed + 2));
+    spec.slice_s = 5.0;
+    spec
+}
+
+/// Strip the run report from `Done` frames: its out-of-band cache and
+/// guard tallies legitimately differ between chaotic and clean runs.
+fn stripped(emits: &[Emit]) -> Vec<Frame> {
+    emits
+        .iter()
+        .map(|e| match &e.frame {
+            Frame::Done {
+                campaign,
+                table,
+                chrome_trace,
+                ..
+            } => Frame::Done {
+                campaign: *campaign,
+                table: table.clone(),
+                chrome_trace: chrome_trace.clone(),
+                report: String::new(),
+            },
+            other => other.clone(),
+        })
+        .collect()
+}
+
+/// Silence the panic backtraces of deliberately injected chaos crashes
+/// (they are caught and recovered; the default hook would spam stderr).
+fn quiet_chaos_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let chaos = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with("chaos:"))
+                .unwrap_or(false);
+            if !chaos {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn submit_population(server: &mut Server, registry: &Registry) -> Vec<(u64, u32)> {
+    [
+        ("a", 8u32, 3u64),
+        ("b", 16, 11),
+        ("c", 24, 19),
+        ("d", 8, 27),
+    ]
+    .iter()
+    .map(|&(name, nodes, seed)| {
+        server
+            .submit(1, campaign(name, nodes, seed), registry)
+            .unwrap()
+    })
+    .collect()
+}
+
+/// The headline invariant, swept over seeds: scattered crash plans plus
+/// stragglers, absorbed by the restart budget, leave both the serial
+/// and the parallel supervised drains byte-identical to the fault-free
+/// reference.
+#[test]
+fn seeded_chaos_plans_preserve_bytes_under_supervision() {
+    quiet_chaos_panics();
+    let registry = full_registry();
+    // Serial and parallel drains interleave frames differently (per
+    // unit vs per shard) — supervision must reproduce each one's own
+    // fault-free stream exactly.
+    let serial_reference = {
+        let mut server = Server::new(4, 64);
+        submit_population(&mut server, &registry);
+        stripped(&server.drain(&registry).unwrap())
+    };
+    let parallel_reference = {
+        let mut server = Server::new(4, 64);
+        submit_population(&mut server, &registry);
+        stripped(&server.drain_parallel(&registry).unwrap())
+    };
+    for seed in [0x0DDBA11u64, 0x5CA1AB1E, 0xBEEFCAFE] {
+        let plan = ChaosPlan::scattered(seed, 4, 5, 8)
+            .with_straggler((seed % 4) as u32)
+            .with_straggler(((seed >> 8) % 4) as u32);
+        let cfg = SupervisorConfig {
+            max_restarts: plan.crash_count() as u32 + 1,
+            ..SupervisorConfig::default()
+        };
+        let mut serial = Server::new(4, 64);
+        submit_population(&mut serial, &registry);
+        let serial_outcome = serial
+            .drain_supervised(&registry, &cfg, Some(&plan))
+            .unwrap();
+        assert!(
+            !serial_outcome.degraded(),
+            "seed {seed:#x}: serial degraded"
+        );
+        assert_eq!(
+            stripped(&serial_outcome.emits),
+            serial_reference,
+            "seed {seed:#x}: serial supervised chaos diverged (interleave included)"
+        );
+        let mut parallel = Server::new(4, 64);
+        submit_population(&mut parallel, &registry);
+        let parallel_outcome = parallel
+            .drain_supervised_parallel(&registry, &cfg, Some(&plan))
+            .unwrap();
+        assert!(
+            !parallel_outcome.degraded(),
+            "seed {seed:#x}: parallel degraded"
+        );
+        assert_eq!(
+            stripped(&parallel_outcome.emits),
+            parallel_reference,
+            "seed {seed:#x}: parallel supervised chaos diverged"
+        );
+    }
+}
+
+/// A supervised drain with no chaos plan and no failures is exactly the
+/// plain drain — same frames, zero restarts, zero backoff.
+#[test]
+fn supervision_without_faults_is_free() {
+    let registry = full_registry();
+    let mut plain = Server::new(4, 64);
+    submit_population(&mut plain, &registry);
+    let reference = plain.drain(&registry).unwrap();
+    let mut supervised = Server::new(4, 64);
+    submit_population(&mut supervised, &registry);
+    let outcome = supervised
+        .drain_supervised(&registry, &SupervisorConfig::default(), None)
+        .unwrap();
+    assert_eq!(
+        outcome.emits, reference,
+        "fault-free supervision is identity"
+    );
+    assert_eq!(outcome.restarts, 0);
+    assert_eq!(outcome.backoff_s, 0.0);
+    assert!(outcome.cancelled.is_empty() && !outcome.degraded());
+}
+
+/// Stragglers alone (no crashes) perturb thread timing but never bytes,
+/// and charge nothing to the guard ledger.
+#[test]
+fn stragglers_change_nothing() {
+    let registry = full_registry();
+    let mut plain = Server::new(4, 64);
+    submit_population(&mut plain, &registry);
+    let reference = plain.drain_parallel(&registry).unwrap();
+    let plan = ChaosPlan::new(1)
+        .with_straggler(0)
+        .with_straggler(1)
+        .with_straggler(2)
+        .with_straggler(3);
+    let mut slow = Server::new(4, 64);
+    submit_population(&mut slow, &registry);
+    let outcome = slow
+        .drain_supervised_parallel(&registry, &SupervisorConfig::default(), Some(&plan))
+        .unwrap();
+    assert_eq!(outcome.emits, reference);
+    assert_eq!(outcome.restarts, 0, "stragglers are not failures");
+}
+
+/// A crash at unit 0 of every active shard forces exactly one restart
+/// per active shard; each restores from its pre-attempt snapshot, the
+/// restarts land in the `serve/restarts` counter and the per-shard
+/// guard ledger, and finished campaigns surface them in their report.
+#[test]
+fn restarts_restore_from_snapshot_and_are_counted() {
+    quiet_chaos_panics();
+    let registry = full_registry();
+    let mut server = Server::new(4, 64);
+    submit_population(&mut server, &registry);
+    let active: Vec<u32> = (0..4).filter(|&s| !server.shard(s).idle()).collect();
+    assert!(!active.is_empty());
+    let mut plan = ChaosPlan::new(7);
+    for &s in &active {
+        plan = plan.with_shard_crash(s, 0);
+    }
+    let before = jubench::metrics::snapshot()
+        .counters
+        .get("serve/restarts")
+        .copied()
+        .unwrap_or(0);
+    let outcome = server
+        .drain_supervised_parallel(&registry, &SupervisorConfig::default(), Some(&plan))
+        .unwrap();
+    assert_eq!(
+        outcome.restarts,
+        active.len() as u64,
+        "one restart per crashed shard"
+    );
+    assert!(outcome.backoff_s > 0.0, "restarts charge virtual backoff");
+    assert!(!outcome.degraded());
+    let after = jubench::metrics::snapshot()
+        .counters
+        .get("serve/restarts")
+        .copied()
+        .unwrap_or(0);
+    assert!(
+        after - before >= active.len() as u64,
+        "serve/restarts moved {before} → {after} for {} crashes",
+        active.len()
+    );
+    for &s in &active {
+        assert_eq!(server.shard(s).guard().restarts, 1, "shard {s} ledger");
+    }
+    let reported = outcome
+        .emits
+        .iter()
+        .filter(
+            |e| matches!(&e.frame, Frame::Done { report, .. } if report.contains("guard activity")),
+        )
+        .count();
+    assert!(
+        reported > 0,
+        "no finished campaign surfaced the guard tallies in its report"
+    );
+}
+
+/// A campaign whose virtual deadline falls inside its schedule is cut
+/// at the first unit boundary past the line: a typed `Cancelled` frame,
+/// the `serve/deadline_cancels` counter, and a quota refund — the
+/// tenant can immediately submit again.
+#[test]
+fn deadline_cancellation_is_typed_counted_and_refunded() {
+    let registry = full_registry();
+    let mut server = Server::new(1, 64).with_admission(AdmissionConfig {
+        max_active_per_tenant: 1,
+        token_capacity: 8,
+        max_points_per_campaign: 8,
+    });
+    let mut doomed = campaign("doomed", 8, 5).with_deadline(1.0);
+    doomed.slice_s = 0.75;
+    let (id, _) = server.submit(1, doomed, &registry).unwrap();
+    // The slot is held while the campaign is live.
+    let refused = server
+        .submit(1, campaign("queued", 8, 6), &registry)
+        .unwrap_err();
+    assert!(matches!(
+        refused.reason,
+        RejectReason::CampaignQuota {
+            active: 1,
+            limit: 1
+        }
+    ));
+    let before = jubench::metrics::snapshot()
+        .counters
+        .get("serve/deadline_cancels")
+        .copied()
+        .unwrap_or(0);
+    let emits = server.drain(&registry).unwrap();
+    let cancels: Vec<&Frame> = emits
+        .iter()
+        .map(|e| &e.frame)
+        .filter(|f| matches!(f, Frame::Cancelled { .. }))
+        .collect();
+    match cancels.as_slice() {
+        [Frame::Cancelled { campaign, reason }] => {
+            assert_eq!(*campaign, id);
+            match reason {
+                CancelReason::DeadlineExceeded {
+                    deadline_s,
+                    horizon_s,
+                } => {
+                    assert_eq!(*deadline_s, 1.0);
+                    assert!(*horizon_s >= 1.0, "cut at the boundary past the line");
+                }
+                other => panic!("wrong cancel reason: {other}"),
+            }
+        }
+        other => panic!("expected exactly one Cancelled frame, got {other:?}"),
+    }
+    assert!(
+        !emits.iter().any(|e| matches!(
+            &e.frame,
+            Frame::Done { campaign, .. } if *campaign == id
+        )),
+        "a cancelled campaign must not also finish"
+    );
+    let after = jubench::metrics::snapshot()
+        .counters
+        .get("serve/deadline_cancels")
+        .copied()
+        .unwrap_or(0);
+    assert!(after > before, "serve/deadline_cancels never moved");
+    // Cancellation retired the campaign: the quota slot is free again.
+    let usage = server.admission().usage("chaos-tenant");
+    assert_eq!((usage.active, usage.tokens), (0, 0));
+    server
+        .submit(1, campaign("retry", 8, 7), &registry)
+        .unwrap();
+}
+
+/// A shard that out-crashes its restart budget is given up on: its
+/// remaining campaigns end in typed `ShardFailed` cancellations, the
+/// drain reports itself degraded, and every other shard's campaigns
+/// still match the fault-free bytes.
+#[test]
+fn restart_budget_exhaustion_degrades_to_typed_partials() {
+    quiet_chaos_panics();
+    let registry = full_registry();
+    let reference = {
+        let mut server = Server::new(4, 64);
+        submit_population(&mut server, &registry);
+        stripped(&server.drain_parallel(&registry).unwrap())
+    };
+    let mut server = Server::new(4, 64);
+    let placed = submit_population(&mut server, &registry);
+    let victim = placed[0].1;
+    // Crash the victim's worker at the head of every attempt: with
+    // budget 1, attempt 1 fires (victim, 0), the retry fires another
+    // head crash, and the supervisor gives up.
+    let plan = ChaosPlan::new(3)
+        .with_shard_crash(victim, 0)
+        .with_shard_crash(victim, 0)
+        .with_shard_crash(victim, 0);
+    let cfg = SupervisorConfig {
+        max_restarts: 1,
+        ..SupervisorConfig::default()
+    };
+    let outcome = server
+        .drain_supervised_parallel(&registry, &cfg, Some(&plan))
+        .unwrap();
+    assert!(
+        outcome.degraded(),
+        "budget 1 cannot absorb repeated crashes"
+    );
+    assert_eq!(outcome.failed_shards.len(), 1);
+    assert_eq!(outcome.failed_shards[0].0, victim);
+    let doomed: Vec<u64> = placed
+        .iter()
+        .filter(|(_, s)| *s == victim)
+        .map(|(id, _)| *id)
+        .collect();
+    assert_eq!(
+        outcome.cancelled, doomed,
+        "every campaign on the dead shard is cancelled, no other"
+    );
+    for e in &outcome.emits {
+        if let Frame::Cancelled { campaign, reason } = &e.frame {
+            assert!(doomed.contains(campaign));
+            assert!(
+                matches!(reason, CancelReason::ShardFailed { restarts: 1 }),
+                "wrong reason: {reason}"
+            );
+        }
+    }
+    // Survivors are byte-identical to their fault-free runs.
+    let survivors: Vec<Frame> = reference
+        .iter()
+        .filter(|f| match f {
+            Frame::Row { campaign, .. }
+            | Frame::JobDone { campaign, .. }
+            | Frame::Done { campaign, .. }
+            | Frame::Cancelled { campaign, .. } => !doomed.contains(campaign),
+            _ => true,
+        })
+        .cloned()
+        .collect();
+    let trial_survivors: Vec<Frame> = stripped(&outcome.emits)
+        .into_iter()
+        .filter(|f| !matches!(f, Frame::Cancelled { .. }))
+        .collect();
+    assert_eq!(trial_survivors, survivors);
+    assert!(server.shard(victim).guard().giveups >= 1, "giveup ledger");
+    // The give-up retired the dead shard's campaigns: quota fully
+    // refunded, the server is reusable.
+    let usage = server.admission().usage("chaos-tenant");
+    assert_eq!((usage.active, usage.tokens), (0, 0));
+    assert!(server.idle());
+}
+
+/// Quota rejections cross the wire as typed `Rejected` frames; the
+/// session keeps serving, the drain completes, and the stats frame
+/// shows the accounted rejections.
+#[test]
+fn quota_rejections_cross_the_wire_typed() {
+    let registry = full_registry();
+    let (client_end, mut server_end) = DuplexPipe::pair();
+    let session = std::thread::spawn(move || {
+        let mut server = Server::new(2, 64).with_admission(AdmissionConfig {
+            max_active_per_tenant: 2,
+            token_capacity: 16,
+            max_points_per_campaign: 8,
+        });
+        let registry = full_registry();
+        serve_session(&mut server, &registry, &mut server_end, 1)
+    });
+    let mut client = Client::new(client_end);
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..5u64 {
+        match client.submit(&campaign(&format!("w{i}"), 8, i)).unwrap() {
+            Ok(_) => accepted += 1,
+            Err(rejection) => {
+                assert_eq!(rejection.tenant, "chaos-tenant");
+                assert!(matches!(
+                    rejection.reason,
+                    RejectReason::CampaignQuota { limit: 2, .. }
+                ));
+                rejected += 1;
+            }
+        }
+    }
+    assert_eq!((accepted, rejected), (2, 3), "quota of 2 admits exactly 2");
+    let frames = client.drain().unwrap();
+    let done = frames
+        .iter()
+        .filter(|f| matches!(f, Frame::Done { .. }))
+        .count();
+    assert_eq!(done, accepted, "every admitted campaign completes");
+    let stats = client.stats("serve/").unwrap();
+    assert!(
+        stats.contains("serve_rejected"),
+        "rejections missing from exposition:\n{stats}"
+    );
+    client.bye().unwrap();
+    session.join().unwrap().unwrap();
+    let _ = registry;
+}
+
+/// Validation failures are rejections too — typed and attributed, not
+/// errors that kill the session.
+#[test]
+fn invalid_specs_reject_typed_without_ending_the_session() {
+    let registry = full_registry();
+    let mut server = Server::new(1, 16);
+    let mut bad = campaign("bad", 8, 1);
+    bad.points.clear();
+    let rejection = server.submit(1, bad, &registry).unwrap_err();
+    assert!(matches!(rejection.reason, RejectReason::Invalid { .. }));
+    let mut nan = campaign("nan", 8, 1);
+    nan.deadline_s = f64::NAN;
+    let rejection = server.submit(1, nan, &registry).unwrap_err();
+    assert!(matches!(rejection.reason, RejectReason::Invalid { .. }));
+    // The gate charged nothing for refused campaigns.
+    let usage = server.admission().usage("chaos-tenant");
+    assert_eq!((usage.active, usage.tokens), (0, 0));
+    server.submit(1, campaign("ok", 8, 1), &registry).unwrap();
+    assert_eq!(
+        server
+            .drain(&registry)
+            .unwrap()
+            .iter()
+            .filter(|e| matches!(e.frame, Frame::Done { .. }))
+            .count(),
+        1
+    );
+}
+
+/// A frame torn mid-body ends the session with a typed `Truncated`
+/// error; a hangup between frames is a clean goodbye. Neither panics,
+/// neither hangs.
+#[test]
+fn torn_frames_end_sessions_typed_and_hangups_end_them_clean() {
+    let registry = full_registry();
+    // Torn mid-frame: the length prefix promises 64 bytes, 5 arrive.
+    let (mut client_end, mut server_end) = DuplexPipe::pair();
+    client_end.write_all(&64u32.to_le_bytes()).unwrap();
+    client_end.write_all(&[1, 2, 3, 4, 5]).unwrap();
+    client_end.shutdown();
+    let mut server = Server::new(1, 16);
+    let err = serve_session(&mut server, &registry, &mut server_end, 1).unwrap_err();
+    assert!(
+        err.to_string().contains("truncated"),
+        "wrong error for a torn frame: {err}"
+    );
+    // Hangup between frames: a clean end of session.
+    let (client_end, mut server_end) = DuplexPipe::pair();
+    drop(client_end);
+    serve_session(&mut server, &registry, &mut server_end, 1).unwrap();
+    // Corrupt length prefix larger than the frame cap: typed, not an
+    // allocation attempt.
+    let (mut client_end, mut server_end) = DuplexPipe::pair();
+    client_end.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    client_end.shutdown();
+    let err = serve_session(&mut server, &registry, &mut server_end, 1).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            jubench::serve::ServeError::Wire(WireError::Oversized(_))
+        ),
+        "wrong error for an oversized prefix: {err}"
+    );
+}
